@@ -1,0 +1,55 @@
+//! T2 timing: the §3.3 approximation vs the exact solvers on instances
+//! where both are feasible — the price of exactness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_bench::{random_instance, rng, InstanceParams};
+use wdm_core::disjoint::RobustRouteFinder;
+use wdm_core::exact::{exhaustive_best_pair, ilp_best_pair};
+use wdm_graph::NodeId;
+use wdm_ilp::IlpOptions;
+
+fn bench_approx_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_vs_exact");
+    group.sample_size(10);
+    for &n in &[5usize, 7, 9] {
+        let mut r = rng(n as u64 * 31);
+        let (net, state) = random_instance(
+            &mut r,
+            InstanceParams {
+                n,
+                w: 3,
+                link_p: 0.45,
+                ..Default::default()
+            },
+        );
+        let t = NodeId((n - 1) as u32);
+        group.bench_with_input(BenchmarkId::new("approx_3_3", n), &net, |b, net| {
+            let finder = RobustRouteFinder::new(net);
+            b.iter(|| black_box(finder.find(&state, NodeId(0), t).is_ok()))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &net, |b, net| {
+            b.iter(|| {
+                black_box(
+                    exhaustive_best_pair(net, &state, NodeId(0), t, 1_000_000)
+                        .0
+                        .is_some(),
+                )
+            })
+        });
+        if n <= 5 {
+            group.bench_with_input(BenchmarkId::new("ilp", n), &net, |b, net| {
+                b.iter(|| {
+                    black_box(
+                        ilp_best_pair(net, &state, NodeId(0), t, &IlpOptions::default())
+                            .map(|(r, _)| r.is_some()),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx_vs_exact);
+criterion_main!(benches);

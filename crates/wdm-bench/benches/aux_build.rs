@@ -1,0 +1,47 @@
+//! Auxiliary-graph construction cost: `G'`, `G_c`, `G_rc` on NSFNET and a
+//! dense random WAN (the O(m + nd) term of Theorem 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_bench::{random_connected_instance, rng};
+use wdm_core::aux_graph::{AuxGraph, AuxSpec};
+use wdm_core::network::{NetworkBuilder, ResidualState};
+use wdm_graph::NodeId;
+
+fn bench_build(c: &mut Criterion) {
+    let nets = [
+        ("nsfnet_w16", NetworkBuilder::nsfnet(16).build()),
+        ("random_n100_d8_w16", {
+            let mut r = rng(5);
+            random_connected_instance(&mut r, 100, 8, 16)
+        }),
+    ];
+    let mut group = c.benchmark_group("aux_graph_build");
+    for (name, net) in &nets {
+        let state = ResidualState::fresh(net);
+        let t = NodeId((net.node_count() - 1) as u32);
+        for (spec_name, spec) in [
+            ("g_prime", AuxSpec::g_prime()),
+            ("g_c", AuxSpec::g_c(std::f64::consts::E, 0.9)),
+            ("g_rc", AuxSpec::g_rc(0.9)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(spec_name, name),
+                &(net, spec),
+                |b, (net, spec)| {
+                    b.iter(|| {
+                        black_box(
+                            AuxGraph::build(net, &state, NodeId(0), t, *spec)
+                                .graph
+                                .edge_count(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Simulator throughput per provisioning policy (events/second drive how
+//! long the C1–C3 sweeps take; also a regression guard on the policies'
+//! per-request computational cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_core::network::NetworkBuilder;
+use wdm_sim::policy::Policy;
+use wdm_sim::sim::{run_sim, SimConfig};
+use wdm_sim::traffic::TrafficModel;
+
+fn bench_policies(c: &mut Criterion) {
+    let net = NetworkBuilder::nsfnet(16).build();
+    let mut group = c.benchmark_group("sim_policy");
+    group.sample_size(10);
+    for policy in [
+        Policy::CostOnly,
+        Policy::LoadOnly {
+            a: std::f64::consts::E,
+        },
+        Policy::Joint {
+            a: std::f64::consts::E,
+        },
+        Policy::TwoStep,
+        Policy::Unrefined,
+        Policy::PrimaryOnly,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        policy,
+                        traffic: TrafficModel::new(4.0, 10.0),
+                        duration: 100.0,
+                        failure_rate: 0.1,
+                        mean_repair: 10.0,
+                        reconfig_threshold: None,
+                        seed: 1,
+                        switchover_time: 0.001,
+                        setup_time_per_hop: 0.05,
+                    };
+                    black_box(run_sim(&net, cfg).admitted)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

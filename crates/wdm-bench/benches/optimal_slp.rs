@@ -1,0 +1,38 @@
+//! The Liang–Shen optimal-semilightpath search (the `nW² + nW log(nW)`
+//! term of Theorems 1 and 3) and the fixed-path wavelength DP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_bench::{random_connected_instance, rng};
+use wdm_core::network::ResidualState;
+use wdm_core::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath};
+use wdm_graph::NodeId;
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_slp");
+    group.sample_size(30);
+    for &w in &[4usize, 16, 64] {
+        let mut r = rng(w as u64);
+        let net = random_connected_instance(&mut r, 100, 6, w);
+        let state = ResidualState::fresh(&net);
+        group.bench_with_input(BenchmarkId::new("search_w", w), &net, |b, net| {
+            b.iter(|| {
+                black_box(optimal_semilightpath(net, &state, NodeId(0), NodeId(99)).map(|p| p.cost))
+            })
+        });
+        // Fixed-path DP along a precomputed route.
+        let slp = optimal_semilightpath(&net, &state, NodeId(0), NodeId(99)).expect("reachable");
+        let edges: Vec<_> = slp.edges().collect();
+        group.bench_with_input(BenchmarkId::new("path_dp_w", w), &net, |b, net| {
+            b.iter(|| {
+                black_box(
+                    assign_wavelengths_on_path(net, &state, NodeId(0), &edges).map(|p| p.cost),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

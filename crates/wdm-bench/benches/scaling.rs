@@ -1,0 +1,48 @@
+//! T1 bench: the §3.3 approximation's running time vs n and W
+//! (Criterion counterpart of `exp_scaling`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_bench::{random_connected_instance, rng};
+use wdm_core::disjoint::RobustRouteFinder;
+use wdm_core::network::ResidualState;
+use wdm_graph::NodeId;
+
+fn bench_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_pair_vs_n");
+    group.sample_size(20);
+    for &n in &[50usize, 100, 200] {
+        let mut r = rng(n as u64);
+        let net = random_connected_instance(&mut r, n, 6, 8);
+        let state = ResidualState::fresh(&net);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            let finder = RobustRouteFinder::new(net);
+            b.iter(|| {
+                black_box(
+                    finder
+                        .find(&state, NodeId(0), NodeId((n - 1) as u32))
+                        .is_ok(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_w(c: &mut Criterion) {
+    let mut group = c.benchmark_group("find_pair_vs_w");
+    group.sample_size(20);
+    for &w in &[4usize, 16, 64] {
+        let mut r = rng(w as u64 + 99);
+        let net = random_connected_instance(&mut r, 100, 6, w);
+        let state = ResidualState::fresh(&net);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &net, |b, net| {
+            let finder = RobustRouteFinder::new(net);
+            b.iter(|| black_box(finder.find(&state, NodeId(0), NodeId(99)).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_n, bench_vs_w);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! LP / ILP solver micro-benchmarks: dense simplex pivots and the paper's
+//! Eqs. 3–21 integer program on a small WDM instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_bench::{random_instance, rng, InstanceParams};
+use wdm_core::exact::ilp_best_pair;
+use wdm_graph::NodeId;
+use wdm_ilp::{solve_lp_standard, Cmp, IlpOptions, LinExpr, Model};
+
+/// Random dense feasible LP: min cᵀx, Ax = b with x = 1 feasible.
+fn random_lp(m: usize, n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, Vec<f64>) {
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 1000) as f64 / 100.0
+    };
+    let a: Vec<Vec<f64>> = (0..m).map(|_| (0..n).map(|_| next()).collect()).collect();
+    let b: Vec<f64> = a.iter().map(|row| row.iter().sum()).collect(); // x = 1 feasible
+    let c: Vec<f64> = (0..n).map(|_| next()).collect();
+    (a, b, c)
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_lp");
+    for &(m, n) in &[(10usize, 20usize), (25, 50), (50, 100)] {
+        let (a, b, cc) = random_lp(m, n, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(a, b, cc),
+            |bench, (a, b, cc)| bench.iter(|| black_box(solve_lp_standard(a, b, cc))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_knapsack_ilp(c: &mut Criterion) {
+    c.bench_function("ilp_knapsack_18", |bench| {
+        bench.iter(|| {
+            let mut m = Model::minimize();
+            let vars: Vec<_> = (0..18).map(|i| m.binary(format!("x{i}"))).collect();
+            let mut w = LinExpr::new();
+            let mut v = LinExpr::new();
+            for (i, &x) in vars.iter().enumerate() {
+                w.add_term(x, 1.0 + (i % 5) as f64);
+                v.add_term(x, -(2.0 + (i % 7) as f64));
+            }
+            m.constrain(w, Cmp::Le, 20.0);
+            m.set_objective(v);
+            black_box(wdm_ilp::solve_ilp(&m, &IlpOptions::default()).obj)
+        })
+    });
+}
+
+fn bench_paper_ilp(c: &mut Criterion) {
+    let mut r = rng(4242);
+    let (net, state) = random_instance(
+        &mut r,
+        InstanceParams {
+            n: 5,
+            w: 2,
+            link_p: 0.5,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("paper_ilp");
+    group.sample_size(10);
+    group.bench_function("eqs_3_21_n5_w2", |b| {
+        b.iter(|| {
+            black_box(
+                ilp_best_pair(&net, &state, NodeId(0), NodeId(4), &IlpOptions::default())
+                    .map(|(r, _)| r.map(|x| x.total_cost())),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_knapsack_ilp, bench_paper_ilp);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Disjoint-pair engines on plain graphs: Suurballe vs the two-step greedy
+//! vs min-cost flow (all compute or approximate the same object).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+use wdm_graph::mincostflow::min_cost_disjoint_paths;
+use wdm_graph::suurballe::{edge_disjoint_pair, node_disjoint_pair, two_step_pair};
+use wdm_graph::{topology, NodeId};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let graphs = [
+        ("nsfnet", topology::nsfnet()),
+        ("arpanet", topology::arpanet_like()),
+        (
+            "waxman200",
+            topology::waxman(200, 0.9, 0.2, 1000.0, &mut rng),
+        ),
+    ];
+    let mut group = c.benchmark_group("disjoint_pair");
+    for (name, g) in &graphs {
+        let t = NodeId((g.node_count() - 1) as u32);
+        group.bench_with_input(BenchmarkId::new("suurballe", name), g, |b, g| {
+            b.iter(|| black_box(edge_disjoint_pair(g, NodeId(0), t, |e| g.weight(e)).is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("two_step", name), g, |b, g| {
+            b.iter(|| black_box(two_step_pair(g, NodeId(0), t, |e| g.weight(e)).is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("mincostflow", name), g, |b, g| {
+            b.iter(|| {
+                black_box(min_cost_disjoint_paths(g, NodeId(0), t, 2, |e| g.weight(e)).is_some())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("node_disjoint", name), g, |b, g| {
+            b.iter(|| black_box(node_disjoint_pair(g, NodeId(0), t, |e| g.weight(e)).is_some()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

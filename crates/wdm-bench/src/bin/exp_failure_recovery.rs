@@ -1,0 +1,98 @@
+//! Experiment C2 — active vs passive failure recovery under fibre cuts
+//! (the paper's §1 motivation for pre-provisioned backups).
+//!
+//! ```sh
+//! cargo run --release -p wdm-bench --bin exp_failure_recovery [--quick]
+//! ```
+
+use wdm_bench::Table;
+use wdm_core::network::NetworkBuilder;
+use wdm_sim::parallel::run_replications;
+use wdm_sim::policy::Policy;
+use wdm_sim::sim::SimConfig;
+use wdm_sim::traffic::TrafficModel;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (duration, reps) = if quick { (400.0, 3) } else { (1500.0, 4) };
+    let net = NetworkBuilder::nsfnet(16).build();
+    let seeds: Vec<u64> = (0..reps as u64).collect();
+
+    println!("C2 — recovery under fibre cuts, NSFNET W = 16");
+    let mut table = Table::new(&[
+        "fail rate",
+        "policy",
+        "cuts",
+        "instant",
+        "recomputed",
+        "dropped",
+        "instant %",
+        "mean rec. time",
+        "blocking %",
+    ]);
+    for &fail_rate in &[0.1, 0.3, 0.6] {
+        for policy in [
+            Policy::CostOnly,
+            Policy::Joint {
+                a: std::f64::consts::E,
+            },
+            Policy::PrimaryOnly,
+        ] {
+            let cfg = SimConfig {
+                policy,
+                traffic: TrafficModel::new(3.0, 15.0),
+                duration,
+                failure_rate: fail_rate,
+                mean_repair: 20.0,
+                reconfig_threshold: None,
+                seed: 0,
+                switchover_time: 0.001,
+                setup_time_per_hop: 0.05,
+            };
+            let runs = run_replications(&net, cfg, &seeds);
+            let cuts: u64 = runs.iter().map(|m| m.failures_injected).sum();
+            let fast: u64 = runs.iter().map(|m| m.fast_switchovers).sum();
+            let passive: u64 = runs.iter().map(|m| m.passive_recoveries).sum();
+            let dropped: u64 = runs.iter().map(|m| m.recovery_failures).sum();
+            let total_hit = fast + passive + dropped;
+            let instant_pct = if total_hit > 0 {
+                fast as f64 / total_hit as f64 * 100.0
+            } else {
+                0.0
+            };
+            let blocking: f64 = runs
+                .iter()
+                .map(|m| m.blocking_probability() * 100.0)
+                .sum::<f64>()
+                / runs.len() as f64;
+            let rec_time: f64 = {
+                let sum: f64 = runs.iter().map(|m| m.recovery_time_sum).sum();
+                let n: u64 = runs.iter().map(|m| m.recovery_events).sum();
+                if n == 0 {
+                    0.0
+                } else {
+                    sum / n as f64
+                }
+            };
+            table.row(vec![
+                format!("{fail_rate:.1}"),
+                policy.name().into(),
+                cuts.to_string(),
+                fast.to_string(),
+                passive.to_string(),
+                dropped.to_string(),
+                format!("{instant_pct:.1}"),
+                format!("{rec_time:.4}"),
+                format!("{blocking:.2}"),
+            ]);
+        }
+    }
+    table.print();
+    println!("\n'instant' = pre-provisioned backup switchover (switchover time");
+    println!("0.001); 'recomputed' = passive re-establishment charged 0.05 per");
+    println!("hop of the new route — 'mean rec. time' quantifies the paper's");
+    println!("'much smaller failure recovery delay' claim directly;");
+    println!("'dropped' = no recovery route existed. The protected policies");
+    println!("answer the vast majority of primary-path cuts instantly, at the");
+    println!("price of reserving roughly twice the capacity (higher blocking).");
+}

@@ -1,0 +1,131 @@
+//! Experiment L1 — Lemma 1's hardness in practice: exact solvers blow up
+//! exponentially on the ladder family while the approximation stays
+//! polynomial.
+//!
+//! ```sh
+//! cargo run --release -p wdm-bench --bin exp_hardness_gadget
+//! ```
+//!
+//! The ladder of `k` rungs has `≥ 2^k` simple `s → t` paths. The exhaustive
+//! pair solver enumerates all of them; the §3.3 approximation runs two
+//! Dijkstra passes. We also instantiate Lemma 1's reduction gadget itself
+//! (2 wavelengths, no conversion, complementary availability) and show the
+//! exact solver still answers it on small sizes.
+
+use wdm_bench::{timed, Table};
+use wdm_core::conversion::ConversionTable;
+use wdm_core::disjoint::RobustRouteFinder;
+use wdm_core::exact::exhaustive_best_pair;
+use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use wdm_core::wavelength::WavelengthSet;
+use wdm_graph::NodeId;
+
+/// Ladder topology lifted to a WDM net with full conversion.
+fn ladder_net(k: usize) -> WdmNetwork {
+    let topo = wdm_graph::topology::ladder(k, 1.0);
+    NetworkBuilder::from_topology(&topo, 2, ConversionTable::Full { cost: 0.1 }, 1.0).build()
+}
+
+/// Lemma 1's reduction gadget: pair-weighted links become wavelength
+/// availability, no conversion anywhere. `(0,0) -> both λ`, `(1,0) -> λ2
+/// only`, `(0,1) -> λ1 only`.
+fn lemma1_gadget(k: usize) -> WdmNetwork {
+    let mut b = NetworkBuilder::new(2);
+    let n = 2 * k + 2;
+    let nodes: Vec<_> = (0..n).map(|_| b.add_node(ConversionTable::None)).collect();
+    let t = n - 1;
+    let both = WavelengthSet::full(2);
+    let only0 = WavelengthSet::from_indices(&[0]);
+    let only1 = WavelengthSet::from_indices(&[1]);
+    // Two interleaved chains with availability constraints that force the
+    // two legs onto complementary wavelengths.
+    let mut prev_a = 0usize;
+    let mut prev_b = 0usize;
+    for i in 0..k {
+        let a = 2 * i + 1;
+        let bn = 2 * i + 2;
+        b.add_link_with(nodes[prev_a], nodes[a], 1.0, only0);
+        b.add_link_with(nodes[prev_b], nodes[bn], 1.0, only1);
+        // Cross links both ways, both wavelengths (the "(0,0)" links).
+        b.add_link_with(nodes[a], nodes[bn], 1.0, both);
+        b.add_link_with(nodes[bn], nodes[a], 1.0, both);
+        prev_a = a;
+        prev_b = bn;
+    }
+    b.add_link_with(nodes[prev_a], nodes[t], 1.0, only0);
+    b.add_link_with(nodes[prev_b], nodes[t], 1.0, only1);
+    b.build()
+}
+
+fn main() {
+    println!("L1 — exhaustive-search blow-up on the ladder family\n");
+    let mut table = Table::new(&[
+        "k",
+        "nodes",
+        "paths",
+        "pairs",
+        "exact ms",
+        "approx ms",
+        "same cost",
+    ]);
+    for k in 1..=9usize {
+        let net = ladder_net(k);
+        let state = ResidualState::fresh(&net);
+        let s = NodeId(0);
+        let t = NodeId((2 * k + 1) as u32);
+        let (exact_out, exact_secs) = timed(|| exhaustive_best_pair(&net, &state, s, t, 2_000_000));
+        let (exact, stats) = exact_out;
+        let exact = exact.expect("ladder is 2-edge-connected");
+        let (approx, approx_secs) = timed(|| {
+            RobustRouteFinder::new(&net)
+                .find(&state, s, t)
+                .expect("feasible")
+        });
+        table.row(vec![
+            k.to_string(),
+            net.node_count().to_string(),
+            stats.paths_enumerated.to_string(),
+            stats.pairs_checked.to_string(),
+            format!("{:.2}", exact_secs * 1e3),
+            format!("{:.3}", approx_secs * 1e3),
+            if (approx.total_cost() - exact.total_cost()).abs() < 1e-9 {
+                "yes".into()
+            } else {
+                format!("{:.2}x", approx.total_cost() / exact.total_cost())
+            },
+        ]);
+    }
+    table.print();
+    println!("\npaths grow ~2^k -> exhaustive time explodes; the approximation");
+    println!("is two Dijkstra passes and stays flat.\n");
+
+    println!("Lemma 1 reduction gadget (2 λ, no conversion): exact solver answers");
+    let mut t2 = Table::new(&["k", "exact cost", "exact ms", "legs on distinct λ"]);
+    for k in 1..=6usize {
+        let net = lemma1_gadget(k);
+        let state = ResidualState::fresh(&net);
+        let s = NodeId(0);
+        let t = NodeId((2 * k + 1) as u32);
+        let (out, secs) = timed(|| exhaustive_best_pair(&net, &state, s, t, 2_000_000));
+        let (route, _) = out;
+        match route {
+            Some(r) => {
+                let l1 = r.primary.hops[0].wavelength;
+                let l2 = r.backup.hops[0].wavelength;
+                t2.row(vec![
+                    k.to_string(),
+                    format!("{:.1}", r.total_cost()),
+                    format!("{:.2}", secs * 1e3),
+                    (l1 != l2).to_string(),
+                ]);
+            }
+            None => t2.row(vec![
+                k.to_string(),
+                "-".into(),
+                format!("{:.2}", secs * 1e3),
+                "n/a".into(),
+            ]),
+        }
+    }
+    t2.print();
+}

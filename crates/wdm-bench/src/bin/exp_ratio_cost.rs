@@ -1,0 +1,114 @@
+//! Experiment T2 — Theorem 2: the §3.3 approximation is within 2× of the
+//! exact optimum when the conversion-cost premise holds.
+//!
+//! ```sh
+//! cargo run --release -p wdm-bench --bin exp_ratio_cost
+//! ```
+//!
+//! Output: one row per (n, W, premise) population with the distribution of
+//! `approx / exact` over feasible random instances. The exact optimum comes
+//! from exhaustive simple-path-pair enumeration, cross-checked against the
+//! ILP on a subsample.
+
+use rayon::prelude::*;
+use wdm_bench::{random_instance, rng, summarize, InstanceParams, Table};
+use wdm_core::disjoint::RobustRouteFinder;
+use wdm_core::exact::{exhaustive_best_pair, ilp_best_pair};
+use wdm_graph::NodeId;
+
+fn main() {
+    let instances_per_cell = 120usize;
+    let mut table = Table::new(&[
+        "n", "W", "premise", "feasible", "mean", "p95", "max", "bound ok",
+    ]);
+    let mut ilp_checked = 0usize;
+    let mut worst_overall: f64 = 0.0;
+
+    for &premise in &[true, false] {
+        for &(n, w) in &[(5usize, 2usize), (6, 3), (8, 3), (9, 4)] {
+            let params = InstanceParams {
+                n,
+                w,
+                link_p: 0.4,
+                lambda_p: 0.7,
+                preload: 0.1,
+                premise,
+            };
+            let results: Vec<Option<f64>> = (0..instances_per_cell)
+                .into_par_iter()
+                .map(|i| {
+                    let mut r = rng(1_000_000 * n as u64
+                        + 1000 * w as u64
+                        + i as u64
+                        + if premise { 0 } else { 7_777_777 });
+                    let (net, state) = random_instance(&mut r, params);
+                    let s = NodeId(0);
+                    let t = NodeId(n as u32 - 1);
+                    let approx = RobustRouteFinder::new(&net).find(&state, s, t).ok()?;
+                    let (exact, stats) = exhaustive_best_pair(&net, &state, s, t, 100_000);
+                    assert!(!stats.truncated, "raise the enumeration cap");
+                    let exact = exact.expect("aux-graph reduction is feasibility-complete");
+                    Some(approx.total_cost() / exact.total_cost())
+                })
+                .collect();
+            let ratios: Vec<f64> = results.into_iter().flatten().collect();
+            let s = summarize(&ratios);
+            let bound_ok = if premise {
+                if s.max <= 2.0 + 1e-9 {
+                    "yes"
+                } else {
+                    "VIOLATED"
+                }
+            } else {
+                "n/a"
+            };
+            if premise {
+                worst_overall = worst_overall.max(s.max);
+            }
+            table.row(vec![
+                n.to_string(),
+                w.to_string(),
+                premise.to_string(),
+                format!("{}/{}", s.n, instances_per_cell),
+                format!("{:.4}", s.mean),
+                format!("{:.4}", s.p95),
+                format!("{:.4}", s.max),
+                bound_ok.to_string(),
+            ]);
+        }
+    }
+
+    // ILP cross-check on a small subsample (n = 5, W = 2).
+    let mut r = rng(424242);
+    for _ in 0..15 {
+        let (net, state) = random_instance(
+            &mut r,
+            InstanceParams {
+                n: 5,
+                w: 2,
+                ..Default::default()
+            },
+        );
+        let s = NodeId(0);
+        let t = NodeId(4);
+        let (ex, _) = exhaustive_best_pair(&net, &state, s, t, 100_000);
+        let (ilp, _) =
+            ilp_best_pair(&net, &state, s, t, &Default::default()).expect("not degenerate");
+        match (ex, ilp) {
+            (Some(a), Some(b)) => {
+                assert!(
+                    (a.total_cost() - b.total_cost()).abs() < 1e-5,
+                    "ILP and exhaustive disagree"
+                );
+                ilp_checked += 1;
+            }
+            (None, None) => {}
+            _ => panic!("ILP and exhaustive disagree on feasibility"),
+        }
+    }
+
+    println!("T2 — Theorem 2 approximation ratio (approx / exact):\n");
+    table.print();
+    println!("\nworst premise-satisfying ratio observed: {worst_overall:.4} (bound: 2.0)");
+    println!("ILP cross-check agreed on {ilp_checked} feasible subsample instances");
+}

@@ -1,0 +1,128 @@
+//! Experiment T3 — Theorem 3: the MinCog geometric threshold search lands
+//! within 3× of the exact minimal feasible load threshold.
+//!
+//! ```sh
+//! cargo run --release -p wdm-bench --bin exp_ratio_load
+//! ```
+//!
+//! Sweeps the exponential base `a ∈ {2, e, 10}` and two preload levels on
+//! both random instances and NSFNET.
+
+use rayon::prelude::*;
+use wdm_bench::{random_instance, rng, summarize, InstanceParams, Table};
+use wdm_core::mincog::{exact_min_load_threshold, find_two_paths_mincog, route_bottleneck_load};
+use wdm_core::network::{NetworkBuilder, ResidualState};
+use wdm_graph::{EdgeId, NodeId};
+
+fn main() {
+    let mut table = Table::new(&[
+        "topology", "a", "preload", "feasible", "mean", "p95", "max", "probes", "bound ok",
+    ]);
+    let bases = [2.0, std::f64::consts::E, 10.0];
+
+    for &a in &bases {
+        for &preload in &[0.2, 0.5] {
+            // Random instances.
+            let per_cell = 120usize;
+            let out: Vec<Option<(f64, usize)>> = (0..per_cell)
+                .into_par_iter()
+                .map(|i| {
+                    let mut r = rng(31_000 + i as u64 + (preload * 1e4) as u64);
+                    // Uniform capacities (lambda_p = 1.0): Theorem 3's 3x
+                    // bound applies exactly to achieved bottleneck loads.
+                    let (net, state) = random_instance(
+                        &mut r,
+                        InstanceParams {
+                            n: 8,
+                            w: 4,
+                            link_p: 0.45,
+                            lambda_p: 1.0,
+                            preload,
+                            premise: true,
+                        },
+                    );
+                    let s = NodeId(0);
+                    let t = NodeId(7);
+                    let h = find_two_paths_mincog(&net, &state, s, t, a).ok()?;
+                    let e = exact_min_load_threshold(&net, &state, s, t, a)
+                        .expect("heuristic feasible implies exact feasible");
+                    let b_heur = route_bottleneck_load(&net, &state, &h.route);
+                    Some((b_heur / e.threshold, h.probes))
+                })
+                .collect();
+            let pairs: Vec<(f64, usize)> = out.into_iter().flatten().collect();
+            let ratios: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let probes: f64 =
+                pairs.iter().map(|p| p.1 as f64).sum::<f64>() / pairs.len().max(1) as f64;
+            let s = summarize(&ratios);
+            table.row(vec![
+                "random(n=8,W=4)".into(),
+                format!("{a:.2}"),
+                format!("{preload:.1}"),
+                format!("{}/{}", s.n, per_cell),
+                format!("{:.4}", s.mean),
+                format!("{:.4}", s.p95),
+                format!("{:.4}", s.max),
+                format!("{probes:.1}"),
+                if s.max <= 3.0 + 1e-9 {
+                    "yes"
+                } else {
+                    "VIOLATED"
+                }
+                .into(),
+            ]);
+        }
+    }
+
+    // NSFNET with deterministic preload.
+    let net = NetworkBuilder::nsfnet(8).build();
+    for &a in &bases {
+        let mut r = rng(5150);
+        let mut ratios = Vec::new();
+        let mut probes = Vec::new();
+        for trial in 0..60u64 {
+            let mut state = ResidualState::fresh(&net);
+            use rand::Rng;
+            for ei in 0..net.link_count() {
+                let e = EdgeId::from(ei);
+                for l in net.lambda(e).iter() {
+                    if r.gen_bool(0.4) {
+                        let _ = state.occupy(&net, e, l);
+                    }
+                }
+            }
+            let s = NodeId((trial % 14) as u32);
+            let t = NodeId(((trial * 5 + 7) % 14) as u32);
+            if s == t {
+                continue;
+            }
+            if let Ok(h) = find_two_paths_mincog(&net, &state, s, t, a) {
+                let e = exact_min_load_threshold(&net, &state, s, t, a).expect("feasible");
+                ratios.push(route_bottleneck_load(&net, &state, &h.route) / e.threshold);
+                probes.push(h.probes as f64);
+            }
+        }
+        let s = summarize(&ratios);
+        table.row(vec![
+            "NSFNET(W=8)".into(),
+            format!("{a:.2}"),
+            "0.4".into(),
+            format!("{}/60", s.n),
+            format!("{:.4}", s.mean),
+            format!("{:.4}", s.p95),
+            format!("{:.4}", s.max),
+            format!("{:.1}", summarize(&probes).mean),
+            if s.max <= 3.0 + 1e-9 {
+                "yes"
+            } else {
+                "VIOLATED"
+            }
+            .into(),
+        ]);
+    }
+
+    println!("T3 — Theorem 3 ratio: MinCog achieved bottleneck load / exact optimum B*:\n");
+    table.print();
+    println!("\nThe paper's bound is 3.0; the geometric search typically lands");
+    println!("much closer because the candidate thresholds are coarse.");
+}

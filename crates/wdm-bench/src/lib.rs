@@ -1,0 +1,278 @@
+//! Shared infrastructure for the experiment binaries and Criterion benches.
+//!
+//! One binary per experiment id from `DESIGN.md` §2 lives in `src/bin/`;
+//! each regenerates the corresponding paper artifact as a printed table.
+//! This library holds the instance generators and the table printer they
+//! share.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_core::conversion::ConversionTable;
+use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use wdm_core::wavelength::{Wavelength, WavelengthSet};
+use wdm_graph::{EdgeId, NodeId};
+
+/// Parameters for random WDM instance generation.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceParams {
+    /// Node count.
+    pub n: usize,
+    /// Wavelengths per fibre.
+    pub w: usize,
+    /// Directed link probability per ordered pair.
+    pub link_p: f64,
+    /// Probability each wavelength is installed on a link.
+    pub lambda_p: f64,
+    /// Fraction of installed channels pre-occupied.
+    pub preload: f64,
+    /// Whether the Theorem 2 premise (conversion ≤ any incident link cost)
+    /// must hold.
+    pub premise: bool,
+}
+
+impl Default for InstanceParams {
+    fn default() -> Self {
+        Self {
+            n: 6,
+            w: 3,
+            link_p: 0.4,
+            lambda_p: 0.7,
+            preload: 0.0,
+            premise: true,
+        }
+    }
+}
+
+/// Generates a random WDM network + residual state per `params`.
+pub fn random_instance(
+    rng: &mut ChaCha8Rng,
+    params: InstanceParams,
+) -> (WdmNetwork, ResidualState) {
+    let conv_cost = if params.premise {
+        rng.gen_range(0.0..1.0) // link costs are >= 1
+    } else {
+        rng.gen_range(5.0..20.0) // deliberately violates the premise
+    };
+    let mut b = NetworkBuilder::new(params.w);
+    for _ in 0..params.n {
+        b.add_node(ConversionTable::Full { cost: conv_cost });
+    }
+    for u in 0..params.n {
+        for v in 0..params.n {
+            if u != v && rng.gen_bool(params.link_p) {
+                let mut set = WavelengthSet::empty();
+                for l in 0..params.w {
+                    if rng.gen_bool(params.lambda_p) {
+                        set.insert(Wavelength(l as u8));
+                    }
+                }
+                if set.is_empty() {
+                    set.insert(Wavelength(rng.gen_range(0..params.w) as u8));
+                }
+                b.add_link_with(
+                    NodeId(u as u32),
+                    NodeId(v as u32),
+                    rng.gen_range(1.0..10.0),
+                    set,
+                );
+            }
+        }
+    }
+    let net = b.build();
+    let mut state = ResidualState::fresh(&net);
+    if params.preload > 0.0 {
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            for l in net.lambda(e).iter() {
+                if rng.gen_bool(params.preload) {
+                    let _ = state.occupy(&net, e, l);
+                }
+            }
+        }
+    }
+    (net, state)
+}
+
+/// A random connected WDM network lifted from `wdm_graph::topology`
+/// generators, with full complements and uniform costs — used by the
+/// scaling experiments where structure should be controlled.
+pub fn random_connected_instance(
+    rng: &mut ChaCha8Rng,
+    n: usize,
+    avg_degree: usize,
+    w: usize,
+) -> WdmNetwork {
+    let m = n * avg_degree / 2;
+    let topo = wdm_graph::topology::random_connected(n, m.max(n - 1), 1.0..10.0, rng);
+    NetworkBuilder::from_topology(&topo, w, ConversionTable::Full { cost: 0.5 }, 1.0).build()
+}
+
+/// Simple fixed-width table printer (markdown-ish).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Creates the deterministic RNG used by all experiments.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes [`Summary`] of `values` (empty input gives zeros).
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            min: 0.0,
+            p95: 0.0,
+            max: 0.0,
+        };
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank95 = ((0.95 * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    Summary {
+        n: v.len(),
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+        min: v[0],
+        p95: v[rank95 - 1],
+        max: *v.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_generation_respects_premise_flag() {
+        let mut r = rng(1);
+        let (net, _) = random_instance(&mut r, InstanceParams::default());
+        assert!(net.satisfies_ratio_premise());
+        let (net2, _) = random_instance(
+            &mut r,
+            InstanceParams {
+                premise: false,
+                ..Default::default()
+            },
+        );
+        assert!(!net2.satisfies_ratio_premise());
+    }
+
+    #[test]
+    fn preload_occupies_channels() {
+        let mut r = rng(2);
+        let (net, st) = random_instance(
+            &mut r,
+            InstanceParams {
+                preload: 0.5,
+                ..Default::default()
+            },
+        );
+        let used: usize = (0..net.link_count())
+            .map(|i| st.used_count(EdgeId::from(i)))
+            .sum();
+        assert!(used > 0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| long-header |"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p95, 4.0);
+        assert_eq!(summarize(&[]).n, 0);
+    }
+
+    #[test]
+    fn connected_instance_is_routable() {
+        let mut r = rng(3);
+        let net = random_connected_instance(&mut r, 20, 4, 4);
+        assert_eq!(net.node_count(), 20);
+        assert!(net.link_count() >= 38);
+    }
+}

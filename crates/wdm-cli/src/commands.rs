@@ -1,0 +1,352 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::netio::{emit, load_network, render_network};
+use rand::SeedableRng;
+use wdm_core::conversion::ConversionTable;
+use wdm_core::load::load_snapshot;
+use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use wdm_graph::traverse::{edge_connectivity, is_strongly_connected};
+use wdm_graph::NodeId;
+use wdm_sim::batch::{full_mesh_demands, provision_batch, BatchOrder};
+use wdm_sim::metrics::mean_std;
+use wdm_sim::parallel::run_replications;
+use wdm_sim::policy::{Policy, ProvisionedRoute};
+use wdm_sim::sim::SimConfig;
+use wdm_sim::traffic::TrafficModel;
+
+/// Parses a `--policy` value.
+pub fn parse_policy(spec: &str) -> Result<Policy, String> {
+    let a = std::f64::consts::E;
+    Ok(match spec {
+        "cost-only" | "cost" => Policy::CostOnly,
+        "load-only" | "load" => Policy::LoadOnly { a },
+        "joint" => Policy::Joint { a },
+        "joint-as-printed" => Policy::JointAsPrinted { a },
+        "two-step" => Policy::TwoStep,
+        "unrefined" => Policy::Unrefined,
+        "ksp" => Policy::Ksp { k: 16 },
+        "node-disjoint" => Policy::NodeDisjoint,
+        "primary-only" => Policy::PrimaryOnly,
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+/// Parses a `--conversion` value (`auto` picks cost = cheapest link).
+fn parse_conversion(spec: &str, min_link_cost: f64) -> Result<ConversionTable, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    Ok(match parts.as_slice() {
+        ["none"] => ConversionTable::None,
+        ["full", "auto"] => ConversionTable::Full {
+            cost: min_link_cost,
+        },
+        ["full", c] => ConversionTable::Full {
+            cost: c.parse().map_err(|e| format!("bad cost: {e}"))?,
+        },
+        ["range", k, c] => ConversionTable::Range {
+            range: k.parse().map_err(|e| format!("bad range: {e}"))?,
+            cost: c.parse().map_err(|e| format!("bad cost: {e}"))?,
+        },
+        _ => return Err(format!("unknown conversion spec '{spec}'")),
+    })
+}
+
+/// `wdm topology <preset>`.
+pub fn topology(args: &Args) -> Result<(), String> {
+    let preset = args
+        .positional(0)
+        .ok_or("missing topology preset (nsfnet, arpanet, ring:N, grid:WxH, waxman:N)")?;
+    let w: usize = args.get_or("wavelengths", 8)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+
+    let (topo, scale) = match preset {
+        "nsfnet" => (wdm_graph::topology::nsfnet(), 0.01),
+        "arpanet" => (wdm_graph::topology::arpanet_like(), 0.01),
+        p if p.starts_with("ring:") => {
+            let n: usize = p[5..].parse().map_err(|e| format!("bad ring size: {e}"))?;
+            (wdm_graph::topology::ring(n, 100.0), 0.01)
+        }
+        p if p.starts_with("grid:") => {
+            let (gw, gh) = p[5..]
+                .split_once('x')
+                .ok_or("grid wants WxH, e.g. grid:4x4")?;
+            let gw: usize = gw.parse().map_err(|e| format!("bad grid width: {e}"))?;
+            let gh: usize = gh.parse().map_err(|e| format!("bad grid height: {e}"))?;
+            (wdm_graph::topology::grid(gw, gh, false, 100.0), 0.01)
+        }
+        p if p.starts_with("waxman:") => {
+            let n: usize = p[7..].parse().map_err(|e| format!("bad node count: {e}"))?;
+            (
+                wdm_graph::topology::waxman(n, 0.9, 0.25, 1000.0, &mut rng),
+                0.01,
+            )
+        }
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+
+    // Cheapest link (after scaling) for conv=full:auto.
+    let min_cost = topo
+        .edge_ids()
+        .map(|e| topo.weight(e) * scale)
+        .fold(f64::INFINITY, f64::min);
+    let conv = parse_conversion(args.get("conversion").unwrap_or("full:auto"), min_cost)?;
+    let net = NetworkBuilder::from_topology(&topo, w, conv, scale).build();
+
+    let format = args.get("format").unwrap_or("wdm");
+    let rendered = render_network(&net, format)?;
+    emit(args.get("out"), &rendered)
+}
+
+/// `wdm info`.
+pub fn info(args: &Args) -> Result<(), String> {
+    let net = load_network(args.require("net")?)?;
+    let g = net.graph();
+    let n = net.node_count();
+    println!("nodes            {n}");
+    println!("directed links   {}", net.link_count());
+    println!("wavelengths      {}", net.num_wavelengths());
+    println!(
+        "total channels   {}",
+        (0..net.link_count())
+            .map(|i| net.capacity(wdm_graph::EdgeId::from(i)))
+            .sum::<usize>()
+    );
+    println!("max degree       {}", g.max_degree());
+    println!("strongly conn.   {}", is_strongly_connected(g));
+    if let Some(ap) = wdm_graph::johnson::johnson_all_pairs(g, |e| net.min_link_cost(e)) {
+        if let (Some(d), Some(m)) = (ap.diameter(), ap.mean_distance()) {
+            println!("cost diameter    {d:.1}");
+            println!("mean pair cost   {m:.1}");
+        }
+    }
+    println!(
+        "ratio premise    {}",
+        if net.satisfies_ratio_premise() {
+            "satisfied (Theorem 2 applies)"
+        } else {
+            "violated"
+        }
+    );
+    // Robustness: min edge connectivity over a sample of pairs (all pairs
+    // for small nets).
+    let mut min_conn = usize::MAX;
+    let mut worst = (0u32, 0u32);
+    for s in 0..n as u32 {
+        for t in 0..n as u32 {
+            if s != t {
+                let k = edge_connectivity(g, NodeId(s), NodeId(t));
+                if k < min_conn {
+                    min_conn = k;
+                    worst = (s, t);
+                }
+            }
+        }
+    }
+    println!(
+        "min edge-conn.   {min_conn} (pair {} -> {}) {}",
+        worst.0,
+        worst.1,
+        if min_conn >= 2 {
+            "- robust routing feasible everywhere"
+        } else {
+            "- some pairs cannot be protected"
+        }
+    );
+    Ok(())
+}
+
+/// `wdm route`.
+pub fn route(args: &Args) -> Result<(), String> {
+    let net = load_network(args.require("net")?)?;
+    let s: u32 = args.require_parsed("from")?;
+    let t: u32 = args.require_parsed("to")?;
+    let n = net.node_count() as u32;
+    if s >= n || t >= n {
+        return Err(format!(
+            "node ids must be in 0..{n} (got --from {s} --to {t})"
+        ));
+    }
+    let policy = parse_policy(args.get("policy").unwrap_or("cost-only"))?;
+    let state = ResidualState::fresh(&net);
+    let routed = policy
+        .route(&net, &state, NodeId(s), NodeId(t))
+        .map_err(|e| format!("routing failed: {e}"))?;
+
+    if args.flag("json") {
+        let json = serde_json::to_string_pretty(&routed).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    print_route(&net, &routed);
+    Ok(())
+}
+
+fn print_route(net: &WdmNetwork, routed: &ProvisionedRoute) {
+    let print_leg = |name: &str, slp: &wdm_core::semilightpath::Semilightpath| {
+        println!(
+            "{name}: cost {:.2}, {} hops, {} conversions",
+            slp.cost,
+            slp.len(),
+            slp.conversion_count()
+        );
+        for hop in &slp.hops {
+            let (u, v) = net.endpoints(hop.edge);
+            println!("  {u} -> {v} on {}", hop.wavelength);
+        }
+    };
+    match routed {
+        ProvisionedRoute::Protected(r) => {
+            print_leg("primary", &r.primary);
+            print_leg("backup ", &r.backup);
+            println!("total cost {:.2}", r.total_cost());
+        }
+        ProvisionedRoute::Unprotected(p) => {
+            print_leg("route  ", p);
+            println!("(unprotected)");
+        }
+    }
+}
+
+/// `wdm simulate`.
+pub fn simulate(args: &Args) -> Result<(), String> {
+    let net = load_network(args.require("net")?)?;
+    let erlangs: f64 = args.require_parsed("erlangs")?;
+    let duration: f64 = args.require_parsed("duration")?;
+    let holding: f64 = args.get_or("holding", 10.0)?;
+    // Negated comparisons are deliberate: NaN must be rejected too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(erlangs > 0.0) || !(duration > 0.0) || !(holding > 0.0) {
+        return Err("erlangs, duration and holding must all be positive".into());
+    }
+    let policy = parse_policy(args.get("policy").unwrap_or("cost-only"))?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let reps: usize = args.get_or("reps", 1)?;
+    let failure_rate: f64 = args.get_or("failure-rate", 0.0)?;
+    let repair: f64 = args.get_or("repair", 20.0)?;
+    let reconfig: f64 = args.get_or("reconfig", 0.0)?;
+
+    let cfg = SimConfig {
+        policy,
+        traffic: TrafficModel::new(erlangs / holding, holding),
+        duration,
+        failure_rate,
+        mean_repair: repair,
+        reconfig_threshold: (reconfig > 0.0).then_some(reconfig),
+        seed,
+        switchover_time: 0.001,
+        setup_time_per_hop: 0.05,
+    };
+    let seeds: Vec<u64> = (seed..seed + reps as u64).collect();
+    let runs = run_replications(&net, cfg, &seeds);
+
+    if args.flag("json") {
+        let json = serde_json::to_string_pretty(&runs).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+    let stat = |f: &dyn Fn(&wdm_sim::metrics::Metrics) -> f64| {
+        mean_std(&runs.iter().map(f).collect::<Vec<_>>())
+    };
+    let (bp, bp_sd) = stat(&|m| m.blocking_probability() * 100.0);
+    let (cost, _) = stat(&|m| m.mean_route_cost());
+    let (load, _) = stat(&|m| m.mean_network_load());
+    let (peak, _) = stat(&|m| m.peak_network_load);
+    println!("policy            {}", policy.name());
+    println!("offered load      {erlangs} Erlang over {duration} time units x {reps} reps");
+    println!("blocking          {bp:.3}% ± {bp_sd:.3}");
+    println!("mean route cost   {cost:.2}");
+    println!("mean network load {load:.3}");
+    println!("peak network load {peak:.3}");
+    if failure_rate > 0.0 {
+        let cuts: u64 = runs.iter().map(|m| m.failures_injected).sum();
+        let fast: u64 = runs.iter().map(|m| m.fast_switchovers).sum();
+        let passive: u64 = runs.iter().map(|m| m.passive_recoveries).sum();
+        let dropped: u64 = runs.iter().map(|m| m.recovery_failures).sum();
+        println!(
+            "fibre cuts        {cuts} (instant {fast}, recomputed {passive}, dropped {dropped})"
+        );
+    }
+    if cfg.reconfig_threshold.is_some() {
+        let rc: u64 = runs.iter().map(|m| m.reconfig_events).sum();
+        let moved: u64 = runs.iter().map(|m| m.reconfig_moved).sum();
+        println!("reconfigurations  {rc} (moved {moved} connections)");
+    }
+    Ok(())
+}
+
+/// `wdm batch`.
+pub fn batch(args: &Args) -> Result<(), String> {
+    let net = load_network(args.require("net")?)?;
+    let mesh: usize = args.get_or("mesh", 1)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("cost-only"))?;
+    let order = match args.get("order").unwrap_or("as-given") {
+        "as-given" => BatchOrder::AsGiven,
+        "shortest-first" => BatchOrder::ShortestFirst,
+        "longest-first" => BatchOrder::LongestFirst,
+        other => return Err(format!("unknown order '{other}'")),
+    };
+    let state = ResidualState::fresh(&net);
+    let demands = full_mesh_demands(net.node_count(), mesh);
+    let out = provision_batch(&net, &state, &demands, policy, order);
+    let snap = load_snapshot(&net, &out.state);
+    println!(
+        "accepted   {}/{} ({:.1}%)",
+        out.provisioned.len(),
+        demands.len(),
+        out.acceptance_ratio(demands.len()) * 100.0
+    );
+    println!("total cost {:.1}", out.total_cost);
+    println!(
+        "final load max {:.3}, p90 {:.3}, mean {:.3}",
+        snap.max, snap.p90, snap.mean
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parser_accepts_all_names() {
+        for p in [
+            "cost-only",
+            "load-only",
+            "joint",
+            "joint-as-printed",
+            "two-step",
+            "unrefined",
+            "ksp",
+            "node-disjoint",
+            "primary-only",
+        ] {
+            assert!(parse_policy(p).is_ok(), "{p}");
+        }
+        assert!(parse_policy("nonsense").is_err());
+    }
+
+    #[test]
+    fn conversion_parser() {
+        assert_eq!(
+            parse_conversion("none", 1.0).unwrap(),
+            ConversionTable::None
+        );
+        assert_eq!(
+            parse_conversion("full:auto", 2.5).unwrap(),
+            ConversionTable::Full { cost: 2.5 }
+        );
+        assert_eq!(
+            parse_conversion("full:1.25", 9.0).unwrap(),
+            ConversionTable::Full { cost: 1.25 }
+        );
+        assert_eq!(
+            parse_conversion("range:2:0.5", 9.0).unwrap(),
+            ConversionTable::Range {
+                range: 2,
+                cost: 0.5
+            }
+        );
+        assert!(parse_conversion("bogus", 1.0).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! `wdm` — command-line interface to the robust-routing library.
+//!
+//! ```text
+//! wdm topology nsfnet --wavelengths 8 --out nsfnet.wdm
+//! wdm info --net nsfnet.wdm
+//! wdm route --net nsfnet.wdm --from 0 --to 13 --policy joint
+//! wdm simulate --net nsfnet.wdm --erlangs 80 --duration 1000 --policy cost-only
+//! wdm batch --net nsfnet.wdm --mesh 1 --policy joint --order longest-first
+//! ```
+
+mod args;
+mod commands;
+mod netio;
+
+use args::Args;
+
+const USAGE: &str = "\
+wdm — robust routing in wide-area WDM networks (Liang, IPPS 2001)
+
+USAGE:
+  wdm <COMMAND> [OPTIONS]
+
+COMMANDS:
+  topology <PRESET>   generate a network (presets: nsfnet, arpanet,
+                      ring:N, grid:WxH, waxman:N)
+      --wavelengths W   channels per fibre (default 8)
+      --conversion C    none | full:COST | range:K:COST (default full:auto)
+      --format F        wdm | json | dot (default wdm)
+      --out FILE        write to file instead of stdout
+      --seed S          RNG seed for random presets (default 1)
+
+  info      --net FILE        print topology/capacity statistics
+
+  route     --net FILE --from S --to T
+      --policy P        cost-only | load-only | joint | two-step |
+                        unrefined | ksp | node-disjoint | primary-only
+                        (default cost-only)
+      --json            machine-readable output
+
+  simulate  --net FILE --erlangs E --duration D
+      --policy P        as above (default cost-only)
+      --holding H       mean holding time (default 10)
+      --seed S          base seed (default 1)
+      --reps N          replications, run in parallel (default 1)
+      --failure-rate F  fibre-cut rate (default 0)
+      --repair R        mean repair time (default 20)
+      --reconfig T      reconfiguration load threshold (default off)
+      --json            machine-readable output
+
+  batch     --net FILE --mesh K
+      --policy P        as above (default cost-only)
+      --order O         as-given | shortest-first | longest-first
+";
+
+fn main() {
+    // Piping output through `head` and friends closes stdout early; the
+    // resulting println! panic ("Broken pipe") is normal Unix usage, not a
+    // crash — suppress its report and exit 0 like other CLI tools.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !panic_is_broken_pipe(info.payload()) {
+            default_hook(info);
+        }
+    }));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match std::panic::catch_unwind(|| run(&argv)) {
+        Ok(Ok(())) => 0,
+        Ok(Err(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("run 'wdm help' for usage");
+            2
+        }
+        Err(payload) => {
+            if panic_is_broken_pipe(payload.as_ref()) {
+                0
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Whether a panic payload is the stdlib's broken-pipe print failure.
+fn panic_is_broken_pipe(payload: &(dyn std::any::Any + Send)) -> bool {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    msg.contains("Broken pipe")
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let rest = Args::parse(&argv[1..])?;
+    if rest.flag("help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "topology" => commands::topology(&rest),
+        "info" => commands::info(&rest),
+        "route" => commands::route(&rest),
+        "simulate" => commands::simulate(&rest),
+        "batch" => commands::batch(&rest),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,72 @@
+//! Loading and saving networks in the `.wdm` text or JSON formats.
+
+use wdm_core::io::{parse_network, write_network};
+use wdm_core::network::WdmNetwork;
+
+/// Loads a network from a path; the format is chosen by extension
+/// (`.json` = serde JSON, anything else = `.wdm` text).
+pub fn load_network(path: &str) -> Result<WdmNetwork, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".json") {
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+    } else {
+        parse_network(&text).map_err(|e| format!("parsing {path}: {e}"))
+    }
+}
+
+/// Renders a network in the requested format (`wdm`, `json` or `dot`).
+pub fn render_network(net: &WdmNetwork, format: &str) -> Result<String, String> {
+    match format {
+        "wdm" => write_network(net).map_err(|e| e.to_string()),
+        "json" => serde_json::to_string_pretty(net).map_err(|e| e.to_string()),
+        "dot" => Ok(wdm_graph::dot::to_dot(
+            net.graph(),
+            "wdm",
+            |v, _| format!("{}", v.0),
+            |e, data| {
+                let _ = e;
+                format!("{:.1} ({}λ)", data.base_cost, data.lambda.count())
+            },
+        )),
+        other => Err(format!("unknown format '{other}' (wdm | json | dot)")),
+    }
+}
+
+/// Writes `content` to `--out FILE`, or stdout when absent.
+pub fn emit(out: Option<&str>, content: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, content).map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::network::NetworkBuilder;
+
+    #[test]
+    fn round_trip_wdm_and_json_files() {
+        let net = NetworkBuilder::nsfnet(8).build();
+        let dir = std::env::temp_dir().join("wdm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let wdm_path = dir.join("n.wdm");
+        std::fs::write(&wdm_path, render_network(&net, "wdm").unwrap()).unwrap();
+        let a = load_network(wdm_path.to_str().unwrap()).unwrap();
+        assert_eq!(a.node_count(), 14);
+
+        let json_path = dir.join("n.json");
+        std::fs::write(&json_path, render_network(&net, "json").unwrap()).unwrap();
+        let b = load_network(json_path.to_str().unwrap()).unwrap();
+        assert_eq!(b.link_count(), 42);
+
+        let dot = render_network(&net, "dot").unwrap();
+        assert!(dot.starts_with("digraph"));
+
+        assert!(render_network(&net, "csv").is_err());
+    }
+}

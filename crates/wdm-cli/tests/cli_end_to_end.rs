@@ -1,0 +1,259 @@
+//! End-to-end tests of the `wdm` binary (invoked as a process).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn wdm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wdm"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("wdm-cli-e2e");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = wdm().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("topology"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let out = wdm().output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = wdm().arg("frobnicate").output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn topology_info_route_pipeline() {
+    let net_path = tmp("pipeline.wdm");
+    let out = wdm()
+        .args([
+            "topology",
+            "nsfnet",
+            "--wavelengths",
+            "8",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(net_path.exists());
+
+    let out = wdm()
+        .args(["info", "--net", net_path.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nodes            14"));
+    assert!(text.contains("robust routing feasible everywhere"));
+
+    let out = wdm()
+        .args([
+            "route",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--from",
+            "0",
+            "--to",
+            "13",
+            "--policy",
+            "joint",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("primary:"));
+    assert!(text.contains("backup"));
+    assert!(text.contains("total cost"));
+}
+
+#[test]
+fn route_json_output_is_parseable() {
+    let net_path = tmp("json_route.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "ring:6",
+            "--wavelengths",
+            "4",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let out = wdm()
+        .args([
+            "route",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--from",
+            "0",
+            "--to",
+            "3",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("route --json must emit valid JSON");
+    assert!(v.get("Protected").is_some(), "{v}");
+}
+
+#[test]
+fn simulate_runs_and_reports() {
+    let net_path = tmp("sim.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "nsfnet",
+            "--wavelengths",
+            "8",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let out = wdm()
+        .args([
+            "simulate",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--erlangs",
+            "10",
+            "--duration",
+            "50",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("blocking"));
+    assert!(text.contains("mean route cost"));
+}
+
+#[test]
+fn routing_failure_maps_to_error_exit() {
+    // A 3-node chain has no protected route.
+    let net_path = tmp("chain.wdm");
+    std::fs::write(
+        &net_path,
+        "wavelengths 2\nnode 0 conv=none\nnode 1 conv=none\nnode 2 conv=none\n\
+         link 0 1 cost=1\nlink 1 2 cost=1\n",
+    )
+    .expect("write");
+    let out = wdm()
+        .args([
+            "route",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--from",
+            "0",
+            "--to",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("routing failed"));
+}
+
+#[test]
+fn out_of_range_node_is_a_clean_error() {
+    let net_path = tmp("range.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "ring:5",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let out = wdm()
+        .args([
+            "route",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--from",
+            "0",
+            "--to",
+            "99",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("node ids must be in 0..5"), "{err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn non_positive_simulate_params_are_clean_errors() {
+    let net_path = tmp("params.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "ring:5",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    for bad in [
+        ["--erlangs", "-5", "--duration", "10"],
+        ["--erlangs", "0", "--duration", "10"],
+        ["--erlangs", "5", "--duration", "0"],
+    ] {
+        let out = wdm()
+            .args(["simulate", "--net", net_path.to_str().expect("utf8")])
+            .args(bad)
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("must all be positive"), "{err}");
+        assert!(!err.contains("panicked"), "must not panic: {err}");
+    }
+}
+
+#[test]
+fn dot_format_renders() {
+    let out = wdm()
+        .args(["topology", "grid:3x3", "--format", "dot"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+}

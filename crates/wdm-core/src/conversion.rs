@@ -1,0 +1,194 @@
+//! Wavelength-conversion capability and cost tables.
+//!
+//! The paper models conversion via "cost factors of the form `c_v(λ_p, λ_q)`"
+//! with `c_v(λ, λ) = 0`, covering "the general case where the conversion cost
+//! depends on nodes and the wavelengths involved" (§2). Its approximation
+//! analysis (§3.3) then assumes *full* switching with identical cost —
+//! assumption (i) of Theorem 2. This module supports both, plus the two
+//! intermediate regimes common in the WDM literature (no conversion and
+//! range-limited conversion), so the experiments can probe what happens when
+//! the theorem's premise is violated.
+
+use crate::wavelength::Wavelength;
+
+/// Per-node wavelength conversion table: which conversions are allowed and
+/// what they cost. `λ → λ` is always allowed and always free (paper §2).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ConversionTable {
+    /// No conversion capability: the wavelength-continuity constraint holds
+    /// through this node (the Lemma 1 hardness regime).
+    None,
+    /// Full conversion: any `λ_p → λ_q` at uniform `cost` (Theorem 2's
+    /// assumption (i)).
+    Full {
+        /// Cost of any `λ_p → λ_q`, `p ≠ q`.
+        cost: f64,
+    },
+    /// Range-limited conversion: `λ_p → λ_q` allowed iff `|p − q| ≤ range`,
+    /// at uniform `cost` (models sparse/limited converter hardware).
+    Range {
+        /// Maximum channel distance convertible.
+        range: u8,
+        /// Cost of an allowed conversion, `p ≠ q`.
+        cost: f64,
+    },
+    /// Fully general `W × W` cost matrix; `f64::INFINITY` marks a forbidden
+    /// conversion. Row = from, column = to, row-major, `w * w` entries.
+    Matrix {
+        /// Number of wavelengths `W` (matrix is `w × w`).
+        w: u8,
+        /// Row-major costs; `INFINITY` = forbidden.
+        costs: Vec<f64>,
+    },
+}
+
+impl ConversionTable {
+    /// Builds a matrix table from a closure (`None` = forbidden).
+    pub fn from_fn(w: u8, f: impl Fn(Wavelength, Wavelength) -> Option<f64>) -> Self {
+        let mut costs = vec![f64::INFINITY; w as usize * w as usize];
+        for p in 0..w {
+            for q in 0..w {
+                let c = if p == q {
+                    Some(0.0)
+                } else {
+                    f(Wavelength(p), Wavelength(q))
+                };
+                if let Some(c) = c {
+                    assert!(c >= 0.0, "conversion costs must be non-negative");
+                    costs[p as usize * w as usize + q as usize] = c;
+                }
+            }
+        }
+        ConversionTable::Matrix { w, costs }
+    }
+
+    /// Cost of converting `from → to`, or `None` if the conversion is not
+    /// allowed at this node. `from == to` is always `Some(0.0)`.
+    #[inline]
+    pub fn cost(&self, from: Wavelength, to: Wavelength) -> Option<f64> {
+        if from == to {
+            return Some(0.0);
+        }
+        match *self {
+            ConversionTable::None => None,
+            ConversionTable::Full { cost } => Some(cost),
+            ConversionTable::Range { range, cost } => {
+                (from.0.abs_diff(to.0) <= range).then_some(cost)
+            }
+            ConversionTable::Matrix { w, ref costs } => {
+                let c = costs[from.index() * w as usize + to.index()];
+                c.is_finite().then_some(c)
+            }
+        }
+    }
+
+    /// Whether the conversion `from → to` is allowed.
+    #[inline]
+    pub fn allows(&self, from: Wavelength, to: Wavelength) -> bool {
+        self.cost(from, to).is_some()
+    }
+
+    /// The largest finite conversion cost in the table for wavelengths
+    /// `0..w` (0 if only identity conversions are allowed). Used by the
+    /// Theorem 2 premise check.
+    pub fn max_cost(&self, w: usize) -> f64 {
+        match *self {
+            ConversionTable::None => 0.0,
+            ConversionTable::Full { cost } => {
+                if w > 1 {
+                    cost
+                } else {
+                    0.0
+                }
+            }
+            ConversionTable::Range { range, cost } => {
+                if w > 1 && range >= 1 {
+                    cost
+                } else {
+                    0.0
+                }
+            }
+            ConversionTable::Matrix { w: mw, ref costs } => {
+                let w = w.min(mw as usize);
+                let mut max = 0.0f64;
+                for p in 0..w {
+                    for q in 0..w {
+                        if p != q {
+                            let c = costs[p * mw as usize + q];
+                            if c.is_finite() {
+                                max = max.max(c);
+                            }
+                        }
+                    }
+                }
+                max
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L0: Wavelength = Wavelength(0);
+    const L1: Wavelength = Wavelength(1);
+    const L3: Wavelength = Wavelength(3);
+
+    #[test]
+    fn identity_is_always_free() {
+        for t in [
+            ConversionTable::None,
+            ConversionTable::Full { cost: 5.0 },
+            ConversionTable::Range {
+                range: 1,
+                cost: 2.0,
+            },
+        ] {
+            assert_eq!(t.cost(L1, L1), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn none_forbids_everything_else() {
+        let t = ConversionTable::None;
+        assert_eq!(t.cost(L0, L1), None);
+        assert!(!t.allows(L0, L1));
+        assert_eq!(t.max_cost(8), 0.0);
+    }
+
+    #[test]
+    fn full_uniform_cost() {
+        let t = ConversionTable::Full { cost: 3.0 };
+        assert_eq!(t.cost(L0, L3), Some(3.0));
+        assert_eq!(t.max_cost(8), 3.0);
+        assert_eq!(t.max_cost(1), 0.0, "single wavelength has no conversions");
+    }
+
+    #[test]
+    fn range_limits_distance() {
+        let t = ConversionTable::Range {
+            range: 2,
+            cost: 1.5,
+        };
+        assert_eq!(t.cost(L0, L1), Some(1.5));
+        assert_eq!(t.cost(L1, L3), Some(1.5));
+        assert_eq!(t.cost(L0, L3), None);
+    }
+
+    #[test]
+    fn matrix_table_from_fn() {
+        // Only upward conversions allowed, cost = distance.
+        let t = ConversionTable::from_fn(4, |p, q| (q.0 > p.0).then(|| (q.0 - p.0) as f64));
+        assert_eq!(t.cost(L0, L3), Some(3.0));
+        assert_eq!(t.cost(L3, L0), None);
+        assert_eq!(t.cost(L1, L1), Some(0.0));
+        assert_eq!(t.max_cost(4), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_fn_rejects_negative() {
+        ConversionTable::from_fn(2, |_, _| Some(-1.0));
+    }
+}

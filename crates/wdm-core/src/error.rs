@@ -1,0 +1,51 @@
+//! Routing errors.
+
+use wdm_graph::NodeId;
+
+/// Why a robust-routing request could not be satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingError {
+    /// `s == t` — degenerate request.
+    DegenerateRequest,
+    /// No pair of edge-disjoint routes exists in the auxiliary graph — by
+    /// §3.3.2 this implies none exists in the residual network either.
+    NoDisjointPair,
+    /// A Suurballe path mapped back to a physical subgraph in which no
+    /// feasible semilightpath exists. Cannot occur under the paper's
+    /// assumption (i) (full conversion); possible under restricted
+    /// conversion tables.
+    RefinementInfeasible,
+    /// The MinCog threshold search exhausted its range without finding a
+    /// feasible pair (the request is dropped, §4.1).
+    LoadSearchExhausted,
+    /// No single route exists (used by the primary-only baseline).
+    Unreachable {
+        /// Request source.
+        src: NodeId,
+        /// Request destination.
+        dst: NodeId,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::DegenerateRequest => write!(f, "source equals destination"),
+            RoutingError::NoDisjointPair => {
+                write!(f, "no two edge-disjoint semilightpaths exist")
+            }
+            RoutingError::RefinementInfeasible => write!(
+                f,
+                "auxiliary path has no feasible wavelength assignment (restricted conversion)"
+            ),
+            RoutingError::LoadSearchExhausted => {
+                write!(f, "no feasible pair within any load threshold")
+            }
+            RoutingError::Unreachable { src, dst } => {
+                write!(f, "no semilightpath from {src:?} to {dst:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}

@@ -1,0 +1,492 @@
+//! Exact solvers for the optimal edge-disjoint semilightpath problem.
+//!
+//! Two independent implementations, used to cross-validate each other and to
+//! measure the Theorem 2 approximation ratio:
+//!
+//! * [`exhaustive_best_pair`] — enumerate all simple `s → t` paths (DFS),
+//!   check every unordered pair for edge-disjointness, and assign
+//!   wavelengths optimally on each leg by the fixed-path DP (legs are
+//!   edge-disjoint, so their wavelength choices are independent).
+//!   Exponential in the path count — the Lemma 1 hardness experiment runs it
+//!   on the ladder family to exhibit exactly that blow-up.
+//! * [`ilp_best_pair`] — the paper's 0/1 integer program (Eqs. 3–21) built
+//!   with `wdm-ilp` and solved by branch-and-bound.
+//!
+//! Formulation note: the paper writes the conversion cost coupling as an
+//! *equality* `z_{ijk} = Σ (x + x − 1)·c` (Eqs. 17–18), which is not a valid
+//! linearisation when several wavelength pairs are summed (terms can go
+//! negative). We use the standard big-M-free product linearisation instead:
+//! one variable `z ≥ x₁ + x₂ − 1, z ≥ 0` per *consecutive wavelength-pair*,
+//! with objective coefficient `c_v(λ₁, λ₂)`; forbidden conversions become
+//! the cut `x₁ + x₂ ≤ 1`. At the 0/1 points the objective agrees with
+//! Eq. (3), which is what the equality intended.
+//!
+//! Both solvers restrict routes to *simple* paths, exactly as the paper's
+//! degree constraints (Eqs. 5–6, 11–12) do.
+
+use crate::error::RoutingError;
+use crate::network::{ResidualState, WdmNetwork};
+use crate::optimal_slp::assign_wavelengths_on_path;
+use crate::semilightpath::{RobustRoute, Semilightpath};
+use wdm_graph::{EdgeId, NodeId};
+use wdm_ilp::{solve_ilp, Cmp, IlpOptions, IlpStatus, LinExpr, Model, VarId};
+
+/// Search statistics from the exhaustive solver (hardness experiment data).
+#[derive(Debug, Clone, Default)]
+pub struct ExhaustiveStats {
+    /// Simple `s → t` paths enumerated.
+    pub paths_enumerated: usize,
+    /// Edge-disjoint pairs evaluated.
+    pub pairs_checked: usize,
+    /// Whether enumeration was truncated by `max_paths`.
+    pub truncated: bool,
+}
+
+/// Exhaustively optimal edge-disjoint semilightpath pair (over simple
+/// paths), or `None` if no feasible pair exists. `max_paths` caps the
+/// enumeration (`truncated` is set if hit, making the result a lower-effort
+/// heuristic rather than exact).
+pub fn exhaustive_best_pair(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    max_paths: usize,
+) -> (Option<RobustRoute>, ExhaustiveStats) {
+    let mut stats = ExhaustiveStats::default();
+    if s == t {
+        return (None, stats);
+    }
+    // Enumerate simple paths as edge sequences.
+    let mut paths: Vec<Vec<EdgeId>> = Vec::new();
+    let mut seen = vec![false; net.node_count()];
+    seen[s.index()] = true;
+    let mut stack: Vec<EdgeId> = Vec::new();
+    dfs_paths(
+        net, state, s, t, &mut seen, &mut stack, &mut paths, max_paths, &mut stats,
+    );
+
+    // Optimal wavelength assignment per path (memoised by index).
+    let assigned: Vec<Option<Semilightpath>> = paths
+        .iter()
+        .map(|p| assign_wavelengths_on_path(net, state, s, p))
+        .collect();
+
+    let mut best: Option<(f64, usize, usize)> = None;
+    for i in 0..paths.len() {
+        let Some(pi) = &assigned[i] else { continue };
+        for j in (i + 1)..paths.len() {
+            let Some(pj) = &assigned[j] else { continue };
+            if paths[i].iter().any(|e| paths[j].contains(e)) {
+                continue;
+            }
+            stats.pairs_checked += 1;
+            let tot = pi.cost + pj.cost;
+            if best.is_none_or(|(b, _, _)| tot < b) {
+                best = Some((tot, i, j));
+            }
+        }
+    }
+    let route = best.map(|(_, i, j)| {
+        RobustRoute::ordered(
+            assigned[i].clone().expect("present"),
+            assigned[j].clone().expect("present"),
+        )
+    });
+    (route, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_paths(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    at: NodeId,
+    t: NodeId,
+    seen: &mut Vec<bool>,
+    stack: &mut Vec<EdgeId>,
+    out: &mut Vec<Vec<EdgeId>>,
+    max_paths: usize,
+    stats: &mut ExhaustiveStats,
+) {
+    if out.len() >= max_paths {
+        stats.truncated = true;
+        return;
+    }
+    if at == t {
+        out.push(stack.clone());
+        stats.paths_enumerated += 1;
+        return;
+    }
+    for &e in net.graph().out_edges(at) {
+        if state.avail(net, e).is_empty() {
+            continue;
+        }
+        let v = net.endpoints(e).1;
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        stack.push(e);
+        dfs_paths(net, state, v, t, seen, stack, out, max_paths, stats);
+        stack.pop();
+        seen[v.index()] = false;
+    }
+}
+
+/// Statistics from the ILP solver.
+#[derive(Debug, Clone)]
+pub struct IlpStats {
+    /// Number of model variables.
+    pub variables: usize,
+    /// Number of model constraints.
+    pub constraints: usize,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Solves the paper's integer program (Eqs. 3–21, with the linearisation
+/// described in the module docs) for request `(s, t)`.
+#[allow(clippy::needless_range_loop)] // edge-indexed scans mirror the formulation
+pub fn ilp_best_pair(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    opts: &IlpOptions,
+) -> Result<(Option<RobustRoute>, IlpStats), RoutingError> {
+    if s == t {
+        return Err(RoutingError::DegenerateRequest);
+    }
+    let mut model = Model::minimize();
+    let m = net.link_count();
+
+    // x[e][λ] / y[e][λ] for available wavelengths only.
+    let mut x: Vec<Vec<Option<VarId>>> = Vec::with_capacity(m);
+    let mut y: Vec<Vec<Option<VarId>>> = Vec::with_capacity(m);
+    let mut objective = LinExpr::new();
+    for ei in 0..m {
+        let e = EdgeId::from(ei);
+        let avail = state.avail(net, e);
+        let w = net.num_wavelengths();
+        let mut xe = vec![None; w];
+        let mut ye = vec![None; w];
+        for l in avail.iter() {
+            let vx = model.binary(format!("x_{ei}_{}", l.0));
+            let vy = model.binary(format!("y_{ei}_{}", l.0));
+            objective.add_term(vx, net.link_cost(e, l));
+            objective.add_term(vy, net.link_cost(e, l));
+            xe[l.index()] = Some(vx);
+            ye[l.index()] = Some(vy);
+        }
+        x.push(xe);
+        y.push(ye);
+    }
+
+    // Helper summing one flow family over an edge set.
+    let edge_sum = |vars: &[Vec<Option<VarId>>], edges: &[EdgeId]| -> LinExpr {
+        let mut e2 = LinExpr::new();
+        for &e in edges {
+            for v in vars[e.index()].iter().flatten() {
+                e2.add_term(*v, 1.0);
+            }
+        }
+        e2
+    };
+
+    for (vars, src, dst) in [(&x, s, t), (&y, s, t)] {
+        // Eq (4)/(10): one wavelength per used link.
+        for ei in 0..m {
+            let mut one = LinExpr::new();
+            for v in vars[ei].iter().flatten() {
+                one.add_term(*v, 1.0);
+            }
+            if !one.terms.is_empty() {
+                model.constrain(one, Cmp::Le, 1.0);
+            }
+        }
+        // Eqs (5)-(9) / (11)-(15): degree and conservation.
+        for v in net.graph().node_ids() {
+            let out = edge_sum(vars, net.graph().out_edges(v));
+            let inn = edge_sum(vars, net.graph().in_edges(v));
+            if v == src {
+                model.constrain(out, Cmp::Eq, 1.0);
+                model.constrain(inn, Cmp::Eq, 0.0);
+            } else if v == dst {
+                model.constrain(inn, Cmp::Eq, 1.0);
+                model.constrain(out, Cmp::Eq, 0.0);
+            } else {
+                model.constrain(out.clone(), Cmp::Le, 1.0);
+                model.constrain(inn.clone(), Cmp::Le, 1.0);
+                let mut conserve = out;
+                conserve.add_scaled(&inn, -1.0);
+                model.constrain(conserve, Cmp::Eq, 0.0);
+            }
+        }
+    }
+
+    // Eq (16): a physical link serves at most one of the two paths.
+    for ei in 0..m {
+        let mut both = LinExpr::new();
+        for v in x[ei].iter().flatten() {
+            both.add_term(*v, 1.0);
+        }
+        for v in y[ei].iter().flatten() {
+            both.add_term(*v, 1.0);
+        }
+        if !both.terms.is_empty() {
+            model.constrain(both, Cmp::Le, 1.0);
+        }
+    }
+
+    // Eqs (17)-(21): conversion costs, via per-pair linearisation.
+    for (vars, tag) in [(&x, "z"), (&y, "t")] {
+        for v in net.graph().node_ids() {
+            if v == s || v == t {
+                continue;
+            }
+            let conv = net.conversion(v);
+            for &e1 in net.graph().in_edges(v) {
+                for &e2 in net.graph().out_edges(v) {
+                    for l1 in state.avail(net, e1).iter() {
+                        let Some(v1) = vars[e1.index()][l1.index()] else {
+                            continue;
+                        };
+                        for l2 in state.avail(net, e2).iter() {
+                            let Some(v2) = vars[e2.index()][l2.index()] else {
+                                continue;
+                            };
+                            match conv.cost(l1, l2) {
+                                None => {
+                                    // Forbidden conversion: cut.
+                                    model.constrain(
+                                        LinExpr::term(v1, 1.0).plus(v2, 1.0),
+                                        Cmp::Le,
+                                        1.0,
+                                    );
+                                }
+                                Some(c) if c > 0.0 => {
+                                    let z = model.continuous(
+                                        format!(
+                                            "{tag}_{}_{}_{}_{}",
+                                            e1.index(),
+                                            l1.0,
+                                            e2.index(),
+                                            l2.0
+                                        ),
+                                        0.0,
+                                        1.0,
+                                    );
+                                    // z >= x1 + x2 - 1.
+                                    model.constrain(
+                                        LinExpr::term(z, 1.0).plus(v1, -1.0).plus(v2, -1.0),
+                                        Cmp::Ge,
+                                        -1.0,
+                                    );
+                                    objective.add_term(z, c);
+                                }
+                                _ => {} // free conversion: no cost term
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    model.set_objective(objective);
+    let stats0 = (model.num_vars(), model.constraints.len());
+    let res = solve_ilp(&model, opts);
+    let stats = IlpStats {
+        variables: stats0.0,
+        constraints: stats0.1,
+        nodes: res.nodes,
+    };
+    match res.status {
+        IlpStatus::Infeasible => Ok((None, stats)),
+        IlpStatus::Unbounded => unreachable!("objective is a sum of non-negative terms"),
+        IlpStatus::NodeLimit | IlpStatus::Optimal => {
+            let Some(sol) = res.x else {
+                return Ok((None, stats));
+            };
+            let primary = extract_leg(net, state, s, t, &x, &sol)?;
+            let backup = extract_leg(net, state, s, t, &y, &sol)?;
+            Ok((Some(RobustRoute::ordered(primary, backup)), stats))
+        }
+    }
+}
+
+/// Walks the chosen `x`/`y` variables from `s` to `t` into a semilightpath.
+#[allow(clippy::needless_range_loop)]
+fn extract_leg(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    vars: &[Vec<Option<VarId>>],
+    sol: &[f64],
+) -> Result<Semilightpath, RoutingError> {
+    let mut hops = Vec::new();
+    let mut at = s;
+    let mut guard = 0usize;
+    while at != t {
+        guard += 1;
+        if guard > net.link_count() + 1 {
+            return Err(RoutingError::RefinementInfeasible);
+        }
+        let mut found = None;
+        'scan: for &e in net.graph().out_edges(at) {
+            for (li, v) in vars[e.index()].iter().enumerate() {
+                if let Some(v) = v {
+                    if sol[v.0] > 0.5 {
+                        found = Some(crate::semilightpath::Hop {
+                            edge: e,
+                            wavelength: crate::wavelength::Wavelength(li as u8),
+                        });
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        let hop = found.ok_or(RoutingError::RefinementInfeasible)?;
+        at = net.endpoints(hop.edge).1;
+        hops.push(hop);
+    }
+    let slp = Semilightpath::new(net, s, hops).map_err(|_| RoutingError::RefinementInfeasible)?;
+    debug_assert!(slp.validate(net, state).is_ok());
+    Ok(slp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::ConversionTable;
+    use crate::disjoint::RobustRouteFinder;
+    use crate::network::NetworkBuilder;
+    use crate::wavelength::WavelengthSet;
+
+    fn diamond() -> WdmNetwork {
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.25 }))
+            .collect();
+        b.add_link(n[0], n[1], 1.0);
+        b.add_link(n[1], n[3], 1.0);
+        b.add_link(n[0], n[2], 2.0);
+        b.add_link(n[2], n[3], 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn exhaustive_finds_diamond_optimum() {
+        let net = diamond();
+        let st = ResidualState::fresh(&net);
+        let (route, stats) = exhaustive_best_pair(&net, &st, NodeId(0), NodeId(3), 1000);
+        let route = route.unwrap();
+        assert_eq!(route.total_cost(), 6.0);
+        assert!(route.is_edge_disjoint());
+        assert_eq!(stats.paths_enumerated, 2);
+        assert_eq!(stats.pairs_checked, 1);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn ilp_agrees_with_exhaustive_on_diamond() {
+        let net = diamond();
+        let st = ResidualState::fresh(&net);
+        let (route, stats) =
+            ilp_best_pair(&net, &st, NodeId(0), NodeId(3), &IlpOptions::default()).unwrap();
+        let route = route.unwrap();
+        assert!((route.total_cost() - 6.0).abs() < 1e-6);
+        assert!(route.is_edge_disjoint());
+        assert!(stats.variables > 0);
+        route.primary.validate(&net, &st).unwrap();
+        route.backup.validate(&net, &st).unwrap();
+    }
+
+    #[test]
+    fn infeasible_pair_detected_by_both() {
+        // Single corridor: no two edge-disjoint paths.
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..3)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.1 }))
+            .collect();
+        b.add_link(n[0], n[1], 1.0);
+        b.add_link(n[1], n[2], 1.0);
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        let (r1, _) = exhaustive_best_pair(&net, &st, NodeId(0), NodeId(2), 100);
+        assert!(r1.is_none());
+        let (r2, _) =
+            ilp_best_pair(&net, &st, NodeId(0), NodeId(2), &IlpOptions::default()).unwrap();
+        assert!(r2.is_none());
+    }
+
+    #[test]
+    fn hardness_gadget_shape_no_conversion() {
+        // Lemma 1's regime: 2 wavelengths, no conversion. Wavelength
+        // availability forces the two legs onto complementary channels.
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..4).map(|_| b.add_node(ConversionTable::None)).collect();
+        // Two corridors; top has only λ0, bottom only λ1.
+        b.add_link_with(n[0], n[1], 1.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[1], n[3], 1.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[0], n[2], 1.0, WavelengthSet::from_indices(&[1]));
+        b.add_link_with(n[2], n[3], 1.0, WavelengthSet::from_indices(&[1]));
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        let (route, _) = exhaustive_best_pair(&net, &st, NodeId(0), NodeId(3), 100);
+        let route = route.unwrap();
+        assert_eq!(route.total_cost(), 4.0);
+        // One leg on λ0, the other on λ1.
+        let l0 = route.primary.hops[0].wavelength;
+        let l1 = route.backup.hops[0].wavelength;
+        assert_ne!(l0, l1);
+    }
+
+    #[test]
+    fn ilp_matches_exhaustive_with_conversion_costs() {
+        // Asymmetric availability forces a conversion on one leg; the two
+        // exact solvers must agree on the total.
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.5 }))
+            .collect();
+        b.add_link_with(n[0], n[1], 1.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[1], n[3], 1.0, WavelengthSet::from_indices(&[1]));
+        b.add_link_with(n[0], n[2], 2.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[2], n[3], 2.0, WavelengthSet::from_indices(&[0]));
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        let (ex, _) = exhaustive_best_pair(&net, &st, NodeId(0), NodeId(3), 100);
+        let ex = ex.unwrap();
+        let (ilp, _) =
+            ilp_best_pair(&net, &st, NodeId(0), NodeId(3), &IlpOptions::default()).unwrap();
+        let ilp = ilp.unwrap();
+        // 2.5 (with conversion) + 4.0 = 6.5.
+        assert!((ex.total_cost() - 6.5).abs() < 1e-9);
+        assert!((ilp.total_cost() - ex.total_cost()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn approximation_never_beats_exact() {
+        let net = diamond();
+        let st = ResidualState::fresh(&net);
+        let approx = RobustRouteFinder::new(&net)
+            .find(&st, NodeId(0), NodeId(3))
+            .unwrap();
+        let (exact, _) = exhaustive_best_pair(&net, &st, NodeId(0), NodeId(3), 1000);
+        let exact = exact.unwrap();
+        assert!(approx.total_cost() >= exact.total_cost() - 1e-9);
+        // Theorem 2 bound (premise holds: conversion 0.25 <= min link 1.0).
+        assert!(net.satisfies_ratio_premise());
+        assert!(approx.total_cost() <= 2.0 * exact.total_cost() + 1e-9);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let net = diamond();
+        let st = ResidualState::fresh(&net);
+        let (_, stats) = exhaustive_best_pair(&net, &st, NodeId(0), NodeId(3), 1);
+        assert!(stats.truncated);
+    }
+}

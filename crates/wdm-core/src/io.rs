@@ -1,0 +1,395 @@
+//! Human-editable network file format (`.wdm`).
+//!
+//! A line-oriented format for describing WDM networks, so topologies can be
+//! version-controlled and fed to the CLI without writing Rust:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! wavelengths 8
+//! node 0 conv=full:3.0
+//! node 1 conv=none
+//! node 2 conv=range:2:1.5
+//! link 0 1 cost=11.0 lambda=0-7        # full range
+//! link 1 2 cost=6.5 lambda=0,2,4-6     # list + ranges
+//! link 2 0 cost=6.5                    # lambda defaults to all W channels
+//! ```
+//!
+//! * `wavelengths W` must appear before any `node`/`link` line;
+//! * nodes must be declared in id order (0, 1, 2, …);
+//! * `conv=` takes `none`, `full:<cost>` or `range:<k>:<cost>`
+//!   (matrix tables are JSON-only — use serde for those);
+//! * links are directed; declare both directions for a fibre pair.
+//!
+//! JSON (de)serialisation of the full model — including matrix conversion
+//! tables and per-wavelength costs — is available through the `serde`
+//! derives on [`WdmNetwork`]; this module adds the text format plus
+//! round-trip helpers.
+
+use crate::conversion::ConversionTable;
+use crate::network::{NetworkBuilder, WdmNetwork};
+use crate::wavelength::{Wavelength, WavelengthSet};
+use wdm_graph::NodeId;
+
+/// Parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line the error occurred on (0 = whole-file problem).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the `.wdm` text format into a network.
+pub fn parse_network(text: &str) -> Result<WdmNetwork, ParseError> {
+    let mut builder: Option<NetworkBuilder> = None;
+    let mut w = 0usize;
+    let mut next_node = 0u32;
+
+    for (i, raw) in text.lines().enumerate() {
+        let lno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("wavelengths") => {
+                if builder.is_some() {
+                    return Err(err(lno, "duplicate 'wavelengths' line"));
+                }
+                w = tokens
+                    .next()
+                    .ok_or_else(|| err(lno, "missing wavelength count"))?
+                    .parse::<usize>()
+                    .map_err(|e| err(lno, format!("bad wavelength count: {e}")))?;
+                if !(1..=crate::wavelength::MAX_WAVELENGTHS).contains(&w) {
+                    return Err(err(lno, "wavelength count out of range 1..=64"));
+                }
+                builder = Some(NetworkBuilder::new(w));
+            }
+            Some("node") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lno, "'wavelengths' must come first"))?;
+                let id: u32 = tokens
+                    .next()
+                    .ok_or_else(|| err(lno, "missing node id"))?
+                    .parse()
+                    .map_err(|e| err(lno, format!("bad node id: {e}")))?;
+                if id != next_node {
+                    return Err(err(
+                        lno,
+                        format!("nodes must be declared in order; expected {next_node}, got {id}"),
+                    ));
+                }
+                next_node += 1;
+                let mut conv = ConversionTable::Full { cost: 0.0 };
+                for tok in tokens {
+                    if let Some(spec) = tok.strip_prefix("conv=") {
+                        conv = parse_conversion(spec, lno)?;
+                    } else {
+                        return Err(err(lno, format!("unknown node attribute '{tok}'")));
+                    }
+                }
+                b.add_node(conv);
+            }
+            Some("link") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lno, "'wavelengths' must come first"))?;
+                let u: u32 = tokens
+                    .next()
+                    .ok_or_else(|| err(lno, "missing link source"))?
+                    .parse()
+                    .map_err(|e| err(lno, format!("bad source id: {e}")))?;
+                let v: u32 = tokens
+                    .next()
+                    .ok_or_else(|| err(lno, "missing link target"))?
+                    .parse()
+                    .map_err(|e| err(lno, format!("bad target id: {e}")))?;
+                if u >= next_node || v >= next_node {
+                    return Err(err(lno, "link endpoint not declared"));
+                }
+                let mut cost: Option<f64> = None;
+                let mut lambda = WavelengthSet::full(w);
+                for tok in tokens {
+                    if let Some(c) = tok.strip_prefix("cost=") {
+                        cost = Some(c.parse().map_err(|e| err(lno, format!("bad cost: {e}")))?);
+                    } else if let Some(spec) = tok.strip_prefix("lambda=") {
+                        lambda = parse_lambda(spec, w, lno)?;
+                    } else {
+                        return Err(err(lno, format!("unknown link attribute '{tok}'")));
+                    }
+                }
+                let cost = cost.ok_or_else(|| err(lno, "link needs cost=<value>"))?;
+                if !cost.is_finite() || cost < 0.0 {
+                    return Err(err(lno, "cost must be finite and non-negative"));
+                }
+                b.add_link_with(NodeId(u), NodeId(v), cost, lambda);
+            }
+            Some(other) => return Err(err(lno, format!("unknown directive '{other}'"))),
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    builder
+        .map(|b| b.build())
+        .ok_or_else(|| err(0, "empty file: missing 'wavelengths' line"))
+}
+
+fn parse_conversion(spec: &str, lno: usize) -> Result<ConversionTable, ParseError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["none"] => Ok(ConversionTable::None),
+        ["full", cost] => {
+            let cost: f64 = cost
+                .parse()
+                .map_err(|e| err(lno, format!("bad conversion cost: {e}")))?;
+            if !cost.is_finite() || cost < 0.0 {
+                return Err(err(lno, "conversion cost must be finite and non-negative"));
+            }
+            Ok(ConversionTable::Full { cost })
+        }
+        ["range", k, cost] => {
+            let range: u8 = k
+                .parse()
+                .map_err(|e| err(lno, format!("bad conversion range: {e}")))?;
+            let cost: f64 = cost
+                .parse()
+                .map_err(|e| err(lno, format!("bad conversion cost: {e}")))?;
+            Ok(ConversionTable::Range { range, cost })
+        }
+        _ => Err(err(lno, format!("unknown conversion spec '{spec}'"))),
+    }
+}
+
+/// Parses `0-7`, `0,2,4-6` style wavelength lists.
+fn parse_lambda(spec: &str, w: usize, lno: usize) -> Result<WavelengthSet, ParseError> {
+    let mut set = WavelengthSet::empty();
+    for part in spec.split(',') {
+        if let Some((a, b)) = part.split_once('-') {
+            let a: u8 = a
+                .parse()
+                .map_err(|e| err(lno, format!("bad wavelength '{part}': {e}")))?;
+            let b: u8 = b
+                .parse()
+                .map_err(|e| err(lno, format!("bad wavelength '{part}': {e}")))?;
+            if a > b {
+                return Err(err(lno, format!("reversed range '{part}'")));
+            }
+            for l in a..=b {
+                if l as usize >= w {
+                    return Err(err(lno, format!("wavelength {l} >= W")));
+                }
+                set.insert(Wavelength(l));
+            }
+        } else {
+            let l: u8 = part
+                .parse()
+                .map_err(|e| err(lno, format!("bad wavelength '{part}': {e}")))?;
+            if l as usize >= w {
+                return Err(err(lno, format!("wavelength {l} >= W")));
+            }
+            set.insert(Wavelength(l));
+        }
+    }
+    if set.is_empty() {
+        return Err(err(lno, "empty wavelength set"));
+    }
+    Ok(set)
+}
+
+/// Renders a network back into the `.wdm` text format.
+///
+/// Matrix conversion tables and per-wavelength link costs are not
+/// representable in the text format and cause an error (use JSON for
+/// those).
+pub fn write_network(net: &WdmNetwork) -> Result<String, ParseError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "wavelengths {}", net.num_wavelengths()).expect("string write");
+    for v in net.graph().node_ids() {
+        let conv = match net.conversion(v) {
+            ConversionTable::None => "none".to_string(),
+            ConversionTable::Full { cost } => format!("full:{cost}"),
+            ConversionTable::Range { range, cost } => format!("range:{range}:{cost}"),
+            ConversionTable::Matrix { .. } => {
+                return Err(err(0, "matrix conversion tables are JSON-only"))
+            }
+        };
+        writeln!(out, "node {} conv={}", v.0, conv).expect("string write");
+    }
+    for e in net.graph().edge_ids() {
+        let (u, v) = net.endpoints(e);
+        let data = net.graph().edge(e);
+        if data.per_lambda.is_some() {
+            return Err(err(0, "per-wavelength link costs are JSON-only"));
+        }
+        writeln!(
+            out,
+            "link {} {} cost={} lambda={}",
+            u.0,
+            v.0,
+            data.base_cost,
+            render_lambda(data.lambda)
+        )
+        .expect("string write");
+    }
+    Ok(out)
+}
+
+/// Renders a wavelength set as compact ranges (`0-3,5,7-9`).
+fn render_lambda(set: WavelengthSet) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut iter = set.iter().map(|l| l.0).peekable();
+    while let Some(start) = iter.next() {
+        let mut end = start;
+        while iter.peek() == Some(&(end + 1)) {
+            end = iter.next().expect("peeked");
+        }
+        if start == end {
+            parts.push(start.to_string());
+        } else {
+            parts.push(format!("{start}-{end}"));
+        }
+    }
+    parts.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_graph::EdgeId;
+
+    const SAMPLE: &str = r"
+# tiny triangle
+wavelengths 4
+node 0 conv=full:1.5
+node 1 conv=none
+node 2 conv=range:2:0.5
+link 0 1 cost=10 lambda=0-3
+link 1 2 cost=5.5 lambda=0,2
+link 2 0 cost=7   # defaults to all channels
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let net = parse_network(SAMPLE).unwrap();
+        assert_eq!(net.num_wavelengths(), 4);
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.link_count(), 3);
+        assert_eq!(
+            net.conversion(NodeId(0)),
+            &ConversionTable::Full { cost: 1.5 }
+        );
+        assert_eq!(net.conversion(NodeId(1)), &ConversionTable::None);
+        assert_eq!(
+            net.conversion(NodeId(2)),
+            &ConversionTable::Range {
+                range: 2,
+                cost: 0.5
+            }
+        );
+        assert_eq!(net.lambda(EdgeId(0)).count(), 4);
+        assert_eq!(net.lambda(EdgeId(1)), WavelengthSet::from_indices(&[0, 2]));
+        assert_eq!(net.lambda(EdgeId(2)).count(), 4);
+        assert_eq!(net.link_cost(EdgeId(1), Wavelength(0)), 5.5);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let net = parse_network(SAMPLE).unwrap();
+        let text = write_network(&net).unwrap();
+        let net2 = parse_network(&text).unwrap();
+        assert_eq!(net.node_count(), net2.node_count());
+        assert_eq!(net.link_count(), net2.link_count());
+        for e in net.graph().edge_ids() {
+            assert_eq!(net.lambda(e), net2.lambda(e));
+            assert_eq!(net.min_link_cost(e), net2.min_link_cost(e));
+        }
+        for v in net.graph().node_ids() {
+            assert_eq!(net.conversion(v), net2.conversion(v));
+        }
+    }
+
+    #[test]
+    fn nsfnet_round_trips() {
+        let net = NetworkBuilder::nsfnet(8).build();
+        let text = write_network(&net).unwrap();
+        let net2 = parse_network(&text).unwrap();
+        assert_eq!(net2.node_count(), 14);
+        assert_eq!(net2.link_count(), 42);
+        assert!(net2.satisfies_ratio_premise());
+    }
+
+    #[test]
+    fn lambda_range_rendering_is_compact() {
+        assert_eq!(
+            render_lambda(WavelengthSet::from_indices(&[0, 1, 2, 3, 5, 7, 8, 9])),
+            "0-3,5,7-9"
+        );
+        assert_eq!(render_lambda(WavelengthSet::from_indices(&[4])), "4");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_network("wavelengths 4\nnode 1 conv=none\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected 0"));
+
+        let e = parse_network("node 0\n").unwrap_err();
+        assert!(e.message.contains("wavelengths"));
+
+        let e = parse_network("wavelengths 4\nnode 0\nlink 0 1 cost=1\n").unwrap_err();
+        assert!(e.message.contains("endpoint not declared"));
+
+        let e = parse_network("wavelengths 4\nnode 0\nnode 1\nlink 0 1\n").unwrap_err();
+        assert!(e.message.contains("needs cost"));
+
+        let e = parse_network("wavelengths 99\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e =
+            parse_network("wavelengths 4\nnode 0\nnode 1\nlink 0 1 cost=1 lambda=9\n").unwrap_err();
+        assert!(e.message.contains(">= W"));
+
+        let e = parse_network("").unwrap_err();
+        assert!(e.message.contains("empty file"));
+    }
+
+    #[test]
+    fn json_round_trip_via_serde() {
+        // Matrix tables and per-λ costs go through JSON.
+        let mut b = NetworkBuilder::new(2);
+        let n0 = b.add_node(ConversionTable::from_fn(2, |_, _| Some(0.25)));
+        let n1 = b.add_node(ConversionTable::None);
+        b.add_link_per_lambda(n0, n1, WavelengthSet::full(2), vec![1.0, 9.0]);
+        let net = b.build();
+        assert!(write_network(&net).is_err(), "text format must refuse");
+        let json = serde_json::to_string(&net).unwrap();
+        let net2: WdmNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(net2.link_cost(EdgeId(0), Wavelength(1)), 9.0);
+        assert_eq!(
+            net2.conversion_cost(NodeId(0), Wavelength(0), Wavelength(1)),
+            Some(0.25)
+        );
+    }
+}

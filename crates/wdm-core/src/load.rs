@@ -1,0 +1,105 @@
+//! Network-load metrics (§2, Eq. 2) and distribution summaries used by the
+//! congestion experiments (C3).
+
+use crate::network::{ResidualState, WdmNetwork};
+use wdm_graph::EdgeId;
+
+/// Summary of the link-load distribution at one instant.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LoadSnapshot {
+    /// Network load `ρ = max_e ρ(e)`.
+    pub max: f64,
+    /// Mean link load.
+    pub mean: f64,
+    /// Median link load.
+    pub p50: f64,
+    /// 90th percentile link load.
+    pub p90: f64,
+    /// 99th percentile link load.
+    pub p99: f64,
+    /// Number of links at or above 90% utilisation.
+    pub hot_links: usize,
+    /// Total channels in use across the network.
+    pub channels_in_use: usize,
+}
+
+/// Computes the load distribution of `state` over `net`.
+pub fn load_snapshot(net: &WdmNetwork, state: &ResidualState) -> LoadSnapshot {
+    let m = net.link_count();
+    let mut loads: Vec<f64> = (0..m).map(|i| state.load(net, EdgeId::from(i))).collect();
+    let channels_in_use = (0..m)
+        .map(|i| state.used_count(EdgeId::from(i)))
+        .sum::<usize>();
+    if loads.is_empty() {
+        return LoadSnapshot {
+            max: 0.0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            hot_links: 0,
+            channels_in_use: 0,
+        };
+    }
+    loads.sort_by(|a, b| a.partial_cmp(b).expect("loads are finite"));
+    // Nearest-rank percentile: the smallest value with at least p·n values
+    // at or below it.
+    let pct = |p: f64| -> f64 {
+        let rank = (p * loads.len() as f64).ceil() as usize;
+        loads[rank.max(1) - 1]
+    };
+    LoadSnapshot {
+        max: *loads.last().expect("non-empty"),
+        mean: loads.iter().sum::<f64>() / loads.len() as f64,
+        p50: pct(0.50),
+        p90: pct(0.90),
+        p99: pct(0.99),
+        hot_links: loads.iter().filter(|&&l| l >= 0.9).count(),
+        channels_in_use,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::ConversionTable;
+    use crate::network::NetworkBuilder;
+    use crate::wavelength::Wavelength;
+
+    fn pair_net() -> WdmNetwork {
+        let mut b = NetworkBuilder::new(4);
+        let a = b.add_node(ConversionTable::None);
+        let c = b.add_node(ConversionTable::None);
+        b.add_link(a, c, 1.0);
+        b.add_link(c, a, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn fresh_network_has_zero_loads() {
+        let net = pair_net();
+        let st = ResidualState::fresh(&net);
+        let snap = load_snapshot(&net, &st);
+        assert_eq!(snap.max, 0.0);
+        assert_eq!(snap.mean, 0.0);
+        assert_eq!(snap.channels_in_use, 0);
+        assert_eq!(snap.hot_links, 0);
+    }
+
+    #[test]
+    fn snapshot_tracks_occupancy() {
+        let net = pair_net();
+        let mut st = ResidualState::fresh(&net);
+        for l in 0..4 {
+            st.occupy(&net, EdgeId(0), Wavelength(l)).unwrap();
+        }
+        st.occupy(&net, EdgeId(1), Wavelength(0)).unwrap();
+        let snap = load_snapshot(&net, &st);
+        assert_eq!(snap.max, 1.0);
+        assert_eq!(snap.mean, (1.0 + 0.25) / 2.0);
+        assert_eq!(snap.hot_links, 1);
+        assert_eq!(snap.channels_in_use, 5);
+        assert_eq!(snap.p50, 0.25);
+        assert_eq!(snap.p99, 1.0);
+    }
+}

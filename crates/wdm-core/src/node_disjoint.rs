@@ -1,0 +1,274 @@
+//! Node-disjoint robust routing (extension).
+//!
+//! The paper's introduction distinguishes edge-disjoint backups (surviving a
+//! single *link* failure) from node-disjoint backups (surviving single node
+//! *and* link failures) and then develops the edge-disjoint case. This
+//! module supplies the node-disjoint variant through the standard
+//! node-splitting reduction, applied at the WDM-network level so the whole
+//! §3.3 machinery (auxiliary graph, Suurballe, Liang–Shen refinement) is
+//! reused unchanged:
+//!
+//! * every node `v` becomes `v_a → v_b` joined by an *internal* link with
+//!   zero cost, the full wavelength complement, and identity-only conversion
+//!   at `v_a` (so the internal hop is transparent);
+//! * original link `⟨u, v⟩` becomes `⟨u_b, v_a⟩` with unchanged wavelengths
+//!   and costs; `v`'s conversion table moves to `v_b`;
+//! * a request `(s, t)` is routed `s_b → t_a`, so the terminals' internal
+//!   links are not consumed; edge-disjointness of the internal link of `v`
+//!   in the split network is exactly node-disjointness at `v` in the
+//!   original.
+
+use crate::conversion::ConversionTable;
+use crate::disjoint::RobustRouteFinder;
+use crate::error::RoutingError;
+use crate::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use crate::semilightpath::{Hop, RobustRoute, Semilightpath};
+use crate::wavelength::WavelengthSet;
+use wdm_graph::{EdgeId, NodeId};
+
+/// The split network plus the mappings needed to translate state and
+/// routes between the original and split spaces.
+#[derive(Debug, Clone)]
+pub struct SplitNetwork {
+    /// The node-split WDM network.
+    pub net: WdmNetwork,
+    /// For each original link id, the id of its image in the split network.
+    pub link_image: Vec<EdgeId>,
+    /// For each split-network link id, the original link it images
+    /// (`None` for internal splitter links).
+    pub link_preimage: Vec<Option<EdgeId>>,
+}
+
+/// `v_a` (entry half) of original node `v`.
+#[inline]
+fn half_in(v: NodeId) -> NodeId {
+    NodeId(2 * v.0)
+}
+
+/// `v_b` (exit half) of original node `v`.
+#[inline]
+fn half_out(v: NodeId) -> NodeId {
+    NodeId(2 * v.0 + 1)
+}
+
+impl SplitNetwork {
+    /// Builds the node-split image of `net`.
+    pub fn build(net: &WdmNetwork) -> Self {
+        let w = net.num_wavelengths();
+        let mut b = NetworkBuilder::new(w);
+        // Nodes: v_a gets identity-only conversion (the internal link is a
+        // transparent continuation), v_b inherits v's table.
+        for v in net.graph().node_ids() {
+            let a = b.add_node(ConversionTable::None);
+            let bb = b.add_node(net.conversion(v).clone());
+            debug_assert_eq!(a, half_in(v));
+            debug_assert_eq!(bb, half_out(v));
+        }
+        // Internal splitter links first (ids 0..n), then link images
+        // (ids n..n+m) — order chosen so preimage lookups are trivial.
+        let n = net.node_count();
+        for v in net.graph().node_ids() {
+            b.add_link_with(half_in(v), half_out(v), 0.0, WavelengthSet::full(w));
+        }
+        let mut link_image = Vec::with_capacity(net.link_count());
+        let mut link_preimage: Vec<Option<EdgeId>> = vec![None; n];
+        for e in net.graph().edge_ids() {
+            let (u, v) = net.endpoints(e);
+            let data = net.graph().edge(e);
+            let img = match &data.per_lambda {
+                Some(costs) => {
+                    b.add_link_per_lambda(half_out(u), half_in(v), data.lambda, costs.clone())
+                }
+                None => b.add_link_with(half_out(u), half_in(v), data.base_cost, data.lambda),
+            };
+            link_image.push(img);
+            link_preimage.push(Some(e));
+        }
+        Self {
+            net: b.build(),
+            link_image,
+            link_preimage,
+        }
+    }
+
+    /// Mirrors an original residual state onto the split network
+    /// (occupancy and failures copy to link images; internal links stay
+    /// fresh).
+    pub fn mirror_state(&self, net: &WdmNetwork, state: &ResidualState) -> ResidualState {
+        let mut out = ResidualState::fresh(&self.net);
+        for e in net.graph().edge_ids() {
+            let img = self.link_image[e.index()];
+            for l in state.used(e).iter() {
+                out.occupy(&self.net, img, l)
+                    .expect("image has same lambda set");
+            }
+            if state.is_failed(e) {
+                out.fail_link(img);
+            }
+        }
+        out
+    }
+
+    /// Maps a split-network semilightpath back to the original network,
+    /// dropping internal hops.
+    fn map_back(
+        &self,
+        net: &WdmNetwork,
+        s: NodeId,
+        slp: &Semilightpath,
+    ) -> Result<Semilightpath, RoutingError> {
+        let hops: Vec<Hop> = slp
+            .hops
+            .iter()
+            .filter_map(|h| {
+                self.link_preimage[h.edge.index()].map(|orig| Hop {
+                    edge: orig,
+                    wavelength: h.wavelength,
+                })
+            })
+            .collect();
+        Semilightpath::new(net, s, hops).map_err(|_| RoutingError::RefinementInfeasible)
+    }
+}
+
+/// Finds a primary + backup pair that is **internally node-disjoint** (the
+/// two legs share no intermediate node, hence survive any single node or
+/// link failure off the endpoints), minimising the §3 cost objective via
+/// the §3.3 approximation on the split network.
+pub fn find_node_disjoint(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+) -> Result<RobustRoute, RoutingError> {
+    if s == t {
+        return Err(RoutingError::DegenerateRequest);
+    }
+    let split = SplitNetwork::build(net);
+    let split_state = split.mirror_state(net, state);
+    let route = RobustRouteFinder::new(&split.net).find(&split_state, half_out(s), half_in(t))?;
+    let primary = split.map_back(net, s, &route.primary)?;
+    let backup = split.map_back(net, s, &route.backup)?;
+    debug_assert!(!primary.shares_edge_with(&backup));
+    Ok(RobustRoute::ordered(primary, backup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w_full(n: usize) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new(2);
+        for _ in 0..n {
+            b.add_node(ConversionTable::Full { cost: 0.1 });
+        }
+        b
+    }
+
+    /// Hourglass: two edge-disjoint routes exist but share the waist node 2.
+    fn hourglass() -> WdmNetwork {
+        let mut b = w_full(5);
+        let n: Vec<NodeId> = (0..5).map(|i| NodeId(i as u32)).collect();
+        b.add_link(n[0], n[1], 1.0);
+        b.add_link(n[1], n[2], 1.0);
+        b.add_link(n[2], n[3], 1.0);
+        b.add_link(n[3], n[4], 1.0);
+        b.add_link(n[0], n[2], 5.0);
+        b.add_link(n[2], n[4], 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn hourglass_has_edge_but_not_node_disjoint_pair() {
+        let net = hourglass();
+        let st = ResidualState::fresh(&net);
+        assert!(RobustRouteFinder::new(&net)
+            .find(&st, NodeId(0), NodeId(4))
+            .is_ok());
+        assert!(matches!(
+            find_node_disjoint(&net, &st, NodeId(0), NodeId(4)),
+            Err(RoutingError::NoDisjointPair)
+        ));
+    }
+
+    #[test]
+    fn diamond_yields_node_disjoint_pair() {
+        let mut b = w_full(4);
+        b.add_link(NodeId(0), NodeId(1), 1.0);
+        b.add_link(NodeId(1), NodeId(3), 1.0);
+        b.add_link(NodeId(0), NodeId(2), 2.0);
+        b.add_link(NodeId(2), NodeId(3), 2.0);
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        let route = find_node_disjoint(&net, &st, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(route.total_cost(), 6.0);
+        assert!(route.is_edge_disjoint());
+        assert!(!route
+            .primary
+            .physical_path()
+            .shares_interior_node_with(&route.backup.physical_path(), net.graph()));
+        route.primary.validate(&net, &st).unwrap();
+        route.backup.validate(&net, &st).unwrap();
+    }
+
+    #[test]
+    fn occupancy_mirrors_into_split_network() {
+        let net = hourglass();
+        let mut st = ResidualState::fresh(&net);
+        // Exhaust e0 entirely (W = 2).
+        st.occupy(&net, EdgeId(0), crate::wavelength::Wavelength(0))
+            .unwrap();
+        st.occupy(&net, EdgeId(0), crate::wavelength::Wavelength(1))
+            .unwrap();
+        let split = SplitNetwork::build(&net);
+        let mirrored = split.mirror_state(&net, &st);
+        let img = split.link_image[0];
+        assert!(mirrored.avail(&split.net, img).is_empty());
+        // Failure mirrors too.
+        st.fail_link(EdgeId(1));
+        let mirrored = split.mirror_state(&net, &st);
+        assert!(mirrored.is_failed(split.link_image[1]));
+    }
+
+    #[test]
+    fn node_disjoint_cost_never_below_edge_disjoint() {
+        // Node-disjointness is a stricter constraint, so its optimal cost is
+        // at least the edge-disjoint optimum.
+        let net = {
+            let mut b = w_full(6);
+            for (u, v, c) in [
+                (0, 1, 1.0),
+                (1, 5, 1.0),
+                (0, 2, 2.0),
+                (2, 5, 2.0),
+                (0, 3, 3.0),
+                (3, 5, 3.0),
+                (1, 2, 0.5),
+            ] {
+                b.add_link(NodeId(u), NodeId(v), c);
+            }
+            b.build()
+        };
+        let st = ResidualState::fresh(&net);
+        let edge = RobustRouteFinder::new(&net)
+            .find(&st, NodeId(0), NodeId(5))
+            .unwrap();
+        let node = find_node_disjoint(&net, &st, NodeId(0), NodeId(5)).unwrap();
+        assert!(node.total_cost() + 1e-9 >= edge.total_cost());
+    }
+
+    #[test]
+    fn nsfnet_supports_node_disjoint_everywhere() {
+        let net = NetworkBuilder::nsfnet(4).build();
+        let st = ResidualState::fresh(&net);
+        for t in 1..14u32 {
+            let r = find_node_disjoint(&net, &st, NodeId(0), NodeId(t));
+            assert!(r.is_ok(), "0 -> {t}: {r:?}");
+            let r = r.unwrap();
+            assert!(!r
+                .primary
+                .physical_path()
+                .shares_interior_node_with(&r.backup.physical_path(), net.graph()));
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The optimal-semilightpath algorithm (Liang–Shen, IEEE Trans. Commun.
+//! 2000 — reference \[13\] of the paper).
+//!
+//! Finding the cheapest semilightpath is shortest-path search over the
+//! *layered wavelength graph*: states are `(link, wavelength)` pairs
+//! ("arrived at `head(link)` having traversed `link` on `wavelength`"), with
+//! transitions weighted by the conversion cost at the shared node plus the
+//! traversal cost of the next link. Dijkstra over the ≤ `m·W` states gives
+//! the `O(nW² + nW log(nW))`-flavoured bound the paper quotes in
+//! Theorems 1 and 3.
+//!
+//! Two entry points:
+//! * [`optimal_semilightpath_filtered`] — the general search, with an edge
+//!   filter used by the §3.3 refinement step to restrict the search to an
+//!   induced subgraph `G_i`;
+//! * [`assign_wavelengths_on_path`] — the special case of a fixed edge
+//!   sequence (the induced subgraph of an auxiliary-graph path is a single
+//!   path), solved by an `O(L·W²)` DP; used as a fast path and as a
+//!   cross-check oracle in tests.
+
+use crate::network::{ResidualState, WdmNetwork};
+use crate::semilightpath::{Hop, Semilightpath};
+use crate::wavelength::Wavelength;
+use wdm_graph::{EdgeId, NodeId};
+use wdm_heap::{DaryHeap, MinQueue};
+
+/// Cheapest semilightpath `s -> t` in the residual network, or `None` if
+/// unreachable.
+///
+/// ```
+/// use wdm_core::prelude::*;
+/// use wdm_graph::NodeId;
+///
+/// // Two links with disjoint wavelengths: the optimal semilightpath must
+/// // pay one conversion at the middle node.
+/// let mut b = NetworkBuilder::new(2);
+/// let n0 = b.add_node(ConversionTable::Full { cost: 0.5 });
+/// let n1 = b.add_node(ConversionTable::Full { cost: 0.5 });
+/// let n2 = b.add_node(ConversionTable::Full { cost: 0.5 });
+/// b.add_link_with(n0, n1, 1.0, WavelengthSet::from_indices(&[0]));
+/// b.add_link_with(n1, n2, 1.0, WavelengthSet::from_indices(&[1]));
+/// let net = b.build();
+/// let state = ResidualState::fresh(&net);
+///
+/// let p = optimal_semilightpath(&net, &state, n0, n2).unwrap();
+/// assert_eq!(p.cost, 2.5);               // 1 + 0.5 (conversion) + 1
+/// assert_eq!(p.conversion_count(), 1);
+/// let _ = NodeId(0);
+/// ```
+pub fn optimal_semilightpath(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+) -> Option<Semilightpath> {
+    optimal_semilightpath_filtered(net, state, s, t, |_| true)
+}
+
+/// Cheapest semilightpath `s -> t` using only links accepted by `filter`.
+pub fn optimal_semilightpath_filtered(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    mut filter: impl FnMut(EdgeId) -> bool,
+) -> Option<Semilightpath> {
+    if s == t {
+        return None;
+    }
+    let w = net.num_wavelengths();
+    let m = net.link_count();
+    let num_states = m * w;
+    let state_id = |e: EdgeId, l: Wavelength| e.index() * w + l.index();
+
+    let mut dist = vec![f64::INFINITY; num_states];
+    let mut pred: Vec<u32> = vec![u32::MAX; num_states];
+    let mut queue: DaryHeap<f64, 4> = DaryHeap::with_capacity(num_states);
+
+    // Seed: every available wavelength on every out-link of s.
+    for &e in net.graph().out_edges(s) {
+        if !filter(e) {
+            continue;
+        }
+        for l in state.avail(net, e).iter() {
+            let id = state_id(e, l);
+            let c = net.link_cost(e, l);
+            if c < dist[id] {
+                dist[id] = c;
+                queue.insert_or_decrease(id, c);
+            }
+        }
+    }
+
+    let mut best_final: Option<(usize, f64)> = None;
+    while let Some((id, d)) = queue.pop_min() {
+        let e = EdgeId::from(id / w);
+        let l = Wavelength((id % w) as u8);
+        let v = net.endpoints(e).1;
+        if v == t {
+            best_final = Some((id, d));
+            break; // Dijkstra: first settled t-state is optimal
+        }
+        let conv = net.conversion(v);
+        for &e2 in net.graph().out_edges(v) {
+            if !filter(e2) {
+                continue;
+            }
+            let avail2 = state.avail(net, e2);
+            if avail2.is_empty() {
+                continue;
+            }
+            for l2 in avail2.iter() {
+                let Some(cc) = conv.cost(l, l2) else {
+                    continue;
+                };
+                let nd = d + cc + net.link_cost(e2, l2);
+                let id2 = state_id(e2, l2);
+                if nd < dist[id2] {
+                    dist[id2] = nd;
+                    pred[id2] = id as u32;
+                    queue.insert_or_decrease(id2, nd);
+                }
+            }
+        }
+    }
+
+    let (final_id, _) = best_final?;
+    // Reconstruct hops.
+    let mut hops = Vec::new();
+    let mut cur = final_id;
+    loop {
+        let e = EdgeId::from(cur / w);
+        let l = Wavelength((cur % w) as u8);
+        hops.push(Hop {
+            edge: e,
+            wavelength: l,
+        });
+        if pred[cur] == u32::MAX {
+            break;
+        }
+        cur = pred[cur] as usize;
+    }
+    hops.reverse();
+    let slp = Semilightpath::new(net, s, hops).expect("search produces a legal semilightpath");
+    debug_assert!(slp.validate(net, state).is_ok());
+    Some(slp)
+}
+
+/// Optimal wavelength assignment along a *fixed* physical edge sequence:
+/// dynamic programming over `(hop, wavelength)` with conversion costs,
+/// `O(L·W²)`. Returns `None` if no feasible assignment exists (some hop has
+/// no available wavelength, or conversions cannot connect the choices).
+#[allow(clippy::needless_range_loop)] // dp is indexed by wavelength on purpose
+pub fn assign_wavelengths_on_path(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    src: NodeId,
+    edges: &[EdgeId],
+) -> Option<Semilightpath> {
+    if edges.is_empty() {
+        return None;
+    }
+    let w = net.num_wavelengths();
+    // dp[l] = best cost arriving at head(edges[i]) on wavelength l.
+    let mut dp = vec![f64::INFINITY; w];
+    let mut choice: Vec<Vec<u8>> = Vec::with_capacity(edges.len()); // choice[i][l] = predecessor λ
+    let first_avail = state.avail(net, edges[0]);
+    if first_avail.is_empty() {
+        return None;
+    }
+    for l in first_avail.iter() {
+        dp[l.index()] = net.link_cost(edges[0], l);
+    }
+    choice.push(vec![u8::MAX; w]);
+
+    let mut at = net.endpoints(edges[0]).1;
+    for (_i, &e) in edges.iter().enumerate().skip(1) {
+        let (u, v) = net.endpoints(e);
+        debug_assert_eq!(u, at, "edge sequence must be a connected walk");
+        let avail = state.avail(net, e);
+        let conv = net.conversion(u);
+        let mut next = vec![f64::INFINITY; w];
+        let mut ch = vec![u8::MAX; w];
+        for l2 in avail.iter() {
+            let link_c = net.link_cost(e, l2);
+            for l1 in 0..w {
+                if dp[l1].is_finite() {
+                    if let Some(cc) = conv.cost(Wavelength(l1 as u8), l2) {
+                        let cand = dp[l1] + cc + link_c;
+                        if cand < next[l2.index()] {
+                            next[l2.index()] = cand;
+                            ch[l2.index()] = l1 as u8;
+                        }
+                    }
+                }
+            }
+        }
+        dp = next;
+        choice.push(ch);
+        at = v;
+    }
+
+    // Pick the best terminal wavelength and backtrack.
+    let (best_l, best_cost) = dp
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_finite())
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .map(|(l, &c)| (l, c))?;
+    let mut lambdas = vec![0u8; edges.len()];
+    let mut l = best_l as u8;
+    for i in (0..edges.len()).rev() {
+        lambdas[i] = l;
+        if i > 0 {
+            l = choice[i][l as usize];
+            debug_assert_ne!(l, u8::MAX);
+        }
+    }
+    let hops: Vec<Hop> = edges
+        .iter()
+        .zip(&lambdas)
+        .map(|(&e, &l)| Hop {
+            edge: e,
+            wavelength: Wavelength(l),
+        })
+        .collect();
+    let slp = Semilightpath::new(net, src, hops).expect("DP output is legal");
+    debug_assert!((slp.cost - best_cost).abs() < 1e-9);
+    Some(slp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::ConversionTable;
+    use crate::network::NetworkBuilder;
+    use crate::wavelength::WavelengthSet;
+
+    /// A 4-node network where the cheapest *semilightpath* must pay a
+    /// conversion: link 0->1 only has λ0, link 1->3 only has λ1.
+    fn conversion_required() -> WdmNetwork {
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.5 }))
+            .collect();
+        b.add_link_with(n[0], n[1], 1.0, WavelengthSet::from_indices(&[0])); // e0
+        b.add_link_with(n[1], n[3], 1.0, WavelengthSet::from_indices(&[1])); // e1
+        b.add_link_with(n[0], n[2], 2.0, WavelengthSet::from_indices(&[0])); // e2
+        b.add_link_with(n[2], n[3], 2.0, WavelengthSet::from_indices(&[0])); // e3
+        b.build()
+    }
+
+    #[test]
+    fn pays_conversion_when_cheaper() {
+        let net = conversion_required();
+        let st = ResidualState::fresh(&net);
+        let p = optimal_semilightpath(&net, &st, NodeId(0), NodeId(3)).unwrap();
+        // Top route: 1 + 0.5 + 1 = 2.5 beats bottom 4.0.
+        assert_eq!(p.cost, 2.5);
+        assert_eq!(p.conversion_count(), 1);
+        assert_eq!(
+            p.hops,
+            vec![
+                Hop {
+                    edge: EdgeId(0),
+                    wavelength: Wavelength(0)
+                },
+                Hop {
+                    edge: EdgeId(1),
+                    wavelength: Wavelength(1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn avoids_conversion_when_expensive() {
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 10.0 }))
+            .collect();
+        b.add_link_with(n[0], n[1], 1.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[1], n[3], 1.0, WavelengthSet::from_indices(&[1]));
+        b.add_link_with(n[0], n[2], 2.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[2], n[3], 2.0, WavelengthSet::from_indices(&[0]));
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        let p = optimal_semilightpath(&net, &st, NodeId(0), NodeId(3)).unwrap();
+        // Now 1 + 10 + 1 = 12 loses to 4.0 on wavelength continuity.
+        assert_eq!(p.cost, 4.0);
+        assert_eq!(p.conversion_count(), 0);
+    }
+
+    #[test]
+    fn respects_no_conversion_nodes() {
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..3).map(|_| b.add_node(ConversionTable::None)).collect();
+        b.add_link_with(n[0], n[1], 1.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[1], n[2], 1.0, WavelengthSet::from_indices(&[1]));
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        // λ0 then λ1 requires conversion at node 1: impossible.
+        assert!(optimal_semilightpath(&net, &st, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn respects_residual_occupancy() {
+        let net = conversion_required();
+        let mut st = ResidualState::fresh(&net);
+        // Kill the cheap top route by occupying λ0 on e0.
+        st.occupy(&net, EdgeId(0), Wavelength(0)).unwrap();
+        let p = optimal_semilightpath(&net, &st, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.cost, 4.0);
+    }
+
+    #[test]
+    fn filter_restricts_edges() {
+        let net = conversion_required();
+        let st = ResidualState::fresh(&net);
+        let p = optimal_semilightpath_filtered(&net, &st, NodeId(0), NodeId(3), |e| e.index() >= 2)
+            .unwrap();
+        assert_eq!(p.cost, 4.0);
+    }
+
+    #[test]
+    fn unreachable_or_degenerate() {
+        let net = conversion_required();
+        let st = ResidualState::fresh(&net);
+        assert!(optimal_semilightpath(&net, &st, NodeId(3), NodeId(0)).is_none());
+        assert!(optimal_semilightpath(&net, &st, NodeId(0), NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn dp_agrees_with_dijkstra_on_fixed_path() {
+        let net = conversion_required();
+        let st = ResidualState::fresh(&net);
+        let full = optimal_semilightpath(&net, &st, NodeId(0), NodeId(3)).unwrap();
+        let edges: Vec<EdgeId> = full.edges().collect();
+        let dp = assign_wavelengths_on_path(&net, &st, NodeId(0), &edges).unwrap();
+        assert_eq!(dp.cost, full.cost);
+        assert_eq!(dp.hops, full.hops);
+    }
+
+    #[test]
+    fn dp_reports_infeasible_path() {
+        let mut b = NetworkBuilder::new(2);
+        let n: Vec<_> = (0..3).map(|_| b.add_node(ConversionTable::None)).collect();
+        b.add_link_with(n[0], n[1], 1.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[1], n[2], 1.0, WavelengthSet::from_indices(&[1]));
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        assert!(
+            assign_wavelengths_on_path(&net, &st, NodeId(0), &[EdgeId(0), EdgeId(1)]).is_none()
+        );
+    }
+
+    #[test]
+    fn per_lambda_costs_steer_choice() {
+        let mut b = NetworkBuilder::new(2);
+        let n0 = b.add_node(ConversionTable::Full { cost: 0.0 });
+        let n1 = b.add_node(ConversionTable::Full { cost: 0.0 });
+        b.add_link_per_lambda(n0, n1, WavelengthSet::full(2), vec![5.0, 1.0]);
+        let net = b.build();
+        let st = ResidualState::fresh(&net);
+        let p = optimal_semilightpath(&net, &st, NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(p.cost, 1.0);
+        assert_eq!(p.hops[0].wavelength, Wavelength(1));
+    }
+}

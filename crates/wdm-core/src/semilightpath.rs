@@ -1,0 +1,412 @@
+//! Semilightpaths: paths with a wavelength per link and conversions at
+//! intermediate nodes (paper §2, Eq. 1).
+
+use crate::network::{ResidualState, WdmNetwork};
+use crate::wavelength::Wavelength;
+use wdm_graph::{EdgeId, NodeId, Path};
+
+/// One hop of a semilightpath: a physical link and the wavelength assigned
+/// to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Hop {
+    /// The physical link traversed.
+    pub edge: EdgeId,
+    /// The wavelength `λ(e) ∈ Λ(e)` assigned to it.
+    pub wavelength: Wavelength,
+}
+
+/// Why a semilightpath fails validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlpError {
+    /// The edge sequence is not a connected `src -> dst` walk.
+    Disconnected,
+    /// A hop's wavelength is not available in the residual network.
+    WavelengthUnavailable(Hop),
+    /// An intermediate node cannot perform the required conversion.
+    ConversionForbidden {
+        /// Node where the conversion would happen.
+        node: NodeId,
+        /// Incoming wavelength.
+        from: Wavelength,
+        /// Outgoing wavelength.
+        to: Wavelength,
+    },
+    /// The path is empty (`src == dst` requests are rejected upstream).
+    Empty,
+}
+
+impl std::fmt::Display for SlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlpError::Disconnected => write!(f, "edge sequence is not a connected walk"),
+            SlpError::WavelengthUnavailable(h) => {
+                write!(f, "{} unavailable on {:?}", h.wavelength, h.edge)
+            }
+            SlpError::ConversionForbidden { node, from, to } => {
+                write!(f, "conversion {from} -> {to} forbidden at {node:?}")
+            }
+            SlpError::Empty => write!(f, "empty semilightpath"),
+        }
+    }
+}
+
+impl std::error::Error for SlpError {}
+
+/// A semilightpath `P`: hops `(e_i, λ_{j_i})` with conversions at
+/// intermediate nodes, plus its cost per Eq. (1).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Semilightpath {
+    /// Origin node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Hops in order.
+    pub hops: Vec<Hop>,
+    /// Total cost per Eq. (1) (traversal + conversion), cached at
+    /// construction.
+    pub cost: f64,
+}
+
+impl Semilightpath {
+    /// Builds a semilightpath and computes its Eq. (1) cost.
+    ///
+    /// Returns an error if the hops do not form a walk, or a required
+    /// conversion is forbidden. (Availability is *not* checked here — use
+    /// [`Semilightpath::validate`] with a state for that — so that routes
+    /// can outlive churn in the residual state.)
+    pub fn new(net: &WdmNetwork, src: NodeId, hops: Vec<Hop>) -> Result<Self, SlpError> {
+        if hops.is_empty() {
+            return Err(SlpError::Empty);
+        }
+        let mut at = src;
+        let mut cost = 0.0;
+        let mut prev: Option<Hop> = None;
+        for &hop in &hops {
+            let (u, v) = net.endpoints(hop.edge);
+            if u != at {
+                return Err(SlpError::Disconnected);
+            }
+            if let Some(p) = prev {
+                let conv = net.conversion_cost(u, p.wavelength, hop.wavelength).ok_or(
+                    SlpError::ConversionForbidden {
+                        node: u,
+                        from: p.wavelength,
+                        to: hop.wavelength,
+                    },
+                )?;
+                cost += conv;
+            }
+            cost += net.link_cost(hop.edge, hop.wavelength);
+            at = v;
+            prev = Some(hop);
+        }
+        Ok(Self {
+            src,
+            dst: at,
+            hops,
+            cost,
+        })
+    }
+
+    /// Number of hops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the path has no hops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The physical edge sequence.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.hops.iter().map(|h| h.edge)
+    }
+
+    /// The underlying physical [`Path`].
+    pub fn physical_path(&self) -> Path {
+        Path {
+            src: self.src,
+            dst: self.dst,
+            edges: self.hops.iter().map(|h| h.edge).collect(),
+        }
+    }
+
+    /// Recomputes the Eq. (1) cost from scratch (for audits).
+    pub fn recompute_cost(&self, net: &WdmNetwork) -> f64 {
+        let mut cost = 0.0;
+        for (i, h) in self.hops.iter().enumerate() {
+            cost += net.link_cost(h.edge, h.wavelength);
+            if i + 1 < self.hops.len() {
+                let next = self.hops[i + 1];
+                let node = net.endpoints(h.edge).1;
+                cost += net
+                    .conversion_cost(node, h.wavelength, next.wavelength)
+                    .expect("constructed semilightpath has legal conversions");
+            }
+        }
+        cost
+    }
+
+    /// Number of actual wavelength conversions (`λ` changes) along the path.
+    pub fn conversion_count(&self) -> usize {
+        self.hops
+            .windows(2)
+            .filter(|w| w[0].wavelength != w[1].wavelength)
+            .count()
+    }
+
+    /// Full validation against a residual state: connectivity, per-hop
+    /// availability, conversion legality.
+    pub fn validate(&self, net: &WdmNetwork, state: &ResidualState) -> Result<(), SlpError> {
+        if self.hops.is_empty() {
+            return Err(SlpError::Empty);
+        }
+        let mut at = self.src;
+        let mut prev: Option<Hop> = None;
+        for &hop in &self.hops {
+            let (u, v) = net.endpoints(hop.edge);
+            if u != at {
+                return Err(SlpError::Disconnected);
+            }
+            if !state.is_avail(net, hop.edge, hop.wavelength) {
+                return Err(SlpError::WavelengthUnavailable(hop));
+            }
+            if let Some(p) = prev {
+                if net
+                    .conversion_cost(u, p.wavelength, hop.wavelength)
+                    .is_none()
+                {
+                    return Err(SlpError::ConversionForbidden {
+                        node: u,
+                        from: p.wavelength,
+                        to: hop.wavelength,
+                    });
+                }
+            }
+            at = v;
+            prev = Some(hop);
+        }
+        if at != self.dst {
+            return Err(SlpError::Disconnected);
+        }
+        Ok(())
+    }
+
+    /// Whether the two semilightpaths share a physical link (the
+    /// edge-disjointness predicate of §2: "they do not share any physical
+    /// optic links").
+    pub fn shares_edge_with(&self, other: &Semilightpath) -> bool {
+        self.hops
+            .iter()
+            .any(|h| other.hops.iter().any(|o| o.edge == h.edge))
+    }
+
+    /// Occupies every hop's wavelength in `state`. On failure, rolls back
+    /// the hops occupied so far and returns the error.
+    pub fn occupy(
+        &self,
+        net: &WdmNetwork,
+        state: &mut ResidualState,
+    ) -> Result<(), crate::network::StateError> {
+        for (i, h) in self.hops.iter().enumerate() {
+            if let Err(e) = state.occupy(net, h.edge, h.wavelength) {
+                for rb in &self.hops[..i] {
+                    let _ = state.release(rb.edge, rb.wavelength);
+                }
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases every hop's wavelength in `state` (ignores hops already
+    /// free, e.g. after a failure-triggered teardown).
+    pub fn release(&self, state: &mut ResidualState) {
+        for h in &self.hops {
+            let _ = state.release(h.edge, h.wavelength);
+        }
+    }
+}
+
+/// A robust route: primary semilightpath plus edge-disjoint backup (the
+/// paper's deliverable for one connection request).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RobustRoute {
+    /// The working path.
+    pub primary: Semilightpath,
+    /// The protection path (edge-disjoint from `primary`).
+    pub backup: Semilightpath,
+}
+
+impl RobustRoute {
+    /// Orders the two legs so `primary.cost <= backup.cost`.
+    pub fn ordered(a: Semilightpath, b: Semilightpath) -> Self {
+        if a.cost <= b.cost {
+            Self {
+                primary: a,
+                backup: b,
+            }
+        } else {
+            Self {
+                primary: b,
+                backup: a,
+            }
+        }
+    }
+
+    /// Cost sum of the two legs — the §3 objective.
+    pub fn total_cost(&self) -> f64 {
+        self.primary.cost + self.backup.cost
+    }
+
+    /// Edge-disjointness check.
+    pub fn is_edge_disjoint(&self) -> bool {
+        !self.primary.shares_edge_with(&self.backup)
+    }
+
+    /// Occupies both legs (rolling back on failure).
+    pub fn occupy(
+        &self,
+        net: &WdmNetwork,
+        state: &mut ResidualState,
+    ) -> Result<(), crate::network::StateError> {
+        self.primary.occupy(net, state)?;
+        if let Err(e) = self.backup.occupy(net, state) {
+            self.primary.release(state);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Releases both legs.
+    pub fn release(&self, state: &mut ResidualState) {
+        self.primary.release(state);
+        self.backup.release(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::ConversionTable;
+    use crate::network::NetworkBuilder;
+    use crate::wavelength::WavelengthSet;
+
+    /// 0 --e0--> 1 --e1--> 2, W = 2, full conversion cost 0.5 at node 1.
+    fn line() -> WdmNetwork {
+        let mut b = NetworkBuilder::new(2);
+        let n0 = b.add_node(ConversionTable::Full { cost: 0.5 });
+        let n1 = b.add_node(ConversionTable::Full { cost: 0.5 });
+        let n2 = b.add_node(ConversionTable::Full { cost: 0.5 });
+        b.add_link(n0, n1, 1.0);
+        b.add_link(n1, n2, 2.0);
+        b.build()
+    }
+
+    fn hop(e: u32, l: u8) -> Hop {
+        Hop {
+            edge: EdgeId(e),
+            wavelength: Wavelength(l),
+        }
+    }
+
+    #[test]
+    fn eq1_cost_with_and_without_conversion() {
+        let net = line();
+        // Same wavelength: no conversion cost.
+        let p = Semilightpath::new(&net, NodeId(0), vec![hop(0, 0), hop(1, 0)]).unwrap();
+        assert_eq!(p.cost, 3.0);
+        assert_eq!(p.conversion_count(), 0);
+        // Switch at node 1: + 0.5.
+        let q = Semilightpath::new(&net, NodeId(0), vec![hop(0, 0), hop(1, 1)]).unwrap();
+        assert_eq!(q.cost, 3.5);
+        assert_eq!(q.conversion_count(), 1);
+        assert_eq!(q.recompute_cost(&net), q.cost);
+        assert_eq!(q.dst, NodeId(2));
+    }
+
+    #[test]
+    fn disconnected_hops_rejected() {
+        let net = line();
+        let err = Semilightpath::new(&net, NodeId(0), vec![hop(1, 0)]).unwrap_err();
+        assert_eq!(err, SlpError::Disconnected);
+        let err = Semilightpath::new(&net, NodeId(0), vec![]).unwrap_err();
+        assert_eq!(err, SlpError::Empty);
+    }
+
+    #[test]
+    fn forbidden_conversion_rejected() {
+        let mut b = NetworkBuilder::new(2);
+        let n0 = b.add_node(ConversionTable::None);
+        let n1 = b.add_node(ConversionTable::None);
+        let n2 = b.add_node(ConversionTable::None);
+        b.add_link(n0, n1, 1.0);
+        b.add_link(n1, n2, 1.0);
+        let net = b.build();
+        let err = Semilightpath::new(&net, NodeId(0), vec![hop(0, 0), hop(1, 1)]).unwrap_err();
+        assert!(matches!(err, SlpError::ConversionForbidden { .. }));
+        // Continuity is fine.
+        assert!(Semilightpath::new(&net, NodeId(0), vec![hop(0, 1), hop(1, 1)]).is_ok());
+    }
+
+    #[test]
+    fn validate_checks_availability() {
+        let net = line();
+        let mut st = ResidualState::fresh(&net);
+        let p = Semilightpath::new(&net, NodeId(0), vec![hop(0, 0), hop(1, 0)]).unwrap();
+        assert!(p.validate(&net, &st).is_ok());
+        st.occupy(&net, EdgeId(1), Wavelength(0)).unwrap();
+        assert!(matches!(
+            p.validate(&net, &st),
+            Err(SlpError::WavelengthUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn occupy_rolls_back_on_conflict() {
+        let net = line();
+        let mut st = ResidualState::fresh(&net);
+        st.occupy(&net, EdgeId(1), Wavelength(0)).unwrap();
+        let p = Semilightpath::new(&net, NodeId(0), vec![hop(0, 0), hop(1, 0)]).unwrap();
+        assert!(p.occupy(&net, &mut st).is_err());
+        // e0/λ0 must have been rolled back.
+        assert!(st.is_avail(&net, EdgeId(0), Wavelength(0)));
+    }
+
+    #[test]
+    fn robust_route_ordering_and_disjointness() {
+        let mut b = NetworkBuilder::new(2);
+        let n0 = b.add_node(ConversionTable::Full { cost: 0.1 });
+        let n1 = b.add_node(ConversionTable::Full { cost: 0.1 });
+        b.add_link_with(n0, n1, 5.0, WavelengthSet::full(2)); // e0
+        b.add_link_with(n0, n1, 1.0, WavelengthSet::full(2)); // e1
+        let net = b.build();
+        let expensive = Semilightpath::new(&net, NodeId(0), vec![hop(0, 0)]).unwrap();
+        let cheap = Semilightpath::new(&net, NodeId(0), vec![hop(1, 0)]).unwrap();
+        let route = RobustRoute::ordered(expensive.clone(), cheap.clone());
+        assert_eq!(route.primary, cheap);
+        assert_eq!(route.total_cost(), 6.0);
+        assert!(route.is_edge_disjoint());
+        let clash = RobustRoute::ordered(expensive.clone(), expensive);
+        assert!(!clash.is_edge_disjoint());
+    }
+
+    #[test]
+    fn robust_route_occupy_release() {
+        let net = line();
+        // Parallel route on the other wavelength.
+        let p = Semilightpath::new(&net, NodeId(0), vec![hop(0, 0), hop(1, 0)]).unwrap();
+        let q = Semilightpath::new(&net, NodeId(0), vec![hop(0, 1), hop(1, 1)]).unwrap();
+        // Not edge-disjoint (same fibres) but occupation still works on
+        // different wavelengths.
+        let mut st = ResidualState::fresh(&net);
+        let route = RobustRoute::ordered(p, q);
+        route.occupy(&net, &mut st).unwrap();
+        assert!(st.avail(&net, EdgeId(0)).is_empty());
+        route.release(&mut st);
+        assert_eq!(st.avail(&net, EdgeId(0)).count(), 2);
+    }
+}

@@ -1,0 +1,241 @@
+//! Property-based invariants of the paper's constructions.
+#![allow(clippy::needless_range_loop)] // index scans over the link space
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_core::aux_graph::{AuxGraph, AuxSpec};
+use wdm_core::conversion::ConversionTable;
+use wdm_core::mincog::{
+    exact_min_load_threshold, find_two_paths_mincog, route_bottleneck_load, threshold_bounds,
+};
+use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use wdm_core::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath};
+use wdm_core::wavelength::{Wavelength, WavelengthSet};
+use wdm_graph::{EdgeId, NodeId};
+
+fn random_net(seed: u64) -> (WdmNetwork, ResidualState) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = rng.gen_range(4..10usize);
+    let w = rng.gen_range(2..6usize);
+    let mut b = NetworkBuilder::new(w);
+    for _ in 0..n {
+        let conv = match rng.gen_range(0..3) {
+            0 => ConversionTable::None,
+            1 => ConversionTable::Full {
+                cost: rng.gen_range(0.0..2.0),
+            },
+            _ => ConversionTable::Range {
+                range: rng.gen_range(1..3),
+                cost: rng.gen_range(0.0..2.0),
+            },
+        };
+        b.add_node(conv);
+    }
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(0.45) {
+                let mut set = WavelengthSet::empty();
+                for l in 0..w {
+                    if rng.gen_bool(0.7) {
+                        set.insert(Wavelength(l as u8));
+                    }
+                }
+                if set.is_empty() {
+                    set.insert(Wavelength(0));
+                }
+                b.add_link_with(NodeId(u), NodeId(v), rng.gen_range(1.0..10.0), set);
+            }
+        }
+    }
+    let net = b.build();
+    let mut st = ResidualState::fresh(&net);
+    for ei in 0..net.link_count() {
+        let e = EdgeId::from(ei);
+        for l in net.lambda(e).iter() {
+            if rng.gen_bool(0.25) {
+                let _ = st.occupy(&net, e, l);
+            }
+        }
+    }
+    (net, st)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    /// §4.1: "G_c is a subgraph of G'" — every link/arc admitted under a
+    /// threshold is admitted without one.
+    #[test]
+    fn g_c_is_a_subgraph_of_g_prime(seed in 0u64..50_000, theta in 0.05f64..1.0) {
+        let (net, st) = random_net(seed);
+        let s = NodeId(0);
+        let t = NodeId((net.node_count() - 1) as u32);
+        let gp = AuxGraph::build(&net, &st, s, t, AuxSpec::g_prime());
+        let gc = AuxGraph::build(&net, &st, s, t, AuxSpec::g_c(2.0, theta));
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            if gc.out_node_of(e).is_some() {
+                prop_assert!(gp.out_node_of(e).is_some(),
+                    "link {e:?} admitted in G_c but not in G'");
+            }
+        }
+        prop_assert!(gc.admitted_links() <= gp.admitted_links());
+        prop_assert!(gc.graph.edge_count() <= gp.graph.edge_count());
+    }
+
+    /// Raising the load threshold only adds links (monotone admission).
+    #[test]
+    fn threshold_admission_is_monotone(seed in 0u64..50_000, lo in 0.05f64..0.5) {
+        let (net, st) = random_net(seed);
+        let s = NodeId(0);
+        let t = NodeId((net.node_count() - 1) as u32);
+        let hi = lo + 0.4;
+        let a = AuxGraph::build(&net, &st, s, t, AuxSpec::g_c(2.0, lo));
+        let b = AuxGraph::build(&net, &st, s, t, AuxSpec::g_c(2.0, hi));
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            if a.out_node_of(e).is_some() {
+                prop_assert!(b.out_node_of(e).is_some());
+            }
+        }
+    }
+
+    /// The optimal semilightpath never costs more than any fixed-path
+    /// assignment along any particular route.
+    #[test]
+    fn optimal_slp_lower_bounds_fixed_path_dp(seed in 0u64..50_000) {
+        let (net, st) = random_net(seed);
+        let s = NodeId(0);
+        let t = NodeId((net.node_count() - 1) as u32);
+        if let Some(best) = optimal_semilightpath(&net, &st, s, t) {
+            prop_assert!(best.validate(&net, &st).is_ok());
+            // DP along the best path must reproduce exactly its cost.
+            let edges: Vec<EdgeId> = best.edges().collect();
+            let dp = assign_wavelengths_on_path(&net, &st, s, &edges)
+                .expect("the optimal path is feasible");
+            prop_assert!((dp.cost - best.cost).abs() < 1e-9);
+        }
+    }
+
+    /// MinCog's achieved bottleneck load is never below the exact optimum
+    /// and its threshold stays within the bounds; feasibility agrees with
+    /// the exact search.
+    #[test]
+    fn mincog_threshold_sandwich(seed in 0u64..50_000) {
+        let (net, st) = random_net(seed);
+        let s = NodeId(0);
+        let t = NodeId((net.node_count() - 1) as u32);
+        let (lo, hi) = threshold_bounds(&net, &st);
+        prop_assert!(lo <= hi + 1e-12);
+        match (
+            find_two_paths_mincog(&net, &st, s, t, 2.0),
+            exact_min_load_threshold(&net, &st, s, t, 2.0),
+        ) {
+            (Ok(h), Ok(e)) => {
+                let b_heur = route_bottleneck_load(&net, &st, &h.route);
+                prop_assert!(b_heur + 1e-9 >= e.threshold, "exact must be minimal");
+                prop_assert!(
+                    (route_bottleneck_load(&net, &st, &e.route) - e.threshold).abs() < 1e-9,
+                    "exact route achieves its own bound"
+                );
+                prop_assert!(h.threshold <= hi + 1e-6);
+                prop_assert!(h.route.is_edge_disjoint());
+                prop_assert!(e.route.is_edge_disjoint());
+            }
+            (Err(_), Err(_)) => {}
+            // Restricted conversion tables make auxiliary-pair feasibility
+            // an over-approximation of semilightpath feasibility, and
+            // refinement success is not monotone in the threshold — so the
+            // two searches may disagree on feasibility there. With full
+            // conversion (the paper's assumption (i)) they never do.
+            (Ok(_), Err(_)) | (Err(_), Ok(_)) => {
+                let full_conversion = (0..net.node_count()).all(|v| {
+                    matches!(
+                        net.conversion(NodeId(v as u32)),
+                        ConversionTable::Full { .. }
+                    )
+                });
+                prop_assert!(
+                    !full_conversion,
+                    "feasibility mismatch under full conversion"
+                );
+            }
+        }
+    }
+
+    /// Theorem 3's constant on uniform-capacity networks: the heuristic's
+    /// achieved bottleneck is within 3x of the exact minimum (2x from the
+    /// doubling schedule + 1 from the current-vs-prospective 1/N offset).
+    #[test]
+    fn mincog_theorem3_bound_uniform_capacity(seed in 0u64..50_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7E57);
+        let n = rng.gen_range(5..10usize);
+        let w = 4usize;
+        let mut b = NetworkBuilder::new(w);
+        for _ in 0..n {
+            b.add_node(ConversionTable::Full { cost: 0.5 });
+        }
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v && rng.gen_bool(0.5) {
+                    b.add_link(NodeId(u), NodeId(v), rng.gen_range(1.0..10.0));
+                }
+            }
+        }
+        let net = b.build();
+        let mut st = ResidualState::fresh(&net);
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            for l in net.lambda(e).iter() {
+                if rng.gen_bool(0.35) {
+                    let _ = st.occupy(&net, e, l);
+                }
+            }
+        }
+        let s = NodeId(0);
+        let t = NodeId((n - 1) as u32);
+        if let (Ok(h), Ok(e)) = (
+            find_two_paths_mincog(&net, &st, s, t, 2.0),
+            exact_min_load_threshold(&net, &st, s, t, 2.0),
+        ) {
+            let b_heur = route_bottleneck_load(&net, &st, &h.route);
+            prop_assert!(
+                b_heur <= 3.0 * e.threshold + 1e-6,
+                "Theorem 3: bottleneck {} vs exact {}",
+                b_heur,
+                e.threshold
+            );
+        }
+    }
+
+    /// Occupying a found route raises per-link loads exactly on its edges.
+    #[test]
+    fn occupancy_delta_is_confined_to_route_edges(seed in 0u64..50_000) {
+        let (net, mut st) = random_net(seed);
+        let s = NodeId(0);
+        let t = NodeId((net.node_count() - 1) as u32);
+        let Ok(route) = wdm_core::disjoint::RobustRouteFinder::new(&net).find(&st, s, t) else {
+            return Ok(());
+        };
+        let before: Vec<usize> = (0..net.link_count())
+            .map(|i| st.used_count(EdgeId::from(i)))
+            .collect();
+        route.occupy(&net, &mut st).expect("route fits");
+        let mut delta_edges: Vec<usize> = route
+            .primary
+            .edges()
+            .chain(route.backup.edges())
+            .map(|e| e.index())
+            .collect();
+        delta_edges.sort_unstable();
+        for ei in 0..net.link_count() {
+            let after = st.used_count(EdgeId::from(ei));
+            if delta_edges.binary_search(&ei).is_ok() {
+                prop_assert_eq!(after, before[ei] + 1);
+            } else {
+                prop_assert_eq!(after, before[ei]);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the `.wdm` text format: any network expressible in
+//! the format must round-trip exactly.
+
+use proptest::prelude::*;
+use wdm_core::conversion::ConversionTable;
+use wdm_core::io::{parse_network, write_network};
+use wdm_core::network::NetworkBuilder;
+use wdm_core::wavelength::{Wavelength, WavelengthSet};
+use wdm_graph::NodeId;
+
+#[derive(Debug, Clone)]
+struct NetSpec {
+    w: usize,
+    convs: Vec<u8>,                 // 0 = none, 1 = full, 2 = range
+    conv_costs: Vec<u32>,           // cost in hundredths
+    links: Vec<(u8, u8, u32, u64)>, // u, v, cost-hundredths, lambda mask
+}
+
+fn spec_strategy() -> impl Strategy<Value = NetSpec> {
+    (2usize..9, 2usize..7)
+        .prop_flat_map(|(n, w)| {
+            let convs = proptest::collection::vec(0u8..3, n);
+            let costs = proptest::collection::vec(0u32..500, n);
+            let links = proptest::collection::vec(
+                (0..n as u8, 0..n as u8, 1u32..2000, 1u64..(1 << w)),
+                0..14,
+            );
+            (Just(w), convs, costs, links)
+        })
+        .prop_map(|(w, convs, conv_costs, links)| NetSpec {
+            w,
+            convs,
+            conv_costs,
+            links,
+        })
+}
+
+fn build(spec: &NetSpec) -> wdm_core::network::WdmNetwork {
+    let mut b = NetworkBuilder::new(spec.w);
+    for (i, &kind) in spec.convs.iter().enumerate() {
+        let cost = spec.conv_costs[i] as f64 / 100.0;
+        let conv = match kind {
+            0 => ConversionTable::None,
+            1 => ConversionTable::Full { cost },
+            _ => ConversionTable::Range {
+                range: (i % 3 + 1) as u8,
+                cost,
+            },
+        };
+        b.add_node(conv);
+    }
+    for &(u, v, c, mask) in &spec.links {
+        if u == v {
+            continue;
+        }
+        let mut set = WavelengthSet::empty();
+        for l in 0..spec.w {
+            if mask & (1 << l) != 0 {
+                set.insert(Wavelength(l as u8));
+            }
+        }
+        if set.is_empty() {
+            set.insert(Wavelength(0));
+        }
+        b.add_link_with(NodeId(u as u32), NodeId(v as u32), c as f64 / 100.0, set);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn text_format_round_trips_exactly(spec in spec_strategy()) {
+        let net = build(&spec);
+        let text = write_network(&net).expect("expressible network");
+        let back = parse_network(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(net.node_count(), back.node_count());
+        prop_assert_eq!(net.link_count(), back.link_count());
+        prop_assert_eq!(net.num_wavelengths(), back.num_wavelengths());
+        for v in net.graph().node_ids() {
+            prop_assert_eq!(net.conversion(v), back.conversion(v));
+        }
+        for e in net.graph().edge_ids() {
+            prop_assert_eq!(net.endpoints(e), back.endpoints(e));
+            prop_assert_eq!(net.lambda(e), back.lambda(e));
+            for l in net.lambda(e).iter() {
+                prop_assert_eq!(net.link_cost(e, l), back.link_cost(e, l));
+            }
+        }
+        // And a second round trip is byte-identical (canonical form).
+        let text2 = write_network(&back).expect("still expressible");
+        prop_assert_eq!(text, text2);
+    }
+
+    #[test]
+    fn json_round_trips_exactly(spec in spec_strategy()) {
+        let net = build(&spec);
+        let json = serde_json::to_string(&net).expect("serialise");
+        let back: wdm_core::network::WdmNetwork =
+            serde_json::from_str(&json).expect("deserialise");
+        prop_assert_eq!(net.link_count(), back.link_count());
+        for e in net.graph().edge_ids() {
+            prop_assert_eq!(net.lambda(e), back.lambda(e));
+        }
+        for v in net.graph().node_ids() {
+            prop_assert_eq!(net.conversion(v), back.conversion(v));
+        }
+    }
+}

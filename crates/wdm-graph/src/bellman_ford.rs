@@ -1,0 +1,174 @@
+//! Bellman–Ford single-source shortest paths.
+//!
+//! Used where Dijkstra's non-negativity precondition does not hold: as a
+//! correctness oracle for the reduced-cost transformation inside Suurballe's
+//! algorithm, and by the min-cost-flow initial potential computation when a
+//! cost function may be negative.
+
+use crate::dijkstra::ShortestPathTree;
+use crate::{DiGraph, EdgeId, NodeId};
+
+/// Outcome of a Bellman–Ford run.
+#[derive(Debug, Clone)]
+pub enum BellmanFord {
+    /// Shortest-path tree (no negative cycle reachable from the source).
+    Tree(ShortestPathTree),
+    /// A negative-weight cycle reachable from the source, given as its edge
+    /// sequence.
+    NegativeCycle(Vec<EdgeId>),
+}
+
+impl BellmanFord {
+    /// Unwraps the tree, panicking on a negative cycle.
+    pub fn expect_tree(self, msg: &str) -> ShortestPathTree {
+        match self {
+            BellmanFord::Tree(t) => t,
+            BellmanFord::NegativeCycle(c) => panic!("{msg}: negative cycle {c:?}"),
+        }
+    }
+}
+
+/// Bellman–Ford from `source` with arbitrary (possibly negative) costs.
+///
+/// Runs `n - 1` relaxation rounds with an early-exit when a round changes
+/// nothing, then one detection round. O(nm) worst case.
+pub fn bellman_ford<N, E>(
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    mut cost: impl FnMut(EdgeId) -> f64,
+) -> BellmanFord {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    dist[source.index()] = 0.0;
+
+    let mut changed = true;
+    for _round in 0..n.saturating_sub(1) {
+        if !changed {
+            break;
+        }
+        changed = false;
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            if dist[u.index()].is_finite() {
+                let nd = dist[u.index()] + cost(e);
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    pred[v.index()] = Some(e);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Detection round: any further improvement implies a negative cycle.
+    if changed {
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            if dist[u.index()].is_finite() && dist[u.index()] + cost(e) < dist[v.index()] - 1e-12 {
+                return BellmanFord::NegativeCycle(extract_cycle(g, &pred, v, e));
+            }
+        }
+    }
+
+    BellmanFord::Tree(ShortestPathTree { source, dist, pred })
+}
+
+/// Walks `pred` pointers back from an improvable node to find the cycle.
+fn extract_cycle<N, E>(
+    g: &DiGraph<N, E>,
+    pred: &[Option<EdgeId>],
+    start: NodeId,
+    improving: EdgeId,
+) -> Vec<EdgeId> {
+    // After n relaxations, walking n steps back from `start` is guaranteed
+    // to land inside the cycle.
+    let mut at = start;
+    for _ in 0..pred.len() {
+        if let Some(e) = pred[at.index()] {
+            at = g.src(e);
+        }
+    }
+    // Collect edges around the cycle.
+    let anchor = at;
+    let mut cycle = Vec::new();
+    loop {
+        let e = pred[at.index()].unwrap_or(improving);
+        cycle.push(e);
+        at = g.src(e);
+        if at == anchor {
+            break;
+        }
+    }
+    cycle.reverse();
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+
+    #[test]
+    fn agrees_with_dijkstra_on_nonnegative() {
+        let g = DiGraph::weighted(
+            5,
+            &[
+                (0, 1, 10.0),
+                (0, 3, 5.0),
+                (1, 2, 1.0),
+                (1, 3, 2.0),
+                (2, 4, 4.0),
+                (3, 1, 3.0),
+                (3, 2, 9.0),
+                (3, 4, 2.0),
+                (4, 0, 7.0),
+                (4, 2, 6.0),
+            ],
+        );
+        let bf = bellman_ford(&g, NodeId(0), |e| g.weight(e)).expect_tree("no neg cycle");
+        let dj = dijkstra(&g, NodeId(0), |e| g.weight(e));
+        assert_eq!(bf.dist, dj.dist);
+    }
+
+    #[test]
+    fn handles_negative_edges_without_cycle() {
+        let g = DiGraph::weighted(4, &[(0, 1, 4.0), (0, 2, 2.0), (2, 1, -3.0), (1, 3, 1.0)]);
+        let bf = bellman_ford(&g, NodeId(0), |e| g.weight(e)).expect_tree("ok");
+        assert_eq!(bf.dist, vec![0.0, -1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        let g = DiGraph::weighted(3, &[(0, 1, 1.0), (1, 2, -2.0), (2, 1, 1.0)]);
+        match bellman_ford(&g, NodeId(0), |e| g.weight(e)) {
+            BellmanFord::NegativeCycle(cycle) => {
+                // The cycle is 1 -> 2 -> 1 with total weight -1.
+                let total: f64 = cycle.iter().map(|&e| g.weight(e)).sum();
+                assert!(total < 0.0, "reported cycle has weight {total}");
+                // It must actually be a cycle.
+                let first_src = g.src(cycle[0]);
+                let last_dst = g.dst(*cycle.last().unwrap());
+                assert_eq!(first_src, last_dst);
+            }
+            BellmanFord::Tree(_) => panic!("missed negative cycle"),
+        }
+    }
+
+    #[test]
+    fn negative_cycle_unreachable_from_source_is_ignored() {
+        // Cycle 2 <-> 3 is negative but 0 cannot reach it.
+        let g = DiGraph::weighted(4, &[(0, 1, 1.0), (2, 3, -5.0), (3, 2, 1.0)]);
+        let bf = bellman_ford(&g, NodeId(0), |e| g.weight(e));
+        assert!(matches!(bf, BellmanFord::Tree(_)));
+    }
+
+    #[test]
+    fn early_exit_on_converged_rounds() {
+        // A long path graph converges in few rounds thanks to edge order.
+        let arcs: Vec<(u32, u32, f64)> = (0..99).map(|i| (i, i + 1, 1.0)).collect();
+        let g = DiGraph::weighted(100, &arcs);
+        let bf = bellman_ford(&g, NodeId(0), |e| g.weight(e)).expect_tree("ok");
+        assert_eq!(bf.dist[99], 99.0);
+    }
+}

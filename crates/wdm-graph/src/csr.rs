@@ -1,0 +1,123 @@
+//! Immutable compressed-sparse-row view of a [`DiGraph`].
+//!
+//! Dijkstra over an adjacency-list graph chases a `Vec<Vec<EdgeId>>` and then
+//! indexes the edge table per neighbour — two dependent loads per edge. The
+//! CSR view packs `(target, weight, edge id)` triples contiguously per
+//! source node so the relaxation loop streams memory linearly. Benches in
+//! `wdm-bench` (`scaling`) run Dijkstra over both representations.
+
+use crate::{DiGraph, EdgeId, NodeId};
+
+/// One outgoing arc in CSR form.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrArc {
+    /// Head (target) node.
+    pub to: NodeId,
+    /// Cached weight.
+    pub weight: f64,
+    /// Id of the originating edge in the source graph.
+    pub edge: EdgeId,
+}
+
+/// Compressed-sparse-row adjacency: `arcs[offsets[v]..offsets[v+1]]` are the
+/// outgoing arcs of node `v`.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    arcs: Vec<CsrArc>,
+    node_count: usize,
+}
+
+impl Csr {
+    /// Builds the CSR view using `weight` to extract arc weights.
+    pub fn from_graph<N, E>(g: &DiGraph<N, E>, mut weight: impl FnMut(EdgeId, &E) -> f64) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut arcs = Vec::with_capacity(g.edge_count());
+        offsets.push(0);
+        for v in g.node_ids() {
+            for &e in g.out_edges(v) {
+                arcs.push(CsrArc {
+                    to: g.dst(e),
+                    weight: weight(e, g.edge(e)),
+                    edge: e,
+                });
+            }
+            offsets.push(arcs.len() as u32);
+        }
+        Self {
+            offsets,
+            arcs,
+            node_count: n,
+        }
+    }
+
+    /// Builds the CSR view of a plain weighted graph.
+    pub fn from_weighted(g: &DiGraph<(), f64>) -> Self {
+        Self::from_graph(g, |_, &w| w)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Outgoing arcs of `v` as a contiguous slice.
+    #[inline]
+    pub fn out_arcs(&self, v: NodeId) -> &[CsrArc] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.arcs[lo..hi]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_mirrors_adjacency() {
+        let g = DiGraph::weighted(
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 3.0),
+                (2, 3, 4.0),
+                (3, 0, 5.0),
+            ],
+        );
+        let csr = Csr::from_weighted(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.arc_count(), 5);
+        let arcs0 = csr.out_arcs(NodeId(0));
+        assert_eq!(arcs0.len(), 2);
+        assert_eq!(arcs0[0].to, NodeId(1));
+        assert_eq!(arcs0[0].weight, 1.0);
+        assert_eq!(arcs0[0].edge, EdgeId(0));
+        assert_eq!(arcs0[1].to, NodeId(2));
+        assert!(csr.out_arcs(NodeId(3)).len() == 1);
+    }
+
+    #[test]
+    fn empty_nodes_have_empty_slices() {
+        let g = DiGraph::weighted(3, &[(0, 1, 1.0)]);
+        let csr = Csr::from_weighted(&g);
+        assert!(csr.out_arcs(NodeId(1)).is_empty());
+        assert!(csr.out_arcs(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn custom_weight_function() {
+        let g = DiGraph::weighted(2, &[(0, 1, 3.0)]);
+        let csr = Csr::from_graph(&g, |_, &w| w * 10.0);
+        assert_eq!(csr.out_arcs(NodeId(0))[0].weight, 30.0);
+    }
+}

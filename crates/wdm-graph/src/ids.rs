@@ -1,0 +1,99 @@
+//! Dense integer identifiers for nodes and edges.
+//!
+//! Newtypes over `u32` keep index spaces apart at the type level while
+//! staying `Copy` and 4 bytes — graph algorithms index flat `Vec`s with
+//! them, never hash maps.
+
+use std::fmt;
+
+/// Identifier of a node in a [`DiGraph`](crate::DiGraph).
+///
+/// Node ids are dense: a graph with `n` nodes uses exactly `0..n`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed edge in a [`DiGraph`](crate::DiGraph).
+///
+/// Edge ids are dense: a graph with `m` edges uses exactly `0..m`. Parallel
+/// edges receive distinct ids, which is what makes edge-disjointness of
+/// semilightpaths well defined on multigraphs.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl From<usize> for EdgeId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let n = NodeId::from(7usize);
+        assert_eq!(n.index(), 7);
+        let e = EdgeId::from(11usize);
+        assert_eq!(e.index(), 11);
+    }
+
+    #[test]
+    fn debug_formats_are_tagged() {
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+        assert_eq!(format!("{:?}", EdgeId(4)), "e4");
+        assert_eq!(format!("{}", NodeId(3)), "3");
+    }
+}

@@ -1,0 +1,207 @@
+//! Johnson's all-pairs shortest paths.
+//!
+//! Used for topology statistics (diameter, average path length — the
+//! numbers WAN papers quote for their testbeds) and as another
+//! cross-validation oracle: per-source Dijkstra distances must match the
+//! all-pairs matrix. Handles negative arcs (without negative cycles) via
+//! the standard reweighting pass, although the WDM substrate only feeds it
+//! non-negative costs.
+
+use crate::dijkstra::dijkstra;
+use crate::{DiGraph, EdgeId, NodeId};
+
+/// All-pairs shortest-path distances; `dist[u][v] = INFINITY` if `v` is
+/// unreachable from `u`.
+#[derive(Debug, Clone)]
+pub struct AllPairs {
+    /// Row-major distance matrix (`n × n`).
+    pub dist: Vec<Vec<f64>>,
+}
+
+impl AllPairs {
+    /// Distance `u → v`.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        self.dist[u.index()][v.index()]
+    }
+
+    /// The diameter: the largest finite pairwise distance
+    /// (`None` for graphs with < 2 nodes or no finite pair).
+    pub fn diameter(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (u, row) in self.dist.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                if u != v && d.is_finite() {
+                    best = Some(best.map_or(d, |b: f64| b.max(d)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Mean finite pairwise distance over ordered pairs (`None` if no
+    /// finite pair exists).
+    pub fn mean_distance(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (u, row) in self.dist.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                if u != v && d.is_finite() {
+                    sum += d;
+                    count += 1;
+                }
+            }
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Whether every ordered pair is connected.
+    pub fn strongly_connected(&self) -> bool {
+        self.dist
+            .iter()
+            .enumerate()
+            .all(|(u, row)| row.iter().enumerate().all(|(v, d)| u == v || d.is_finite()))
+    }
+}
+
+/// Johnson's algorithm: all-pairs shortest paths in O(nm + n² log n).
+/// Returns `None` if the graph contains a negative cycle.
+pub fn johnson_all_pairs<N, E>(
+    g: &DiGraph<N, E>,
+    mut cost: impl FnMut(EdgeId) -> f64,
+) -> Option<AllPairs> {
+    let n = g.node_count();
+    // Potentials via Bellman-Ford from a virtual super-source: equivalent to
+    // running it on the original graph with dist initialised to 0 everywhere.
+    let h = {
+        let mut dist = vec![0.0f64; n];
+        for _round in 0..n {
+            let mut changed = false;
+            for e in g.edge_ids() {
+                let (u, v) = g.endpoints(e);
+                let nd = dist[u.index()] + cost(e);
+                if nd < dist[v.index()] - 1e-12 {
+                    dist[v.index()] = nd;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            if _round == n - 1 {
+                return None; // still improving after n rounds: negative cycle
+            }
+        }
+        dist
+    };
+
+    // Reweighted Dijkstra per source.
+    let mut matrix = Vec::with_capacity(n);
+    for s in 0..n {
+        let s = NodeId::from(s);
+        let tree = dijkstra(g, s, |e| {
+            let (u, v) = g.endpoints(e);
+            // Reweighted cost is non-negative by the potential property;
+            // clamp float noise.
+            (cost(e) + h[u.index()] - h[v.index()]).max(0.0)
+        });
+        let row: Vec<f64> = (0..n)
+            .map(|v| {
+                let d = tree.dist[v];
+                if d.is_finite() {
+                    d - h[s.index()] + h[v]
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        matrix.push(row);
+    }
+    Some(AllPairs { dist: matrix })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bellman_ford::{bellman_ford, BellmanFord};
+
+    #[test]
+    fn matches_per_source_dijkstra_on_nonnegative() {
+        let g = crate::topology::nsfnet();
+        let ap = johnson_all_pairs(&g, |e| g.weight(e)).unwrap();
+        for s in g.node_ids() {
+            let tree = dijkstra(&g, s, |e| g.weight(e));
+            for v in g.node_ids() {
+                assert!(
+                    (ap.get(s, v) - tree.dist[v.index()]).abs() < 1e-6
+                        || (ap.get(s, v).is_infinite() && tree.dist[v.index()].is_infinite()),
+                    "{s:?} -> {v:?}"
+                );
+            }
+        }
+        assert!(ap.strongly_connected());
+        // NSFNET diameter in km: known to be 0 < d <= sum of all links.
+        let d = ap.diameter().unwrap();
+        assert!(d > 2000.0 && d < 30_000.0, "diameter {d}");
+        assert!(ap.mean_distance().unwrap() < d);
+    }
+
+    #[test]
+    fn handles_negative_edges() {
+        let g = DiGraph::weighted(4, &[(0, 1, 4.0), (0, 2, 2.0), (2, 1, -3.0), (1, 3, 1.0)]);
+        let ap = johnson_all_pairs(&g, |e| g.weight(e)).unwrap();
+        assert_eq!(ap.get(NodeId(0), NodeId(1)), -1.0);
+        assert_eq!(ap.get(NodeId(0), NodeId(3)), 0.0);
+        assert!(ap.get(NodeId(3), NodeId(0)).is_infinite());
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        let g = DiGraph::weighted(3, &[(0, 1, 1.0), (1, 2, -3.0), (2, 1, 1.0)]);
+        assert!(johnson_all_pairs(&g, |e| g.weight(e)).is_none());
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let empty: DiGraph<(), f64> = DiGraph::new();
+        let ap = johnson_all_pairs(&empty, |_| 0.0).unwrap();
+        assert!(ap.diameter().is_none());
+        assert!(ap.mean_distance().is_none());
+
+        let mut single: DiGraph<(), f64> = DiGraph::new();
+        single.add_node(());
+        let ap = johnson_all_pairs(&single, |_| 0.0).unwrap();
+        assert!(ap.strongly_connected());
+        assert!(ap.diameter().is_none());
+    }
+
+    #[test]
+    fn cross_check_against_bellman_ford_per_source() {
+        let g = DiGraph::weighted(
+            5,
+            &[
+                (0, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 3, 2.0),
+                (0, 3, 5.0),
+                (3, 4, 1.0),
+                (4, 0, 10.0),
+            ],
+        );
+        let ap = johnson_all_pairs(&g, |e| g.weight(e)).unwrap();
+        for s in g.node_ids() {
+            if let BellmanFord::Tree(t) = bellman_ford(&g, s, |e| g.weight(e)) {
+                for v in g.node_ids() {
+                    let a = ap.get(s, v);
+                    let b = t.dist[v.index()];
+                    assert!(
+                        (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                        "{s:?} -> {v:?}: {a} vs {b}"
+                    );
+                }
+            } else {
+                panic!("unexpected negative cycle");
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Directed paths as edge sequences.
+
+use crate::{DiGraph, EdgeId, NodeId};
+
+/// A directed walk from `src` to `dst` given as a sequence of edge ids.
+///
+/// Stored by edge rather than by node so that parallel edges — which matter
+/// for edge-disjointness in multigraph WDM models — are unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Path {
+    /// First node of the walk.
+    pub src: NodeId,
+    /// Last node of the walk.
+    pub dst: NodeId,
+    /// Edges in walk order; empty iff `src == dst`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// The trivial empty path at `v`.
+    pub fn trivial(v: NodeId) -> Self {
+        Self {
+            src: v,
+            dst: v,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of edges (hops).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The node sequence `src, ..., dst` (length `len() + 1`).
+    pub fn nodes<N, E>(&self, g: &DiGraph<N, E>) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        out.push(self.src);
+        for &e in &self.edges {
+            out.push(g.dst(e));
+        }
+        out
+    }
+
+    /// Sum of `cost(e)` over the path's edges.
+    pub fn cost(&self, mut cost: impl FnMut(EdgeId) -> f64) -> f64 {
+        self.edges.iter().map(|&e| cost(e)).sum()
+    }
+
+    /// Checks that the edge sequence is a connected walk from `src` to `dst`.
+    pub fn is_valid_walk<N, E>(&self, g: &DiGraph<N, E>) -> bool {
+        let mut at = self.src;
+        for &e in &self.edges {
+            if g.src(e) != at {
+                return false;
+            }
+            at = g.dst(e);
+        }
+        at == self.dst
+    }
+
+    /// Checks validity and that no node repeats (a simple path).
+    pub fn is_simple<N, E>(&self, g: &DiGraph<N, E>) -> bool {
+        if !self.is_valid_walk(g) {
+            return false;
+        }
+        let nodes = self.nodes(g);
+        let mut seen = vec![false; g.node_count()];
+        for v in nodes {
+            if seen[v.index()] {
+                return false;
+            }
+            seen[v.index()] = true;
+        }
+        true
+    }
+
+    /// Whether `self` and `other` share any edge id.
+    pub fn shares_edge_with(&self, other: &Path) -> bool {
+        // Paths are short (network diameters); quadratic scan beats
+        // allocating hash sets for the sizes seen here, and a sort-based
+        // check is used when both paths are long.
+        if self.edges.len() * other.edges.len() <= 1024 {
+            self.edges.iter().any(|e| other.edges.contains(e))
+        } else {
+            let mut a: Vec<EdgeId> = self.edges.clone();
+            let mut b: Vec<EdgeId> = other.edges.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => return true,
+                }
+            }
+            false
+        }
+    }
+
+    /// Whether `self` and `other` share any intermediate node (endpoints
+    /// excluded) — the node-disjointness predicate.
+    pub fn shares_interior_node_with<N, E>(&self, other: &Path, g: &DiGraph<N, E>) -> bool {
+        let interior = |p: &Path| -> Vec<NodeId> {
+            let nodes = p.nodes(g);
+            nodes[1..nodes.len().saturating_sub(1)].to_vec()
+        };
+        let a = interior(self);
+        let b = interior(other);
+        a.iter().any(|v| b.contains(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph<(), f64> {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        DiGraph::weighted(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)])
+    }
+
+    #[test]
+    fn walk_validation() {
+        let g = diamond();
+        let p = Path {
+            src: NodeId(0),
+            dst: NodeId(3),
+            edges: vec![EdgeId(0), EdgeId(1)],
+        };
+        assert!(p.is_valid_walk(&g));
+        assert!(p.is_simple(&g));
+        assert_eq!(p.nodes(&g), vec![NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(p.cost(|e| g.weight(e)), 2.0);
+
+        let broken = Path {
+            src: NodeId(0),
+            dst: NodeId(3),
+            edges: vec![EdgeId(0), EdgeId(3)], // e3 starts at node 2, not 1
+        };
+        assert!(!broken.is_valid_walk(&g));
+    }
+
+    #[test]
+    fn disjointness_predicates() {
+        let g = diamond();
+        let top = Path {
+            src: NodeId(0),
+            dst: NodeId(3),
+            edges: vec![EdgeId(0), EdgeId(1)],
+        };
+        let bottom = Path {
+            src: NodeId(0),
+            dst: NodeId(3),
+            edges: vec![EdgeId(2), EdgeId(3)],
+        };
+        assert!(!top.shares_edge_with(&bottom));
+        assert!(top.shares_edge_with(&top));
+        assert!(!top.shares_interior_node_with(&bottom, &g));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = diamond();
+        let p = Path::trivial(NodeId(2));
+        assert!(p.is_empty());
+        assert!(p.is_valid_walk(&g));
+        assert_eq!(p.nodes(&g), vec![NodeId(2)]);
+        assert_eq!(p.cost(|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn long_paths_use_sorted_intersection() {
+        // Force the sort-based branch with > 1024 edge-pair product.
+        let a = Path {
+            src: NodeId(0),
+            dst: NodeId(0),
+            edges: (0..40).map(EdgeId).collect(),
+        };
+        let b = Path {
+            src: NodeId(0),
+            dst: NodeId(0),
+            edges: (39..80).map(EdgeId).collect(),
+        };
+        assert!(a.shares_edge_with(&b)); // share e39
+        let c = Path {
+            src: NodeId(0),
+            dst: NodeId(0),
+            edges: (40..80).map(EdgeId).collect(),
+        };
+        assert!(!a.shares_edge_with(&c));
+    }
+}

@@ -1,0 +1,257 @@
+//! Graph traversal utilities: BFS, DFS, reachability, strongly connected
+//! components (Tarjan), topological sort, and a 2-edge-connectivity probe
+//! used to check that generated WAN topologies can support robust routing
+//! between all node pairs.
+
+use crate::mincostflow::MinCostFlow;
+use crate::{DiGraph, NodeId};
+
+/// Nodes reachable from `source` (including it), by BFS.
+pub fn reachable_from<N, E>(g: &DiGraph<N, E>, source: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &e in g.out_edges(u) {
+            let v = g.dst(e);
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// BFS hop distances from `source` (`usize::MAX` = unreachable).
+pub fn bfs_distances<N, E>(g: &DiGraph<N, E>, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &e in g.out_edges(u) {
+            let v = g.dst(e);
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = dist[u.index()] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Whether every node can reach every other node (strong connectivity).
+pub fn is_strongly_connected<N, E>(g: &DiGraph<N, E>) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    strongly_connected_components(g).len() == 1
+}
+
+/// Tarjan's strongly connected components (iterative). Returns the list of
+/// components, each a list of nodes; components appear in reverse
+/// topological order of the condensation.
+pub fn strongly_connected_components<N, E>(g: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Explicit DFS stack: (node, out-edge cursor).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            let out = g.out_edges(NodeId(v));
+            if *cursor < out.len() {
+                let e = out[*cursor];
+                *cursor += 1;
+                let w = g.dst(e).0;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("root still on stack");
+                        on_stack[w as usize] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Topological order of a DAG, or `None` if the graph has a cycle (Kahn).
+pub fn topological_sort<N, E>(g: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(NodeId::from(v))).collect();
+    let mut queue: std::collections::VecDeque<NodeId> = (0..n)
+        .map(NodeId::from)
+        .filter(|&v| indeg[v.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &e in g.out_edges(u) {
+            let v = g.dst(e);
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Max number of edge-disjoint `s -> t` paths (local edge connectivity),
+/// computed by unit-capacity max-flow. `robust routing between (s, t)` is
+/// feasible iff this is ≥ 2.
+pub fn edge_connectivity<N, E>(g: &DiGraph<N, E>, s: NodeId, t: NodeId) -> usize {
+    if s == t {
+        return 0;
+    }
+    let mut mcf = MinCostFlow::new(g.node_count());
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        mcf.add_arc(u, v, 1, 0.0, Some(e));
+    }
+    mcf.solve(s, t, i64::MAX >> 1).flow as usize
+}
+
+/// Whether every ordered pair of distinct nodes admits ≥ 2 edge-disjoint
+/// paths (the precondition for robust routing to always be feasible).
+/// O(n² · maxflow); intended for topology validation, not hot paths.
+pub fn is_two_edge_connected<N, E>(g: &DiGraph<N, E>) -> bool {
+    let n = g.node_count();
+    for s in 0..n {
+        for t in 0..n {
+            if s != t && edge_connectivity(g, NodeId::from(s), NodeId::from(t)) < 2 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    #[test]
+    fn reachability_and_bfs() {
+        let g = DiGraph::weighted(4, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let r = reachable_from(&g, NodeId(0));
+        assert_eq!(r, vec![true, true, true, false]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, usize::MAX]);
+    }
+
+    #[test]
+    fn tarjan_finds_components() {
+        // Two 2-cycles joined by a one-way bridge, plus an isolated node.
+        let g = DiGraph::weighted(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 2, 1.0),
+            ],
+        );
+        let mut comps: Vec<Vec<u32>> = strongly_connected_components(&g)
+            .into_iter()
+            .map(|c| {
+                let mut v: Vec<u32> = c.into_iter().map(|n| n.0).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn scc_on_strongly_connected_ring() {
+        let g = DiGraph::weighted(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        assert!(is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn topo_sort_dag_and_cycle() {
+        let dag = DiGraph::weighted(4, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)]);
+        let order = topological_sort(&dag).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for e in dag.edge_ids() {
+            let (u, v) = dag.endpoints(e);
+            assert!(pos[u.index()] < pos[v.index()]);
+        }
+        let cyc = DiGraph::weighted(2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(topological_sort(&cyc).is_none());
+    }
+
+    #[test]
+    fn edge_connectivity_counts_disjoint_paths() {
+        let g = DiGraph::weighted(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)]);
+        assert_eq!(edge_connectivity(&g, NodeId(0), NodeId(3)), 2);
+        let chain = DiGraph::weighted(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(edge_connectivity(&chain, NodeId(0), NodeId(2)), 1);
+    }
+
+    #[test]
+    fn two_edge_connected_probe() {
+        // Bidirected 4-ring: every pair has 2 edge-disjoint routes.
+        let mut arcs = Vec::new();
+        for i in 0..4u32 {
+            let j = (i + 1) % 4;
+            arcs.push((i, j, 1.0));
+            arcs.push((j, i, 1.0));
+        }
+        let ring = DiGraph::weighted(4, &arcs);
+        assert!(is_two_edge_connected(&ring));
+        let chain = DiGraph::weighted(2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(!is_two_edge_connected(&chain));
+    }
+}

@@ -1,0 +1,277 @@
+//! Monotone bucket queue for bounded integer keys.
+//!
+//! When edge costs are small integers (hop counts, quantised link weights),
+//! Dijkstra's extracted keys form a monotone non-decreasing sequence bounded
+//! by `max_key`. A circular array of buckets then gives O(1) insert,
+//! decrease-key, and amortised O(1 + C/n) pop — the classic Dial's algorithm
+//! queue. Used by the hop-count routing baselines and as a fast path when a
+//! network declares integral costs.
+
+use crate::MinQueue;
+
+const ABSENT: u32 = u32::MAX;
+
+/// Dial's bucket queue over dense `usize` ids with `u64` keys.
+///
+/// The queue is *monotone*: keys passed to [`MinQueue::insert`] and
+/// [`MinQueue::decrease_key`] must be ≥ the key of the most recent
+/// [`MinQueue::pop_min`] (debug-asserted). The maximum key span that can be
+/// in flight at once is the `span` given at construction (for Dijkstra:
+/// the maximum edge cost + 1).
+#[derive(Debug, Clone)]
+pub struct BucketQueue {
+    /// `buckets[k % span]` = intrusive doubly-linked list head (id) or ABSENT.
+    buckets: Vec<u32>,
+    /// Per-id linked-list pointers and keys.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    keys: Vec<u64>,
+    present: Vec<bool>,
+    /// Cursor: all live keys are in `[floor, floor + span)`.
+    floor: u64,
+    span: u64,
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Creates a queue for ids `0..capacity` whose in-flight keys never span
+    /// more than `span` (e.g. `max_edge_cost + 1` for Dijkstra).
+    pub fn new(capacity: usize, span: u64) -> Self {
+        assert!(span >= 1, "span must be at least 1");
+        assert!(capacity < ABSENT as usize);
+        Self {
+            buckets: vec![ABSENT; span as usize],
+            next: vec![ABSENT; capacity],
+            prev: vec![ABSENT; capacity],
+            keys: vec![0; capacity],
+            present: vec![false; capacity],
+            floor: 0,
+            span,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        (key % self.span) as usize
+    }
+
+    fn unlink(&mut self, id: usize) {
+        let b = self.bucket_of(self.keys[id]);
+        let (p, n) = (self.prev[id], self.next[id]);
+        if p == ABSENT {
+            self.buckets[b] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n != ABSENT {
+            self.prev[n as usize] = p;
+        }
+        self.next[id] = ABSENT;
+        self.prev[id] = ABSENT;
+    }
+
+    fn link(&mut self, id: usize, key: u64) {
+        debug_assert!(
+            key >= self.floor && key < self.floor + self.span,
+            "key {key} outside monotone window [{}, {})",
+            self.floor,
+            self.floor + self.span
+        );
+        self.keys[id] = key;
+        let b = self.bucket_of(key);
+        let head = self.buckets[b];
+        self.next[id] = head;
+        self.prev[id] = ABSENT;
+        if head != ABSENT {
+            self.prev[head as usize] = id as u32;
+        }
+        self.buckets[b] = id as u32;
+    }
+}
+
+impl MinQueue<u64> for BucketQueue {
+    /// Default construction assumes a key span of 1024; prefer
+    /// [`BucketQueue::new`] with the real cost bound.
+    fn with_capacity(capacity: usize) -> Self {
+        Self::new(capacity, 1024)
+    }
+
+    fn capacity(&self) -> usize {
+        self.present.len()
+    }
+
+    fn insert(&mut self, id: usize, key: u64) {
+        assert!(id < self.present.len(), "id {id} out of capacity");
+        assert!(!self.present[id], "id {id} already present");
+        if self.len == 0 && (key < self.floor || key >= self.floor + self.span) {
+            // Empty queue and the key falls outside the current window: the
+            // monotone sequence is restarting, so the window may move.
+            // (Keys *inside* the window keep the floor where it is — a
+            // Dijkstra relaxation after the queue drains may push several
+            // keys, and only the smallest of them would be a valid new
+            // floor, which we cannot know yet.)
+            self.floor = key;
+        }
+        self.present[id] = true;
+        self.link(id, key);
+        self.len += 1;
+    }
+
+    fn pop_min(&mut self) -> Option<(usize, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Scan forward from the floor cursor to the first non-empty bucket.
+        loop {
+            let b = self.bucket_of(self.floor);
+            let mut cur = self.buckets[b];
+            // The bucket may contain keys other than `floor` only if span
+            // aliases; with keys confined to [floor, floor+span) every entry
+            // in bucket `floor % span` has key == floor.
+            if cur != ABSENT {
+                // Pop the head (any entry in this bucket has the min key).
+                let id = cur as usize;
+                debug_assert_eq!(self.keys[id], self.floor);
+                cur = self.next[id];
+                self.buckets[b] = cur;
+                if cur != ABSENT {
+                    self.prev[cur as usize] = ABSENT;
+                }
+                self.next[id] = ABSENT;
+                self.present[id] = false;
+                self.len -= 1;
+                return Some((id, self.floor));
+            }
+            self.floor += 1;
+        }
+    }
+
+    fn peek_min(&self) -> Option<(usize, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut f = self.floor;
+        loop {
+            let head = self.buckets[(f % self.span) as usize];
+            if head != ABSENT {
+                return Some((head as usize, f));
+            }
+            f += 1;
+        }
+    }
+
+    fn decrease_key(&mut self, id: usize, key: u64) -> bool {
+        assert!(
+            id < self.present.len() && self.present[id],
+            "decrease_key on absent id {id}"
+        );
+        if key >= self.keys[id] {
+            return false;
+        }
+        self.unlink(id);
+        self.link(id, key);
+        true
+    }
+
+    fn contains(&self, id: usize) -> bool {
+        id < self.present.len() && self.present[id]
+    }
+
+    fn key(&self, id: usize) -> Option<u64> {
+        if self.contains(id) {
+            Some(self.keys[id])
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.buckets.fill(ABSENT);
+        self.next.fill(ABSENT);
+        self.prev.fill(ABSENT);
+        self.present.fill(false);
+        self.floor = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_dijkstra_like_workload() {
+        let mut q = BucketQueue::new(16, 8);
+        q.insert(0, 0);
+        let mut settled = Vec::new();
+        let mut next_id = 1usize;
+        while let Some((id, d)) = q.pop_min() {
+            settled.push((id, d));
+            // Relax: push up to two "neighbours" with key d + {1, 3}.
+            for w in [1u64, 3] {
+                if next_id < 16 {
+                    q.insert(next_id, d + w);
+                    next_id += 1;
+                }
+            }
+        }
+        // Keys must come out non-decreasing.
+        for pair in settled.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(settled.len(), 16);
+    }
+
+    #[test]
+    fn decrease_key_moves_bucket() {
+        let mut q = BucketQueue::new(4, 10);
+        q.insert(0, 5);
+        q.insert(1, 7);
+        assert!(q.decrease_key(1, 5));
+        assert!(!q.decrease_key(1, 6));
+        let a = q.pop_min().unwrap();
+        let b = q.pop_min().unwrap();
+        assert_eq!(a.1, 5);
+        assert_eq!(b.1, 5);
+        assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn window_restarts_when_empty() {
+        let mut q = BucketQueue::new(2, 4);
+        q.insert(0, 2);
+        assert_eq!(q.pop_min(), Some((0, 2)));
+        // Queue is empty: a much larger key is fine.
+        q.insert(1, 1000);
+        assert_eq!(q.pop_min(), Some((1, 1000)));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = BucketQueue::new(4, 16);
+        q.insert(3, 4);
+        q.insert(2, 9);
+        assert_eq!(q.peek_min(), Some((3, 4)));
+        assert_eq!(q.pop_min(), Some((3, 4)));
+        assert_eq!(q.peek_min(), Some((2, 9)));
+    }
+
+    #[test]
+    fn same_bucket_chain() {
+        let mut q = BucketQueue::new(8, 4);
+        for id in 0..8 {
+            q.insert(id, 3);
+        }
+        let mut n = 0;
+        while let Some((_, k)) = q.pop_min() {
+            assert_eq!(k, 3);
+            n += 1;
+        }
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,277 @@
+//! Indexed d-ary min-heap with decrease-key.
+//!
+//! The heap stores `(id, key)` pairs in an array-backed d-ary tree and keeps a
+//! reverse index `pos[id] -> slot`, so `decrease_key` and `contains` are O(1)
+//! lookups plus an O(log_d n) sift. `D = 4` is the usual sweet spot on modern
+//! CPUs: shallower trees than binary heaps and sibling keys share cache lines.
+#![allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe "not a decrease" checks
+
+use crate::MinQueue;
+
+/// Sentinel in the position index for "not in the heap".
+const ABSENT: u32 = u32::MAX;
+
+/// An indexed d-ary min-heap over dense `usize` ids.
+///
+/// `D` is the arity (compile-time constant, must be ≥ 2). See the crate docs
+/// for the engine comparison.
+#[derive(Debug, Clone)]
+pub struct DaryHeap<K, const D: usize = 4> {
+    /// Heap slots: `(id, key)` pairs in heap order.
+    slots: Vec<(u32, K)>,
+    /// `pos[id]` = slot index of `id`, or `ABSENT`.
+    pos: Vec<u32>,
+}
+
+impl<K: PartialOrd + Copy, const D: usize> DaryHeap<K, D> {
+    fn sift_up(&mut self, mut slot: usize) {
+        while slot > 0 {
+            let parent = (slot - 1) / D;
+            if self.slots[slot].1 < self.slots[parent].1 {
+                self.swap_slots(slot, parent);
+                slot = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        let len = self.slots.len();
+        loop {
+            let first_child = slot * D + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + D).min(len);
+            let mut best = first_child;
+            for c in (first_child + 1)..last_child {
+                if self.slots[c].1 < self.slots[best].1 {
+                    best = c;
+                }
+            }
+            if self.slots[best].1 < self.slots[slot].1 {
+                self.swap_slots(slot, best);
+                slot = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.pos[self.slots[a].0 as usize] = a as u32;
+        self.pos[self.slots[b].0 as usize] = b as u32;
+    }
+
+    /// Checks the heap invariant; used by tests and debug assertions.
+    #[cfg(test)]
+    fn assert_invariants(&self) {
+        for slot in 1..self.slots.len() {
+            let parent = (slot - 1) / D;
+            assert!(
+                !(self.slots[slot].1 < self.slots[parent].1),
+                "heap order violated at slot {slot}"
+            );
+        }
+        for (slot, &(id, _)) in self.slots.iter().enumerate() {
+            assert_eq!(self.pos[id as usize] as usize, slot, "pos index stale");
+        }
+    }
+}
+
+impl<K: PartialOrd + Copy, const D: usize> MinQueue<K> for DaryHeap<K, D> {
+    fn with_capacity(capacity: usize) -> Self {
+        assert!(D >= 2, "heap arity must be at least 2");
+        assert!(
+            capacity < ABSENT as usize,
+            "capacity too large for u32 index"
+        );
+        Self {
+            slots: Vec::with_capacity(capacity.min(1024)),
+            pos: vec![ABSENT; capacity],
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.pos.len()
+    }
+
+    fn insert(&mut self, id: usize, key: K) {
+        assert!(id < self.pos.len(), "id {id} out of capacity");
+        assert_eq!(self.pos[id], ABSENT, "id {id} already present");
+        let slot = self.slots.len();
+        self.slots.push((id as u32, key));
+        self.pos[id] = slot as u32;
+        self.sift_up(slot);
+    }
+
+    fn pop_min(&mut self) -> Option<(usize, K)> {
+        let (id, key) = *self.slots.first()?;
+        let last = self.slots.len() - 1;
+        self.swap_slots(0, last);
+        self.slots.pop();
+        self.pos[id as usize] = ABSENT;
+        if !self.slots.is_empty() {
+            self.sift_down(0);
+        }
+        Some((id as usize, key))
+    }
+
+    fn peek_min(&self) -> Option<(usize, K)> {
+        self.slots.first().map(|&(id, key)| (id as usize, key))
+    }
+
+    fn decrease_key(&mut self, id: usize, key: K) -> bool {
+        let slot = self.pos[id];
+        assert_ne!(slot, ABSENT, "decrease_key on absent id {id}");
+        let slot = slot as usize;
+        // Deliberate negated partial comparison: incomparable (NaN) keys must
+        // be treated as "not a decrease", same as greater-or-equal.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(key < self.slots[slot].1) {
+            return false;
+        }
+        self.slots[slot].1 = key;
+        self.sift_up(slot);
+        true
+    }
+
+    fn contains(&self, id: usize) -> bool {
+        id < self.pos.len() && self.pos[id] != ABSENT
+    }
+
+    fn key(&self, id: usize) -> Option<K> {
+        if !self.contains(id) {
+            return None;
+        }
+        Some(self.slots[self.pos[id] as usize].1)
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn clear(&mut self) {
+        for &(id, _) in &self.slots {
+            self.pos[id as usize] = ABSENT;
+        }
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = DaryHeap<f64, 4>;
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let keys = [5.0, 3.0, 8.0, 1.0, 9.0, 2.0, 7.0];
+        let mut h = H::with_capacity(keys.len());
+        for (id, &k) in keys.iter().enumerate() {
+            h.insert(id, k);
+            h.assert_invariants();
+        }
+        let mut out = Vec::new();
+        while let Some((_, k)) = h.pop_min() {
+            h.assert_invariants();
+            out.push(k);
+        }
+        let mut expected = keys.to_vec();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut h = H::with_capacity(4);
+        h.insert(0, 10.0);
+        h.insert(1, 20.0);
+        h.insert(2, 30.0);
+        assert!(h.decrease_key(2, 5.0));
+        h.assert_invariants();
+        assert_eq!(h.pop_min(), Some((2, 5.0)));
+        assert_eq!(h.pop_min(), Some((0, 10.0)));
+    }
+
+    #[test]
+    fn decrease_key_rejects_increase() {
+        let mut h = H::with_capacity(2);
+        h.insert(0, 1.0);
+        assert!(!h.decrease_key(0, 2.0));
+        assert_eq!(h.key(0), Some(1.0));
+        assert!(!h.decrease_key(0, 1.0), "equal key is not a decrease");
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_insert_panics() {
+        let mut h = H::with_capacity(2);
+        h.insert(0, 1.0);
+        h.insert(0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_insert_panics() {
+        let mut h = H::with_capacity(2);
+        h.insert(2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn decrease_absent_panics() {
+        let mut h = H::with_capacity(2);
+        h.decrease_key(0, 1.0);
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let mut h = H::with_capacity(2);
+        h.insert(0, 1.0);
+        assert_eq!(h.pop_min(), Some((0, 1.0)));
+        h.insert(0, 2.0);
+        assert_eq!(h.pop_min(), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn clear_resets_position_index() {
+        let mut h = H::with_capacity(4);
+        h.insert(1, 1.0);
+        h.insert(2, 2.0);
+        h.clear();
+        assert!(!h.contains(1));
+        h.insert(1, 3.0);
+        assert_eq!(h.pop_min(), Some((1, 3.0)));
+    }
+
+    #[test]
+    fn binary_arity_also_works() {
+        let mut h: DaryHeap<i64, 2> = DaryHeap::with_capacity(32);
+        for id in 0..32 {
+            h.insert(id, (31 - id) as i64);
+        }
+        for want in 0..32i64 {
+            assert_eq!(h.pop_min().unwrap().1, want);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_all_pop() {
+        let mut h = H::with_capacity(8);
+        for id in 0..8 {
+            h.insert(id, 1.0);
+        }
+        let mut seen = [false; 8];
+        while let Some((id, k)) = h.pop_min() {
+            assert_eq!(k, 1.0);
+            assert!(!seen[id]);
+            seen[id] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,28 @@
+//! A small, self-contained LP / 0-1 ILP solver.
+//!
+//! The paper's exact formulation of the optimal edge-disjoint semilightpath
+//! problem (Eqs. 3–21) is a 0/1 integer program; the paper invokes "solve the
+//! integer programming" without saying how. Reproducing the exact baseline
+//! therefore requires an ILP solver, which this crate provides from scratch:
+//!
+//! * [`Model`] — a tiny modelling layer (variables with bounds and
+//!   integrality, linear constraints, minimisation objective);
+//! * [`simplex`] — a dense two-phase primal simplex with Bland's
+//!   anti-cycling rule, operating on the standard form `min cᵀx, Ax = b,
+//!   x ≥ 0`;
+//! * [`branch`] — best-first branch-and-bound over the LP relaxation for
+//!   the integer variables.
+//!
+//! Scope: this is an *exactness oracle for small instances* (tens-to-hundreds
+//! of variables — the Theorem 2 ratio experiments use networks of ≤ 12
+//! nodes), not a competitor to industrial MILP solvers. The dense tableau is
+//! O(m·n) memory and O(m·n) per pivot, which is perfectly fine at that
+//! scale and keeps the implementation auditable.
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve_ilp, IlpOptions, IlpResult, IlpStatus};
+pub use model::{Cmp, LinExpr, Model, VarId, VarKind};
+pub use simplex::{solve_lp_standard, LpOutcome};

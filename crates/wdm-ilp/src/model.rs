@@ -1,0 +1,316 @@
+//! Modelling layer: variables, linear expressions, constraints.
+
+/// Identifier of a model variable (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Variable domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarKind {
+    /// Continuous within `[lo, hi]` (`hi` may be `f64::INFINITY`).
+    Continuous { lo: f64, hi: f64 },
+    /// Integer within `[lo, hi]`.
+    Integer { lo: f64, hi: f64 },
+    /// Binary `{0, 1}` (an integer with bounds 0..1).
+    Binary,
+}
+
+impl VarKind {
+    /// Lower bound of the domain.
+    pub fn lo(&self) -> f64 {
+        match *self {
+            VarKind::Continuous { lo, .. } | VarKind::Integer { lo, .. } => lo,
+            VarKind::Binary => 0.0,
+        }
+    }
+
+    /// Upper bound of the domain.
+    pub fn hi(&self) -> f64 {
+        match *self {
+            VarKind::Continuous { hi, .. } | VarKind::Integer { hi, .. } => hi,
+            VarKind::Binary => 1.0,
+        }
+    }
+
+    /// Whether the variable must take an integer value.
+    pub fn is_integer(&self) -> bool {
+        !matches!(self, VarKind::Continuous { .. })
+    }
+}
+
+/// A linear expression `Σ coefᵢ · xᵢ + constant`.
+///
+/// Duplicate variables are allowed while building; [`LinExpr::compact`]
+/// merges them (and the solvers do so on ingestion).
+#[derive(Debug, Clone, Default)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-term expression `coef · x`.
+    pub fn term(x: VarId, coef: f64) -> Self {
+        Self {
+            terms: vec![(x, coef)],
+            constant: 0.0,
+        }
+    }
+
+    /// Adds `coef · x` in place and returns `self` (builder style).
+    pub fn plus(mut self, x: VarId, coef: f64) -> Self {
+        self.terms.push((x, coef));
+        self
+    }
+
+    /// Adds a constant in place and returns `self`.
+    pub fn plus_const(mut self, c: f64) -> Self {
+        self.constant += c;
+        self
+    }
+
+    /// Appends `coef · x`.
+    pub fn add_term(&mut self, x: VarId, coef: f64) {
+        self.terms.push((x, coef));
+    }
+
+    /// Adds another expression scaled by `scale`.
+    pub fn add_scaled(&mut self, other: &LinExpr, scale: f64) {
+        for &(x, c) in &other.terms {
+            self.terms.push((x, c * scale));
+        }
+        self.constant += other.constant * scale;
+    }
+
+    /// Merges duplicate variables and drops zero coefficients.
+    pub fn compact(&mut self) {
+        self.terms.sort_by_key(|&(x, _)| x);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
+        for &(x, c) in &self.terms {
+            match out.last_mut() {
+                Some(&mut (lx, ref mut lc)) if lx == x => *lc += c,
+                _ => out.push((x, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0.0);
+        self.terms = out;
+    }
+
+    /// Evaluates the expression at the assignment `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|&(v, c)| c * x[v.0]).sum::<f64>()
+    }
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A linear constraint `expr (cmp) rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Whether assignment `x` satisfies the constraint within `tol`.
+    pub fn satisfied(&self, x: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.eval(x);
+        match self.cmp {
+            Cmp::Le => lhs <= self.rhs + tol,
+            Cmp::Ge => lhs >= self.rhs - tol,
+            Cmp::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// A minimisation model: variables, constraints, objective.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    vars: Vec<(VarKind, String)>,
+    /// All constraints added so far.
+    pub constraints: Vec<Constraint>,
+    /// Objective to minimise.
+    pub objective: LinExpr,
+}
+
+impl Model {
+    /// An empty minimisation model.
+    pub fn minimize() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable in `[lo, hi]`.
+    pub fn continuous(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> VarId {
+        assert!(lo <= hi, "empty domain [{lo}, {hi}]");
+        self.push_var(VarKind::Continuous { lo, hi }, name.into())
+    }
+
+    /// Adds a binary variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> VarId {
+        self.push_var(VarKind::Binary, name.into())
+    }
+
+    /// Adds a bounded integer variable.
+    pub fn integer(&mut self, name: impl Into<String>, lo: f64, hi: f64) -> VarId {
+        assert!(lo <= hi, "empty domain [{lo}, {hi}]");
+        self.push_var(VarKind::Integer { lo, hi }, name.into())
+    }
+
+    fn push_var(&mut self, kind: VarKind, name: String) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push((kind, name));
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Domain of `x`.
+    pub fn kind(&self, x: VarId) -> VarKind {
+        self.vars[x.0].0
+    }
+
+    /// Name of `x`.
+    pub fn name(&self, x: VarId) -> &str {
+        &self.vars[x.0].1
+    }
+
+    /// Adds the constraint `expr (cmp) rhs`.
+    pub fn constrain(&mut self, mut expr: LinExpr, cmp: Cmp, rhs: f64) {
+        expr.compact();
+        // Fold the expression constant into the rhs.
+        let c = expr.constant;
+        expr.constant = 0.0;
+        self.constraints.push(Constraint {
+            expr,
+            cmp,
+            rhs: rhs - c,
+        });
+    }
+
+    /// Sets the minimisation objective.
+    pub fn set_objective(&mut self, mut expr: LinExpr) {
+        expr.compact();
+        self.objective = expr;
+    }
+
+    /// Checks primal feasibility of `x` against bounds and constraints.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (i, (kind, _)) in self.vars.iter().enumerate() {
+            if x[i] < kind.lo() - tol || x[i] > kind.hi() + tol {
+                return false;
+            }
+            if kind.is_integer() && (x[i] - x[i].round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| c.satisfied(x, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_building_and_eval() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let e = LinExpr::term(x, 2.0).plus(y, 3.0).plus_const(1.0);
+        assert_eq!(e.eval(&[10.0, 100.0]), 321.0);
+    }
+
+    #[test]
+    fn compact_merges_and_drops_zeros() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let mut e = LinExpr::new();
+        e.add_term(x, 1.0);
+        e.add_term(y, 2.0);
+        e.add_term(x, 3.0);
+        e.add_term(y, -2.0);
+        e.compact();
+        assert_eq!(e.terms, vec![(x, 4.0)]);
+    }
+
+    #[test]
+    fn add_scaled_combines() {
+        let x = VarId(0);
+        let a = LinExpr::term(x, 1.0).plus_const(2.0);
+        let mut b = LinExpr::term(x, 1.0);
+        b.add_scaled(&a, -1.0);
+        b.compact();
+        assert!(b.terms.is_empty());
+        assert_eq!(b.constant, -2.0);
+    }
+
+    #[test]
+    fn constraint_constant_folds_into_rhs() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 10.0);
+        m.constrain(LinExpr::term(x, 1.0).plus_const(5.0), Cmp::Le, 8.0);
+        assert_eq!(m.constraints[0].rhs, 3.0);
+        assert_eq!(m.constraints[0].expr.constant, 0.0);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_integrality_constraints() {
+        let mut m = Model::minimize();
+        let x = m.binary("x");
+        let y = m.continuous("y", 0.0, 5.0);
+        m.constrain(LinExpr::term(x, 1.0).plus(y, 1.0), Cmp::Le, 4.0);
+        assert!(m.is_feasible(&[1.0, 3.0], 1e-9));
+        assert!(!m.is_feasible(&[0.5, 1.0], 1e-9), "fractional binary");
+        assert!(!m.is_feasible(&[1.0, 6.0], 1e-9), "bound violation");
+        assert!(!m.is_feasible(&[1.0, 3.5], 1e-9), "constraint violation");
+    }
+
+    #[test]
+    fn satisfied_handles_all_ops() {
+        let x = VarId(0);
+        let c_le = Constraint {
+            expr: LinExpr::term(x, 1.0),
+            cmp: Cmp::Le,
+            rhs: 1.0,
+        };
+        let c_ge = Constraint {
+            expr: LinExpr::term(x, 1.0),
+            cmp: Cmp::Ge,
+            rhs: 1.0,
+        };
+        let c_eq = Constraint {
+            expr: LinExpr::term(x, 1.0),
+            cmp: Cmp::Eq,
+            rhs: 1.0,
+        };
+        assert!(c_le.satisfied(&[0.5], 0.0));
+        assert!(!c_ge.satisfied(&[0.5], 0.0));
+        assert!(c_eq.satisfied(&[1.0], 0.0));
+        assert!(!c_eq.satisfied(&[0.5], 0.0));
+    }
+}

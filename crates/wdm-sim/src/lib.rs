@@ -1,0 +1,41 @@
+//! Discrete-event simulator for dynamic traffic in wide-area WDM networks.
+//!
+//! The paper's setting — "user connection requests arrive to and depart from
+//! the network in a random manner" (§1) with single-link failures and
+//! load-triggered reconfigurations — made measurable:
+//!
+//! * [`traffic`] — Poisson arrivals, exponential holding times, uniform
+//!   random node pairs (the standard model of the paper's citations);
+//! * [`policy`] — provisioning policies: the paper's §3.3 / §4.1 / §4.2
+//!   algorithms plus the baseline strategies;
+//! * [`sim`] — the event loop: admission/blocking, wavelength occupancy,
+//!   link-failure injection with *active* (instant backup switchover) vs
+//!   *passive* (recompute on demand) recovery, and threshold-triggered
+//!   reconfiguration with move accounting;
+//! * [`metrics`] — blocking probability, route costs, recovery outcomes,
+//!   reconfiguration counts, load distributions;
+//! * [`parallel`] — rayon-powered replication sweeps (one immutable network
+//!   shared across threads, one residual state per replication).
+//!
+//! Determinism: every run is a pure function of its [`sim::SimConfig`]
+//! (including the seed); the parallel driver returns results in seed order.
+
+pub mod batch;
+pub mod events;
+pub mod metrics;
+pub mod parallel;
+pub mod policy;
+pub mod shared;
+pub mod sim;
+pub mod traffic;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::batch::{full_mesh_demands, provision_batch, BatchOrder, Demand};
+    pub use crate::metrics::{mean_std, Metrics};
+    pub use crate::parallel::{run_replications, run_replications_streaming};
+    pub use crate::policy::{Policy, ProvisionedRoute};
+    pub use crate::shared::{SharedBackupPool, SharedProvisioner};
+    pub use crate::sim::{run_sim, SimConfig, Simulator};
+    pub use crate::traffic::{HoldingDist, PairSelection, TrafficModel};
+}

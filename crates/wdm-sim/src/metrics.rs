@@ -1,0 +1,195 @@
+//! Simulation metrics: admission, cost, recovery, reconfiguration, load.
+
+use wdm_core::load::LoadSnapshot;
+
+/// Counters accumulated over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests admitted (routes established).
+    pub admitted: u64,
+    /// Requests blocked (no feasible route under the policy).
+    pub blocked: u64,
+    /// Sum of provisioned route costs (per Eq. 1, both legs for protected).
+    pub total_route_cost: f64,
+    /// Total wavelength conversions across provisioned legs.
+    pub total_conversions: u64,
+    /// Link failures injected.
+    pub failures_injected: u64,
+    /// Failures answered by an instant primary→backup switchover (the
+    /// *active* approach's win).
+    pub fast_switchovers: u64,
+    /// Failures answered by computing a fresh route on demand (the *passive*
+    /// approach; slower, may fail).
+    pub passive_recoveries: u64,
+    /// Connections dropped because no recovery route existed.
+    pub recovery_failures: u64,
+    /// Backup legs re-provisioned after a switchover or backup loss.
+    pub backups_reprovisioned: u64,
+    /// Total service-interruption time across recovery events (switchover
+    /// time for active, per-hop setup time for passive re-establishment).
+    pub recovery_time_sum: f64,
+    /// Recovery events with a measured interruption time.
+    pub recovery_events: u64,
+    /// Reconfiguration events triggered by the load threshold.
+    pub reconfig_events: u64,
+    /// Connections re-routed during reconfigurations.
+    pub reconfig_moved: u64,
+    /// Network-load samples taken (at each arrival).
+    pub load_samples: u64,
+    /// Sum of sampled network loads.
+    pub load_sum: f64,
+    /// Peak sampled network load.
+    pub peak_network_load: f64,
+    /// Time integral of the network load `∫ρ(t)dt` over the horizon
+    /// (divide by `sim_time` for the true time-average).
+    pub load_time_integral: f64,
+    /// Load distribution at the end of the run.
+    pub final_snapshot: Option<LoadSnapshot>,
+    /// Simulated time actually covered.
+    pub sim_time: f64,
+}
+
+impl Metrics {
+    /// Blocking probability `blocked / offered` (0 when nothing offered).
+    pub fn blocking_probability(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.blocked as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean provisioned route cost per admitted request.
+    pub fn mean_route_cost(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.total_route_cost / self.admitted as f64
+        }
+    }
+
+    /// Mean sampled network load.
+    pub fn mean_network_load(&self) -> f64 {
+        if self.load_samples == 0 {
+            0.0
+        } else {
+            self.load_sum / self.load_samples as f64
+        }
+    }
+
+    /// Time-averaged network load `∫ρ(t)dt / T` — unbiased by the
+    /// arrival-sampled [`Metrics::mean_network_load`].
+    pub fn time_avg_network_load(&self) -> f64 {
+        if self.sim_time <= 0.0 {
+            0.0
+        } else {
+            self.load_time_integral / self.sim_time
+        }
+    }
+
+    /// Mean service interruption per successful recovery.
+    pub fn mean_recovery_time(&self) -> f64 {
+        if self.recovery_events == 0 {
+            0.0
+        } else {
+            self.recovery_time_sum / self.recovery_events as f64
+        }
+    }
+
+    /// Fraction of failure-affected primaries recovered instantly.
+    pub fn fast_recovery_ratio(&self) -> f64 {
+        let total = self.fast_switchovers + self.passive_recoveries + self.recovery_failures;
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_switchovers as f64 / total as f64
+        }
+    }
+}
+
+/// The Erlang-B blocking probability for offered load `erlangs` over `c`
+/// channels — the analytic ground truth for an M/M/c/c loss system.
+/// Computed by the standard stable recurrence
+/// `B(0) = 1`, `B(k) = A·B(k−1) / (k + A·B(k−1))`.
+///
+/// Used to validate the simulator: an unprotected single-fibre network is
+/// exactly an M/M/c/c system, so its measured blocking must match this
+/// formula (see the `erlang_b` tests).
+pub fn erlang_b(erlangs: f64, c: usize) -> f64 {
+    assert!(erlangs >= 0.0);
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = erlangs * b / (k as f64 + erlangs * b);
+    }
+    b
+}
+
+/// Mean and sample standard deviation of a metric across replications.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let m = Metrics {
+            offered: 10,
+            admitted: 8,
+            blocked: 2,
+            total_route_cost: 40.0,
+            load_samples: 4,
+            load_sum: 2.0,
+            fast_switchovers: 3,
+            passive_recoveries: 1,
+            recovery_failures: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.blocking_probability(), 0.2);
+        assert_eq!(m.mean_route_cost(), 5.0);
+        assert_eq!(m.mean_network_load(), 0.5);
+        assert_eq!(m.fast_recovery_ratio(), 0.6);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = Metrics::default();
+        assert_eq!(m.blocking_probability(), 0.0);
+        assert_eq!(m.mean_route_cost(), 0.0);
+        assert_eq!(m.mean_network_load(), 0.0);
+        assert_eq!(m.fast_recovery_ratio(), 0.0);
+    }
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic table values.
+        assert!((erlang_b(1.0, 1) - 0.5).abs() < 1e-12);
+        assert!((erlang_b(0.0, 4) - 0.0).abs() < 1e-12);
+        // A = 5 Erlang, c = 10: B ≈ 0.0184.
+        assert!((erlang_b(5.0, 10) - 0.0184).abs() < 5e-4);
+        // Monotone in load, antitone in channels.
+        assert!(erlang_b(8.0, 10) > erlang_b(5.0, 10));
+        assert!(erlang_b(5.0, 12) < erlang_b(5.0, 10));
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+}

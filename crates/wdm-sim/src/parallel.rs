@@ -1,0 +1,132 @@
+//! Parallel replication driver.
+//!
+//! Simulation replications are embarrassingly parallel: the network is
+//! shared immutably, each replication owns its residual state and RNG.
+//! Rayon's `par_iter` handles the fan-out (the HPC-parallel idiom for this
+//! workload); a `parking_lot`-guarded progress sink lets long sweeps report
+//! liveness, and a crossbeam channel variant streams results as they land.
+
+use crate::metrics::Metrics;
+use crate::sim::{run_sim, SimConfig};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use wdm_core::network::WdmNetwork;
+
+/// Runs `cfg` once per seed in parallel; results are returned in seed order
+/// (deterministic regardless of scheduling).
+pub fn run_replications(net: &WdmNetwork, cfg: SimConfig, seeds: &[u64]) -> Vec<Metrics> {
+    seeds
+        .par_iter()
+        .map(|&seed| run_sim(net, SimConfig { seed, ..cfg }))
+        .collect()
+}
+
+/// As [`run_replications`], invoking `progress(done, total)` after each
+/// finished replication (callback may run on any worker thread).
+pub fn run_replications_with_progress(
+    net: &WdmNetwork,
+    cfg: SimConfig,
+    seeds: &[u64],
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<Metrics> {
+    let done = Mutex::new(0usize);
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let m = run_sim(net, SimConfig { seed, ..cfg });
+            let mut d = done.lock();
+            *d += 1;
+            progress(*d, seeds.len());
+            m
+        })
+        .collect()
+}
+
+/// Streams `(seed, Metrics)` pairs through a crossbeam channel as
+/// replications complete (completion order), consuming them with `consume`
+/// on the calling thread. Useful when replications are long and results
+/// should be processed incrementally.
+pub fn run_replications_streaming(
+    net: &WdmNetwork,
+    cfg: SimConfig,
+    seeds: &[u64],
+    mut consume: impl FnMut(u64, Metrics),
+) {
+    let (tx, rx) = crossbeam::channel::unbounded();
+    // Crossbeam scoped threads: the consumer runs on the calling thread and
+    // need not be Send; workers only share the immutable network.
+    crossbeam::thread::scope(|scope| {
+        for &seed in seeds {
+            let tx = tx.clone();
+            scope.spawn(move |_| {
+                let m = run_sim(net, SimConfig { seed, ..cfg });
+                // Receiver outlives the scope; send can only fail if the
+                // consumer panicked, in which case dropping is fine.
+                let _ = tx.send((seed, m));
+            });
+        }
+        drop(tx);
+        while let Ok((seed, m)) = rx.recv() {
+            consume(seed, m);
+        }
+    })
+    .expect("replication worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::traffic::TrafficModel;
+    use wdm_core::network::NetworkBuilder;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            policy: Policy::CostOnly,
+            traffic: TrafficModel::new(2.0, 5.0),
+            duration: 50.0,
+            failure_rate: 0.0,
+            mean_repair: 1.0,
+            reconfig_threshold: None,
+            seed: 0,
+            switchover_time: 0.001,
+            setup_time_per_hop: 0.05,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let net = NetworkBuilder::nsfnet(8).build();
+        let seeds = [1u64, 2, 3, 4];
+        let par = run_replications(&net, cfg(), &seeds);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let serial = run_sim(&net, SimConfig { seed, ..cfg() });
+            assert_eq!(par[i], serial, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_completion() {
+        let net = NetworkBuilder::nsfnet(4).build();
+        let seeds = [1u64, 2, 3];
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let _ = run_replications_with_progress(&net, cfg(), &seeds, |_, total| {
+            assert_eq!(total, 3);
+            count.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn streaming_delivers_all_results() {
+        let net = NetworkBuilder::nsfnet(4).build();
+        let seeds = [5u64, 6, 7, 8];
+        let mut got = Vec::new();
+        run_replications_streaming(&net, cfg(), &seeds, |seed, m| {
+            assert!(m.offered > 0);
+            got.push(seed);
+        });
+        got.sort();
+        assert_eq!(got, vec![5, 6, 7, 8]);
+    }
+}

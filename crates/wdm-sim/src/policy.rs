@@ -1,0 +1,209 @@
+//! Routing policies the simulator can provision requests with.
+
+use wdm_core::baselines;
+use wdm_core::disjoint::RobustRouteFinder;
+use wdm_core::error::RoutingError;
+use wdm_core::joint::find_two_paths_joint;
+use wdm_core::mincog::find_two_paths_mincog;
+use wdm_core::network::{ResidualState, WdmNetwork};
+use wdm_core::semilightpath::{RobustRoute, Semilightpath};
+use wdm_graph::NodeId;
+
+/// A provisioned route: protected (primary + backup) or unprotected.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ProvisionedRoute {
+    /// Primary + edge-disjoint backup (the paper's active protection).
+    Protected(RobustRoute),
+    /// Primary only (the passive approach).
+    Unprotected(Semilightpath),
+}
+
+impl ProvisionedRoute {
+    /// Total channel-cost of everything reserved.
+    pub fn total_cost(&self) -> f64 {
+        match self {
+            ProvisionedRoute::Protected(r) => r.total_cost(),
+            ProvisionedRoute::Unprotected(p) => p.cost,
+        }
+    }
+
+    /// Occupies all reserved channels.
+    pub fn occupy(
+        &self,
+        net: &WdmNetwork,
+        state: &mut ResidualState,
+    ) -> Result<(), wdm_core::network::StateError> {
+        match self {
+            ProvisionedRoute::Protected(r) => r.occupy(net, state),
+            ProvisionedRoute::Unprotected(p) => p.occupy(net, state),
+        }
+    }
+
+    /// Releases all reserved channels.
+    pub fn release(&self, state: &mut ResidualState) {
+        match self {
+            ProvisionedRoute::Protected(r) => r.release(state),
+            ProvisionedRoute::Unprotected(p) => p.release(state),
+        }
+    }
+}
+
+/// Which algorithm provisions each arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Policy {
+    /// §3.3: cost-minimising disjoint pair (`G'` + Suurballe + refinement).
+    CostOnly,
+    /// §4.1: load-minimising disjoint pair (`G_c`, threshold search).
+    LoadOnly {
+        /// Exponential congestion base `a > 1`.
+        a: f64,
+    },
+    /// §4.2: joint load + cost (the paper's headline policy).
+    Joint {
+        /// Exponential congestion base `a > 1`.
+        a: f64,
+    },
+    /// §4.2 with the `G_rc` weights exactly as printed in the paper
+    /// (`/N(e)` normalisation) — the ablation variant.
+    JointAsPrinted {
+        /// Exponential congestion base `a > 1`.
+        a: f64,
+    },
+    /// Greedy two-step baseline (shortest, remove, shortest).
+    TwoStep,
+    /// §3.3 without the Lemma 2 refinement (first-fit wavelengths).
+    Unrefined,
+    /// k-shortest-paths disjoint pair baseline.
+    Ksp {
+        /// Number of candidate paths to enumerate.
+        k: usize,
+    },
+    /// Node-disjoint protection (extension): backup survives single node
+    /// failures too.
+    NodeDisjoint,
+    /// Unprotected shortest semilightpath (passive recovery).
+    PrimaryOnly,
+}
+
+impl Policy {
+    /// Short display name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::CostOnly => "cost-only(3.3)",
+            Policy::LoadOnly { .. } => "load-only(4.1)",
+            Policy::Joint { .. } => "joint(4.2)",
+            Policy::JointAsPrinted { .. } => "joint(as-printed)",
+            Policy::TwoStep => "two-step",
+            Policy::Unrefined => "unrefined",
+            Policy::Ksp { .. } => "ksp",
+            Policy::NodeDisjoint => "node-disjoint",
+            Policy::PrimaryOnly => "primary-only",
+        }
+    }
+
+    /// Computes a route for `(s, t)` without mutating `state`.
+    pub fn route(
+        &self,
+        net: &WdmNetwork,
+        state: &ResidualState,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<ProvisionedRoute, RoutingError> {
+        match *self {
+            Policy::CostOnly => RobustRouteFinder::new(net)
+                .find(state, s, t)
+                .map(ProvisionedRoute::Protected),
+            Policy::LoadOnly { a } => find_two_paths_mincog(net, state, s, t, a)
+                .map(|o| ProvisionedRoute::Protected(o.route)),
+            Policy::Joint { a } => find_two_paths_joint(net, state, s, t, a)
+                .map(|o| ProvisionedRoute::Protected(o.route)),
+            Policy::JointAsPrinted { a } => {
+                wdm_core::joint::find_two_paths_joint_as_printed(net, state, s, t, a)
+                    .map(|o| ProvisionedRoute::Protected(o.route))
+            }
+            Policy::TwoStep => {
+                baselines::two_step_pair(net, state, s, t).map(ProvisionedRoute::Protected)
+            }
+            Policy::Unrefined => {
+                baselines::suurballe_unrefined(net, state, s, t).map(ProvisionedRoute::Protected)
+            }
+            Policy::Ksp { k } => {
+                baselines::ksp_pair(net, state, s, t, k).map(ProvisionedRoute::Protected)
+            }
+            Policy::NodeDisjoint => wdm_core::node_disjoint::find_node_disjoint(net, state, s, t)
+                .map(ProvisionedRoute::Protected),
+            Policy::PrimaryOnly => {
+                baselines::primary_only(net, state, s, t).map(ProvisionedRoute::Unprotected)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::conversion::ConversionTable;
+    use wdm_core::network::NetworkBuilder;
+
+    fn diamond() -> WdmNetwork {
+        let mut b = NetworkBuilder::new(4);
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.1 }))
+            .collect();
+        b.add_link(n[0], n[1], 1.0);
+        b.add_link(n[1], n[3], 1.0);
+        b.add_link(n[0], n[2], 2.0);
+        b.add_link(n[2], n[3], 2.0);
+        b.build()
+    }
+
+    #[test]
+    fn every_policy_routes_the_diamond() {
+        let net = diamond();
+        let st = ResidualState::fresh(&net);
+        for p in [
+            Policy::CostOnly,
+            Policy::LoadOnly { a: 2.0 },
+            Policy::Joint { a: 2.0 },
+            Policy::TwoStep,
+            Policy::Unrefined,
+            Policy::Ksp { k: 8 },
+            Policy::PrimaryOnly,
+        ] {
+            let r = p.route(&net, &st, NodeId(0), NodeId(3));
+            assert!(r.is_ok(), "{} failed: {r:?}", p.name());
+            let r = r.unwrap();
+            match (&p, &r) {
+                (Policy::PrimaryOnly, ProvisionedRoute::Unprotected(slp)) => {
+                    assert_eq!(slp.cost, 2.0);
+                }
+                (Policy::PrimaryOnly, _) => panic!("primary-only must be unprotected"),
+                (_, ProvisionedRoute::Protected(route)) => {
+                    assert!(route.is_edge_disjoint());
+                }
+                (_, ProvisionedRoute::Unprotected(_)) => {
+                    panic!("{} must be protected", p.name())
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occupy_release_roundtrip() {
+        let net = diamond();
+        let mut st = ResidualState::fresh(&net);
+        let r = Policy::CostOnly
+            .route(&net, &st, NodeId(0), NodeId(3))
+            .unwrap();
+        r.occupy(&net, &mut st).unwrap();
+        assert!(st.network_load(&net) > 0.0);
+        r.release(&mut st);
+        assert_eq!(st.network_load(&net), 0.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Policy::Joint { a: 2.0 }.name(), "joint(4.2)");
+        assert_eq!(Policy::PrimaryOnly.name(), "primary-only");
+    }
+}

@@ -1,0 +1,613 @@
+//! The discrete-event simulator: dynamic requests, provisioning, link
+//! failures with active/passive recovery, and threshold-triggered network
+//! reconfiguration.
+
+use crate::events::{Event, EventQueue};
+use crate::metrics::Metrics;
+use crate::policy::{Policy, ProvisionedRoute};
+use crate::traffic::{sample_exp, TrafficModel};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use wdm_core::load::load_snapshot;
+use wdm_core::network::{ResidualState, WdmNetwork};
+use wdm_core::optimal_slp::optimal_semilightpath_filtered;
+use wdm_core::semilightpath::{RobustRoute, Semilightpath};
+use wdm_graph::{EdgeId, NodeId};
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimConfig {
+    /// Provisioning policy.
+    pub policy: Policy,
+    /// Arrival/holding process.
+    pub traffic: TrafficModel,
+    /// Simulated time horizon.
+    pub duration: f64,
+    /// Global link-failure rate (Poisson; 0 disables failures).
+    pub failure_rate: f64,
+    /// Mean link repair time (exponential).
+    pub mean_repair: f64,
+    /// Trigger a reconfiguration when the sampled network load reaches this
+    /// value (`None` disables reconfiguration).
+    pub reconfig_threshold: Option<f64>,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+    /// Service-interruption time of an *active* protection switchover
+    /// (optical protection switching is ~tens of milliseconds; default
+    /// 0.001 time units).
+    pub switchover_time: f64,
+    /// Per-hop signalling/setup time charged when a route must be
+    /// (re-)established at failure time — the passive approach's
+    /// "time-consuming connection re-establishment process" (§1);
+    /// default 0.05 time units per hop.
+    pub setup_time_per_hop: f64,
+}
+
+impl SimConfig {
+    /// A reasonable default: cost-only policy, 10 Erlang, no failures.
+    pub fn default_with(policy: Policy, seed: u64) -> Self {
+        Self {
+            policy,
+            traffic: TrafficModel::new(1.0, 10.0),
+            duration: 1000.0,
+            failure_rate: 0.0,
+            mean_repair: 10.0,
+            reconfig_threshold: None,
+            seed,
+            switchover_time: 0.001,
+            setup_time_per_hop: 0.05,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Number of hops across a provisioned route (for setup-time charges).
+    fn route_hops(route: &ProvisionedRoute) -> usize {
+        match route {
+            ProvisionedRoute::Protected(r) => r.primary.len() + r.backup.len(),
+            ProvisionedRoute::Unprotected(p) => p.len(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Connection {
+    src: NodeId,
+    dst: NodeId,
+    route: ProvisionedRoute,
+}
+
+/// The simulator. Owns the mutable residual state; borrows the immutable
+/// network (many simulators can share one network across threads).
+pub struct Simulator<'a> {
+    net: &'a WdmNetwork,
+    cfg: SimConfig,
+    state: ResidualState,
+    queue: EventQueue,
+    rng: ChaCha8Rng,
+    connections: HashMap<u64, Connection>,
+    next_conn: u64,
+    metrics: Metrics,
+    now: f64,
+    last_reconfig: f64,
+    /// Time of the last load-integral update.
+    last_integral_at: f64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator over a fresh residual state.
+    pub fn new(net: &'a WdmNetwork, cfg: SimConfig) -> Self {
+        Self {
+            net,
+            cfg,
+            state: ResidualState::fresh(net),
+            queue: EventQueue::new(),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            connections: HashMap::new(),
+            next_conn: 0,
+            metrics: Metrics::default(),
+            now: 0.0,
+            last_reconfig: f64::NEG_INFINITY,
+            last_integral_at: 0.0,
+        }
+    }
+
+    /// Accumulates the time-weighted network-load integral up to `self.now`
+    /// (call *before* any state change at the current event).
+    fn accrue_load_integral(&mut self) {
+        let dt = self.now - self.last_integral_at;
+        if dt > 0.0 {
+            self.metrics.load_time_integral += dt * self.state.network_load(self.net);
+            self.last_integral_at = self.now;
+        }
+    }
+
+    /// Runs to the configured horizon and returns the metrics.
+    pub fn run(mut self) -> Metrics {
+        let first = self.cfg.traffic.next_interarrival(&mut self.rng);
+        self.queue.schedule(first, Event::Arrival);
+        if self.cfg.failure_rate > 0.0 {
+            let f = sample_exp(&mut self.rng, self.cfg.failure_rate);
+            let link = self.pick_link();
+            self.queue.schedule(f, Event::LinkFailure { link });
+        }
+        while let Some((time, event)) = self.queue.next() {
+            if time > self.cfg.duration {
+                break;
+            }
+            self.now = time;
+            self.accrue_load_integral();
+            match event {
+                Event::Arrival => self.on_arrival(),
+                Event::Departure { conn } => self.on_departure(conn),
+                Event::LinkFailure { link } => self.on_failure(link),
+                Event::LinkRepair { link } => self.state.repair_link(link),
+            }
+        }
+        // Close the load integral at the horizon.
+        self.now = self.cfg.duration;
+        self.accrue_load_integral();
+        self.metrics.sim_time = self.cfg.duration;
+        self.metrics.final_snapshot = Some(load_snapshot(self.net, &self.state));
+        self.metrics
+    }
+
+    fn pick_link(&mut self) -> EdgeId {
+        EdgeId::from(self.rng.gen_range(0..self.net.link_count()))
+    }
+
+    fn on_arrival(&mut self) {
+        // Schedule the next arrival first (keeps the process independent of
+        // admission outcomes).
+        let gap = self.cfg.traffic.next_interarrival(&mut self.rng);
+        self.queue.schedule(self.now + gap, Event::Arrival);
+
+        let (s, t) = self
+            .cfg
+            .traffic
+            .draw_pair(self.net.node_count(), &mut self.rng);
+        self.metrics.offered += 1;
+        match self.cfg.policy.route(self.net, &self.state, s, t) {
+            Ok(route) => {
+                route
+                    .occupy(self.net, &mut self.state)
+                    .expect("route computed against current state must occupy");
+                self.metrics.admitted += 1;
+                self.metrics.total_route_cost += route.total_cost();
+                self.metrics.total_conversions += match &route {
+                    ProvisionedRoute::Protected(r) => {
+                        (r.primary.conversion_count() + r.backup.conversion_count()) as u64
+                    }
+                    ProvisionedRoute::Unprotected(p) => p.conversion_count() as u64,
+                };
+                let id = self.next_conn;
+                self.next_conn += 1;
+                self.connections.insert(
+                    id,
+                    Connection {
+                        src: s,
+                        dst: t,
+                        route,
+                    },
+                );
+                let hold = self.cfg.traffic.holding(&mut self.rng);
+                self.queue
+                    .schedule(self.now + hold, Event::Departure { conn: id });
+            }
+            Err(_) => {
+                self.metrics.blocked += 1;
+            }
+        }
+        // Load sample + optional reconfiguration.
+        let rho = self.state.network_load(self.net);
+        self.metrics.load_samples += 1;
+        self.metrics.load_sum += rho;
+        self.metrics.peak_network_load = self.metrics.peak_network_load.max(rho);
+        if let Some(th) = self.cfg.reconfig_threshold {
+            // Reconfiguration freezes the network (§1: it does not respond
+            // to requests while re-routing), so operators rate-limit it; one
+            // event per time unit is the floor here. This also keeps the
+            // simulation cost bounded under saturation, where the threshold
+            // would otherwise fire on every arrival.
+            if rho >= th && self.now - self.last_reconfig >= 1.0 {
+                self.last_reconfig = self.now;
+                self.reconfigure();
+            }
+        }
+    }
+
+    fn on_departure(&mut self, conn: u64) {
+        // The connection may already have been dropped by a failed recovery.
+        if let Some(c) = self.connections.remove(&conn) {
+            c.route.release(&mut self.state);
+        }
+    }
+
+    /// Finds a new backup leg edge-disjoint from `primary`.
+    fn reprovision_backup(&mut self, primary: &Semilightpath) -> Option<Semilightpath> {
+        let mut banned = vec![false; self.net.link_count()];
+        for e in primary.edges() {
+            banned[e.index()] = true;
+        }
+        let slp =
+            optimal_semilightpath_filtered(self.net, &self.state, primary.src, primary.dst, |e| {
+                !banned[e.index()]
+            })?;
+        slp.occupy(self.net, &mut self.state).ok()?;
+        Some(slp)
+    }
+
+    fn on_failure(&mut self, link: EdgeId) {
+        // Schedule the next failure of the global process.
+        let gap = sample_exp(&mut self.rng, self.cfg.failure_rate);
+        let next_link = self.pick_link();
+        self.queue
+            .schedule(self.now + gap, Event::LinkFailure { link: next_link });
+
+        if self.state.is_failed(link) {
+            return; // already down
+        }
+        self.metrics.failures_injected += 1;
+        self.state.fail_link(link);
+        self.queue.schedule(
+            self.now + sample_exp(&mut self.rng, 1.0 / self.cfg.mean_repair),
+            Event::LinkRepair { link },
+        );
+
+        let affected: Vec<u64> = self
+            .connections
+            .iter()
+            .filter(|(_, c)| match &c.route {
+                ProvisionedRoute::Protected(r) => {
+                    r.primary.edges().any(|e| e == link) || r.backup.edges().any(|e| e == link)
+                }
+                ProvisionedRoute::Unprotected(p) => p.edges().any(|e| e == link),
+            })
+            .map(|(&id, _)| id)
+            .collect();
+
+        for id in affected {
+            let Some(c) = self.connections.get(&id) else {
+                continue;
+            };
+            match c.route.clone() {
+                ProvisionedRoute::Protected(r) => {
+                    let primary_hit = r.primary.edges().any(|e| e == link);
+                    let backup_hit = r.backup.edges().any(|e| e == link);
+                    match (primary_hit, backup_hit) {
+                        (true, false) => {
+                            // Active protection: instant switchover.
+                            self.metrics.fast_switchovers += 1;
+                            self.metrics.recovery_time_sum += self.cfg.switchover_time;
+                            self.metrics.recovery_events += 1;
+                            r.primary.release(&mut self.state);
+                            let new_primary = r.backup;
+                            let new_backup = self.reprovision_backup(&new_primary);
+                            if new_backup.is_some() {
+                                self.metrics.backups_reprovisioned += 1;
+                            }
+                            let conn = self.connections.get_mut(&id).expect("present");
+                            conn.route = match new_backup {
+                                Some(b) => ProvisionedRoute::Protected(RobustRoute {
+                                    primary: new_primary,
+                                    backup: b,
+                                }),
+                                None => ProvisionedRoute::Unprotected(new_primary),
+                            };
+                        }
+                        (false, true) => {
+                            // Backup lost; try to re-protect.
+                            r.backup.release(&mut self.state);
+                            let new_backup = self.reprovision_backup(&r.primary);
+                            if new_backup.is_some() {
+                                self.metrics.backups_reprovisioned += 1;
+                            }
+                            let conn = self.connections.get_mut(&id).expect("present");
+                            conn.route = match new_backup {
+                                Some(b) => ProvisionedRoute::Protected(RobustRoute {
+                                    primary: r.primary,
+                                    backup: b,
+                                }),
+                                None => ProvisionedRoute::Unprotected(r.primary),
+                            };
+                        }
+                        (true, true) => self.passive_recover(id),
+                        (false, false) => unreachable!("connection was in the affected set"),
+                    }
+                }
+                ProvisionedRoute::Unprotected(_) => self.passive_recover(id),
+            }
+        }
+    }
+
+    /// Passive recovery: tear down and try to provision a fresh route now.
+    fn passive_recover(&mut self, id: u64) {
+        let c = self.connections.get(&id).expect("present").clone();
+        c.route.release(&mut self.state);
+        match self.cfg.policy.route(self.net, &self.state, c.src, c.dst) {
+            Ok(route) => {
+                route
+                    .occupy(self.net, &mut self.state)
+                    .expect("fresh route must occupy");
+                self.metrics.passive_recoveries += 1;
+                self.metrics.recovery_time_sum +=
+                    self.cfg.setup_time_per_hop * SimConfig::route_hops(&route) as f64;
+                self.metrics.recovery_events += 1;
+                self.connections.get_mut(&id).expect("present").route = route;
+            }
+            Err(_) => {
+                self.metrics.recovery_failures += 1;
+                self.connections.remove(&id);
+            }
+        }
+    }
+
+    /// Threshold-triggered reconfiguration: move connections off the
+    /// most-loaded link using the §4.2 joint algorithm until the hot link
+    /// cools below the threshold (or no move helps).
+    fn reconfigure(&mut self) {
+        let th = self.cfg.reconfig_threshold.expect("caller checked");
+        let hot = (0..self.net.link_count())
+            .map(EdgeId::from)
+            .max_by(|&a, &b| {
+                self.state
+                    .load(self.net, a)
+                    .partial_cmp(&self.state.load(self.net, b))
+                    .expect("loads are finite")
+            });
+        let Some(hot) = hot else { return };
+
+        let users: Vec<u64> = self
+            .connections
+            .iter()
+            .filter(|(_, c)| match &c.route {
+                ProvisionedRoute::Protected(r) => {
+                    r.primary.edges().any(|e| e == hot) || r.backup.edges().any(|e| e == hot)
+                }
+                ProvisionedRoute::Unprotected(p) => p.edges().any(|e| e == hot),
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        if users.is_empty() {
+            // Nothing to move: the hot link's load is all transit-free
+            // reservation churn; not a reconfiguration.
+            return;
+        }
+        self.metrics.reconfig_events += 1;
+
+        for id in users {
+            if self.state.load(self.net, hot) < th {
+                break;
+            }
+            let c = self.connections.get(&id).expect("present").clone();
+            c.route.release(&mut self.state);
+            // Joint policy with the hot link's channels avoided implicitly by
+            // its congestion weight (and the threshold filter).
+            let moved = wdm_core::joint::find_two_paths_joint(
+                self.net,
+                &self.state,
+                c.src,
+                c.dst,
+                wdm_core::mincog::DEFAULT_CONGESTION_BASE,
+            );
+            let avoids_hot = |r: &RobustRoute| {
+                !r.primary.edges().any(|e| e == hot) && !r.backup.edges().any(|e| e == hot)
+            };
+            match moved {
+                Ok(out) if avoids_hot(&out.route) => {
+                    out.route
+                        .occupy(self.net, &mut self.state)
+                        .expect("fresh route must occupy");
+                    self.metrics.reconfig_moved += 1;
+                    self.connections.get_mut(&id).expect("present").route =
+                        ProvisionedRoute::Protected(out.route);
+                }
+                _ => {
+                    // Restore the original reservation.
+                    c.route
+                        .occupy(self.net, &mut self.state)
+                        .expect("restoring a just-released route cannot fail");
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: run one configuration to completion.
+///
+/// ```
+/// use wdm_core::network::NetworkBuilder;
+/// use wdm_sim::prelude::*;
+///
+/// let net = NetworkBuilder::nsfnet(8).build();
+/// let cfg = SimConfig {
+///     traffic: TrafficModel::new(1.0, 5.0),
+///     duration: 100.0,
+///     ..SimConfig::default_with(Policy::CostOnly, 42)
+/// };
+/// let m = run_sim(&net, cfg);
+/// assert_eq!(m.offered, m.admitted + m.blocked);
+/// assert!(m.peak_network_load <= 1.0);
+/// ```
+pub fn run_sim(net: &WdmNetwork, cfg: SimConfig) -> Metrics {
+    Simulator::new(net, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_core::network::NetworkBuilder;
+
+    fn nsfnet() -> WdmNetwork {
+        NetworkBuilder::nsfnet(8).build()
+    }
+
+    fn base_cfg(policy: Policy, seed: u64) -> SimConfig {
+        SimConfig {
+            policy,
+            traffic: TrafficModel::new(2.0, 5.0),
+            duration: 200.0,
+            failure_rate: 0.0,
+            mean_repair: 10.0,
+            reconfig_threshold: None,
+            seed,
+            switchover_time: 0.001,
+            setup_time_per_hop: 0.05,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = nsfnet();
+        let a = run_sim(&net, base_cfg(Policy::CostOnly, 42));
+        let b = run_sim(&net, base_cfg(Policy::CostOnly, 42));
+        assert_eq!(a, b);
+        let c = run_sim(&net, base_cfg(Policy::CostOnly, 43));
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn conservation_all_released_after_departures() {
+        let net = nsfnet();
+        // Short holding: most connections depart within the horizon.
+        let cfg = SimConfig {
+            traffic: TrafficModel::new(1.0, 1.0),
+            duration: 300.0,
+            ..base_cfg(Policy::CostOnly, 7)
+        };
+        let m = run_sim(&net, cfg);
+        assert!(m.offered > 200);
+        assert!(m.admitted > 0);
+        // Low load: nothing should be blocked on NSFNET with W = 8.
+        assert_eq!(m.blocked, 0);
+        let snap = m.final_snapshot.unwrap();
+        // Only connections still holding at the horizon remain.
+        assert!(snap.channels_in_use < 100);
+    }
+
+    #[test]
+    fn blocking_grows_with_load() {
+        let net = nsfnet();
+        let light = run_sim(
+            &net,
+            SimConfig {
+                traffic: TrafficModel::new(0.5, 5.0),
+                ..base_cfg(Policy::CostOnly, 11)
+            },
+        );
+        let heavy = run_sim(
+            &net,
+            SimConfig {
+                traffic: TrafficModel::new(20.0, 5.0),
+                ..base_cfg(Policy::CostOnly, 11)
+            },
+        );
+        assert!(heavy.blocking_probability() > light.blocking_probability());
+        assert!(heavy.peak_network_load >= light.peak_network_load);
+    }
+
+    #[test]
+    fn failures_trigger_switchovers_for_protected_policy() {
+        let net = nsfnet();
+        let cfg = SimConfig {
+            failure_rate: 0.5,
+            mean_repair: 5.0,
+            traffic: TrafficModel::new(2.0, 20.0),
+            duration: 400.0,
+            ..base_cfg(Policy::CostOnly, 3)
+        };
+        let m = run_sim(&net, cfg);
+        assert!(m.failures_injected > 0);
+        assert!(
+            m.fast_switchovers > 0,
+            "protected connections must use their backups: {m:?}"
+        );
+    }
+
+    #[test]
+    fn primary_only_never_switches_fast() {
+        let net = nsfnet();
+        let cfg = SimConfig {
+            failure_rate: 0.5,
+            mean_repair: 5.0,
+            traffic: TrafficModel::new(2.0, 20.0),
+            duration: 400.0,
+            ..base_cfg(Policy::PrimaryOnly, 3)
+        };
+        let m = run_sim(&net, cfg);
+        assert!(m.failures_injected > 0);
+        assert_eq!(m.fast_switchovers, 0);
+        assert!(m.passive_recoveries + m.recovery_failures > 0);
+    }
+
+    #[test]
+    fn reconfiguration_fires_under_pressure() {
+        let net = nsfnet();
+        let cfg = SimConfig {
+            traffic: TrafficModel::new(12.0, 8.0),
+            duration: 300.0,
+            reconfig_threshold: Some(0.6),
+            ..base_cfg(Policy::CostOnly, 5)
+        };
+        let m = run_sim(&net, cfg);
+        assert!(m.reconfig_events > 0, "expected reconfigurations: {m:?}");
+    }
+
+    #[test]
+    fn recovery_time_active_is_much_smaller_than_passive() {
+        let net = nsfnet();
+        let mk = |policy| SimConfig {
+            failure_rate: 0.5,
+            mean_repair: 5.0,
+            traffic: TrafficModel::new(2.0, 20.0),
+            duration: 400.0,
+            ..base_cfg(policy, 3)
+        };
+        let active = run_sim(&net, mk(Policy::CostOnly));
+        let passive = run_sim(&net, mk(Policy::PrimaryOnly));
+        assert!(active.recovery_events > 0);
+        assert!(passive.recovery_events > 0);
+        // Active recoveries are dominated by 0.001 switchovers; passive ones
+        // pay >= 0.05 per hop (at least one hop).
+        assert!(
+            active.mean_recovery_time() < passive.mean_recovery_time() / 2.0,
+            "active {} vs passive {}",
+            active.mean_recovery_time(),
+            passive.mean_recovery_time()
+        );
+        assert!(passive.mean_recovery_time() >= 0.05);
+    }
+
+    #[test]
+    fn time_weighted_load_is_consistent() {
+        let net = nsfnet();
+        let m = run_sim(
+            &net,
+            SimConfig {
+                traffic: TrafficModel::new(4.0, 10.0),
+                duration: 300.0,
+                ..base_cfg(Policy::CostOnly, 21)
+            },
+        );
+        let tavg = m.time_avg_network_load();
+        assert!(tavg > 0.0 && tavg <= 1.0 + 1e-9, "time-avg {tavg}");
+        assert!(tavg <= m.peak_network_load + 1e-9);
+        // Arrival-sampled and time-weighted means agree loosely under
+        // Poisson sampling (PASTA); allow generous slack.
+        assert!(
+            (tavg - m.mean_network_load()).abs() < 0.15,
+            "time-avg {tavg} vs sampled {}",
+            m.mean_network_load()
+        );
+    }
+
+    #[test]
+    fn joint_policy_runs_end_to_end() {
+        let net = nsfnet();
+        let m = run_sim(&net, base_cfg(Policy::Joint { a: 2.0 }, 9));
+        assert!(m.admitted > 0);
+        assert!(m.mean_route_cost() > 0.0);
+    }
+}

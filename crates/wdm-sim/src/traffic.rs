@@ -1,0 +1,242 @@
+//! Dynamic traffic generation: Poisson arrivals, exponential holding times,
+//! random node pairs — the standard model of the works the paper cites
+//! (Mohan–Somani, Mokhtar–Azizoglu, Kodialam–Lakshman).
+
+use rand::Rng;
+use wdm_graph::NodeId;
+
+/// Holding-time distribution (all parameterised by their mean).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum HoldingDist {
+    /// Exponential (memoryless — the classic Erlang model).
+    Exponential,
+    /// Deterministic (every connection holds exactly the mean).
+    Deterministic,
+    /// Pareto with shape `alpha > 1` (heavy-tailed session lengths;
+    /// `alpha ≤ 2` has infinite variance). Scale is derived from the mean.
+    Pareto {
+        /// Tail index (must exceed 1 for a finite mean).
+        alpha: f64,
+    },
+}
+
+/// How request endpoints are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PairSelection {
+    /// Uniform over ordered pairs of distinct nodes.
+    Uniform,
+    /// A fraction `bias` of requests terminate at `hub` (datacenter-style
+    /// hotspot traffic); the rest are uniform.
+    Hotspot {
+        /// The hotspot node.
+        hub: u32,
+        /// Fraction of requests whose destination is the hub (0..1).
+        bias: f64,
+    },
+}
+
+/// Traffic process parameters.
+///
+/// Offered load in Erlangs is `arrival_rate × mean_holding`.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrafficModel {
+    /// Request arrival rate `λ` (per time unit, Poisson).
+    pub arrival_rate: f64,
+    /// Mean connection holding time `1/μ`.
+    pub mean_holding: f64,
+    /// Holding-time distribution.
+    pub holding_dist: HoldingDist,
+    /// Endpoint selection.
+    pub pairs: PairSelection,
+}
+
+impl TrafficModel {
+    /// Creates the classic model: Poisson arrivals, exponential holding,
+    /// uniform pairs. Both parameters must be positive.
+    pub fn new(arrival_rate: f64, mean_holding: f64) -> Self {
+        assert!(arrival_rate > 0.0 && mean_holding > 0.0);
+        Self {
+            arrival_rate,
+            mean_holding,
+            holding_dist: HoldingDist::Exponential,
+            pairs: PairSelection::Uniform,
+        }
+    }
+
+    /// Replaces the holding-time distribution (builder style).
+    pub fn with_holding(mut self, dist: HoldingDist) -> Self {
+        if let HoldingDist::Pareto { alpha } = dist {
+            assert!(alpha > 1.0, "Pareto needs alpha > 1 for a finite mean");
+        }
+        self.holding_dist = dist;
+        self
+    }
+
+    /// Replaces the endpoint selection (builder style).
+    pub fn with_pairs(mut self, pairs: PairSelection) -> Self {
+        if let PairSelection::Hotspot { bias, .. } = pairs {
+            assert!((0.0..=1.0).contains(&bias));
+        }
+        self.pairs = pairs;
+        self
+    }
+
+    /// Offered load in Erlangs.
+    pub fn erlangs(&self) -> f64 {
+        self.arrival_rate * self.mean_holding
+    }
+
+    /// Samples the next inter-arrival gap.
+    pub fn next_interarrival(&self, rng: &mut impl Rng) -> f64 {
+        sample_exp(rng, self.arrival_rate)
+    }
+
+    /// Samples a holding time from the configured distribution.
+    pub fn holding(&self, rng: &mut impl Rng) -> f64 {
+        match self.holding_dist {
+            HoldingDist::Exponential => sample_exp(rng, 1.0 / self.mean_holding),
+            HoldingDist::Deterministic => self.mean_holding,
+            HoldingDist::Pareto { alpha } => {
+                // mean = scale * alpha / (alpha - 1)  =>  scale from mean.
+                let scale = self.mean_holding * (alpha - 1.0) / alpha;
+                let u: f64 = 1.0 - rng.gen::<f64>();
+                scale / u.powf(1.0 / alpha)
+            }
+        }
+    }
+
+    /// Draws the endpoints of one request.
+    pub fn draw_pair(&self, n: usize, rng: &mut impl Rng) -> (NodeId, NodeId) {
+        match self.pairs {
+            PairSelection::Uniform => random_pair(n, rng),
+            PairSelection::Hotspot { hub, bias } => {
+                let hub = hub as usize % n;
+                if rng.gen_bool(bias) {
+                    // Destination pinned to the hub; source uniform != hub.
+                    let mut s = rng.gen_range(0..n - 1);
+                    if s >= hub {
+                        s += 1;
+                    }
+                    (NodeId::from(s), NodeId::from(hub))
+                } else {
+                    random_pair(n, rng)
+                }
+            }
+        }
+    }
+}
+
+/// Exponential sample with rate `rate` via inverse transform.
+pub fn sample_exp(rng: &mut impl Rng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    // gen::<f64>() ∈ [0,1); flip so ln's argument is in (0,1].
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Uniform random ordered pair of distinct nodes.
+pub fn random_pair(n: usize, rng: &mut impl Rng) -> (NodeId, NodeId) {
+    assert!(n >= 2, "need at least two nodes for a request");
+    let s = rng.gen_range(0..n);
+    let mut t = rng.gen_range(0..n - 1);
+    if t >= s {
+        t += 1;
+    }
+    (NodeId::from(s), NodeId::from(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let model = TrafficModel::new(2.0, 5.0);
+        let n = 20_000;
+        let mean_gap: f64 = (0..n)
+            .map(|_| model.next_interarrival(&mut rng))
+            .sum::<f64>()
+            / n as f64;
+        let mean_hold: f64 = (0..n).map(|_| model.holding(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean_gap - 0.5).abs() < 0.02, "gap mean {mean_gap}");
+        assert!((mean_hold - 5.0).abs() < 0.2, "hold mean {mean_hold}");
+        assert_eq!(model.erlangs(), 10.0);
+    }
+
+    #[test]
+    fn pairs_are_distinct_and_cover() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = [false; 5 * 5];
+        for _ in 0..5000 {
+            let (s, t) = random_pair(5, &mut rng);
+            assert_ne!(s, t);
+            seen[s.index() * 5 + t.index()] = true;
+        }
+        // All 20 ordered pairs should occur.
+        let count = seen.iter().filter(|&&b| b).count();
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn deterministic_holding_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = TrafficModel::new(1.0, 7.5).with_holding(HoldingDist::Deterministic);
+        for _ in 0..10 {
+            assert_eq!(m.holding(&mut rng), 7.5);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_is_close_and_heavy_tailed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = TrafficModel::new(1.0, 5.0).with_holding(HoldingDist::Pareto { alpha: 2.5 });
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.holding(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.25, "pareto mean {mean}");
+        // Minimum equals the scale; heavy tail shows extreme maxima.
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 40.0, "no heavy tail? max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 1")]
+    fn pareto_rejects_infinite_mean() {
+        let _ = TrafficModel::new(1.0, 5.0).with_holding(HoldingDist::Pareto { alpha: 1.0 });
+    }
+
+    #[test]
+    fn hotspot_bias_concentrates_destinations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let m =
+            TrafficModel::new(1.0, 5.0).with_pairs(PairSelection::Hotspot { hub: 3, bias: 0.7 });
+        let mut to_hub = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            let (s, t) = m.draw_pair(10, &mut rng);
+            assert_ne!(s, t);
+            if t == NodeId(3) {
+                to_hub += 1;
+            }
+        }
+        let frac = to_hub as f64 / trials as f64;
+        // 0.7 pinned + ~0.3/9 uniform mass.
+        assert!((frac - 0.733).abs() < 0.03, "hub fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..10).map(|_| sample_exp(&mut rng, 1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..10).map(|_| sample_exp(&mut rng, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,83 @@
+//! Analytic validation of the simulator against the Erlang-B formula.
+//!
+//! A two-node network with one fibre of `W` channels, unprotected
+//! provisioning, Poisson arrivals and exponential holding is *exactly* an
+//! M/M/c/c loss system: measured blocking must converge to
+//! `ErlangB(A, W)`. This pins down the correctness of the arrival process,
+//! the holding-time sampling, the event ordering and the channel
+//! accounting all at once.
+
+use wdm_core::conversion::ConversionTable;
+use wdm_core::network::NetworkBuilder;
+use wdm_sim::metrics::erlang_b;
+use wdm_sim::parallel::run_replications;
+use wdm_sim::policy::Policy;
+use wdm_sim::sim::SimConfig;
+use wdm_sim::traffic::TrafficModel;
+
+fn single_fibre(w: usize) -> wdm_core::network::WdmNetwork {
+    let mut b = NetworkBuilder::new(w);
+    let n0 = b.add_node(ConversionTable::None);
+    let n1 = b.add_node(ConversionTable::None);
+    // Both directions so every (s, t) draw is routable; each direction is
+    // its own c-server system.
+    b.add_link(n0, n1, 1.0);
+    b.add_link(n1, n0, 1.0);
+    b.build()
+}
+
+/// Measured blocking on the single-fibre network at `erlangs` offered load
+/// per direction (total arrival rate is split uniformly over the two
+/// ordered pairs).
+fn measured_blocking(w: usize, erlangs_per_direction: f64, seeds: usize) -> f64 {
+    let net = single_fibre(w);
+    // Total arrival rate = 2 directions × per-direction rate.
+    let cfg = SimConfig {
+        policy: Policy::PrimaryOnly,
+        traffic: TrafficModel::new(2.0 * erlangs_per_direction / 10.0, 10.0),
+        duration: 6000.0,
+        failure_rate: 0.0,
+        mean_repair: 1.0,
+        reconfig_threshold: None,
+        seed: 0,
+        switchover_time: 0.001,
+        setup_time_per_hop: 0.05,
+    };
+    let runs = run_replications(&net, cfg, &(0..seeds as u64).collect::<Vec<_>>());
+    let blocked: u64 = runs.iter().map(|m| m.blocked).sum();
+    let offered: u64 = runs.iter().map(|m| m.offered).sum();
+    blocked as f64 / offered as f64
+}
+
+#[test]
+fn blocking_matches_erlang_b_light_load() {
+    // A = 2 Erlang per direction over 4 channels: B ≈ 0.0952.
+    let analytic = erlang_b(2.0, 4);
+    let measured = measured_blocking(4, 2.0, 4);
+    assert!(
+        (measured - analytic).abs() < 0.015,
+        "measured {measured:.4} vs Erlang-B {analytic:.4}"
+    );
+}
+
+#[test]
+fn blocking_matches_erlang_b_heavy_load() {
+    // A = 8 Erlang per direction over 8 channels: B ≈ 0.2356.
+    let analytic = erlang_b(8.0, 8);
+    let measured = measured_blocking(8, 8.0, 4);
+    assert!(
+        (measured - analytic).abs() < 0.02,
+        "measured {measured:.4} vs Erlang-B {analytic:.4}"
+    );
+}
+
+#[test]
+fn blocking_matches_erlang_b_overload() {
+    // A = 12 Erlang per direction over 6 channels: B ≈ 0.5408.
+    let analytic = erlang_b(12.0, 6);
+    let measured = measured_blocking(6, 12.0, 4);
+    assert!(
+        (measured - analytic).abs() < 0.02,
+        "measured {measured:.4} vs Erlang-B {analytic:.4}"
+    );
+}

@@ -1,0 +1,58 @@
+//! Failure recovery: active (pre-provisioned backup) vs passive (recompute
+//! on failure) protection under fibre cuts — the paper's §1 motivation.
+//!
+//! ```sh
+//! cargo run --release --example failure_recovery
+//! ```
+
+use wdm_robust_routing::prelude::*;
+
+fn main() {
+    let net = NetworkBuilder::nsfnet(16).build();
+    let seeds: Vec<u64> = (0..8).collect();
+
+    println!("NSFNET, W = 16, fibre-cut rate 0.2/unit, mean repair 20 units");
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>10} {:>12}",
+        "policy", "failures", "switchovers", "passive", "dropped", "fast ratio"
+    );
+    for policy in [
+        Policy::CostOnly,    // active protection (paper)
+        Policy::PrimaryOnly, // passive approach
+    ] {
+        let cfg = SimConfig {
+            policy,
+            traffic: TrafficModel::new(4.0, 15.0),
+            duration: 2000.0,
+            failure_rate: 0.2,
+            mean_repair: 20.0,
+            reconfig_threshold: None,
+            seed: 0,
+            switchover_time: 0.001,
+            setup_time_per_hop: 0.05,
+        };
+        let runs = run_replications(&net, cfg, &seeds);
+        let sum = |f: fn(&Metrics) -> u64| runs.iter().map(f).sum::<u64>();
+        let failures = sum(|m| m.failures_injected);
+        let fast = sum(|m| m.fast_switchovers);
+        let passive = sum(|m| m.passive_recoveries);
+        let dropped = sum(|m| m.recovery_failures);
+        let ratio = if fast + passive + dropped > 0 {
+            fast as f64 / (fast + passive + dropped) as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<16} {:>9} {:>12} {:>12} {:>10} {:>11.1}%",
+            policy.name(),
+            failures,
+            fast,
+            passive,
+            dropped,
+            ratio * 100.0
+        );
+    }
+    println!("\nActive protection answers almost every cut with an instant");
+    println!("switchover; the passive policy must recompute routes under");
+    println!("post-failure resource pressure and drops what it cannot fit.");
+}

@@ -1,0 +1,61 @@
+//! Extensions beyond the paper: node-disjoint protection (survives router
+//! failures, not just fibre cuts) and k-disjoint fans (multiple backups).
+//!
+//! ```sh
+//! cargo run --example multi_protection
+//! ```
+
+use wdm_robust_routing::core::multi::find_k_disjoint;
+use wdm_robust_routing::prelude::*;
+
+fn main() {
+    let net = NetworkBuilder::nsfnet(8).build();
+    let state = ResidualState::fresh(&net);
+    let (s, t) = (NodeId(0), NodeId(8));
+
+    // Edge-disjoint (the paper's §3.3): survives any single fibre cut.
+    let edge = RobustRouteFinder::new(&net).find(&state, s, t).unwrap();
+    println!(
+        "edge-disjoint pair : cost {:.1} ({} + {} hops)",
+        edge.total_cost(),
+        edge.primary.len(),
+        edge.backup.len()
+    );
+
+    // Node-disjoint: additionally survives any single router failure.
+    let node = find_node_disjoint(&net, &state, s, t).unwrap();
+    println!(
+        "node-disjoint pair : cost {:.1} ({} + {} hops)",
+        node.total_cost(),
+        node.primary.len(),
+        node.backup.len()
+    );
+    assert!(
+        !node
+            .primary
+            .physical_path()
+            .shares_interior_node_with(&node.backup.physical_path(), net.graph()),
+        "legs must not share interior routers"
+    );
+    assert!(node.total_cost() + 1e-9 >= edge.total_cost());
+
+    // k-disjoint fan: a primary plus two simultaneous backups.
+    let fan = find_k_disjoint(&net, &state, s, t, 3).unwrap();
+    println!("3-disjoint fan     : cost {:.1}", fan.total_cost());
+    for (i, leg) in fan.legs.iter().enumerate() {
+        let role = if i == 0 { "primary " } else { "backup  " };
+        println!(
+            "  {role}: {} hops, cost {:.1}, wavelengths {:?}",
+            leg.len(),
+            leg.cost,
+            leg.hops.iter().map(|h| h.wavelength).collect::<Vec<_>>()
+        );
+    }
+    assert!(fan.is_edge_disjoint());
+
+    // Degree limits cap the fan size: asking for more reports cleanly.
+    match find_k_disjoint(&net, &state, s, t, 5) {
+        Err(e) => println!("5-disjoint fan     : {e}"),
+        Ok(f) => println!("5-disjoint fan     : cost {:.1}", f.total_cost()),
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: provision a protected connection on NSFNET.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use wdm_robust_routing::prelude::*;
+
+fn main() {
+    // The classic 14-node NSFNET backbone, 8 wavelengths per fibre,
+    // full wavelength conversion at every node.
+    let net = NetworkBuilder::nsfnet(8).build();
+    let mut state = ResidualState::fresh(&net);
+
+    // Request: Seattle (0) -> DC (13).
+    let (s, t) = (NodeId(0), NodeId(13));
+    let finder = RobustRouteFinder::new(&net);
+    let route = finder
+        .find(&state, s, t)
+        .expect("NSFNET is 2-edge-connected, a disjoint pair exists");
+
+    assert!(route.is_edge_disjoint());
+    println!("request {s} -> {t}");
+    println!(
+        "  primary: {} hops, {} conversions, cost {:.2}",
+        route.primary.len(),
+        route.primary.conversion_count(),
+        route.primary.cost
+    );
+    for hop in &route.primary.hops {
+        let (u, v) = net.endpoints(hop.edge);
+        println!("    {u} -> {v} on {}", hop.wavelength);
+    }
+    println!(
+        "  backup : {} hops, {} conversions, cost {:.2}",
+        route.backup.len(),
+        route.backup.conversion_count(),
+        route.backup.cost
+    );
+    for hop in &route.backup.hops {
+        let (u, v) = net.endpoints(hop.edge);
+        println!("    {u} -> {v} on {}", hop.wavelength);
+    }
+
+    // Reserve the channels; the residual network shrinks accordingly.
+    route.occupy(&net, &mut state).expect("channels are free");
+    let snap = load_snapshot(&net, &state);
+    println!(
+        "network load after provisioning: max {:.3}, mean {:.3}, {} channels in use",
+        snap.max, snap.mean, snap.channels_in_use
+    );
+
+    // A second request between the same endpoints still succeeds: the
+    // reserved wavelengths are avoided automatically.
+    let second = finder.find(&state, s, t).expect("capacity remains");
+    println!(
+        "second request total cost {:.2} (first was {:.2})",
+        second.total_cost(),
+        route.total_cost()
+    );
+}

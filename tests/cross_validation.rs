@@ -1,0 +1,143 @@
+//! Cross-crate property tests: independent implementations must agree.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_robust_routing::graph::mincostflow::min_cost_disjoint_paths;
+use wdm_robust_routing::graph::suurballe::edge_disjoint_pair;
+use wdm_robust_routing::graph::{DiGraph, NodeId};
+use wdm_robust_routing::prelude::*;
+
+// Suurballe and min-cost flow must agree on every random digraph.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn suurballe_equals_min_cost_flow(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = rng.gen_range(4..12u32);
+        let mut arcs = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(0.35) {
+                    arcs.push((u, v, rng.gen_range(1..100) as f64));
+                }
+            }
+        }
+        let g = DiGraph::weighted(n as usize, &arcs);
+        let s = NodeId(0);
+        let t = NodeId(n - 1);
+        let a = edge_disjoint_pair(&g, s, t, |e| g.weight(e));
+        let b = min_cost_disjoint_paths(&g, s, t, 2, |e| g.weight(e));
+        match (a, b) {
+            (None, None) => {}
+            (Some(pair), Some((paths, cost))) => {
+                prop_assert!((pair.total_cost - cost).abs() < 1e-6);
+                prop_assert!(!paths[0].shares_edge_with(&paths[1]));
+                prop_assert!(pair.is_edge_disjoint());
+            }
+            (a, b) => prop_assert!(false, "existence mismatch {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The §3.3 finder's output is always a pair of valid, edge-disjoint
+    /// semilightpaths whose cost matches the Eq. 1 recomputation.
+    #[test]
+    fn robust_routes_are_always_valid(seed in 0u64..5_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = rng.gen_range(4..10usize);
+        let w = rng.gen_range(1..5usize);
+        let mut b = NetworkBuilder::new(w);
+        for _ in 0..n {
+            let conv = match rng.gen_range(0..3) {
+                0 => ConversionTable::None,
+                1 => ConversionTable::Full { cost: rng.gen_range(0.0..2.0) },
+                _ => ConversionTable::Range { range: 1, cost: rng.gen_range(0.0..2.0) },
+            };
+            b.add_node(conv);
+        }
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v && rng.gen_bool(0.4) {
+                    let mut set = WavelengthSet::empty();
+                    for l in 0..w {
+                        if rng.gen_bool(0.8) {
+                            set.insert(Wavelength(l as u8));
+                        }
+                    }
+                    if set.is_empty() {
+                        set.insert(Wavelength(0));
+                    }
+                    b.add_link_with(NodeId(u), NodeId(v), rng.gen_range(0.5..20.0), set);
+                }
+            }
+        }
+        let net = b.build();
+        let mut state = ResidualState::fresh(&net);
+        // Random occupancy.
+        for ei in 0..net.link_count() {
+            let e = wdm_robust_routing::graph::EdgeId::from(ei);
+            for l in net.lambda(e).iter() {
+                if rng.gen_bool(0.2) {
+                    let _ = state.occupy(&net, e, l);
+                }
+            }
+        }
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        if let Ok(route) = RobustRouteFinder::new(&net).find(&state, s, t) {
+            prop_assert!(route.is_edge_disjoint());
+            prop_assert!(route.primary.validate(&net, &state).is_ok());
+            prop_assert!(route.backup.validate(&net, &state).is_ok());
+            prop_assert!((route.primary.recompute_cost(&net) - route.primary.cost).abs() < 1e-9);
+            prop_assert!((route.backup.recompute_cost(&net) - route.backup.cost).abs() < 1e-9);
+            prop_assert!(route.primary.cost <= route.backup.cost);
+            // Occupying and releasing is an exact inverse.
+            let before = state.clone();
+            let mut st = state.clone();
+            route.occupy(&net, &mut st).unwrap();
+            route.release(&mut st);
+            prop_assert_eq!(before, st);
+        }
+    }
+
+    /// Baseline dominance: nothing beats the exact optimum, and the paper's
+    /// §3.3 algorithm is never worse than the unrefined variant.
+    #[test]
+    fn policy_cost_ordering(seed in 0u64..2_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = rng.gen_range(4..7usize);
+        let mut b = NetworkBuilder::new(2);
+        for _ in 0..n {
+            b.add_node(ConversionTable::Full { cost: rng.gen_range(0.0..0.5) });
+        }
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v && rng.gen_bool(0.5) {
+                    b.add_link(NodeId(u), NodeId(v), rng.gen_range(1.0..10.0));
+                }
+            }
+        }
+        let net = b.build();
+        let state = ResidualState::fresh(&net);
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let approx = RobustRouteFinder::new(&net).find(&state, s, t);
+        let (exact, stats) =
+            wdm_robust_routing::core::exact::exhaustive_best_pair(&net, &state, s, t, 50_000);
+        prop_assert!(!stats.truncated);
+        if let (Ok(a), Some(e)) = (&approx, &exact) {
+            prop_assert!(a.total_cost() + 1e-9 >= e.total_cost());
+            // Unrefined (when it succeeds) is never better than refined.
+            if let Ok(u) =
+                wdm_robust_routing::core::baselines::suurballe_unrefined(&net, &state, s, t)
+            {
+                prop_assert!(a.total_cost() <= u.total_cost() + 1e-9);
+            }
+            // Two-step (when it succeeds) is also bounded below by exact.
+            if let Ok(ts) = wdm_robust_routing::core::baselines::two_step_pair(&net, &state, s, t) {
+                prop_assert!(ts.total_cost() + 1e-9 >= e.total_cost());
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Experiments T2 / T3 / L2 in test form: the paper's approximation
+//! guarantees hold empirically on randomized instances.
+//!
+//! * Theorem 2: §3.3 cost ≤ 2 × exact optimum (premise: conversion cost at a
+//!   node ≤ cost of any incident link).
+//! * Theorem 3: MinCog threshold ≤ 3 × the exact minimal feasible threshold.
+//! * Lemma 2: refined cost ≤ auxiliary (unrefined) cost; refined legs stay
+//!   edge-disjoint.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_robust_routing::core::exact::{exhaustive_best_pair, ilp_best_pair};
+use wdm_robust_routing::core::mincog::{exact_min_load_threshold, find_two_paths_mincog};
+use wdm_robust_routing::graph::EdgeId;
+use wdm_robust_routing::prelude::*;
+
+/// Random small premise-satisfying network: n ≤ 9 nodes, random links,
+/// uniform per-link costs ≥ 1, full conversion cost ≤ min link cost.
+fn random_net(rng: &mut ChaCha8Rng, n: usize, w: usize, link_p: f64) -> WdmNetwork {
+    let conv_cost = rng.gen_range(0.0..1.0); // <= every link cost (>= 1)
+    let mut b = NetworkBuilder::new(w);
+    for _ in 0..n {
+        b.add_node(ConversionTable::Full { cost: conv_cost });
+    }
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen_bool(link_p) {
+                // Random availability, never empty.
+                let mut set = WavelengthSet::empty();
+                for l in 0..w {
+                    if rng.gen_bool(0.7) {
+                        set.insert(Wavelength(l as u8));
+                    }
+                }
+                if set.is_empty() {
+                    set.insert(Wavelength(rng.gen_range(0..w) as u8));
+                }
+                b.add_link_with(
+                    NodeId(u as u32),
+                    NodeId(v as u32),
+                    rng.gen_range(1.0..10.0),
+                    set,
+                );
+            }
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn theorem2_ratio_against_exhaustive() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2001);
+    let mut measured = Vec::new();
+    let mut feasible = 0;
+    for _ in 0..120 {
+        let n = rng.gen_range(4..8);
+        let net = random_net(&mut rng, n, 3, 0.4);
+        assert!(net.satisfies_ratio_premise());
+        let st = ResidualState::fresh(&net);
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let approx = RobustRouteFinder::new(&net).find(&st, s, t);
+        let (exact, stats) = exhaustive_best_pair(&net, &st, s, t, 20_000);
+        assert!(!stats.truncated);
+        match (approx, exact) {
+            (Ok(a), Some(e)) => {
+                feasible += 1;
+                let ratio = a.total_cost() / e.total_cost();
+                assert!(
+                    ratio <= 2.0 + 1e-9,
+                    "Theorem 2 violated: approx {} vs exact {}",
+                    a.total_cost(),
+                    e.total_cost()
+                );
+                assert!(ratio >= 1.0 - 1e-9, "approx below exact?!");
+                measured.push(ratio);
+            }
+            (Err(_), None) => {} // consistently infeasible
+            // The aux-graph reduction is complete: if Suurballe finds no
+            // pair in G', none exists in G. The converse must hold too.
+            (a, e) => panic!(
+                "feasibility mismatch: {a:?} vs {:?}",
+                e.map(|r| r.total_cost())
+            ),
+        }
+    }
+    assert!(feasible >= 30, "not enough feasible instances ({feasible})");
+    let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+    // Typical quality is far below the worst-case bound.
+    assert!(mean < 1.25, "mean ratio suspiciously high: {mean}");
+}
+
+#[test]
+fn ilp_agrees_with_exhaustive_on_small_instances() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let mut checked = 0;
+    for _ in 0..25 {
+        let n = rng.gen_range(4..6);
+        let net = random_net(&mut rng, n, 2, 0.45);
+        let st = ResidualState::fresh(&net);
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let (ex, stats) = exhaustive_best_pair(&net, &st, s, t, 20_000);
+        assert!(!stats.truncated);
+        let (ilp, _) = ilp_best_pair(&net, &st, s, t, &Default::default()).unwrap();
+        match (ex, ilp) {
+            (Some(a), Some(b)) => {
+                checked += 1;
+                assert!(
+                    (a.total_cost() - b.total_cost()).abs() < 1e-5,
+                    "exhaustive {} vs ILP {}",
+                    a.total_cost(),
+                    b.total_cost()
+                );
+            }
+            (None, None) => {}
+            (a, b) => panic!(
+                "feasibility mismatch: exhaustive {:?} vs ilp {:?}",
+                a.map(|r| r.total_cost()),
+                b.map(|r| r.total_cost())
+            ),
+        }
+    }
+    assert!(checked >= 5, "not enough feasible instances ({checked})");
+}
+
+#[test]
+fn theorem3_bottleneck_ratio() {
+    use wdm_robust_routing::core::mincog::route_bottleneck_load;
+    let mut rng = ChaCha8Rng::seed_from_u64(3001);
+    let mut feasible = 0;
+    for _ in 0..60 {
+        let n = rng.gen_range(5..9);
+        // Uniform capacities (full complements) so Theorem 3's constant
+        // applies exactly: 2x from the doubling schedule + 1 from the
+        // current-vs-prospective 1/N admission offset.
+        let mut b = NetworkBuilder::new(4);
+        for _ in 0..n {
+            b.add_node(ConversionTable::Full { cost: 0.5 });
+        }
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(0.5) {
+                    b.add_link(NodeId(u as u32), NodeId(v as u32), rng.gen_range(1.0..10.0));
+                }
+            }
+        }
+        let net = b.build();
+        let mut st = ResidualState::fresh(&net);
+        // Random pre-load.
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            for l in net.lambda(e).iter() {
+                if rng.gen_bool(0.3) {
+                    let _ = st.occupy(&net, e, l);
+                }
+            }
+        }
+        let s = NodeId(0);
+        let t = NodeId(n as u32 - 1);
+        let heur = find_two_paths_mincog(&net, &st, s, t, 2.0);
+        let exact = exact_min_load_threshold(&net, &st, s, t, 2.0);
+        match (heur, exact) {
+            (Ok(h), Ok(e)) => {
+                feasible += 1;
+                let b_heur = route_bottleneck_load(&net, &st, &h.route);
+                assert!(
+                    b_heur <= 3.0 * e.threshold + 1e-6,
+                    "Theorem 3 violated: bottleneck {} vs exact {}",
+                    b_heur,
+                    e.threshold
+                );
+                assert!(b_heur + 1e-9 >= e.threshold, "heuristic beat the optimum?!");
+                assert!(h.route.is_edge_disjoint());
+            }
+            (Err(_), Err(_)) => {}
+            (h, e) => panic!("feasibility mismatch: {h:?} vs {e:?}"),
+        }
+    }
+    assert!(feasible >= 15, "not enough feasible instances ({feasible})");
+}
+
+#[test]
+fn lemma2_refinement_dominates_and_preserves_disjointness() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut feasible = 0;
+    for _ in 0..150 {
+        let n = rng.gen_range(4..9);
+        let net = random_net(&mut rng, n, 3, 0.45);
+        let st = ResidualState::fresh(&net);
+        let s = NodeId(rng.gen_range(0..n as u32));
+        let mut t = NodeId(rng.gen_range(0..n as u32));
+        if s == t {
+            t = NodeId((t.0 + 1) % n as u32);
+        }
+        if let Ok((route, diag)) = RobustRouteFinder::new(&net).find_with_diagnostics(&st, s, t) {
+            feasible += 1;
+            assert!(
+                diag.refined_cost <= diag.aux_cost + 1e-9,
+                "Lemma 2 violated: refined {} > aux {}",
+                diag.refined_cost,
+                diag.aux_cost
+            );
+            assert!(route.is_edge_disjoint(), "Lemma 2 disjointness violated");
+            route.primary.validate(&net, &st).unwrap();
+            route.backup.validate(&net, &st).unwrap();
+        }
+    }
+    assert!(feasible >= 40, "not enough feasible instances ({feasible})");
+}

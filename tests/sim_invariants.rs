@@ -1,0 +1,148 @@
+//! Simulator invariants across crates: accounting identities, recovery
+//! semantics, and the qualitative claims C1/C2 in miniature.
+
+use wdm_robust_routing::prelude::*;
+
+fn nsfnet(w: usize) -> WdmNetwork {
+    NetworkBuilder::nsfnet(w).build()
+}
+
+fn cfg(policy: Policy, seed: u64) -> SimConfig {
+    SimConfig {
+        policy,
+        traffic: TrafficModel::new(4.0, 10.0),
+        duration: 500.0,
+        failure_rate: 0.0,
+        mean_repair: 10.0,
+        reconfig_threshold: None,
+        seed,
+        switchover_time: 0.001,
+        setup_time_per_hop: 0.05,
+    }
+}
+
+#[test]
+fn accounting_identity_offered_equals_admitted_plus_blocked() {
+    let net = nsfnet(8);
+    for policy in [
+        Policy::CostOnly,
+        Policy::Joint { a: 2.0 },
+        Policy::TwoStep,
+        Policy::PrimaryOnly,
+    ] {
+        let m = run_sim(&net, cfg(policy, 123));
+        assert_eq!(m.offered, m.admitted + m.blocked, "{}", policy.name());
+        assert!(m.load_samples == m.offered);
+        assert!(m.peak_network_load <= 1.0 + 1e-9);
+        assert!(m.mean_network_load() <= m.peak_network_load);
+    }
+}
+
+#[test]
+fn active_protection_recovers_instantly_passive_cannot() {
+    // The paper's C2 claim is about *recovery latency*: the active approach
+    // answers a primary-path cut with a pre-provisioned backup (no
+    // re-computation, no setup failure risk at cut time), while the passive
+    // approach must re-establish a connection under post-failure resource
+    // pressure. (A drop-rate comparison between the two policies would be
+    // confounded: protection reserves twice the channels, so the residual
+    // capacity differs.)
+    let net = nsfnet(16);
+    let mk = |policy| SimConfig {
+        failure_rate: 0.3,
+        mean_repair: 15.0,
+        traffic: TrafficModel::new(3.0, 20.0),
+        duration: 800.0,
+        ..cfg(policy, 99)
+    };
+    let seeds: Vec<u64> = (0..3).collect();
+    let active = run_replications(&net, mk(Policy::CostOnly), &seeds);
+    let passive = run_replications(&net, mk(Policy::PrimaryOnly), &seeds);
+    let fast: u64 = active.iter().map(|m| m.fast_switchovers).sum();
+    let active_hits: u64 = active
+        .iter()
+        .map(|m| m.fast_switchovers + m.passive_recoveries + m.recovery_failures)
+        .sum();
+    assert!(fast > 0, "active protection must switch over");
+    assert!(
+        fast as f64 / active_hits as f64 > 0.5,
+        "most primary cuts should be answered instantly: {fast}/{active_hits}"
+    );
+    // The passive policy by construction never recovers instantly.
+    assert_eq!(passive.iter().map(|m| m.fast_switchovers).sum::<u64>(), 0);
+    assert!(passive
+        .iter()
+        .any(|m| m.passive_recoveries + m.recovery_failures > 0));
+}
+
+#[test]
+fn joint_policy_flattens_load_claim_c1() {
+    // C1's mechanism: load-aware routing keeps the *maximum* link load lower
+    // at equal offered traffic, so the network crosses the reconfiguration
+    // threshold later/less often. We assert the mechanism (mean sampled
+    // network load), which is monotone and far less noisy than raw
+    // reconfiguration event counts at one specific threshold; the
+    // exp_dynamic_sim binary reports the reconfiguration counts themselves
+    // across a load sweep.
+    let net = nsfnet(8);
+    let mk = |policy| SimConfig {
+        traffic: TrafficModel::new(4.0, 10.0),
+        duration: 400.0,
+        ..cfg(policy, 7)
+    };
+    let seeds: Vec<u64> = (0..4).collect();
+    let cost_only = run_replications(&net, mk(Policy::CostOnly), &seeds);
+    let joint = run_replications(
+        &net,
+        mk(Policy::Joint {
+            a: std::f64::consts::E,
+        }),
+        &seeds,
+    );
+    let mean_load =
+        |ms: &[Metrics]| ms.iter().map(|m| m.mean_network_load()).sum::<f64>() / ms.len() as f64;
+    assert!(
+        mean_load(&joint) <= mean_load(&cost_only) + 0.02,
+        "joint {} vs cost-only {} mean network load",
+        mean_load(&joint),
+        mean_load(&cost_only)
+    );
+}
+
+#[test]
+fn repairs_restore_capacity() {
+    let net = nsfnet(8);
+    let m = run_sim(
+        &net,
+        SimConfig {
+            failure_rate: 1.0,
+            mean_repair: 2.0, // fast repair
+            duration: 800.0,
+            traffic: TrafficModel::new(1.0, 5.0),
+            ..cfg(Policy::CostOnly, 31)
+        },
+    );
+    assert!(m.failures_injected > 100);
+    // With fast repairs and light traffic, blocking stays negligible.
+    assert!(
+        m.blocking_probability() < 0.05,
+        "blocking {} despite fast repairs",
+        m.blocking_probability()
+    );
+}
+
+#[test]
+fn streamed_and_batch_replications_agree() {
+    let net = nsfnet(8);
+    let seeds: Vec<u64> = (0..4).collect();
+    let batch = run_replications(&net, cfg(Policy::CostOnly, 0), &seeds);
+    let mut streamed: Vec<(u64, Metrics)> = Vec::new();
+    run_replications_streaming(&net, cfg(Policy::CostOnly, 0), &seeds, |seed, m| {
+        streamed.push((seed, m));
+    });
+    streamed.sort_by_key(|(s, _)| *s);
+    for (i, (seed, m)) in streamed.iter().enumerate() {
+        assert_eq!(*seed, seeds[i]);
+        assert_eq!(*m, batch[i]);
+    }
+}
