@@ -1,0 +1,302 @@
+//! Vendored offline subset of criterion.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by plain
+//! `Instant` wall-clock timing with a text report (no plots, no saved
+//! baselines, no statistical regression analysis).
+//!
+//! Each benchmark is auto-calibrated: the iteration count doubles until one
+//! sample exceeds a floor, then `sample_size` samples run at that count and
+//! the report prints the minimum, median and mean ns/iter. Passing `--quick`
+//! (or setting `CRITERION_QUICK=1`) shrinks the floor and sample count —
+//! used by CI smoke runs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Settings shared by every benchmark run from one harness invocation.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    /// Minimum duration one sample must reach during calibration.
+    sample_floor: Duration,
+    /// Hard cap on calibration doubling.
+    max_iters: u64,
+    /// Cap applied on top of the per-group `sample_size`.
+    max_samples: usize,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0");
+        if quick {
+            Settings {
+                sample_floor: Duration::from_micros(200),
+                max_iters: 1 << 16,
+                max_samples: 10,
+            }
+        } else {
+            Settings {
+                sample_floor: Duration::from_millis(2),
+                max_iters: 1 << 24,
+                max_samples: 100,
+            }
+        }
+    }
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_env(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark (reported without a group prefix).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(self.settings, None, id, self.settings.max_samples, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it report as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        let cap = self.criterion.settings.max_samples;
+        self.sample_size.map_or(cap, |n| n.min(cap)).max(2)
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples();
+        run_benchmark(
+            self.criterion.settings,
+            Some(&self.name),
+            &id.into().0,
+            samples,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.samples();
+        run_benchmark(
+            self.criterion.settings,
+            Some(&self.name),
+            &id.into().0,
+            samples,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier; a function name optionally tagged with a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Runs the closure under timing; handed to benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` consecutive calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export so older `criterion::black_box` imports keep working.
+pub use std::hint::black_box;
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    settings: Settings,
+    group: Option<&str>,
+    id: &str,
+    samples: usize,
+    mut f: F,
+) {
+    // Calibrate: double the iteration count until one sample is long enough
+    // for the timer floor not to dominate.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= settings.sample_floor || iters >= settings.max_iters {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+    let min = per_iter_ns[0];
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!(
+        "{label:<50} min {:>12}  median {:>12}  mean {:>12}  ({samples} samples x {iters} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a bench group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_settings() -> Settings {
+        Settings {
+            sample_floor: Duration::from_micros(50),
+            max_iters: 1 << 12,
+            max_samples: 5,
+        }
+    }
+
+    #[test]
+    fn bencher_runs_body_each_iteration() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 37,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 37);
+        assert!(b.elapsed > Duration::ZERO || count == 37);
+    }
+
+    #[test]
+    fn run_benchmark_calls_body() {
+        let mut calls = 0u32;
+        run_benchmark(quick_settings(), Some("g"), "case", 3, |b| {
+            calls += 1;
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+        // Calibration runs plus three samples.
+        assert!(calls >= 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 12).0, "f/12");
+        assert_eq!(BenchmarkId::from_parameter("8x2").0, "8x2");
+    }
+}

@@ -1,0 +1,160 @@
+//! Vendored offline subset of crossbeam.
+//!
+//! * [`channel`] — unbounded MPSC channels over `std::sync::mpsc` (the only
+//!   channel flavour this workspace uses).
+//! * [`thread`] — scoped threads over `std::thread::scope`, preserving
+//!   crossbeam's two API differences from std: the spawn closure receives a
+//!   `&Scope` (so nested spawns type-check), and a worker panic surfaces as
+//!   `Err` from [`thread::scope`] instead of a propagated panic.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; carries
+    /// the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocking iterator over remaining messages.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` holds the payload of the first worker panic.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Spawn handle passed to the scope closure and to every spawned thread.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope again so
+        /// it can spawn siblings (crossbeam's signature, hence `move |_|`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; joins all spawned threads before
+    /// returning. A panic in any worker (or in `f` itself) is caught and
+    /// returned as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope itself panics (after joining) when a worker
+        // panicked; catching here converts that back to crossbeam's Err.
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fans_in_from_scoped_workers() {
+        let (tx, rx) = channel::unbounded();
+        let total: u64 = thread::scope(|scope| {
+            for chunk in 0..4u64 {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    for v in chunk * 10..chunk * 10 + 10 {
+                        tx.send(v).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        })
+        .expect("workers");
+        assert_eq!(total, (0u64..40).sum());
+    }
+
+    #[test]
+    fn recv_errors_after_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drops() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(7), Err(channel::SendError(7)));
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("nested scope");
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! Vendored offline subset of proptest.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro (with `#![proptest_config(..)]`), the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`/`boxed`, range and
+//! tuple strategies, [`Just`], [`prop_oneof!`], `collection::vec`, [`any`],
+//! and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream, deliberate for an offline vendored stub:
+//! * **No shrinking** — a failing case reports its generated inputs and
+//!   panics; minimization is up to the reader.
+//! * **Deterministic seeding** — case `i` of test `t` draws from
+//!   `ChaCha8(hash(module_path::t) ^ i)`, so failures reproduce exactly and
+//!   `.proptest-regressions` files are ignored.
+
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T: fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy (the element type of [`prop_oneof!`]).
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (see [`prop_oneof!`]).
+pub struct OneOf<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<V: fmt::Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a default whole-domain strategy ([`any`]).
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// Strategy for [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty proptest size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the given element strategy and length.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a hash of a test path — the per-test RNG seed base.
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// Fresh deterministic RNG for one test case.
+pub fn new_case_rng(test_seed: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(test_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Explicit test-case failure, for `return Err(TestCaseError::fail(..))`
+/// inside `proptest!` bodies (which run in a `Result`-returning closure).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+
+    /// Upstream rejects re-draw the case; without shrinking machinery we
+    /// treat a reject like a failure so it can't silently mask a bug.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError(format!("rejected: {}", reason.into()))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        cfg = $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __strategy = ($($strategy,)+);
+                let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::new_case_rng(__seed, __case);
+                    let __values = $crate::Strategy::generate(&__strategy, &mut __rng);
+                    let __debug = format!("{:?}", &__values);
+                    let ($($arg,)+) = __values;
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> $crate::TestCaseResult { $body; ::std::result::Result::Ok(()) }
+                        )
+                    );
+                    match __result {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        ::std::result::Result::Ok(::std::result::Result::Err(__err)) => {
+                            panic!(
+                                "proptest case {}/{} of `{}` failed ({}) with inputs: {}",
+                                __case + 1,
+                                __cfg.cases,
+                                stringify!($name),
+                                __err,
+                                __debug,
+                            );
+                        }
+                        ::std::result::Result::Err(__panic) => {
+                            eprintln!(
+                                "proptest case {}/{} of `{}` failed with inputs: {}",
+                                __case + 1,
+                                __cfg.cases,
+                                stringify!($name),
+                                __debug,
+                            );
+                            ::std::panic::resume_unwind(__panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_obey_bounds(
+            x in 3usize..10,
+            v in crate::collection::vec(0u8..5, 0..7),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(v.len() < 7);
+            prop_assert!(v.iter().all(|&b| b < 5));
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_and_map_compose(op in prop_oneof![
+            (0usize..4, 1u64..9).prop_map(|(a, b)| (a, b)),
+            Just((9usize, 0u64)),
+        ]) {
+            let (a, b) = op;
+            prop_assert!(a < 4 && (1..9).contains(&b) || (a == 9 && b == 0));
+        }
+
+        #[test]
+        fn flat_map_respects_inner(len in 1usize..5,
+                                   pair in (1usize..4).prop_flat_map(|n|
+                                       (Just(n), crate::collection::vec(0u8..3, n)))) {
+            let _ = len;
+            let (n, items) = pair;
+            prop_assert_eq!(items.len(), n);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = (0u64..1000, 0u64..1000);
+        let mut a = crate::new_case_rng(7, 3);
+        let mut b = crate::new_case_rng(7, 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

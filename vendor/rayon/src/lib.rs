@@ -1,0 +1,212 @@
+//! Vendored offline subset of rayon.
+//!
+//! Covers the shapes this workspace uses: `slice.par_iter()` and
+//! `range.into_par_iter()` followed by `.map(f).collect()`. Parallel
+//! iterators here are random-access index spaces; `collect` splits the index
+//! range into one contiguous chunk per available core, evaluates chunks on
+//! `std::thread::scope` workers, and reassembles results **in input order**
+//! (the property `run_replications` relies on for seed/metric pairing).
+//! Worker panics propagate to the caller like upstream rayon.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A random-access parallel iterator: a length plus a thread-safe
+/// per-index producer.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at `index`; called concurrently from workers.
+    fn par_get(&self, index: usize) -> Self::Item;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        collect_ordered(&self).into_iter().collect()
+    }
+}
+
+fn collect_ordered<I: ParallelIterator>(iter: &I) -> Vec<I::Item> {
+    let n = iter.par_len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return (0..n).map(|i| iter.par_get(i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(|i| iter.par_get(i)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        out
+    })
+}
+
+/// Borrowing entry point: `collection.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn par_get(&self, index: usize) -> &'a T {
+        &self.items[index]
+    }
+}
+
+/// Consuming entry point: `range.into_par_iter()`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.len
+    }
+
+    fn par_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, R, F> ParallelIterator for Map<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> R {
+        (self.f)(self.base.par_get(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 1000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn range_into_par_iter_matches_serial() {
+        let par: Vec<usize> = (3..503).into_par_iter().map(|i| i * i).collect();
+        let ser: Vec<usize> = (3..503).map(|i| i * i).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn empty_inputs_collect_empty() {
+        let par: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(par.is_empty());
+        let none: Vec<u8> = Vec::<u8>::new().par_iter().map(|&b| b).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 40 {
+                        panic!("boom");
+                    }
+                    i
+                })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,503 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Generates impls of the vendored serde's value-tree traits. Since the
+//! offline build has no `syn`/`quote`, the item is parsed with a small
+//! hand-rolled scanner over `proc_macro::TokenTree`s and the impl is emitted
+//! as a source string. Supported shapes — everything this workspace derives:
+//!
+//! * structs with named fields, tuple structs (newtype included), unit
+//!   structs, with plain type generics (bounds/defaults on the item are
+//!   handled; `where` clauses on brace-bodied items are skipped);
+//! * enums with unit, tuple and struct variants (serde's externally-tagged
+//!   layout: `"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! `#[serde(...)]` attributes are not supported (none exist in-tree).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Kind {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn skip_attrs_and_vis(it: &mut TokenIter) {
+    loop {
+        match it.peek() {
+            Some(tt) if is_punct(tt, '#') => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` generic parameters, returning the type-parameter names
+/// (bounds and defaults are skipped; lifetimes are ignored).
+fn parse_generics(it: &mut TokenIter) -> Vec<String> {
+    let mut params = Vec::new();
+    match it.peek() {
+        Some(tt) if is_punct(tt, '<') => {
+            it.next();
+        }
+        _ => return params,
+    }
+    let mut depth = 1usize;
+    let mut at_start = true;
+    let mut in_tail = false;
+    for tt in it.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    at_start = true;
+                    in_tail = false;
+                }
+                ':' | '=' | '\'' if depth == 1 => in_tail = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 1 && at_start && !in_tail => {
+                let name = id.to_string();
+                if name == "const" {
+                    panic!("serde derive: const generics are not supported");
+                }
+                params.push(name);
+                at_start = false;
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Skips one field type: consumes tokens until a top-level `,` (consumed) or
+/// the end of the stream.
+fn skip_type(it: &mut TokenIter) {
+    let mut depth = 0usize;
+    let mut prev_dash = false;
+    while let Some(tt) =
+        it.next_if(|tt| !(matches!(tt, TokenTree::Punct(p) if p.as_char() == ',')) || depth > 0)
+    {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                // `->` in fn-pointer types must not close a `<`.
+                '>' if !prev_dash => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    // Consume the separating comma, if present.
+    it.next();
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    while it.peek().is_some() {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        names.push(expect_ident(&mut it, "field name"));
+        match it.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("serde derive: expected `:` after field, found {other:?}"),
+        }
+        skip_type(&mut it);
+    }
+    names
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0usize;
+    while it.peek().is_some() {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut it);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while it.peek().is_some() {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it, "variant name");
+        let body = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                Body::Tuple(count_tuple_fields(g))
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        while let Some(tt) = it.next() {
+            if is_punct(&tt, ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "item name");
+    let generics = parse_generics(&mut it);
+    // Skip a `where` clause if one precedes the brace body.
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        it.next();
+        while let Some(tt) = it.peek() {
+            if matches!(tt, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace) {
+                break;
+            }
+            it.next();
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Body::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Body::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(tt) if is_punct(&tt, ';') => Kind::Struct(Body::Unit),
+            other => panic!("serde derive: malformed struct body: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// `impl<A: ::serde::Trait, B: ::serde::Trait>` / `Name<A, B>` header parts.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), item.name.clone());
+    }
+    let params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| format!("{g}: ::serde::{bound}"))
+        .collect();
+    let args = item.generics.join(", ");
+    (
+        format!("<{}>", params.join(", ")),
+        format!("{}<{}>", item.name, args),
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Body::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Body::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Body::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{items}]))]),",
+                                fields = fields.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_constructor(path: &str, fields: &[String], obj_expr: &str, ty_label: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 ::serde::field({obj_expr}, \"{f}\", \"{ty_label}\")?)?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Body::Unit) => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             other => ::std::result::Result::Err(::serde::unexpected(other, \"{name}\")) }}"
+        ),
+        Kind::Struct(Body::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Body::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = v.as_array().ok_or_else(|| ::serde::unexpected(v, \"{name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::new(\
+                 \"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+        Kind::Struct(Body::Named(fields)) => {
+            let ctor = gen_named_constructor(name, fields, "__fields", name);
+            format!(
+                "let __fields = v.as_object()\
+                 .ok_or_else(|| ::serde::unexpected(v, \"struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, Body::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        Body::Unit => {
+                            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                        }
+                        Body::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        ),
+                        Body::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __items = __inner.as_array().ok_or_else(|| \
+                                 ::serde::unexpected(__inner, \"{name}::{vname}\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::new(\
+                                 \"wrong tuple length for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({inits}))\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            )
+                        }
+                        Body::Named(fields) => {
+                            let ctor = gen_named_constructor(
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "__obj",
+                                &format!("{name}::{vname}"),
+                            );
+                            format!(
+                                "\"{vname}\" => {{\n\
+                                 let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::unexpected(__inner, \"{name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({ctor})\n\
+                                 }}",
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__fields[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::unexpected(__other, \"enum {name}\")),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
