@@ -25,7 +25,7 @@ fn bench_approx_vs_exact(c: &mut Criterion) {
         );
         let t = NodeId((n - 1) as u32);
         group.bench_with_input(BenchmarkId::new("approx_3_3", n), &net, |b, net| {
-            let finder = RobustRouteFinder::new(net);
+            let mut finder = RobustRouteFinder::new(net);
             b.iter(|| black_box(finder.find(&state, NodeId(0), t).is_ok()))
         });
         group.bench_with_input(BenchmarkId::new("exhaustive", n), &net, |b, net| {

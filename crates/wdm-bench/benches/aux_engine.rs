@@ -1,0 +1,118 @@
+//! Routing hot path, scratch vs incremental: per request, the old pipeline
+//! rebuilds the auxiliary graph (`AuxGraph::build`) and runs the allocating
+//! Suurballe; the new one syncs a persistent [`AuxEngine`] (dirty links
+//! only) and searches in a reusable [`SearchArena`]. Between requests a
+//! small churn script flips a couple of channels, mimicking the arrival /
+//! departure mix a simulator generates — the regime the incremental engine
+//! is built for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+use wdm_bench::{random_connected_instance, rng};
+use wdm_core::aux_engine::AuxEngine;
+use wdm_core::aux_graph::{AuxGraph, AuxSpec};
+use wdm_core::network::{ResidualState, WdmNetwork};
+use wdm_core::wavelength::Wavelength;
+use wdm_graph::suurballe::edge_disjoint_pair;
+use wdm_graph::{EdgeId, NodeId, SearchArena};
+
+/// Deterministic channel churn: each step toggles the next scripted channel
+/// (occupy if free, release if held), keeping the load stationary around
+/// half the script's channels.
+struct Churn {
+    ops: Vec<(EdgeId, Wavelength)>,
+    i: usize,
+}
+
+impl Churn {
+    fn new(net: &WdmNetwork, count: usize, seed: u64) -> Self {
+        let mut r = rng(seed);
+        let ops = (0..count)
+            .map(|_| {
+                let e = EdgeId::from(r.gen_range(0..net.link_count()));
+                let lambda = net.lambda(e);
+                let nth = r.gen_range(0..lambda.count());
+                (e, lambda.iter().nth(nth).expect("non-empty"))
+            })
+            .collect();
+        Self { ops, i: 0 }
+    }
+
+    fn step(&mut self, net: &WdmNetwork, st: &mut ResidualState) {
+        for _ in 0..2 {
+            let (e, l) = self.ops[self.i % self.ops.len()];
+            self.i += 1;
+            if st.used(e).contains(l) {
+                let _ = st.release(e, l);
+            } else {
+                let _ = st.occupy(net, e, l);
+            }
+        }
+    }
+}
+
+fn requests(net: &WdmNetwork, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut r = rng(seed);
+    (0..count)
+        .map(|_| loop {
+            let s = r.gen_range(0..net.node_count()) as u32;
+            let t = r.gen_range(0..net.node_count()) as u32;
+            if s != t {
+                return (NodeId(s), NodeId(t));
+            }
+        })
+        .collect()
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    // m ≈ 200 directed links, W = 8: the headline size from the issue.
+    let net = {
+        let mut r = rng(11);
+        random_connected_instance(&mut r, 100, 4, 8)
+    };
+    let reqs = requests(&net, 64, 12);
+    let mut group = c.benchmark_group("routing_hot_path");
+
+    group.bench_with_input(BenchmarkId::new("scratch", "n100_d4_w8"), &net, |b, net| {
+        let mut st = ResidualState::fresh(net);
+        let mut churn = Churn::new(net, 256, 13);
+        let mut k = 0usize;
+        b.iter(|| {
+            churn.step(net, &mut st);
+            let (s, t) = reqs[k % reqs.len()];
+            k += 1;
+            let aux = AuxGraph::build(net, &st, s, t, AuxSpec::g_prime());
+            let pair = edge_disjoint_pair(&aux.graph, aux.source, aux.sink, |e| aux.weight(e));
+            black_box(pair.map(|p| p.total_cost))
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("engine", "n100_d4_w8"), &net, |b, net| {
+        let mut st = ResidualState::fresh(net);
+        let mut churn = Churn::new(net, 256, 13);
+        let mut eng = AuxEngine::new(net, AuxSpec::g_prime());
+        let mut arena = SearchArena::new();
+        let mut k = 0usize;
+        b.iter(|| {
+            churn.step(net, &mut st);
+            let (s, t) = reqs[k % reqs.len()];
+            k += 1;
+            eng.sync(net, &st, s, t);
+            let eng = &eng;
+            let pair = arena.edge_disjoint_pair(
+                eng.graph(),
+                eng.source(),
+                eng.sink(),
+                |e| eng.weight(e),
+                |e| eng.enabled(e),
+            );
+            black_box(pair.map(|p| p.total_cost))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

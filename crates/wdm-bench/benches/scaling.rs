@@ -16,7 +16,7 @@ fn bench_vs_n(c: &mut Criterion) {
         let net = random_connected_instance(&mut r, n, 6, 8);
         let state = ResidualState::fresh(&net);
         group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
-            let finder = RobustRouteFinder::new(net);
+            let mut finder = RobustRouteFinder::new(net);
             b.iter(|| {
                 black_box(
                     finder
@@ -37,7 +37,7 @@ fn bench_vs_w(c: &mut Criterion) {
         let net = random_connected_instance(&mut r, 100, 6, w);
         let state = ResidualState::fresh(&net);
         group.bench_with_input(BenchmarkId::from_parameter(w), &net, |b, net| {
-            let finder = RobustRouteFinder::new(net);
+            let mut finder = RobustRouteFinder::new(net);
             b.iter(|| black_box(finder.find(&state, NodeId(0), NodeId(99)).is_ok()))
         });
     }

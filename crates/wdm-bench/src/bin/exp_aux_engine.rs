@@ -1,0 +1,186 @@
+//! Experiment — incremental auxiliary-graph engine vs scratch rebuild.
+//!
+//! ```sh
+//! cargo run --release -p wdm-bench --bin exp_aux_engine            # full
+//! cargo run --release -p wdm-bench --bin exp_aux_engine -- --quick # smoke
+//! ```
+//!
+//! For each network size, routes the same churn-interleaved request stream
+//! two ways and reports ns/request:
+//!
+//! * **scratch** — the pre-engine pipeline: `AuxGraph::build` over the
+//!   residual state, then the allocating Suurballe (`edge_disjoint_pair`);
+//! * **engine**  — a persistent [`AuxEngine`] synced per request (only
+//!   dirty links refreshed) searched by a reusable [`SearchArena`].
+//!
+//! Writes the machine-readable results to `BENCH_aux_engine.json` in the
+//! working directory (the committed artifact lives at the repo root).
+
+use rand::Rng;
+use wdm_bench::{random_connected_instance, rng, timed, Table};
+use wdm_core::aux_engine::AuxEngine;
+use wdm_core::aux_graph::{AuxGraph, AuxSpec};
+use wdm_core::network::{ResidualState, WdmNetwork};
+use wdm_core::wavelength::Wavelength;
+use wdm_graph::suurballe::edge_disjoint_pair;
+use wdm_graph::{EdgeId, NodeId, SearchArena};
+
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct SizeResult {
+    name: String,
+    nodes: usize,
+    links: usize,
+    wavelengths: usize,
+    requests: usize,
+    scratch_ns_per_req: f64,
+    engine_ns_per_req: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BenchReport {
+    bench: String,
+    unit: String,
+    sizes: Vec<SizeResult>,
+}
+
+/// Deterministic stationary churn: toggles scripted channels so the load
+/// hovers around half the script (same scheme as the Criterion bench).
+struct Churn {
+    ops: Vec<(EdgeId, Wavelength)>,
+    i: usize,
+}
+
+impl Churn {
+    fn new(net: &WdmNetwork, count: usize, seed: u64) -> Self {
+        let mut r = rng(seed);
+        let ops = (0..count)
+            .map(|_| {
+                let e = EdgeId::from(r.gen_range(0..net.link_count()));
+                let lambda = net.lambda(e);
+                let nth = r.gen_range(0..lambda.count());
+                (e, lambda.iter().nth(nth).expect("non-empty"))
+            })
+            .collect();
+        Self { ops, i: 0 }
+    }
+
+    fn step(&mut self, net: &WdmNetwork, st: &mut ResidualState) {
+        for _ in 0..2 {
+            let (e, l) = self.ops[self.i % self.ops.len()];
+            self.i += 1;
+            if st.used(e).contains(l) {
+                let _ = st.release(e, l);
+            } else {
+                let _ = st.occupy(net, e, l);
+            }
+        }
+    }
+}
+
+fn requests(net: &WdmNetwork, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut r = rng(seed);
+    (0..count)
+        .map(|_| loop {
+            let s = r.gen_range(0..net.node_count()) as u32;
+            let t = r.gen_range(0..net.node_count()) as u32;
+            if s != t {
+                return (NodeId(s), NodeId(t));
+            }
+        })
+        .collect()
+}
+
+fn measure(n: usize, d: usize, w: usize, reqs: usize, seed: u64) -> SizeResult {
+    let mut r = rng(seed);
+    let net = random_connected_instance(&mut r, n, d, w);
+    let stream = requests(&net, reqs, seed ^ 1);
+
+    // Scratch pipeline.
+    let mut st = ResidualState::fresh(&net);
+    let mut churn = Churn::new(&net, 256, seed ^ 2);
+    let mut found_scratch = 0usize;
+    let (_, scratch_secs) = timed(|| {
+        for &(s, t) in &stream {
+            churn.step(&net, &mut st);
+            let aux = AuxGraph::build(&net, &st, s, t, AuxSpec::g_prime());
+            if edge_disjoint_pair(&aux.graph, aux.source, aux.sink, |e| aux.weight(e)).is_some() {
+                found_scratch += 1;
+            }
+        }
+    });
+
+    // Engine pipeline over the identical churn + request stream.
+    let mut st = ResidualState::fresh(&net);
+    let mut churn = Churn::new(&net, 256, seed ^ 2);
+    let mut eng = AuxEngine::new(&net, AuxSpec::g_prime());
+    let mut arena = SearchArena::new();
+    let mut found_engine = 0usize;
+    let (_, engine_secs) = timed(|| {
+        for &(s, t) in &stream {
+            churn.step(&net, &mut st);
+            eng.sync(&net, &st, s, t);
+            let eng = &eng;
+            if arena
+                .edge_disjoint_pair(
+                    eng.graph(),
+                    eng.source(),
+                    eng.sink(),
+                    |e| eng.weight(e),
+                    |e| eng.enabled(e),
+                )
+                .is_some()
+            {
+                found_engine += 1;
+            }
+        }
+    });
+    assert_eq!(
+        found_scratch, found_engine,
+        "the two pipelines must route identically"
+    );
+
+    let scratch_ns = scratch_secs / reqs as f64 * 1e9;
+    let engine_ns = engine_secs / reqs as f64 * 1e9;
+    SizeResult {
+        name: format!("n{n}_d{d}_w{w}"),
+        nodes: n,
+        links: net.link_count(),
+        wavelengths: w,
+        requests: reqs,
+        scratch_ns_per_req: scratch_ns,
+        engine_ns_per_req: engine_ns,
+        speedup: scratch_ns / engine_ns,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reqs = if quick { 200 } else { 2000 };
+
+    println!("aux-engine — incremental refresh vs scratch rebuild (ns/request)\n");
+    let mut table = Table::new(&["size", "m", "W", "scratch ns", "engine ns", "speedup"]);
+    let mut sizes = Vec::new();
+    for &(n, d, w) in &[(50usize, 4usize, 8usize), (100, 4, 8), (200, 4, 8)] {
+        let res = measure(n, d, w, reqs, 0xA0 + n as u64);
+        table.row(vec![
+            res.name.clone(),
+            res.links.to_string(),
+            res.wavelengths.to_string(),
+            format!("{:.0}", res.scratch_ns_per_req),
+            format!("{:.0}", res.engine_ns_per_req),
+            format!("{:.2}x", res.speedup),
+        ]);
+        sizes.push(res);
+    }
+    table.print();
+
+    let report = BenchReport {
+        bench: String::from("aux_engine"),
+        unit: String::from("ns_per_request"),
+        sizes,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_aux_engine.json", &json).expect("write BENCH_aux_engine.json");
+    println!("\nwrote BENCH_aux_engine.json");
+}

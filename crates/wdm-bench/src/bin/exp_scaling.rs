@@ -18,7 +18,7 @@ fn measure(n: usize, d: usize, w: usize, requests: usize, seed: u64) -> f64 {
     let mut r = rng(seed);
     let net = random_connected_instance(&mut r, n, d, w);
     let state = ResidualState::fresh(&net);
-    let finder = RobustRouteFinder::new(&net);
+    let mut finder = RobustRouteFinder::new(&net);
     // Warm the caches once.
     let _ = finder.find(&state, NodeId(0), NodeId((n - 1) as u32));
     let (_, secs) = timed(|| {

@@ -1,0 +1,691 @@
+//! Incremental auxiliary-graph engine: the zero-allocation counterpart of
+//! [`AuxGraph::build`](crate::aux_graph::AuxGraph::build).
+//!
+//! `AuxGraph::build` reconstructs the full auxiliary graph — nodes, arcs,
+//! `O(W²)` conversion averages — for every request and every threshold
+//! probe. [`AuxEngine`] splits that work by change frequency:
+//!
+//! * **Skeleton (once per network × spec family).** Edge-nodes for *all*
+//!   physical links, their traversal arcs, every conversion arc that could
+//!   ever exist (pairs `(e_in, e_out)` with at least one allowed conversion
+//!   under the links' *full* wavelength sets — availability only shrinks
+//!   those sets, so no other pair can ever appear), and both terminal tap
+//!   slots per link. Arcs are laid out in the same relative order as the
+//!   scratch builder emits them, which makes the enabled subset a
+//!   subsequence of the scratch graph's arc list.
+//! * **Weight refresh (per dirty link).** [`ResidualState`] stamps every
+//!   mutated link with its monotone change clock; [`AuxEngine::sync`]
+//!   recomputes traversal weights, conversion averages and admission only
+//!   for links stamped after the engine's last sync. The summation loops are
+//!   verbatim copies of the scratch builder's, so refreshed weights are
+//!   bit-identical to a from-scratch build.
+//! * **Admission mask (per threshold change).** Thresholds affect only
+//!   which links are admitted, never any weight, so
+//!   [`AuxEngine::set_threshold`] flags the mask for an `O(m)` admission
+//!   recompute without touching weights — the fast path for MinCog's
+//!   geometric escalation and the exact binary search.
+//! * **Tap retargeting (per request).** Changing `(s, t)` flips the enabled
+//!   bits of the old and new terminals' tap arcs; nothing else moves.
+//!
+//! Because disabled arcs are filtered (not removed), searches run over a
+//! graph whose enabled arcs appear in the same relative order with the same
+//! weights as the scratch graph's arcs, and Dijkstra/Suurballe tie-breaking
+//! depends only on that order and the weights — routes are identical, not
+//! merely equal-cost (`tests/engine_differential.rs` pins this).
+//!
+//! ### Staleness contract
+//!
+//! The engine trusts the state's change clocks. Syncing one engine against
+//! *independently mutated clones* of a state can alias clock values and
+//! miss updates; call [`AuxEngine::invalidate`] (or use one engine per
+//! state lineage) in that situation. Syncing against a state whose clock
+//! went *backwards* (a fresh or deserialized state) is detected and handled
+//! by a full refresh.
+
+use crate::aux_graph::{AuxArc, AuxEdgeData, AuxNode, AuxSpec, AuxWeights, ThresholdBasis};
+use crate::network::{ResidualState, WdmNetwork};
+use wdm_graph::suurballe::DisjointPair;
+use wdm_graph::{DiGraph, EdgeId, NodeId, Path, SearchArena};
+
+/// One potential conversion arc `v_in^{e_in} → v_out^{e_out}` of the
+/// skeleton.
+#[derive(Debug, Clone, Copy)]
+struct ConvSlot {
+    /// The skeleton arc id.
+    arc: EdgeId,
+    /// The physical node the conversion happens at.
+    node: NodeId,
+    /// Incoming physical link.
+    ein: EdgeId,
+    /// Outgoing physical link.
+    eout: EdgeId,
+    /// `K_v`: allowed conversion pairs under *current* availability (0 ⇒
+    /// the arc is disabled regardless of admission).
+    k: u32,
+}
+
+/// Incremental auxiliary-graph engine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct AuxEngine {
+    spec: AuxSpec,
+    graph: DiGraph<AuxNode, AuxEdgeData>,
+    source: NodeId,
+    sink: NodeId,
+    /// Per physical link: its skeleton arcs (always present).
+    trav_arc: Vec<EdgeId>,
+    src_tap: Vec<EdgeId>,
+    dst_tap: Vec<EdgeId>,
+    /// All potential conversion arcs, in skeleton emission order.
+    conv: Vec<ConvSlot>,
+    /// Per physical link: indices into `conv` of the slots touching it.
+    conv_of_link: Vec<Vec<u32>>,
+    /// Per skeleton arc: participates in the current auxiliary graph.
+    enabled: Vec<bool>,
+    /// Per physical link: admitted under the current state + threshold.
+    admitted: Vec<bool>,
+    /// `(node_count, link_count)` of the network the skeleton was built for.
+    fingerprint: (usize, usize),
+    /// State change clock at the last sync.
+    synced_clock: u64,
+    ever_synced: bool,
+    /// Set by [`AuxEngine::set_threshold`]: admission of *every* link must
+    /// be recomputed on the next sync.
+    mask_stale: bool,
+    cur_s: Option<NodeId>,
+    cur_t: Option<NodeId>,
+    /// Dedupes conversion-weight refreshes when both endpoint links are
+    /// dirty in the same sync pass.
+    conv_stamp: Vec<u64>,
+    pass: u64,
+}
+
+impl AuxEngine {
+    /// Builds the skeleton for `net` under `spec`. No state is consulted;
+    /// call [`AuxEngine::sync`] before searching.
+    pub fn new(net: &WdmNetwork, spec: AuxSpec) -> Self {
+        let m = net.link_count();
+        let mut graph: DiGraph<AuxNode, AuxEdgeData> = DiGraph::with_capacity(2 * m + 2, 4 * m);
+        let source = graph.add_node(AuxNode::Source);
+        let sink = graph.add_node(AuxNode::Sink);
+
+        // Edge-nodes and traversal arcs for every link, in link order —
+        // matching the scratch builder's emission order over its admitted
+        // subset.
+        let mut out_node = Vec::with_capacity(m);
+        let mut in_node = Vec::with_capacity(m);
+        let mut trav_arc = Vec::with_capacity(m);
+        for ei in 0..m {
+            let e = EdgeId::from(ei);
+            let uo = graph.add_node(AuxNode::OutNode(e));
+            let vi = graph.add_node(AuxNode::InNode(e));
+            out_node.push(uo);
+            in_node.push(vi);
+            trav_arc.push(graph.add_edge(
+                uo,
+                vi,
+                AuxEdgeData {
+                    kind: AuxArc::Traversal(e),
+                    weight: 0.0,
+                },
+            ));
+        }
+
+        // Potential conversion arcs: same (node, e_in, e_out) loop order as
+        // the scratch builder, existence decided on the links' full
+        // wavelength sets. Availability is a subset of those sets and the
+        // conversion table is static, so a pair with no allowed conversion
+        // here can never gain one.
+        let mut conv: Vec<ConvSlot> = Vec::new();
+        let mut conv_of_link: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for v in net.graph().node_ids() {
+            let table = net.conversion(v);
+            for &ein in net.graph().in_edges(v) {
+                let lambda_in = net.lambda(ein);
+                for &eout in net.graph().out_edges(v) {
+                    let lambda_out = net.lambda(eout);
+                    let possible = lambda_in
+                        .iter()
+                        .any(|la| lambda_out.iter().any(|lb| table.allows(la, lb)));
+                    if !possible {
+                        continue;
+                    }
+                    let arc = graph.add_edge(
+                        in_node[ein.index()],
+                        out_node[eout.index()],
+                        AuxEdgeData {
+                            kind: AuxArc::Conversion(v),
+                            weight: 0.0,
+                        },
+                    );
+                    let idx = conv.len() as u32;
+                    conv.push(ConvSlot {
+                        arc,
+                        node: v,
+                        ein,
+                        eout,
+                        k: 0,
+                    });
+                    conv_of_link[ein.index()].push(idx);
+                    if eout != ein {
+                        conv_of_link[eout.index()].push(idx);
+                    }
+                }
+            }
+        }
+
+        // Tap slots for every link; the scratch builder emits source taps
+        // (in link order) before sink taps, so both groups stay ordered.
+        let mut src_tap = Vec::with_capacity(m);
+        for &uo in &out_node {
+            src_tap.push(graph.add_edge(
+                source,
+                uo,
+                AuxEdgeData {
+                    kind: AuxArc::Tap,
+                    weight: 0.0,
+                },
+            ));
+        }
+        let mut dst_tap = Vec::with_capacity(m);
+        for &vi in &in_node {
+            dst_tap.push(graph.add_edge(
+                vi,
+                sink,
+                AuxEdgeData {
+                    kind: AuxArc::Tap,
+                    weight: 0.0,
+                },
+            ));
+        }
+
+        let edge_count = graph.edge_count();
+        let conv_count = conv.len();
+        Self {
+            spec,
+            graph,
+            source,
+            sink,
+            trav_arc,
+            src_tap,
+            dst_tap,
+            conv,
+            conv_of_link,
+            enabled: vec![false; edge_count],
+            admitted: vec![false; m],
+            fingerprint: (net.graph().node_count(), net.link_count()),
+            synced_clock: 0,
+            ever_synced: false,
+            mask_stale: false,
+            cur_s: None,
+            cur_t: None,
+            conv_stamp: vec![0; conv_count],
+            pass: 0,
+        }
+    }
+
+    /// Whether this engine's skeleton was built for (a network shaped like)
+    /// `net`. A cheap guard, not a content hash: use one engine per network.
+    pub fn matches(&self, net: &WdmNetwork) -> bool {
+        self.fingerprint == (net.graph().node_count(), net.link_count())
+    }
+
+    /// The active spec (threshold updates via [`AuxEngine::set_threshold`]
+    /// are reflected here).
+    pub fn spec(&self) -> AuxSpec {
+        self.spec
+    }
+
+    /// Updates the admission threshold. Weights are unaffected by `ϑ`, so
+    /// this only marks the admission mask stale; the next [`AuxEngine::sync`]
+    /// recomputes admission for all links in `O(m)` without touching any
+    /// `O(W²)` conversion sum.
+    pub fn set_threshold(&mut self, threshold: Option<f64>) {
+        if self.spec.threshold != threshold {
+            self.spec.threshold = threshold;
+            self.mask_stale = true;
+        }
+    }
+
+    /// Forgets all synced state, forcing the next [`AuxEngine::sync`] to do
+    /// a full refresh. Required when switching the engine to a different
+    /// [`ResidualState`] *lineage* (e.g. an independently mutated clone)
+    /// whose change clocks may alias the previous one's.
+    pub fn invalidate(&mut self) {
+        self.ever_synced = false;
+    }
+
+    /// Brings the engine in line with `state` and the request `(s, t)`:
+    /// refreshes weights and admission of links mutated since the last
+    /// sync (all links on first use, after [`AuxEngine::invalidate`], or
+    /// when the state's clock moved backwards), reapplies the admission
+    /// mask if the threshold changed, and retargets the terminal taps.
+    pub fn sync(&mut self, net: &WdmNetwork, state: &ResidualState, s: NodeId, t: NodeId) {
+        debug_assert!(self.matches(net), "engine used with a different network");
+        let full = !self.ever_synced || state.change_clock() < self.synced_clock;
+        if full || self.mask_stale || state.change_clock() != self.synced_clock {
+            self.pass += 1;
+            let m = net.link_count();
+            for ei in 0..m {
+                let e = EdgeId::from(ei);
+                let dirty = full || state.link_change_clock(e) > self.synced_clock;
+                if dirty {
+                    self.refresh_weights(net, state, e);
+                }
+                if dirty || self.mask_stale {
+                    self.refresh_admission(net, state, e);
+                }
+            }
+            self.mask_stale = false;
+            self.synced_clock = state.change_clock();
+            self.ever_synced = true;
+        }
+        self.retarget(net, s, t);
+    }
+
+    /// Recomputes the traversal weight of `e` and the conversion weights of
+    /// every arc touching `e`, with the scratch builder's exact formulas
+    /// (same summation loops ⇒ bit-identical results).
+    fn refresh_weights(&mut self, net: &WdmNetwork, state: &ResidualState, e: EdgeId) {
+        let ei = e.index();
+        let avail = state.avail(net, e);
+        let weight = if avail.is_empty() {
+            // Never enabled (empty availability fails admission under every
+            // threshold); avoid the 0/0 in the average formulas.
+            0.0
+        } else {
+            match self.spec.weights {
+                AuxWeights::AverageCost => {
+                    avail.iter().map(|l| net.link_cost(e, l)).sum::<f64>() / avail.count() as f64
+                }
+                AuxWeights::AverageCostOverN => {
+                    avail.iter().map(|l| net.link_cost(e, l)).sum::<f64>() / net.capacity(e) as f64
+                }
+                AuxWeights::CongestionExp { a } => {
+                    let n = net.capacity(e) as f64;
+                    let u = state.used_count(e) as f64;
+                    a.powf((u + 1.0) / n) - a.powf(u / n)
+                }
+            }
+        };
+        self.graph.edge_mut(self.trav_arc[ei]).weight = weight;
+        for i in 0..self.conv_of_link[ei].len() {
+            let ci = self.conv_of_link[ei][i] as usize;
+            if self.conv_stamp[ci] != self.pass {
+                self.conv_stamp[ci] = self.pass;
+                self.refresh_conv(net, state, ci);
+            }
+        }
+    }
+
+    /// Recomputes one conversion arc's `K_v` and average cost.
+    fn refresh_conv(&mut self, net: &WdmNetwork, state: &ResidualState, ci: usize) {
+        let slot = self.conv[ci];
+        let table = net.conversion(slot.node);
+        let avail_in = state.avail(net, slot.ein);
+        let avail_out = state.avail(net, slot.eout);
+        let mut total = 0.0;
+        let mut k = 0usize;
+        for la in avail_in.iter() {
+            for lb in avail_out.iter() {
+                if let Some(c) = table.cost(la, lb) {
+                    total += c;
+                    k += 1;
+                }
+            }
+        }
+        self.conv[ci].k = k as u32;
+        if k > 0 {
+            self.graph.edge_mut(slot.arc).weight = match self.spec.weights {
+                AuxWeights::CongestionExp { .. } => 0.0,
+                _ => total / k as f64,
+            };
+        }
+        self.update_conv_enabled(ci);
+    }
+
+    /// Recomputes admission of `e` and the enabled bits of the arcs that
+    /// depend on it.
+    fn refresh_admission(&mut self, net: &WdmNetwork, state: &ResidualState, e: EdgeId) {
+        let ei = e.index();
+        let adm = if state.avail(net, e).is_empty() {
+            false
+        } else {
+            match (self.spec.threshold, self.spec.basis) {
+                (None, _) => true,
+                (Some(th), ThresholdBasis::CurrentLoad) => state.load(net, e) < th - 1e-12,
+                (Some(th), ThresholdBasis::ProspectiveLoad) => {
+                    state.prospective_load(net, e) <= th + 1e-12
+                }
+            }
+        };
+        self.admitted[ei] = adm;
+        self.enabled[self.trav_arc[ei].index()] = adm;
+        self.enabled[self.src_tap[ei].index()] = adm && self.cur_s == Some(net.graph().src(e));
+        self.enabled[self.dst_tap[ei].index()] = adm && self.cur_t == Some(net.graph().dst(e));
+        for i in 0..self.conv_of_link[ei].len() {
+            let ci = self.conv_of_link[ei][i] as usize;
+            self.update_conv_enabled(ci);
+        }
+    }
+
+    /// A conversion arc participates iff both endpoint links are admitted
+    /// and at least one conversion is allowed under current availability.
+    fn update_conv_enabled(&mut self, ci: usize) {
+        let slot = self.conv[ci];
+        self.enabled[slot.arc.index()] =
+            slot.k > 0 && self.admitted[slot.ein.index()] && self.admitted[slot.eout.index()];
+    }
+
+    /// Moves the terminal taps to `(s, t)`.
+    fn retarget(&mut self, net: &WdmNetwork, s: NodeId, t: NodeId) {
+        if self.cur_s != Some(s) {
+            if let Some(old) = self.cur_s {
+                for &e in net.graph().out_edges(old) {
+                    self.enabled[self.src_tap[e.index()].index()] = false;
+                }
+            }
+            for &e in net.graph().out_edges(s) {
+                self.enabled[self.src_tap[e.index()].index()] = self.admitted[e.index()];
+            }
+            self.cur_s = Some(s);
+        }
+        if self.cur_t != Some(t) {
+            if let Some(old) = self.cur_t {
+                for &e in net.graph().in_edges(old) {
+                    self.enabled[self.dst_tap[e.index()].index()] = false;
+                }
+            }
+            for &e in net.graph().in_edges(t) {
+                self.enabled[self.dst_tap[e.index()].index()] = self.admitted[e.index()];
+            }
+            self.cur_t = Some(t);
+        }
+    }
+
+    /// The skeleton graph. Search it with the [`AuxEngine::enabled`] filter;
+    /// disabled arcs carry stale weights.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph<AuxNode, AuxEdgeData> {
+        &self.graph
+    }
+
+    /// `s'`.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// `t''`.
+    #[inline]
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// Weight of skeleton arc `ae` (meaningful only while enabled).
+    #[inline]
+    pub fn weight(&self, ae: EdgeId) -> f64 {
+        self.graph.edge(ae).weight
+    }
+
+    /// Whether skeleton arc `ae` is part of the current auxiliary graph.
+    #[inline]
+    pub fn enabled(&self, ae: EdgeId) -> bool {
+        self.enabled[ae.index()]
+    }
+
+    /// Maps a path over the skeleton back to the physical links it
+    /// traverses (in order).
+    pub fn physical_edges(&self, path: &Path) -> Vec<EdgeId> {
+        path.edges
+            .iter()
+            .filter_map(|&ae| match self.graph.edge(ae).kind {
+                AuxArc::Traversal(pe) => Some(pe),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of links admitted at the last sync.
+    pub fn admitted_links(&self) -> usize {
+        self.admitted.iter().filter(|&&a| a).count()
+    }
+}
+
+/// Persistent routing context: one engine per auxiliary-graph family plus
+/// the shared [`SearchArena`]. Hold one of these per network wherever
+/// requests are routed repeatedly (the simulator owns one per run) and the
+/// skeleton/refresh machinery amortises across every request; one-shot
+/// entry points create a throwaway context internally.
+#[derive(Debug, Clone, Default)]
+pub struct RouterCtx {
+    /// Reusable Dijkstra/Suurballe buffers.
+    pub arena: SearchArena,
+    g_prime: Option<AuxEngine>,
+    g_c: Option<AuxEngine>,
+    g_c_prospective: Option<AuxEngine>,
+    g_rc: Option<AuxEngine>,
+    g_rc_printed: Option<AuxEngine>,
+}
+
+impl RouterCtx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Invalidates every held engine (see [`AuxEngine::invalidate`]). Call
+    /// when reusing the context across independent [`ResidualState`]
+    /// lineages.
+    pub fn invalidate(&mut self) {
+        for e in [
+            &mut self.g_prime,
+            &mut self.g_c,
+            &mut self.g_c_prospective,
+            &mut self.g_rc,
+            &mut self.g_rc_printed,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            e.invalidate();
+        }
+    }
+
+    /// The engine for `spec`'s family (building it on first use or after a
+    /// network change) with its threshold set, plus the arena — returned
+    /// together so both can be borrowed at once.
+    pub(crate) fn engine(
+        &mut self,
+        net: &WdmNetwork,
+        spec: AuxSpec,
+    ) -> (&mut AuxEngine, &mut SearchArena) {
+        let slot = match (spec.weights, spec.basis) {
+            (AuxWeights::AverageCost, _) if spec.threshold.is_none() => &mut self.g_prime,
+            (AuxWeights::AverageCost, _) => &mut self.g_rc,
+            (AuxWeights::AverageCostOverN, _) => &mut self.g_rc_printed,
+            (AuxWeights::CongestionExp { .. }, ThresholdBasis::CurrentLoad) => &mut self.g_c,
+            (AuxWeights::CongestionExp { .. }, ThresholdBasis::ProspectiveLoad) => {
+                &mut self.g_c_prospective
+            }
+        };
+        let reuse = slot.as_ref().is_some_and(|eng| {
+            eng.matches(net) && eng.spec().weights == spec.weights && eng.spec().basis == spec.basis
+        });
+        if !reuse {
+            *slot = Some(AuxEngine::new(net, spec));
+        }
+        let eng = slot.as_mut().expect("just ensured");
+        eng.set_threshold(spec.threshold);
+        (eng, &mut self.arena)
+    }
+
+    /// Syncs the engine for `spec` and runs Suurballe over the enabled
+    /// skeleton. Returns the auxiliary pair and both legs' physical edges.
+    pub(crate) fn disjoint_pair(
+        &mut self,
+        net: &WdmNetwork,
+        state: &ResidualState,
+        s: NodeId,
+        t: NodeId,
+        spec: AuxSpec,
+    ) -> Option<(DisjointPair, [Vec<EdgeId>; 2])> {
+        let (eng, arena) = self.engine(net, spec);
+        eng.sync(net, state, s, t);
+        let eng: &AuxEngine = eng;
+        let pair = arena.edge_disjoint_pair(
+            eng.graph(),
+            eng.source(),
+            eng.sink(),
+            |e| eng.weight(e),
+            |e| eng.enabled(e),
+        )?;
+        let phys_a = eng.physical_edges(&pair.paths[0]);
+        let phys_b = eng.physical_edges(&pair.paths[1]);
+        Some((pair, [phys_a, phys_b]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aux_graph::AuxGraph;
+    use crate::conversion::ConversionTable;
+    use crate::network::NetworkBuilder;
+    use crate::wavelength::{Wavelength, WavelengthSet};
+
+    fn fig1_like() -> WdmNetwork {
+        let mut b = NetworkBuilder::new(3);
+        let n: Vec<_> = (0..4)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 1.0 }))
+            .collect();
+        b.add_link_with(n[0], n[1], 2.0, WavelengthSet::from_indices(&[0, 1]));
+        b.add_link_with(n[1], n[3], 2.0, WavelengthSet::from_indices(&[1, 2]));
+        b.add_link_with(n[0], n[2], 3.0, WavelengthSet::from_indices(&[0]));
+        b.add_link_with(n[2], n[3], 3.0, WavelengthSet::from_indices(&[2]));
+        b.add_link_with(n[1], n[2], 1.0, WavelengthSet::from_indices(&[0, 1, 2]));
+        b.build()
+    }
+
+    /// Collects (kind, src-kind, dst-kind, weight-bits) of every enabled /
+    /// existing arc — the canonical form both constructions must agree on.
+    fn canon_engine(eng: &AuxEngine) -> Vec<(String, u64)> {
+        eng.graph()
+            .edge_ids()
+            .filter(|&e| eng.enabled(e))
+            .map(|e| {
+                let d = eng.graph().edge(e);
+                let s = eng.graph().node(eng.graph().src(e));
+                let t = eng.graph().node(eng.graph().dst(e));
+                (format!("{:?}->{:?} {:?}", s, t, d.kind), d.weight.to_bits())
+            })
+            .collect()
+    }
+
+    fn canon_scratch(aux: &AuxGraph) -> Vec<(String, u64)> {
+        aux.graph
+            .edge_ids()
+            .map(|e| {
+                let d = aux.graph.edge(e);
+                let s = aux.graph.node(aux.graph.src(e));
+                let t = aux.graph.node(aux.graph.dst(e));
+                (format!("{:?}->{:?} {:?}", s, t, d.kind), d.weight.to_bits())
+            })
+            .collect()
+    }
+
+    fn assert_equiv(
+        net: &WdmNetwork,
+        state: &ResidualState,
+        eng: &mut AuxEngine,
+        s: NodeId,
+        t: NodeId,
+        spec: AuxSpec,
+    ) {
+        eng.sync(net, state, s, t);
+        let scratch = AuxGraph::build(net, state, s, t, spec);
+        assert_eq!(eng.admitted_links(), scratch.admitted_links());
+        assert_eq!(canon_engine(eng), canon_scratch(&scratch));
+    }
+
+    #[test]
+    fn engine_matches_scratch_across_mutations() {
+        let net = fig1_like();
+        let mut st = ResidualState::fresh(&net);
+        let spec = AuxSpec::g_prime();
+        let mut eng = AuxEngine::new(&net, spec);
+        let (s, t) = (NodeId(0), NodeId(3));
+        assert_equiv(&net, &st, &mut eng, s, t, spec);
+
+        st.occupy(&net, EdgeId(0), Wavelength(1)).unwrap();
+        assert_equiv(&net, &st, &mut eng, s, t, spec);
+
+        st.occupy(&net, EdgeId(2), Wavelength(0)).unwrap(); // drops e2
+        assert_equiv(&net, &st, &mut eng, s, t, spec);
+
+        st.fail_link(EdgeId(4));
+        assert_equiv(&net, &st, &mut eng, s, t, spec);
+
+        st.repair_link(EdgeId(4));
+        st.release(EdgeId(2), Wavelength(0)).unwrap();
+        assert_equiv(&net, &st, &mut eng, s, t, spec);
+    }
+
+    #[test]
+    fn retargeting_moves_taps() {
+        let net = fig1_like();
+        let st = ResidualState::fresh(&net);
+        let spec = AuxSpec::g_prime();
+        let mut eng = AuxEngine::new(&net, spec);
+        assert_equiv(&net, &st, &mut eng, NodeId(0), NodeId(3), spec);
+        assert_equiv(&net, &st, &mut eng, NodeId(1), NodeId(2), spec);
+        assert_equiv(&net, &st, &mut eng, NodeId(0), NodeId(3), spec);
+    }
+
+    #[test]
+    fn threshold_updates_re_mask_without_weight_churn() {
+        let net = fig1_like();
+        let mut st = ResidualState::fresh(&net);
+        st.occupy(&net, EdgeId(4), Wavelength(0)).unwrap(); // load 1/3
+        let mut eng = AuxEngine::new(&net, AuxSpec::g_c(2.0, 0.3));
+        assert_equiv(
+            &net,
+            &st,
+            &mut eng,
+            NodeId(0),
+            NodeId(3),
+            AuxSpec::g_c(2.0, 0.3),
+        );
+        eng.set_threshold(Some(0.5));
+        assert_equiv(
+            &net,
+            &st,
+            &mut eng,
+            NodeId(0),
+            NodeId(3),
+            AuxSpec::g_c(2.0, 0.5),
+        );
+        eng.set_threshold(Some(0.3));
+        assert_equiv(
+            &net,
+            &st,
+            &mut eng,
+            NodeId(0),
+            NodeId(3),
+            AuxSpec::g_c(2.0, 0.3),
+        );
+    }
+
+    #[test]
+    fn clock_regression_triggers_full_refresh() {
+        let net = fig1_like();
+        let mut st = ResidualState::fresh(&net);
+        st.occupy(&net, EdgeId(0), Wavelength(0)).unwrap();
+        st.occupy(&net, EdgeId(0), Wavelength(1)).unwrap();
+        let spec = AuxSpec::g_prime();
+        let mut eng = AuxEngine::new(&net, spec);
+        assert_equiv(&net, &st, &mut eng, NodeId(0), NodeId(3), spec);
+        // A brand-new state has clock 0 < the engine's synced clock: the
+        // engine must notice and fully refresh.
+        let fresh = ResidualState::fresh(&net);
+        assert_equiv(&net, &fresh, &mut eng, NodeId(0), NodeId(3), spec);
+    }
+}

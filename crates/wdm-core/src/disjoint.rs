@@ -16,12 +16,12 @@
 //! the exact optimum when conversion at a node costs no more than any
 //! incident link.
 
-use crate::aux_graph::{AuxGraph, AuxSpec};
+use crate::aux_engine::RouterCtx;
+use crate::aux_graph::AuxSpec;
 use crate::error::RoutingError;
 use crate::network::{ResidualState, WdmNetwork};
 use crate::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath_filtered};
 use crate::semilightpath::{RobustRoute, Semilightpath};
-use wdm_graph::suurballe::edge_disjoint_pair;
 use wdm_graph::{EdgeId, NodeId};
 
 /// Diagnostics from one §3.3 run, used by the Lemma 2 / Theorem 2
@@ -39,6 +39,13 @@ pub struct DisjointDiagnostics {
 
 /// The §3.3 route finder.
 ///
+/// Internally it owns a [`RouterCtx`]: the `G'` skeleton is built on the
+/// first [`RobustRouteFinder::find`] and subsequent requests only refresh
+/// the links the residual state actually changed (and re-run the searches
+/// in preallocated buffers), so a long-lived finder routes in near-zero
+/// allocations per request. `find` therefore takes `&mut self`; create one
+/// finder and reuse it.
+///
 /// ```
 /// use wdm_core::prelude::*;
 /// use wdm_graph::NodeId;
@@ -54,21 +61,25 @@ pub struct DisjointDiagnostics {
 /// route.release(&mut state);                 // tear down
 /// assert_eq!(state.network_load(&net), 0.0);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RobustRouteFinder<'a> {
     net: &'a WdmNetwork,
+    ctx: RouterCtx,
 }
 
 impl<'a> RobustRouteFinder<'a> {
     /// Creates a finder over `net`.
     pub fn new(net: &'a WdmNetwork) -> Self {
-        Self { net }
+        Self {
+            net,
+            ctx: RouterCtx::new(),
+        }
     }
 
     /// Finds a primary + edge-disjoint backup semilightpath pair for the
     /// request `(s, t)` under the residual `state`.
     pub fn find(
-        &self,
+        &mut self,
         state: &ResidualState,
         s: NodeId,
         t: NodeId,
@@ -78,37 +89,48 @@ impl<'a> RobustRouteFinder<'a> {
 
     /// [`RobustRouteFinder::find`] plus the Lemma 2 diagnostics.
     pub fn find_with_diagnostics(
-        &self,
+        &mut self,
         state: &ResidualState,
         s: NodeId,
         t: NodeId,
     ) -> Result<(RobustRoute, DisjointDiagnostics), RoutingError> {
-        if s == t {
-            return Err(RoutingError::DegenerateRequest);
-        }
-        let aux = AuxGraph::build(self.net, state, s, t, AuxSpec::g_prime());
-        let pair = edge_disjoint_pair(&aux.graph, aux.source, aux.sink, |e| aux.weight(e))
-            .ok_or(RoutingError::NoDisjointPair)?;
-        let phys_a = aux.physical_edges(&pair.paths[0]);
-        let phys_b = aux.physical_edges(&pair.paths[1]);
-
-        let leg_a = refine_leg(self.net, state, s, t, &phys_a)?;
-        let leg_b = refine_leg(self.net, state, s, t, &phys_b)?;
-        debug_assert!(
-            !leg_a.shares_edge_with(&leg_b),
-            "Lemma 2: refinement must preserve edge-disjointness"
-        );
-        let refined_cost = leg_a.cost + leg_b.cost;
-        let route = RobustRoute::ordered(leg_a, leg_b);
-        Ok((
-            route,
-            DisjointDiagnostics {
-                aux_cost: pair.total_cost,
-                refined_cost,
-                aux_paths: [phys_a, phys_b],
-            },
-        ))
+        robust_route_ctx(&mut self.ctx, self.net, state, s, t)
     }
+}
+
+/// The §3.3 pipeline over a caller-owned [`RouterCtx`] — the hot-path entry
+/// point shared by [`RobustRouteFinder`], the simulator's cost-only policy
+/// and the benchmarks.
+pub fn robust_route_ctx(
+    ctx: &mut RouterCtx,
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+) -> Result<(RobustRoute, DisjointDiagnostics), RoutingError> {
+    if s == t {
+        return Err(RoutingError::DegenerateRequest);
+    }
+    let (pair, [phys_a, phys_b]) = ctx
+        .disjoint_pair(net, state, s, t, AuxSpec::g_prime())
+        .ok_or(RoutingError::NoDisjointPair)?;
+
+    let leg_a = refine_leg(net, state, s, t, &phys_a)?;
+    let leg_b = refine_leg(net, state, s, t, &phys_b)?;
+    debug_assert!(
+        !leg_a.shares_edge_with(&leg_b),
+        "Lemma 2: refinement must preserve edge-disjointness"
+    );
+    let refined_cost = leg_a.cost + leg_b.cost;
+    let route = RobustRoute::ordered(leg_a, leg_b);
+    Ok((
+        route,
+        DisjointDiagnostics {
+            aux_cost: pair.total_cost,
+            refined_cost,
+            aux_paths: [phys_a, phys_b],
+        },
+    ))
 }
 
 /// Runs the Liang–Shen search restricted to the induced subgraph `G_i` of
@@ -179,7 +201,7 @@ mod tests {
     fn rejects_degenerate_and_disconnected() {
         let net = diamond(2, 0.5);
         let st = ResidualState::fresh(&net);
-        let f = RobustRouteFinder::new(&net);
+        let mut f = RobustRouteFinder::new(&net);
         assert_eq!(
             f.find(&st, NodeId(0), NodeId(0)).unwrap_err(),
             RoutingError::DegenerateRequest

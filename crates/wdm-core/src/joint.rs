@@ -1,7 +1,7 @@
 //! §4.2: optimising the network load *and* the routing cost together.
 //!
 //! Two phases:
-//! 1. run [`find_two_paths_mincog`]
+//! 1. run [`find_two_paths_mincog`](crate::mincog::find_two_paths_mincog)
 //!    to obtain the smallest feasible load threshold `ϑ`;
 //! 2. rebuild the thresholded auxiliary graph as `G_rc(ϑ)` — same admitted
 //!    links, but **cost** weights (average traversal over `N(e)`, average
@@ -12,13 +12,13 @@
 //! the cheapest pair among routes that fit it — the paper's headline
 //! "network load and RWA considered simultaneously".
 
-use crate::aux_graph::{AuxGraph, AuxSpec};
+use crate::aux_engine::RouterCtx;
+use crate::aux_graph::AuxSpec;
 use crate::disjoint::refine_leg;
 use crate::error::RoutingError;
-use crate::mincog::{find_two_paths_mincog, route_bottleneck_load};
+use crate::mincog::{find_two_paths_mincog_ctx, route_bottleneck_load};
 use crate::network::{ResidualState, WdmNetwork};
 use crate::semilightpath::RobustRoute;
-use wdm_graph::suurballe::edge_disjoint_pair;
 use wdm_graph::NodeId;
 
 /// Result of the §4.2 joint optimisation.
@@ -42,7 +42,21 @@ pub fn find_two_paths_joint(
     t: NodeId,
     a: f64,
 ) -> Result<JointOutcome, RoutingError> {
-    find_two_paths_joint_with(net, state, s, t, a, false)
+    find_two_paths_joint_with(&mut RouterCtx::new(), net, state, s, t, a, false)
+}
+
+/// [`find_two_paths_joint`] over a caller-owned [`RouterCtx`]: both phases
+/// run on incrementally maintained auxiliary-graph engines (`G_c` for the
+/// threshold search, `G_rc` for the cost pass) that persist across requests.
+pub fn find_two_paths_joint_ctx(
+    ctx: &mut RouterCtx,
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    a: f64,
+) -> Result<JointOutcome, RoutingError> {
+    find_two_paths_joint_with(ctx, net, state, s, t, a, false)
 }
 
 /// [`find_two_paths_joint`] with the §4.2 `G_rc` traversal weights exactly
@@ -55,10 +69,23 @@ pub fn find_two_paths_joint_as_printed(
     t: NodeId,
     a: f64,
 ) -> Result<JointOutcome, RoutingError> {
-    find_two_paths_joint_with(net, state, s, t, a, true)
+    find_two_paths_joint_with(&mut RouterCtx::new(), net, state, s, t, a, true)
+}
+
+/// [`find_two_paths_joint_as_printed`] over a caller-owned [`RouterCtx`].
+pub fn find_two_paths_joint_as_printed_ctx(
+    ctx: &mut RouterCtx,
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    a: f64,
+) -> Result<JointOutcome, RoutingError> {
+    find_two_paths_joint_with(ctx, net, state, s, t, a, true)
 }
 
 fn find_two_paths_joint_with(
+    ctx: &mut RouterCtx,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -67,7 +94,7 @@ fn find_two_paths_joint_with(
     as_printed: bool,
 ) -> Result<JointOutcome, RoutingError> {
     // Phase 1: minimal feasible threshold.
-    let phase1 = find_two_paths_mincog(net, state, s, t, a)?;
+    let phase1 = find_two_paths_mincog_ctx(ctx, net, state, s, t, a)?;
 
     // Phase 2: cheapest pair within the threshold (G_rc weights).
     let spec = if as_printed {
@@ -75,20 +102,15 @@ fn find_two_paths_joint_with(
     } else {
         AuxSpec::g_rc(phase1.threshold)
     };
-    let aux = AuxGraph::build(net, state, s, t, spec);
-    let pair = edge_disjoint_pair(&aux.graph, aux.source, aux.sink, |e| aux.weight(e))
-        // Phase 1 proved feasibility at this threshold, so this cannot fail;
-        // defensive fallback keeps the phase-1 route.
-        .ok_or(RoutingError::NoDisjointPair);
-    let route = match pair {
-        Ok(pair) => {
-            let phys_a = aux.physical_edges(&pair.paths[0]);
-            let phys_b = aux.physical_edges(&pair.paths[1]);
+    // Phase 1 proved feasibility at this threshold, so the pair search
+    // cannot fail; defensive fallback keeps the phase-1 route.
+    let route = match ctx.disjoint_pair(net, state, s, t, spec) {
+        Some((_, [phys_a, phys_b])) => {
             let leg_a = refine_leg(net, state, s, t, &phys_a)?;
             let leg_b = refine_leg(net, state, s, t, &phys_b)?;
             RobustRoute::ordered(leg_a, leg_b)
         }
-        Err(_) => phase1.route,
+        None => phase1.route,
     };
     let bottleneck_load = route_bottleneck_load(net, state, &route);
     Ok(JointOutcome {

@@ -30,6 +30,7 @@
 //! Eq. 1 costs), [`wavelength::WavelengthSet`] (bitset availability),
 //! [`conversion::ConversionTable`] (full/none/range/matrix capabilities).
 
+pub mod aux_engine;
 pub mod aux_graph;
 pub mod baselines;
 pub mod conversion;
@@ -49,6 +50,7 @@ pub mod wavelength;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::aux_engine::{AuxEngine, RouterCtx};
     pub use crate::aux_graph::{AuxGraph, AuxSpec, AuxWeights};
     pub use crate::conversion::ConversionTable;
     pub use crate::disjoint::RobustRouteFinder;

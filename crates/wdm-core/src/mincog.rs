@@ -27,12 +27,12 @@
 //! provides the true optimum by binary search over the *discrete* candidate
 //! set `{(U(e)+1)/N(e)}`, used by the T3 experiment as the baseline.
 
-use crate::aux_graph::{AuxGraph, AuxSpec};
+use crate::aux_engine::RouterCtx;
+use crate::aux_graph::AuxSpec;
 use crate::disjoint::refine_leg;
 use crate::error::RoutingError;
 use crate::network::{ResidualState, WdmNetwork};
 use crate::semilightpath::RobustRoute;
-use wdm_graph::suurballe::edge_disjoint_pair;
 use wdm_graph::{EdgeId, NodeId};
 
 /// Default exponential base `a` for the congestion weights. The paper only
@@ -52,36 +52,25 @@ pub struct MinCogOutcome {
     pub probes: usize,
 }
 
-/// Tries one threshold spec: builds the thresholded `G_c` and runs
-/// Suurballe.
-fn probe_spec(
-    net: &WdmNetwork,
-    state: &ResidualState,
-    s: NodeId,
-    t: NodeId,
-    spec: AuxSpec,
-) -> Option<[Vec<EdgeId>; 2]> {
-    let aux = AuxGraph::build(net, state, s, t, spec);
-    let pair = edge_disjoint_pair(&aux.graph, aux.source, aux.sink, |e| aux.weight(e))?;
-    Some([
-        aux.physical_edges(&pair.paths[0]),
-        aux.physical_edges(&pair.paths[1]),
-    ])
-}
-
 /// Tries one threshold spec end-to-end: Suurballe on the thresholded `G_c`
 /// *plus* the Liang–Shen refinement. Under restricted conversion tables an
 /// auxiliary pair may have no feasible wavelength assignment — such probes
 /// count as infeasible so the search escalates instead of failing (with
 /// full conversion, the paper's assumption (i), refinement never fails).
-fn probe_route(
+///
+/// Consecutive probes reuse the context's `G_c` engine: only the admission
+/// mask changes between thresholds, so each probe after the first is an
+/// `O(m)` re-mask plus the searches — no graph construction, no `O(W²)`
+/// conversion sums.
+pub(crate) fn probe_route(
+    ctx: &mut RouterCtx,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
     t: NodeId,
     spec: AuxSpec,
 ) -> Option<(RobustRoute, [Vec<EdgeId>; 2])> {
-    let aux_paths = probe_spec(net, state, s, t, spec)?;
+    let (_, aux_paths) = ctx.disjoint_pair(net, state, s, t, spec)?;
     let leg_a = refine_leg(net, state, s, t, &aux_paths[0]).ok()?;
     let leg_b = refine_leg(net, state, s, t, &aux_paths[1]).ok()?;
     Some((RobustRoute::ordered(leg_a, leg_b), aux_paths))
@@ -132,6 +121,21 @@ pub fn find_two_paths_mincog(
     t: NodeId,
     a: f64,
 ) -> Result<MinCogOutcome, RoutingError> {
+    find_two_paths_mincog_ctx(&mut RouterCtx::new(), net, state, s, t, a)
+}
+
+/// [`find_two_paths_mincog`] over a caller-owned [`RouterCtx`]: every probe
+/// of the threshold search shares one incrementally maintained `G_c` engine
+/// (probes after the first only re-mask admission), and a long-lived
+/// context additionally amortises across requests.
+pub fn find_two_paths_mincog_ctx(
+    ctx: &mut RouterCtx,
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    a: f64,
+) -> Result<MinCogOutcome, RoutingError> {
     if s == t {
         return Err(RoutingError::DegenerateRequest);
     }
@@ -148,7 +152,7 @@ pub fn find_two_paths_mincog(
     loop {
         probes += 1;
         if let Some((route, aux_paths)) =
-            probe_route(net, state, s, t, AuxSpec::g_c(a, theta + bump))
+            probe_route(ctx, net, state, s, t, AuxSpec::g_c(a, theta + bump))
         {
             return Ok(MinCogOutcome {
                 threshold: theta + bump,
@@ -184,6 +188,19 @@ pub fn exact_min_load_threshold(
     t: NodeId,
     a: f64,
 ) -> Result<MinCogOutcome, RoutingError> {
+    exact_min_load_threshold_ctx(&mut RouterCtx::new(), net, state, s, t, a)
+}
+
+/// [`exact_min_load_threshold`] over a caller-owned [`RouterCtx`] (see
+/// [`find_two_paths_mincog_ctx`] for what sharing buys).
+pub fn exact_min_load_threshold_ctx(
+    ctx: &mut RouterCtx,
+    net: &WdmNetwork,
+    state: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+    a: f64,
+) -> Result<MinCogOutcome, RoutingError> {
     if s == t {
         return Err(RoutingError::DegenerateRequest);
     }
@@ -207,7 +224,7 @@ pub fn exact_min_load_threshold(
         let mid = (lo + hi) / 2;
         let b = candidates[mid];
         probes += 1;
-        match probe_route(net, state, s, t, AuxSpec::g_c_prospective(a, b)) {
+        match probe_route(ctx, net, state, s, t, AuxSpec::g_c_prospective(a, b)) {
             Some((route, paths)) => {
                 best = Some((b, route, paths));
                 hi = mid;

@@ -329,10 +329,62 @@ impl std::error::Error for StateError {}
 /// Mutable occupancy and failure state layered over a [`WdmNetwork`]:
 /// `U(e)` (wavelengths in use) per link and a failed-link mask. Defines the
 /// residual network `G(V, E, Λ_avail)` of §3.3.1.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// Every mutation also advances a monotone *change clock* and stamps the
+/// touched link with it, so incremental consumers (the auxiliary-graph
+/// engine) can refresh only the links that changed since their last sync.
+/// The clocks are bookkeeping, not state: they are ignored by `PartialEq`
+/// and excluded from the serialized form.
+#[derive(Debug, Clone)]
 pub struct ResidualState {
     used: Vec<WavelengthSet>,
     failed: Vec<bool>,
+    /// Monotone counter, bumped once per mutation (including failed ones
+    /// that still observed the state, see the mutators).
+    clock: u64,
+    /// Per-link value of `clock` at the link's most recent mutation.
+    link_clock: Vec<u64>,
+}
+
+/// Equality is over the semantic payload (`used`, `failed`) only; two states
+/// reached by different mutation histories compare equal.
+impl PartialEq for ResidualState {
+    fn eq(&self, other: &Self) -> bool {
+        self.used == other.used && self.failed == other.failed
+    }
+}
+
+/// Serializes exactly the pre-clock layout `{"used": [...], "failed": [...]}`
+/// so on-disk `.wdm` snapshots are unaffected by the change tracking.
+impl serde::Serialize for ResidualState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (String::from("used"), serde::Serialize::to_value(&self.used)),
+            (
+                String::from("failed"),
+                serde::Serialize::to_value(&self.failed),
+            ),
+        ])
+    }
+}
+
+impl serde::Deserialize for ResidualState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| serde::unexpected(v, "struct ResidualState"))?;
+        let used: Vec<WavelengthSet> =
+            serde::Deserialize::from_value(serde::field(fields, "used", "ResidualState")?)?;
+        let failed: Vec<bool> =
+            serde::Deserialize::from_value(serde::field(fields, "failed", "ResidualState")?)?;
+        let links = used.len();
+        Ok(Self {
+            used,
+            failed,
+            clock: 0,
+            link_clock: vec![0; links],
+        })
+    }
 }
 
 impl ResidualState {
@@ -341,7 +393,31 @@ impl ResidualState {
         Self {
             used: vec![WavelengthSet::empty(); net.link_count()],
             failed: vec![false; net.link_count()],
+            clock: 0,
+            link_clock: vec![0; net.link_count()],
         }
+    }
+
+    /// Current value of the change clock. Starts at 0 and advances by one on
+    /// every successful mutation.
+    #[inline]
+    pub fn change_clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The change-clock value at link `e`'s most recent mutation (0 if the
+    /// link was never mutated). A consumer that recorded the global clock
+    /// `c` at its last sync is stale on exactly the links with
+    /// `link_change_clock(e) > c`.
+    #[inline]
+    pub fn link_change_clock(&self, e: EdgeId) -> u64 {
+        self.link_clock[e.index()]
+    }
+
+    #[inline]
+    fn touch(&mut self, e: EdgeId) {
+        self.clock += 1;
+        self.link_clock[e.index()] = self.clock;
     }
 
     /// Wavelengths currently in use on `e` (`U(e)` as a set).
@@ -383,6 +459,7 @@ impl ResidualState {
         if !self.used[e.index()].insert(l) {
             return Err(StateError::AlreadyUsed);
         }
+        self.touch(e);
         Ok(())
     }
 
@@ -391,6 +468,7 @@ impl ResidualState {
         if !self.used[e.index()].remove(l) {
             return Err(StateError::NotUsed);
         }
+        self.touch(e);
         Ok(())
     }
 
@@ -398,11 +476,13 @@ impl ResidualState {
     /// channels stay recorded so repair restores them).
     pub fn fail_link(&mut self, e: EdgeId) {
         self.failed[e.index()] = true;
+        self.touch(e);
     }
 
     /// Repairs link `e`.
     pub fn repair_link(&mut self, e: EdgeId) {
         self.failed[e.index()] = false;
+        self.touch(e);
     }
 
     /// Whether link `e` is failed.

@@ -1,0 +1,286 @@
+//! Differential test: the incremental [`AuxEngine`] must be observationally
+//! identical to the scratch [`AuxGraph::build`] oracle.
+//!
+//! A persistent engine per auxiliary-graph family (`G'`, `G_c`, `G_rc`) is
+//! dragged through long random sequences of state mutations (occupy /
+//! release / fail / repair), request retargets and threshold changes. After
+//! every step, each engine's enabled subgraph must match a from-scratch
+//! build **bit-for-bit**: same admitted links, same arcs in the same
+//! relative order, identical `f64` weight bits. On top of that, the
+//! minimum-cost disjoint pair found by the reusable [`SearchArena`] over the
+//! engine must equal the allocating Suurballe over the scratch graph —
+//! same physical edges, same total-cost bits — which pins route identity
+//! (refinement is a deterministic function of the physical edge sets).
+//!
+//! Finally the persistent-context public entry points
+//! ([`find_two_paths_mincog_ctx`], [`find_two_paths_joint_ctx`]) are
+//! compared against their one-shot counterparts across the same mutation
+//! history.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_core::aux_engine::{AuxEngine, RouterCtx};
+use wdm_core::aux_graph::{AuxGraph, AuxSpec};
+use wdm_core::conversion::ConversionTable;
+use wdm_core::joint::{find_two_paths_joint, find_two_paths_joint_ctx};
+use wdm_core::mincog::{find_two_paths_mincog, find_two_paths_mincog_ctx};
+use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use wdm_core::wavelength::{Wavelength, WavelengthSet};
+use wdm_graph::suurballe::edge_disjoint_pair_filtered;
+use wdm_graph::{EdgeId, NodeId, SearchArena};
+
+fn random_net(rng: &mut ChaCha8Rng) -> WdmNetwork {
+    let n = rng.gen_range(4..10usize);
+    let w = rng.gen_range(2..6usize);
+    let mut b = NetworkBuilder::new(w);
+    for _ in 0..n {
+        let conv = match rng.gen_range(0..3) {
+            0 => ConversionTable::None,
+            1 => ConversionTable::Full {
+                cost: rng.gen_range(0.0..2.0),
+            },
+            _ => ConversionTable::Range {
+                range: rng.gen_range(1..3),
+                cost: rng.gen_range(0.0..2.0),
+            },
+        };
+        b.add_node(conv);
+    }
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(0.45) {
+                let mut set = WavelengthSet::empty();
+                for l in 0..w {
+                    if rng.gen_bool(0.7) {
+                        set.insert(Wavelength(l as u8));
+                    }
+                }
+                if set.is_empty() {
+                    set.insert(Wavelength(0));
+                }
+                b.add_link_with(NodeId(u), NodeId(v), rng.gen_range(1.0..10.0), set);
+            }
+        }
+    }
+    b.build()
+}
+
+/// One random state mutation; occupy/release on illegal channels are no-ops
+/// (`Err` ignored), which also exercises "nothing changed" syncs.
+fn random_op(rng: &mut ChaCha8Rng, net: &WdmNetwork, st: &mut ResidualState) {
+    let e = EdgeId::from(rng.gen_range(0..net.link_count()));
+    match rng.gen_range(0..4) {
+        0 => {
+            let l = Wavelength(rng.gen_range(0..net.num_wavelengths()) as u8);
+            let _ = st.occupy(net, e, l);
+        }
+        1 => {
+            let l = Wavelength(rng.gen_range(0..net.num_wavelengths()) as u8);
+            let _ = st.release(e, l);
+        }
+        2 => st.fail_link(e),
+        _ => st.repair_link(e),
+    }
+}
+
+/// Canonical form of an auxiliary arc: endpoint payloads + kind + weight
+/// bits. Node/edge ids differ between the skeleton and a scratch build, but
+/// the payloads (`OutNode(e)`, `InNode(e)`, `Source`, `Sink`, arc kinds)
+/// identify arcs across both.
+fn canon_engine(eng: &AuxEngine) -> Vec<(String, u64)> {
+    eng.graph()
+        .edge_ids()
+        .filter(|&e| eng.enabled(e))
+        .map(|e| {
+            let d = eng.graph().edge(e);
+            let s = eng.graph().node(eng.graph().src(e));
+            let t = eng.graph().node(eng.graph().dst(e));
+            (format!("{:?}->{:?} {:?}", s, t, d.kind), d.weight.to_bits())
+        })
+        .collect()
+}
+
+fn canon_scratch(aux: &AuxGraph) -> Vec<(String, u64)> {
+    aux.graph
+        .edge_ids()
+        .map(|e| {
+            let d = aux.graph.edge(e);
+            let s = aux.graph.node(aux.graph.src(e));
+            let t = aux.graph.node(aux.graph.dst(e));
+            (format!("{:?}->{:?} {:?}", s, t, d.kind), d.weight.to_bits())
+        })
+        .collect()
+}
+
+/// Engine-refreshed graph == scratch build, and arena pair search over the
+/// engine == allocating pair search over the scratch graph.
+#[allow(clippy::too_many_arguments)]
+fn check_family(
+    net: &WdmNetwork,
+    st: &ResidualState,
+    eng: &mut AuxEngine,
+    arena: &mut SearchArena,
+    s: NodeId,
+    t: NodeId,
+    spec: AuxSpec,
+    ctx_label: &str,
+) {
+    eng.set_threshold(spec.threshold);
+    eng.sync(net, st, s, t);
+    let scratch = AuxGraph::build(net, st, s, t, spec);
+    assert_eq!(
+        eng.admitted_links(),
+        scratch.admitted_links(),
+        "{ctx_label}: admitted-link count"
+    );
+    assert_eq!(
+        canon_engine(eng),
+        canon_scratch(&scratch),
+        "{ctx_label}: enabled arcs / weight bits"
+    );
+
+    let eng_pair = {
+        let eng: &AuxEngine = eng;
+        arena.edge_disjoint_pair(
+            eng.graph(),
+            eng.source(),
+            eng.sink(),
+            |e| eng.weight(e),
+            |e| eng.enabled(e),
+        )
+    };
+    let scratch_pair = edge_disjoint_pair_filtered(
+        &scratch.graph,
+        scratch.source,
+        scratch.sink,
+        |e| scratch.weight(e),
+        |_| true,
+    );
+    match (eng_pair, scratch_pair) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(
+                a.total_cost.to_bits(),
+                b.total_cost.to_bits(),
+                "{ctx_label}: pair cost bits"
+            );
+            for leg in 0..2 {
+                assert_eq!(
+                    eng.physical_edges(&a.paths[leg]),
+                    scratch.physical_edges(&b.paths[leg]),
+                    "{ctx_label}: physical edges of leg {leg}"
+                );
+            }
+        }
+        (a, b) => panic!(
+            "{ctx_label}: feasibility mismatch (engine {:?}, scratch {:?})",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+#[test]
+fn engine_equals_scratch_under_random_mutation_sequences() {
+    for seed in 0..30u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xD1FF ^ seed);
+        let net = random_net(&mut rng);
+        let mut st = ResidualState::fresh(&net);
+        let mut arena = SearchArena::new();
+        let mut eng_gp = AuxEngine::new(&net, AuxSpec::g_prime());
+        let mut eng_gc = AuxEngine::new(&net, AuxSpec::g_c(2.0, 0.5));
+        let mut eng_grc = AuxEngine::new(&net, AuxSpec::g_rc(0.5));
+        let mut theta = 0.5;
+        for _step in 0..40 {
+            for _ in 0..rng.gen_range(0..3) {
+                random_op(&mut rng, &net, &mut st);
+            }
+            if rng.gen_bool(0.3) {
+                theta = rng.gen_range(0.05..1.1);
+            }
+            let s = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            let t = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            if s == t {
+                continue;
+            }
+            check_family(
+                &net,
+                &st,
+                &mut eng_gp,
+                &mut arena,
+                s,
+                t,
+                AuxSpec::g_prime(),
+                "G'",
+            );
+            check_family(
+                &net,
+                &st,
+                &mut eng_gc,
+                &mut arena,
+                s,
+                t,
+                AuxSpec::g_c(2.0, theta),
+                "G_c",
+            );
+            check_family(
+                &net,
+                &st,
+                &mut eng_grc,
+                &mut arena,
+                s,
+                t,
+                AuxSpec::g_rc(theta),
+                "G_rc",
+            );
+        }
+    }
+}
+
+/// The persistent-context public entry points agree with their one-shot
+/// counterparts at every step of a mutation history (same thresholds,
+/// probe counts and routes).
+#[test]
+fn persistent_ctx_entry_points_match_one_shot() {
+    for seed in 0..15u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC7 ^ seed);
+        let net = random_net(&mut rng);
+        let mut st = ResidualState::fresh(&net);
+        let mut ctx = RouterCtx::new();
+        for _step in 0..25 {
+            for _ in 0..rng.gen_range(0..4) {
+                random_op(&mut rng, &net, &mut st);
+            }
+            let s = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            let t = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            if s == t {
+                continue;
+            }
+            match (
+                find_two_paths_mincog_ctx(&mut ctx, &net, &st, s, t, 2.0),
+                find_two_paths_mincog(&net, &st, s, t, 2.0),
+            ) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+                    assert_eq!(a.probes, b.probes);
+                    assert_eq!(a.aux_paths, b.aux_paths);
+                    assert_eq!(a.route, b.route);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("mincog ctx/one-shot mismatch: {a:?} vs {b:?}"),
+            }
+            match (
+                find_two_paths_joint_ctx(&mut ctx, &net, &st, s, t, 2.0),
+                find_two_paths_joint(&net, &st, s, t, 2.0),
+            ) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+                    assert_eq!(a.route, b.route);
+                    assert_eq!(a.bottleneck_load.to_bits(), b.bottleneck_load.to_bits());
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("joint ctx/one-shot mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Reusable search buffers for the routing hot path.
+//!
+//! Every Dijkstra/Suurballe call in the baseline implementation allocates its
+//! working state (`dist`/`pred` vectors, the heap, the Suurballe residual
+//! graph and walk lists) from scratch. [`SearchArena`] owns all of that state
+//! once and re-serves it across calls:
+//!
+//! * `dist`/`pred` are *generation-stamped*: a slot is valid only if its
+//!   stamp equals the current generation, so "resetting" the arrays is a
+//!   single counter increment instead of an `O(n)` fill;
+//! * the d-ary heap is emptied with [`DaryHeap::clear`] (`O(len)` over the
+//!   few leftover slots, not over capacity);
+//! * the Suurballe residual graph keeps its node set and the capacity of its
+//!   adjacency lists via [`DiGraph::clear_edges`];
+//! * edge masks are generation-stamped like the distance arrays.
+//!
+//! The arena variants run the *same operation sequence* as their allocating
+//! counterparts ([`dijkstra_generic`](crate::dijkstra::dijkstra_generic),
+//! [`edge_disjoint_pair_filtered`](crate::suurballe::edge_disjoint_pair_filtered)):
+//! identical relaxations in identical order with identical tie-breaking, so
+//! results are bit-for-bit equal — the allocating functions now delegate
+//! here with a fresh arena.
+
+use crate::{DiGraph, EdgeId, NodeId, Path};
+use wdm_heap::{DaryHeap, MinQueue};
+
+/// A generation-stamped shortest-path tree buffer (`dist` + `pred`).
+#[derive(Debug, Clone)]
+struct TreeBank {
+    dist: Vec<f64>,
+    pred: Vec<Option<EdgeId>>,
+    stamp: Vec<u64>,
+    gen: u64,
+    source: NodeId,
+}
+
+impl Default for TreeBank {
+    fn default() -> Self {
+        Self {
+            dist: Vec::new(),
+            pred: Vec::new(),
+            stamp: Vec::new(),
+            gen: 0,
+            source: NodeId::from(0),
+        }
+    }
+}
+
+impl TreeBank {
+    /// Starts a new search over `n` nodes: grows the buffers if needed and
+    /// invalidates all previous entries by bumping the generation.
+    fn begin(&mut self, n: usize, source: NodeId) {
+        if self.stamp.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.pred.resize(n, None);
+            self.stamp.resize(n, 0);
+        }
+        self.gen += 1;
+        self.source = source;
+    }
+
+    #[inline]
+    fn dist(&self, v: usize) -> f64 {
+        if self.stamp[v] == self.gen {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn pred(&self, v: usize) -> Option<EdgeId> {
+        if self.stamp[v] == self.gen {
+            self.pred[v]
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: usize, d: f64, p: Option<EdgeId>) {
+        self.dist[v] = d;
+        self.pred[v] = p;
+        self.stamp[v] = self.gen;
+    }
+
+    #[inline]
+    fn reached(&self, v: NodeId) -> bool {
+        self.dist(v.index()).is_finite()
+    }
+
+    /// Mirrors [`crate::dijkstra::ShortestPathTree::path_to`].
+    fn path_to<N, E>(&self, g: &DiGraph<N, E>, t: NodeId) -> Option<Path> {
+        if !self.reached(t) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut at = t;
+        while at != self.source {
+            let e = self
+                .pred(at.index())
+                .expect("reached non-source node must have a pred edge");
+            edges.push(e);
+            at = g.src(e);
+        }
+        edges.reverse();
+        Some(Path {
+            src: self.source,
+            dst: t,
+            edges,
+        })
+    }
+}
+
+/// A generation-stamped boolean edge set.
+#[derive(Debug, Clone, Default)]
+struct EdgeMask {
+    bit: Vec<bool>,
+    stamp: Vec<u64>,
+    gen: u64,
+}
+
+impl EdgeMask {
+    fn begin(&mut self, m: usize) {
+        if self.stamp.len() < m {
+            self.bit.resize(m, false);
+            self.stamp.resize(m, 0);
+        }
+        self.gen += 1;
+    }
+
+    #[inline]
+    fn get(&self, e: usize) -> bool {
+        self.stamp[e] == self.gen && self.bit[e]
+    }
+
+    #[inline]
+    fn set(&mut self, e: usize, value: bool) {
+        self.bit[e] = value;
+        self.stamp[e] = self.gen;
+    }
+}
+
+/// Arc of the Suurballe residual graph (see `suurballe.rs`); lives here so
+/// the arena can own a reusable residual graph.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ResidArc {
+    /// Reduced (non-negative) cost.
+    pub(crate) reduced: f64,
+    /// Originating edge in the input graph.
+    pub(crate) orig: EdgeId,
+    /// Whether this arc traverses `orig` backwards (a P1 reversal).
+    pub(crate) reversed: bool,
+}
+
+/// Owns every buffer a Dijkstra or Suurballe run needs, so steady-state
+/// searches perform no heap allocation beyond their output paths.
+///
+/// One arena serves any number of sequential searches over graphs of any
+/// (varying) size; buffers only grow. Results are identical to the
+/// allocating entry points.
+#[derive(Debug, Clone)]
+pub struct SearchArena {
+    /// Pass-1 tree (kept alive through pass 2, which reads its distances).
+    t1: TreeBank,
+    /// Pass-2 tree over the residual graph.
+    t2: TreeBank,
+    heap: DaryHeap<f64, 4>,
+    mask: EdgeMask,
+    resid: DiGraph<(), ResidArc>,
+    out_lists: Vec<Vec<EdgeId>>,
+}
+
+impl Default for SearchArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchArena {
+    pub fn new() -> Self {
+        Self {
+            t1: TreeBank::default(),
+            t2: TreeBank::default(),
+            heap: DaryHeap::with_capacity(0),
+            mask: EdgeMask::default(),
+            resid: DiGraph::new(),
+            out_lists: Vec::new(),
+        }
+    }
+
+    /// Arena-backed [`crate::suurballe::edge_disjoint_pair_filtered`]:
+    /// minimum-cost pair of
+    /// edge-disjoint `s -> t` paths over edges accepted by `filter`. Same
+    /// algorithm, same tie-breaking, same results; only the working memory
+    /// is reused.
+    pub fn edge_disjoint_pair<N, E>(
+        &mut self,
+        g: &DiGraph<N, E>,
+        s: NodeId,
+        t: NodeId,
+        mut cost: impl FnMut(EdgeId) -> f64,
+        mut filter: impl FnMut(EdgeId) -> bool,
+    ) -> Option<crate::suurballe::DisjointPair> {
+        if s == t {
+            return None;
+        }
+        // Pass 1: shortest path tree from s.
+        dijkstra_into(
+            &mut self.t1,
+            &mut self.heap,
+            g,
+            s,
+            None,
+            &mut cost,
+            &mut filter,
+        );
+        if !self.t1.reached(t) {
+            return None;
+        }
+        let p1 = self.t1.path_to(g, t).expect("t is reached");
+        self.mask.begin(g.edge_count());
+        for &e in &p1.edges {
+            self.mask.set(e.index(), true);
+        }
+
+        // Pass 2: residual graph with reduced costs.
+        let n = g.node_count();
+        self.resid.clear_edges();
+        while self.resid.node_count() < n {
+            self.resid.add_node(());
+        }
+        for e in g.edge_ids() {
+            if !filter(e) {
+                continue;
+            }
+            let (u, v) = g.endpoints(e);
+            if self.mask.get(e.index()) {
+                // Tight tree edge: zero-cost reversal.
+                self.resid.add_edge(
+                    v,
+                    u,
+                    ResidArc {
+                        reduced: 0.0,
+                        orig: e,
+                        reversed: true,
+                    },
+                );
+            } else if self.t1.reached(u) && self.t1.reached(v) {
+                let red = cost(e) + self.t1.dist(u.index()) - self.t1.dist(v.index());
+                // Floating-point noise can push a tight edge to -epsilon.
+                let red = red.max(0.0);
+                self.resid.add_edge(
+                    u,
+                    v,
+                    ResidArc {
+                        reduced: red,
+                        orig: e,
+                        reversed: false,
+                    },
+                );
+            }
+            // Edges touching unreachable nodes cannot lie on any s->t path.
+        }
+        let (t2, resid) = (&mut self.t2, &self.resid);
+        dijkstra_into(
+            t2,
+            &mut self.heap,
+            resid,
+            s,
+            Some(t),
+            |e| resid.edge(e).reduced,
+            |_| true,
+        );
+        if !self.t2.reached(t) {
+            return None;
+        }
+        let p2 = self.t2.path_to(&self.resid, t).expect("t is reached");
+
+        // Interleaving removal: cancel (e, reverse(e)) pairs. The mask
+        // currently holds P1's edges and becomes the surviving set.
+        for &re in &p2.edges {
+            let arc = self.resid.edge(re);
+            if arc.reversed {
+                debug_assert!(self.mask.get(arc.orig.index()), "reversal of non-P1 edge");
+                self.mask.set(arc.orig.index(), false);
+            } else {
+                debug_assert!(
+                    !self.mask.get(arc.orig.index()),
+                    "forward arc duplicates P1 edge"
+                );
+                self.mask.set(arc.orig.index(), true);
+            }
+        }
+
+        // Decompose the surviving edge set into two s->t paths by walking.
+        if self.out_lists.len() < n {
+            self.out_lists.resize_with(n, Vec::new);
+        }
+        let mut total = 0.0;
+        for e in g.edge_ids() {
+            if self.mask.get(e.index()) {
+                self.out_lists[g.src(e).index()].push(e);
+                total += cost(e);
+            }
+        }
+        let out_lists = &mut self.out_lists;
+        let mut walk = || -> Path {
+            let mut edges = Vec::new();
+            let mut at = s;
+            while at != t {
+                let e = out_lists[at.index()]
+                    .pop()
+                    .expect("balanced edge set cannot strand a walk before t");
+                edges.push(e);
+                at = g.dst(e);
+            }
+            Path {
+                src: s,
+                dst: t,
+                edges,
+            }
+        };
+        let a = walk();
+        let b = walk();
+        debug_assert!(
+            self.out_lists.iter().all(|l| l.is_empty()),
+            "leftover edges after extracting two paths (zero-cost cycle?)"
+        );
+        // Defensive in release builds: a zero-cost cycle must not leak edges
+        // into the next search served by this arena.
+        for l in &mut self.out_lists {
+            l.clear();
+        }
+        let (first, second) = if a.cost(&mut cost) <= b.cost(&mut cost) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        debug_assert!(!first.shares_edge_with(&second));
+        Some(crate::suurballe::DisjointPair {
+            paths: [first, second],
+            total_cost: total,
+        })
+    }
+}
+
+/// Dijkstra into a [`TreeBank`]: the exact relaxation loop of
+/// [`dijkstra_generic`](crate::dijkstra::dijkstra_generic) with the default
+/// 4-ary heap, writing into reused buffers.
+fn dijkstra_into<N, E>(
+    bank: &mut TreeBank,
+    heap: &mut DaryHeap<f64, 4>,
+    g: &DiGraph<N, E>,
+    source: NodeId,
+    target: Option<NodeId>,
+    mut cost: impl FnMut(EdgeId) -> f64,
+    mut filter: impl FnMut(EdgeId) -> bool,
+) {
+    let n = g.node_count();
+    bank.begin(n, source);
+    heap.ensure_capacity(n);
+    heap.clear();
+    bank.set(source.index(), 0.0, None);
+    heap.insert(source.index(), 0.0);
+    while let Some((u_idx, du)) = heap.pop_min() {
+        let u = NodeId::from(u_idx);
+        if Some(u) == target {
+            break;
+        }
+        for &e in g.out_edges(u) {
+            if !filter(e) {
+                continue;
+            }
+            let w = cost(e);
+            debug_assert!(w >= 0.0, "negative arc weight {w} on {e:?}");
+            let v = g.dst(e);
+            let nd = du + w;
+            if nd < bank.dist(v.index()) {
+                bank.set(v.index(), nd, Some(e));
+                heap.insert_or_decrease(v.index(), nd);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suurballe::edge_disjoint_pair_filtered;
+    use crate::topology;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(rng: &mut impl Rng, n: usize, p: f64) -> DiGraph<(), f64> {
+        let mut g: DiGraph<(), f64> = DiGraph::new();
+        for _ in 0..n {
+            g.add_node(());
+        }
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(p) {
+                    g.add_edge(
+                        NodeId::from(u),
+                        NodeId::from(v),
+                        (rng.gen_range(1..=20) as f64) / 2.0,
+                    );
+                }
+            }
+        }
+        g
+    }
+
+    /// The arena variant must be indistinguishable from the allocating one,
+    /// including exact path choice among cost ties.
+    #[test]
+    fn arena_pair_matches_allocating_pair() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5EED);
+        let mut arena = SearchArena::new();
+        for trial in 0..200 {
+            let n = rng.gen_range(2..14);
+            let g = random_graph(&mut rng, n, 0.3);
+            let s = NodeId::from(rng.gen_range(0..n));
+            let t = NodeId::from(rng.gen_range(0..n));
+            let banned = EdgeId::from(rng.gen_range(0..g.edge_count().max(1)));
+            let filter = |e: EdgeId| e != banned;
+            let base = edge_disjoint_pair_filtered(&g, s, t, |e| g.weight(e), filter);
+            let fast = arena.edge_disjoint_pair(&g, s, t, |e| g.weight(e), filter);
+            match (base, fast) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits(), "t{trial}");
+                    assert_eq!(a.paths[0].edges, b.paths[0].edges, "trial {trial}");
+                    assert_eq!(a.paths[1].edges, b.paths[1].edges, "trial {trial}");
+                }
+                (a, b) => panic!("trial {trial}: feasibility disagrees ({a:?} vs {b:?})"),
+            }
+        }
+    }
+
+    /// Reuse across differently-sized graphs must not leak state.
+    #[test]
+    fn arena_survives_shrinking_and_growing_graphs() {
+        let mut arena = SearchArena::new();
+        for &n in &[30usize, 4, 50, 3, 12] {
+            let g = topology::ring(n, 1.0);
+            let pair = arena
+                .edge_disjoint_pair(
+                    &g,
+                    NodeId(0),
+                    NodeId::from(n / 2),
+                    |e| g.weight(e),
+                    |_| true,
+                )
+                .expect("ring always has two disjoint paths");
+            assert!(pair.is_edge_disjoint());
+            let base = edge_disjoint_pair_filtered(
+                &g,
+                NodeId(0),
+                NodeId::from(n / 2),
+                |e| g.weight(e),
+                |_| true,
+            )
+            .unwrap();
+            assert_eq!(pair.total_cost, base.total_cost);
+        }
+    }
+}

@@ -87,6 +87,20 @@ impl<N, E> DiGraph<N, E> {
         first
     }
 
+    /// Removes every edge while keeping the nodes and the allocated
+    /// capacity of the edge list and per-node adjacency lists, so a scratch
+    /// graph (e.g. a Suurballe residual graph) can be rebuilt without
+    /// reallocating.
+    pub fn clear_edges(&mut self) {
+        self.edges.clear();
+        for adj in &mut self.out_adj {
+            adj.clear();
+        }
+        for adj in &mut self.in_adj {
+            adj.clear();
+        }
+    }
+
     /// Adds a directed edge `src -> dst` carrying `data` and returns its id.
     ///
     /// # Panics

@@ -24,6 +24,7 @@
 //!   gadget families);
 //! * [`dot`] — Graphviz export for documentation and debugging.
 
+pub mod arena;
 pub mod bellman_ford;
 pub mod csr;
 pub mod dijkstra;
@@ -38,6 +39,7 @@ pub mod suurballe;
 pub mod topology;
 pub mod traverse;
 
+pub use arena::SearchArena;
 pub use csr::Csr;
 pub use graph::DiGraph;
 pub use ids::{EdgeId, NodeId};

@@ -24,9 +24,9 @@
 //! the evaluation compares against (greedy shortest-then-remove, which is
 //! both suboptimal and incomplete on "trap" topologies).
 
-use crate::dijkstra::{dijkstra_filtered, dijkstra_generic};
+use crate::arena::{ResidArc, SearchArena};
+use crate::dijkstra::dijkstra_filtered;
 use crate::{DiGraph, EdgeId, NodeId, Path};
-use wdm_heap::DaryHeap;
 
 /// A pair of edge-disjoint paths with their summed cost.
 #[derive(Debug, Clone)]
@@ -43,17 +43,6 @@ impl DisjointPair {
     pub fn is_edge_disjoint(&self) -> bool {
         !self.paths[0].shares_edge_with(&self.paths[1])
     }
-}
-
-/// Arc of the internal residual graph used by the second Dijkstra pass.
-#[derive(Debug, Clone, Copy)]
-struct ResidArc {
-    /// Reduced (non-negative) cost.
-    reduced: f64,
-    /// Originating edge in the input graph.
-    orig: EdgeId,
-    /// Whether this arc traverses `orig` backwards (a P1 reversal).
-    reversed: bool,
 }
 
 /// Minimum-cost pair of edge-disjoint `s -> t` paths over edges accepted by
@@ -80,129 +69,12 @@ pub fn edge_disjoint_pair_filtered<N, E>(
     g: &DiGraph<N, E>,
     s: NodeId,
     t: NodeId,
-    mut cost: impl FnMut(EdgeId) -> f64,
-    mut filter: impl FnMut(EdgeId) -> bool,
+    cost: impl FnMut(EdgeId) -> f64,
+    filter: impl FnMut(EdgeId) -> bool,
 ) -> Option<DisjointPair> {
-    if s == t {
-        return None;
-    }
-    // Pass 1: shortest path tree from s.
-    let tree1 = dijkstra_filtered(g, s, &mut cost, &mut filter);
-    if !tree1.reached(t) {
-        return None;
-    }
-    let p1 = tree1.path_to(g, t).expect("t is reached");
-    let on_p1 = {
-        let mut mask = vec![false; g.edge_count()];
-        for &e in &p1.edges {
-            mask[e.index()] = true;
-        }
-        mask
-    };
-
-    // Pass 2: residual graph with reduced costs.
-    let mut resid: DiGraph<(), ResidArc> = DiGraph::with_capacity(g.node_count(), g.edge_count());
-    for _ in 0..g.node_count() {
-        resid.add_node(());
-    }
-    for e in g.edge_ids() {
-        if !filter(e) {
-            continue;
-        }
-        let (u, v) = g.endpoints(e);
-        if on_p1[e.index()] {
-            // Tight tree edge: zero-cost reversal.
-            resid.add_edge(
-                v,
-                u,
-                ResidArc {
-                    reduced: 0.0,
-                    orig: e,
-                    reversed: true,
-                },
-            );
-        } else if tree1.reached(u) && tree1.reached(v) {
-            let red = cost(e) + tree1.dist[u.index()] - tree1.dist[v.index()];
-            // Floating-point noise can push a tight edge to -epsilon.
-            let red = red.max(0.0);
-            resid.add_edge(
-                u,
-                v,
-                ResidArc {
-                    reduced: red,
-                    orig: e,
-                    reversed: false,
-                },
-            );
-        }
-        // Edges touching unreachable nodes cannot lie on any s->t path.
-    }
-    let tree2 = dijkstra_generic::<_, _, DaryHeap<f64, 4>>(
-        &resid,
-        s,
-        Some(t),
-        |e| resid.edge(e).reduced,
-        |_| true,
-    );
-    if !tree2.reached(t) {
-        return None;
-    }
-    let p2 = tree2.path_to(&resid, t).expect("t is reached");
-
-    // Interleaving removal: cancel (e, reverse(e)) pairs.
-    let mut in_set = on_p1; // start from P1's edges
-    for &re in &p2.edges {
-        let arc = resid.edge(re);
-        if arc.reversed {
-            debug_assert!(in_set[arc.orig.index()], "reversal of non-P1 edge");
-            in_set[arc.orig.index()] = false;
-        } else {
-            debug_assert!(!in_set[arc.orig.index()], "forward arc duplicates P1 edge");
-            in_set[arc.orig.index()] = true;
-        }
-    }
-
-    // Decompose the surviving edge set into two s->t paths by walking.
-    let mut out_lists: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
-    let mut total = 0.0;
-    for e in g.edge_ids() {
-        if in_set[e.index()] {
-            out_lists[g.src(e).index()].push(e);
-            total += cost(e);
-        }
-    }
-    let mut walk = || -> Path {
-        let mut edges = Vec::new();
-        let mut at = s;
-        while at != t {
-            let e = out_lists[at.index()]
-                .pop()
-                .expect("balanced edge set cannot strand a walk before t");
-            edges.push(e);
-            at = g.dst(e);
-        }
-        Path {
-            src: s,
-            dst: t,
-            edges,
-        }
-    };
-    let a = walk();
-    let b = walk();
-    debug_assert!(
-        out_lists.iter().all(|l| l.is_empty()),
-        "leftover edges after extracting two paths (zero-cost cycle?)"
-    );
-    let (first, second) = if a.cost(&mut cost) <= b.cost(&mut cost) {
-        (a, b)
-    } else {
-        (b, a)
-    };
-    debug_assert!(!first.shares_edge_with(&second));
-    Some(DisjointPair {
-        paths: [first, second],
-        total_cost: total,
-    })
+    // The algorithm lives in `SearchArena` so hot loops can reuse the
+    // working buffers; a one-shot call just uses a throwaway arena.
+    SearchArena::new().edge_disjoint_pair(g, s, t, cost, filter)
 }
 
 /// [`edge_disjoint_pair_filtered`] over all edges.

@@ -66,6 +66,18 @@ impl<K: PartialOrd + Copy, const D: usize> DaryHeap<K, D> {
         self.pos[self.slots[b].0 as usize] = b as u32;
     }
 
+    /// Grows the id space to at least `capacity` without disturbing heap
+    /// contents, so one heap can be reused across graphs of growing size.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        assert!(
+            capacity < ABSENT as usize,
+            "capacity too large for u32 index"
+        );
+        if self.pos.len() < capacity {
+            self.pos.resize(capacity, ABSENT);
+        }
+    }
+
     /// Checks the heap invariant; used by tests and debug assertions.
     #[cfg(test)]
     fn assert_invariants(&self) {

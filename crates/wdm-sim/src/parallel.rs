@@ -34,9 +34,15 @@ pub fn run_replications_with_progress(
         .par_iter()
         .map(|&seed| {
             let m = run_sim(net, SimConfig { seed, ..cfg });
-            let mut d = done.lock();
-            *d += 1;
-            progress(*d, seeds.len());
+            // Snapshot the counter and release the lock before calling out:
+            // a slow (or lock-taking) callback must not serialise the other
+            // workers' completions behind it.
+            let d = {
+                let mut d = done.lock();
+                *d += 1;
+                *d
+            };
+            progress(d, seeds.len());
             m
         })
         .collect()

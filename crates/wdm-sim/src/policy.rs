@@ -1,10 +1,11 @@
 //! Routing policies the simulator can provision requests with.
 
+use wdm_core::aux_engine::RouterCtx;
 use wdm_core::baselines;
-use wdm_core::disjoint::RobustRouteFinder;
+use wdm_core::disjoint::robust_route_ctx;
 use wdm_core::error::RoutingError;
-use wdm_core::joint::find_two_paths_joint;
-use wdm_core::mincog::find_two_paths_mincog;
+use wdm_core::joint::{find_two_paths_joint_as_printed_ctx, find_two_paths_joint_ctx};
+use wdm_core::mincog::find_two_paths_mincog_ctx;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{RobustRoute, Semilightpath};
 use wdm_graph::NodeId;
@@ -102,6 +103,10 @@ impl Policy {
     }
 
     /// Computes a route for `(s, t)` without mutating `state`.
+    ///
+    /// One-shot convenience over [`Policy::route_ctx`] — builds a throwaway
+    /// [`RouterCtx`] per call. Loops (the simulator, batch provisioning)
+    /// should hold a context and call [`Policy::route_ctx`] instead.
     pub fn route(
         &self,
         net: &WdmNetwork,
@@ -109,16 +114,31 @@ impl Policy {
         s: NodeId,
         t: NodeId,
     ) -> Result<ProvisionedRoute, RoutingError> {
+        self.route_ctx(&mut RouterCtx::new(), net, state, s, t)
+    }
+
+    /// Computes a route for `(s, t)` without mutating `state`, reusing the
+    /// auxiliary-graph engines and search buffers in `ctx`. The §3.3/§4
+    /// policies route through the incremental [`RouterCtx`] hot path; the
+    /// baseline policies don't use auxiliary graphs and ignore `ctx`.
+    pub fn route_ctx(
+        &self,
+        ctx: &mut RouterCtx,
+        net: &WdmNetwork,
+        state: &ResidualState,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<ProvisionedRoute, RoutingError> {
         match *self {
-            Policy::CostOnly => RobustRouteFinder::new(net)
-                .find(state, s, t)
-                .map(ProvisionedRoute::Protected),
-            Policy::LoadOnly { a } => find_two_paths_mincog(net, state, s, t, a)
+            Policy::CostOnly => {
+                robust_route_ctx(ctx, net, state, s, t).map(|(r, _)| ProvisionedRoute::Protected(r))
+            }
+            Policy::LoadOnly { a } => find_two_paths_mincog_ctx(ctx, net, state, s, t, a)
                 .map(|o| ProvisionedRoute::Protected(o.route)),
-            Policy::Joint { a } => find_two_paths_joint(net, state, s, t, a)
+            Policy::Joint { a } => find_two_paths_joint_ctx(ctx, net, state, s, t, a)
                 .map(|o| ProvisionedRoute::Protected(o.route)),
             Policy::JointAsPrinted { a } => {
-                wdm_core::joint::find_two_paths_joint_as_printed(net, state, s, t, a)
+                find_two_paths_joint_as_printed_ctx(ctx, net, state, s, t, a)
                     .map(|o| ProvisionedRoute::Protected(o.route))
             }
             Policy::TwoStep => {

@@ -10,6 +10,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use wdm_core::aux_engine::RouterCtx;
 use wdm_core::load::load_snapshot;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::optimal_slp::optimal_semilightpath_filtered;
@@ -85,6 +86,10 @@ pub struct Simulator<'a> {
     net: &'a WdmNetwork,
     cfg: SimConfig,
     state: ResidualState,
+    /// Incremental auxiliary-graph engines + search buffers, shared by every
+    /// routing call of the run (the simulator's `state` is a single mutation
+    /// lineage, so the engines' dirty-link tracking stays sound).
+    ctx: RouterCtx,
     queue: EventQueue,
     rng: ChaCha8Rng,
     connections: HashMap<u64, Connection>,
@@ -103,6 +108,7 @@ impl<'a> Simulator<'a> {
             net,
             cfg,
             state: ResidualState::fresh(net),
+            ctx: RouterCtx::new(),
             queue: EventQueue::new(),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             connections: HashMap::new(),
@@ -169,7 +175,11 @@ impl<'a> Simulator<'a> {
             .traffic
             .draw_pair(self.net.node_count(), &mut self.rng);
         self.metrics.offered += 1;
-        match self.cfg.policy.route(self.net, &self.state, s, t) {
+        match self
+            .cfg
+            .policy
+            .route_ctx(&mut self.ctx, self.net, &self.state, s, t)
+        {
             Ok(route) => {
                 route
                     .occupy(self.net, &mut self.state)
@@ -326,7 +336,11 @@ impl<'a> Simulator<'a> {
     fn passive_recover(&mut self, id: u64) {
         let c = self.connections.get(&id).expect("present").clone();
         c.route.release(&mut self.state);
-        match self.cfg.policy.route(self.net, &self.state, c.src, c.dst) {
+        match self
+            .cfg
+            .policy
+            .route_ctx(&mut self.ctx, self.net, &self.state, c.src, c.dst)
+        {
             Ok(route) => {
                 route
                     .occupy(self.net, &mut self.state)
@@ -385,7 +399,8 @@ impl<'a> Simulator<'a> {
             c.route.release(&mut self.state);
             // Joint policy with the hot link's channels avoided implicitly by
             // its congestion weight (and the threshold filter).
-            let moved = wdm_core::joint::find_two_paths_joint(
+            let moved = wdm_core::joint::find_two_paths_joint_ctx(
+                &mut self.ctx,
                 self.net,
                 &self.state,
                 c.src,

@@ -18,7 +18,7 @@ fn main() {
     // loads the three algorithms are willing to touch.
     let mut state = ResidualState::fresh(&net);
     // Pre-load a popular corridor.
-    let finder = RobustRouteFinder::new(&net);
+    let mut finder = RobustRouteFinder::new(&net);
     for _ in 0..10 {
         if let Ok(r) = finder.find(&state, NodeId(0), NodeId(13)) {
             r.occupy(&net, &mut state).unwrap();

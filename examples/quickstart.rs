@@ -14,7 +14,7 @@ fn main() {
 
     // Request: Seattle (0) -> DC (13).
     let (s, t) = (NodeId(0), NodeId(13));
-    let finder = RobustRouteFinder::new(&net);
+    let mut finder = RobustRouteFinder::new(&net);
     let route = finder
         .find(&state, s, t)
         .expect("NSFNET is 2-edge-connected, a disjoint pair exists");

@@ -31,7 +31,7 @@
 //! let net = NetworkBuilder::nsfnet(8).build();
 //! let state = ResidualState::fresh(&net);
 //!
-//! let finder = RobustRouteFinder::new(&net);
+//! let mut finder = RobustRouteFinder::new(&net);
 //! let route = finder
 //!     .find(&state, NodeId(0), NodeId(12))
 //!     .expect("NSFNET is 2-edge-connected");

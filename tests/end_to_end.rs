@@ -8,7 +8,7 @@ use wdm_robust_routing::prelude::*;
 fn nsfnet_all_pairs_have_robust_routes() {
     let net = NetworkBuilder::nsfnet(8).build();
     let state = ResidualState::fresh(&net);
-    let finder = RobustRouteFinder::new(&net);
+    let mut finder = RobustRouteFinder::new(&net);
     let n = net.node_count();
     for s in 0..n {
         for t in 0..n {
@@ -61,7 +61,7 @@ fn arpanet_like_all_pairs_under_every_policy() {
 fn occupancy_accumulates_and_releases_exactly() {
     let net = NetworkBuilder::nsfnet(8).build();
     let mut state = ResidualState::fresh(&net);
-    let finder = RobustRouteFinder::new(&net);
+    let mut finder = RobustRouteFinder::new(&net);
     let mut routes = Vec::new();
     // Fill with connections until the first block.
     let mut pair = 0u32;
@@ -97,7 +97,7 @@ fn occupancy_accumulates_and_releases_exactly() {
 fn policies_trade_cost_for_load_on_a_stressed_network() {
     let net = NetworkBuilder::nsfnet(8).build();
     let mut state = ResidualState::fresh(&net);
-    let finder = RobustRouteFinder::new(&net);
+    let mut finder = RobustRouteFinder::new(&net);
     // Stress one corridor.
     for _ in 0..3 {
         if let Ok(r) = finder.find(&state, NodeId(0), NodeId(13)) {
@@ -146,7 +146,7 @@ fn grid_torus_routes_everywhere_with_limited_conversion() {
     )
     .build();
     let state = ResidualState::fresh(&net);
-    let finder = RobustRouteFinder::new(&net);
+    let mut finder = RobustRouteFinder::new(&net);
     for t in 1..16u32 {
         let route = finder.find(&state, NodeId(0), NodeId(t));
         assert!(route.is_ok(), "0 -> {t}: {route:?}");
