@@ -10,12 +10,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use std::hint::black_box;
 use wdm_bench::{random_connected_instance, rng};
-use wdm_core::aux_engine::AuxEngine;
+use wdm_core::aux_engine::{AuxEngine, RouterCtx};
 use wdm_core::aux_graph::{AuxGraph, AuxSpec};
+use wdm_core::disjoint::robust_route_ctx;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::wavelength::Wavelength;
 use wdm_graph::suurballe::edge_disjoint_pair;
 use wdm_graph::{EdgeId, NodeId, SearchArena};
+use wdm_telemetry::TelemetrySink;
 
 /// Deterministic channel churn: each step toggles the next scripted channel
 /// (occupy if free, release if held), keeping the load stationary around
@@ -110,6 +112,48 @@ fn bench_hot_path(c: &mut Criterion) {
             black_box(pair.map(|p| p.total_cost))
         })
     });
+
+    // A/B overhead check for the telemetry layer: the full §3.3 pipeline
+    // through a RouterCtx, once with the NoopRecorder default (must price
+    // in at the uninstrumented hot path — every recording site is gated on
+    // an `#[inline(always)] false`) and once with a live TelemetrySink.
+    group.bench_with_input(
+        BenchmarkId::new("ctx_noop", "n100_d4_w8"),
+        &net,
+        |b, net| {
+            let mut st = ResidualState::fresh(net);
+            let mut churn = Churn::new(net, 256, 13);
+            let mut ctx = RouterCtx::new();
+            let mut k = 0usize;
+            b.iter(|| {
+                churn.step(net, &mut st);
+                let (s, t) = reqs[k % reqs.len()];
+                k += 1;
+                let route = robust_route_ctx(&mut ctx, net, &st, s, t);
+                black_box(route.ok().map(|(r, _)| r.total_cost()))
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("ctx_telemetry", "n100_d4_w8"),
+        &net,
+        |b, net| {
+            let sink = TelemetrySink::new();
+            let mut st = ResidualState::fresh(net);
+            let mut churn = Churn::new(net, 256, 13);
+            let mut ctx = RouterCtx::with_recorder(&sink);
+            let mut k = 0usize;
+            b.iter(|| {
+                churn.step(net, &mut st);
+                let (s, t) = reqs[k % reqs.len()];
+                k += 1;
+                ctx.begin_request();
+                let route = robust_route_ctx(&mut ctx, net, &st, s, t);
+                black_box(route.ok().map(|(r, _)| r.total_cost()))
+            })
+        },
+    );
 
     group.finish();
 }

@@ -91,35 +91,35 @@ fn requests(net: &WdmNetwork, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> 
         .collect()
 }
 
-fn measure(n: usize, d: usize, w: usize, reqs: usize, seed: u64) -> SizeResult {
-    let mut r = rng(seed);
-    let net = random_connected_instance(&mut r, n, d, w);
-    let stream = requests(&net, reqs, seed ^ 1);
-
-    // Scratch pipeline.
-    let mut st = ResidualState::fresh(&net);
-    let mut churn = Churn::new(&net, 256, seed ^ 2);
-    let mut found_scratch = 0usize;
-    let (_, scratch_secs) = timed(|| {
-        for &(s, t) in &stream {
-            churn.step(&net, &mut st);
-            let aux = AuxGraph::build(&net, &st, s, t, AuxSpec::g_prime());
+/// One scratch-pipeline pass over the stream: (routes found, seconds).
+fn scratch_pass(net: &WdmNetwork, stream: &[(NodeId, NodeId)], seed: u64) -> (usize, f64) {
+    let mut st = ResidualState::fresh(net);
+    let mut churn = Churn::new(net, 256, seed ^ 2);
+    let mut found = 0usize;
+    let (_, secs) = timed(|| {
+        for &(s, t) in stream {
+            churn.step(net, &mut st);
+            let aux = AuxGraph::build(net, &st, s, t, AuxSpec::g_prime());
             if edge_disjoint_pair(&aux.graph, aux.source, aux.sink, |e| aux.weight(e)).is_some() {
-                found_scratch += 1;
+                found += 1;
             }
         }
     });
+    (found, secs)
+}
 
-    // Engine pipeline over the identical churn + request stream.
-    let mut st = ResidualState::fresh(&net);
-    let mut churn = Churn::new(&net, 256, seed ^ 2);
-    let mut eng = AuxEngine::new(&net, AuxSpec::g_prime());
+/// One engine-pipeline pass over the identical stream (fresh engine, so the
+/// skeleton build is charged to the pass, as in production start-up).
+fn engine_pass(net: &WdmNetwork, stream: &[(NodeId, NodeId)], seed: u64) -> (usize, f64) {
+    let mut st = ResidualState::fresh(net);
+    let mut churn = Churn::new(net, 256, seed ^ 2);
+    let mut eng = AuxEngine::new(net, AuxSpec::g_prime());
     let mut arena = SearchArena::new();
-    let mut found_engine = 0usize;
-    let (_, engine_secs) = timed(|| {
-        for &(s, t) in &stream {
-            churn.step(&net, &mut st);
-            eng.sync(&net, &st, s, t);
+    let mut found = 0usize;
+    let (_, secs) = timed(|| {
+        for &(s, t) in stream {
+            churn.step(net, &mut st);
+            eng.sync(net, &st, s, t);
             let eng = &eng;
             if arena
                 .edge_disjoint_pair(
@@ -131,14 +131,34 @@ fn measure(n: usize, d: usize, w: usize, reqs: usize, seed: u64) -> SizeResult {
                 )
                 .is_some()
             {
-                found_engine += 1;
+                found += 1;
             }
         }
     });
-    assert_eq!(
-        found_scratch, found_engine,
-        "the two pipelines must route identically"
-    );
+    (found, secs)
+}
+
+fn measure(n: usize, d: usize, w: usize, reqs: usize, passes: usize, seed: u64) -> SizeResult {
+    let mut r = rng(seed);
+    let net = random_connected_instance(&mut r, n, d, w);
+    let stream = requests(&net, reqs, seed ^ 1);
+
+    // Alternate the pipelines and keep each one's fastest pass: the minimum
+    // is the run least disturbed by other tenants of the machine, so the
+    // speedup ratio is stable enough for CI to gate on (a single-pass
+    // measurement swings ±25 % on a busy box).
+    let mut scratch_secs = f64::INFINITY;
+    let mut engine_secs = f64::INFINITY;
+    for _ in 0..passes {
+        let (found_scratch, ss) = scratch_pass(&net, &stream, seed);
+        let (found_engine, es) = engine_pass(&net, &stream, seed);
+        assert_eq!(
+            found_scratch, found_engine,
+            "the two pipelines must route identically"
+        );
+        scratch_secs = scratch_secs.min(ss);
+        engine_secs = engine_secs.min(es);
+    }
 
     let scratch_ns = scratch_secs / reqs as f64 * 1e9;
     let engine_ns = engine_secs / reqs as f64 * 1e9;
@@ -156,13 +176,13 @@ fn measure(n: usize, d: usize, w: usize, reqs: usize, seed: u64) -> SizeResult {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let reqs = if quick { 200 } else { 2000 };
+    let (reqs, passes) = if quick { (200, 3) } else { (2000, 5) };
 
     println!("aux-engine — incremental refresh vs scratch rebuild (ns/request)\n");
     let mut table = Table::new(&["size", "m", "W", "scratch ns", "engine ns", "speedup"]);
     let mut sizes = Vec::new();
     for &(n, d, w) in &[(50usize, 4usize, 8usize), (100, 4, 8), (200, 4, 8)] {
-        let res = measure(n, d, w, reqs, 0xA0 + n as u64);
+        let res = measure(n, d, w, reqs, passes, 0xA0 + n as u64);
         table.row(vec![
             res.name.clone(),
             res.links.to_string(),

@@ -4,13 +4,15 @@
 //! distribution and reconfiguration counts.
 //!
 //! ```sh
-//! cargo run --release -p wdm-bench --bin exp_dynamic_sim [--quick]
+//! cargo run --release -p wdm-bench --bin exp_dynamic_sim [--quick] \
+//!     [--telemetry json|summary]
 //! ```
 
-use wdm_bench::Table;
+use std::collections::BTreeMap;
+use wdm_bench::{emit_policy_telemetry, telemetry_mode, Table};
 use wdm_core::network::{NetworkBuilder, WdmNetwork};
-use wdm_sim::metrics::{mean_std, Metrics};
-use wdm_sim::parallel::run_replications;
+use wdm_sim::metrics::{mean_std, Metrics, PolicyTelemetry};
+use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::Policy;
 use wdm_sim::sim::SimConfig;
 use wdm_sim::traffic::TrafficModel;
@@ -30,9 +32,20 @@ fn policies() -> Vec<Policy> {
     ]
 }
 
-fn run_grid(net: &WdmNetwork, name: &str, erlangs: &[f64], duration: f64, reps: usize) {
+fn run_grid(
+    net: &WdmNetwork,
+    name: &str,
+    seed_base: u64,
+    erlangs: &[f64],
+    duration: f64,
+    reps: usize,
+    mut telemetry: Option<&mut BTreeMap<String, PolicyTelemetry>>,
+) {
     println!("\n== {name}: blocking / cost / load (C1, C3) ==");
-    let seeds: Vec<u64> = (0..reps as u64).collect();
+    // Replication seeds are derived from a per-grid base with splitmix64 —
+    // the same scheme `wdm simulate --reps` uses — so no grid shares a
+    // stream with another and reruns are reproducible by (base, index).
+    let seeds = replication_seeds(seed_base, reps);
     let mut table = Table::new(&[
         "erlangs",
         "policy",
@@ -56,7 +69,20 @@ fn run_grid(net: &WdmNetwork, name: &str, erlangs: &[f64], duration: f64, reps: 
                 switchover_time: 0.001,
                 setup_time_per_hop: 0.05,
             };
-            let runs = run_replications(net, cfg, &seeds);
+            let runs = match telemetry.as_deref_mut() {
+                Some(agg) => {
+                    let (runs, snap) = run_replications_telemetry(net, cfg, &seeds);
+                    agg.entry(policy.name().to_string())
+                        .or_insert_with(|| PolicyTelemetry::new(policy.name()))
+                        .merge(&PolicyTelemetry {
+                            policy: policy.name().to_string(),
+                            replications: seeds.len() as u64,
+                            snapshot: snap,
+                        });
+                    runs
+                }
+                None => run_replications(net, cfg, &seeds),
+            };
             let stat = |f: &dyn Fn(&Metrics) -> f64| {
                 let vals: Vec<f64> = runs.iter().map(f).collect();
                 mean_std(&vals)
@@ -85,14 +111,24 @@ fn run_grid(net: &WdmNetwork, name: &str, erlangs: &[f64], duration: f64, reps: 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (duration, reps) = if quick { (300.0, 3) } else { (800.0, 4) };
+    let mode = match telemetry_mode() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut agg: BTreeMap<String, PolicyTelemetry> = BTreeMap::new();
 
     let nsfnet = NetworkBuilder::nsfnet(16).build();
     run_grid(
         &nsfnet,
         "NSFNET (14 nodes, W = 16)",
+        0xC1_01,
         &[40.0, 80.0, 120.0],
         duration,
         reps,
+        mode.map(|_| &mut agg),
     );
 
     let topo = wdm_graph::topology::arpanet_like();
@@ -106,10 +142,19 @@ fn main() {
     run_grid(
         &arpanet,
         "ARPANET-like (20 nodes, W = 16)",
+        0xC1_02,
         &[40.0, 80.0],
         duration,
         reps,
+        mode.map(|_| &mut agg),
     );
+
+    if let Some(mode) = mode {
+        if let Err(e) = emit_policy_telemetry("exp_dynamic_sim", mode, &agg) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 
     println!("\nExpected shape (paper's C1/C3): the joint policy pays a small");
     println!("route-cost premium over cost-only but keeps mean/peak load and");

@@ -2,12 +2,15 @@
 //! (the paper's §1 motivation for pre-provisioned backups).
 //!
 //! ```sh
-//! cargo run --release -p wdm-bench --bin exp_failure_recovery [--quick]
+//! cargo run --release -p wdm-bench --bin exp_failure_recovery [--quick] \
+//!     [--telemetry json|summary]
 //! ```
 
-use wdm_bench::Table;
+use std::collections::BTreeMap;
+use wdm_bench::{emit_policy_telemetry, telemetry_mode, Table};
 use wdm_core::network::NetworkBuilder;
-use wdm_sim::parallel::run_replications;
+use wdm_sim::metrics::PolicyTelemetry;
+use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::Policy;
 use wdm_sim::sim::SimConfig;
 use wdm_sim::traffic::TrafficModel;
@@ -15,8 +18,19 @@ use wdm_sim::traffic::TrafficModel;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (duration, reps) = if quick { (400.0, 3) } else { (1500.0, 4) };
+    let mode = match telemetry_mode() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut agg: BTreeMap<String, PolicyTelemetry> = BTreeMap::new();
     let net = NetworkBuilder::nsfnet(16).build();
-    let seeds: Vec<u64> = (0..reps as u64).collect();
+    // Same splitmix64 derivation as `wdm simulate --reps` and
+    // exp_dynamic_sim, from this experiment's own base — replication i is a
+    // pure function of (base, i), never of grid position.
+    let seeds = replication_seeds(0xC2, reps);
 
     println!("C2 — recovery under fibre cuts, NSFNET W = 16");
     let mut table = Table::new(&[
@@ -49,7 +63,19 @@ fn main() {
                 switchover_time: 0.001,
                 setup_time_per_hop: 0.05,
             };
-            let runs = run_replications(&net, cfg, &seeds);
+            let runs = if mode.is_some() {
+                let (runs, snap) = run_replications_telemetry(&net, cfg, &seeds);
+                agg.entry(policy.name().to_string())
+                    .or_insert_with(|| PolicyTelemetry::new(policy.name()))
+                    .merge(&PolicyTelemetry {
+                        policy: policy.name().to_string(),
+                        replications: seeds.len() as u64,
+                        snapshot: snap,
+                    });
+                runs
+            } else {
+                run_replications(&net, cfg, &seeds)
+            };
             let cuts: u64 = runs.iter().map(|m| m.failures_injected).sum();
             let fast: u64 = runs.iter().map(|m| m.fast_switchovers).sum();
             let passive: u64 = runs.iter().map(|m| m.passive_recoveries).sum();
@@ -95,4 +121,11 @@ fn main() {
     println!("'dropped' = no recovery route existed. The protected policies");
     println!("answer the vast majority of primary-path cuts instantly, at the");
     println!("price of reserving roughly twice the capacity (higher blocking).");
+
+    if let Some(mode) = mode {
+        if let Err(e) = emit_policy_telemetry("exp_failure_recovery", mode, &agg) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -175,6 +175,77 @@ pub fn rng(seed: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(seed)
 }
 
+/// `--telemetry` output mode shared by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Write `TELEMETRY_<bin>.json` with the per-policy aggregates (the
+    /// artifact CI uploads next to `BENCH_*.json`).
+    Json,
+    /// Print each policy's merged counter/histogram summary to stdout.
+    Summary,
+}
+
+/// Parses `--telemetry json|summary` (also `--telemetry=MODE`) out of an
+/// argument list; `None` when the flag is absent.
+pub fn telemetry_mode_from(args: &[String]) -> Result<Option<TelemetryMode>, String> {
+    let mut value: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--telemetry=") {
+            value = Some(v);
+        } else if args[i] == "--telemetry" {
+            value = Some(
+                args.get(i + 1)
+                    .ok_or("--telemetry needs a mode (json|summary)")?,
+            );
+            i += 1;
+        }
+        i += 1;
+    }
+    match value {
+        None => Ok(None),
+        Some("json") => Ok(Some(TelemetryMode::Json)),
+        Some("summary") => Ok(Some(TelemetryMode::Summary)),
+        Some(other) => Err(format!(
+            "unknown --telemetry mode '{other}' (expected json|summary)"
+        )),
+    }
+}
+
+/// [`telemetry_mode_from`] over the process arguments.
+pub fn telemetry_mode() -> Result<Option<TelemetryMode>, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    telemetry_mode_from(&args)
+}
+
+/// Emits the per-policy telemetry an experiment collected: a stdout summary
+/// or a pretty-printed `TELEMETRY_<bin>.json` in the working directory.
+pub fn emit_policy_telemetry(
+    bin: &str,
+    mode: TelemetryMode,
+    agg: &std::collections::BTreeMap<String, wdm_sim::metrics::PolicyTelemetry>,
+) -> Result<(), String> {
+    match mode {
+        TelemetryMode::Summary => {
+            for t in agg.values() {
+                println!(
+                    "\n--- telemetry: {} ({} replications merged) ---",
+                    t.policy, t.replications
+                );
+                print!("{}", t.snapshot.summary());
+            }
+        }
+        TelemetryMode::Json => {
+            let entries: Vec<wdm_sim::metrics::PolicyTelemetry> = agg.values().cloned().collect();
+            let path = format!("TELEMETRY_{bin}.json");
+            let json = serde_json::to_string_pretty(&entries).map_err(|e| e.to_string())?;
+            std::fs::write(&path, json + "\n").map_err(|e| format!("writing {path}: {e}"))?;
+            println!("\ntelemetry snapshot written to {path}");
+        }
+    }
+    Ok(())
+}
+
 /// Summary statistics of a sample.
 #[derive(Debug, Clone, Copy)]
 pub struct Summary {
@@ -266,6 +337,22 @@ mod tests {
         assert_eq!(s.max, 4.0);
         assert_eq!(s.p95, 4.0);
         assert_eq!(summarize(&[]).n, 0);
+    }
+
+    #[test]
+    fn telemetry_mode_parses_both_spellings() {
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(|a| a.to_string()).collect() };
+        assert_eq!(telemetry_mode_from(&argv(&["--quick"])), Ok(None));
+        assert_eq!(
+            telemetry_mode_from(&argv(&["--telemetry", "json"])),
+            Ok(Some(TelemetryMode::Json))
+        );
+        assert_eq!(
+            telemetry_mode_from(&argv(&["--quick", "--telemetry=summary"])),
+            Ok(Some(TelemetryMode::Summary))
+        );
+        assert!(telemetry_mode_from(&argv(&["--telemetry"])).is_err());
+        assert!(telemetry_mode_from(&argv(&["--telemetry", "csv"])).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::args::Args;
 use crate::netio::{emit, load_network, render_network};
 use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
 use wdm_core::conversion::ConversionTable;
 use wdm_core::load::load_snapshot;
 use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
@@ -10,7 +11,7 @@ use wdm_graph::traverse::{edge_connectivity, is_strongly_connected};
 use wdm_graph::NodeId;
 use wdm_sim::batch::{full_mesh_demands, provision_batch, BatchOrder};
 use wdm_sim::metrics::mean_std;
-use wdm_sim::parallel::run_replications;
+use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::{Policy, ProvisionedRoute};
 use wdm_sim::sim::SimConfig;
 use wdm_sim::traffic::TrafficModel;
@@ -237,11 +238,35 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         switchover_time: 0.001,
         setup_time_per_hop: 0.05,
     };
-    let seeds: Vec<u64> = (seed..seed + reps as u64).collect();
-    let runs = run_replications(&net, cfg, &seeds);
+    // Seed i is a pure function of (base seed, i) — identical to the serial
+    // and experiment-binary derivations, so replication streams line up
+    // across tools.
+    let seeds = replication_seeds(seed, reps);
+    let telemetry_mode = match args.get("telemetry") {
+        None => None,
+        Some("json") => Some("json"),
+        Some("summary") => Some("summary"),
+        Some(other) => return Err(format!("--telemetry wants json|summary, got '{other}'")),
+    };
+    let (runs, telemetry) = if telemetry_mode.is_some() {
+        let (runs, snap) = run_replications_telemetry(&net, cfg, &seeds);
+        (runs, Some(snap))
+    } else {
+        (run_replications(&net, cfg, &seeds), None)
+    };
 
     if args.flag("json") {
-        let json = serde_json::to_string_pretty(&runs).map_err(|e| e.to_string())?;
+        let json = match &telemetry {
+            // One JSON document carrying both: keeps stdout parseable.
+            Some(snap) => {
+                let combined = serde_json::Value::Object(vec![
+                    ("metrics".to_string(), serde_json::to_value(&runs)),
+                    ("telemetry".to_string(), serde_json::to_value(snap)),
+                ]);
+                serde_json::to_string_pretty(&combined).map_err(|e| e.to_string())?
+            }
+            None => serde_json::to_string_pretty(&runs).map_err(|e| e.to_string())?,
+        };
         println!("{json}");
         return Ok(());
     }
@@ -271,6 +296,15 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         let rc: u64 = runs.iter().map(|m| m.reconfig_events).sum();
         let moved: u64 = runs.iter().map(|m| m.reconfig_moved).sum();
         println!("reconfigurations  {rc} (moved {moved} connections)");
+    }
+    if let (Some(mode), Some(snap)) = (telemetry_mode, &telemetry) {
+        println!("--- telemetry ({} replications merged) ---", runs.len());
+        if mode == "summary" {
+            print!("{}", snap.summary());
+        } else {
+            let json = serde_json::to_string_pretty(snap).map_err(|e| e.to_string())?;
+            println!("{json}");
+        }
     }
     Ok(())
 }
@@ -302,6 +336,126 @@ pub fn batch(args: &Args) -> Result<(), String> {
         snap.max, snap.p90, snap.mean
     );
     Ok(())
+}
+
+/// `wdm telemetry <verb>`.
+pub fn telemetry(args: &Args) -> Result<(), String> {
+    match args.positional(0) {
+        Some("diff") => telemetry_diff(args),
+        Some(other) => Err(format!(
+            "unknown telemetry verb '{other}' (expected 'diff')"
+        )),
+        None => Err(
+            "usage: wdm telemetry diff <baseline.json> <candidate.json> \
+                     [--metrics SUBSTR] [--fail-drop PCT]"
+                .into(),
+        ),
+    }
+}
+
+/// `wdm telemetry diff` — per-metric deltas between two JSON files.
+///
+/// Works on any JSON whose leaves are numbers (telemetry snapshots, the
+/// BENCH_*.json experiment outputs, combined simulate dumps): the files are
+/// flattened to dotted paths and compared metric-by-metric. With
+/// `--fail-drop PCT` the command exits non-zero when any selected metric
+/// falls more than PCT percent below the baseline — the CI perf gate.
+fn telemetry_diff(args: &Args) -> Result<(), String> {
+    let a_path = args.positional(1).ok_or("missing baseline file")?;
+    let b_path = args.positional(2).ok_or("missing candidate file")?;
+    let filter = args.get("metrics");
+    let fail_drop: f64 = args.get_or("fail-drop", 0.0)?;
+    if fail_drop < 0.0 {
+        return Err("--fail-drop wants a non-negative percentage".into());
+    }
+    let a = flatten_json_file(a_path)?;
+    let b = flatten_json_file(b_path)?;
+
+    let keys: BTreeSet<&String> = a
+        .keys()
+        .chain(b.keys())
+        .filter(|k| filter.is_none_or(|f| k.contains(f)))
+        .collect();
+    if keys.is_empty() {
+        return Err(match filter {
+            Some(f) => format!("no numeric metrics matching '{f}' in either file"),
+            None => "no numeric metrics in either file".into(),
+        });
+    }
+
+    println!(
+        "{:<44} {:>14} {:>14} {:>9}",
+        "metric", "baseline", "candidate", "delta"
+    );
+    let mut regressions = Vec::new();
+    for key in keys {
+        match (a.get(key), b.get(key)) {
+            (Some(&va), Some(&vb)) => {
+                let delta = if va != 0.0 {
+                    format!("{:+.1}%", (vb - va) / va * 100.0)
+                } else if vb == 0.0 {
+                    "0.0%".to_string()
+                } else {
+                    "new".to_string()
+                };
+                println!("{key:<44} {va:>14.3} {vb:>14.3} {delta:>9}");
+                if fail_drop > 0.0 && va > 0.0 && (vb - va) / va * 100.0 < -fail_drop {
+                    regressions.push(format!(
+                        "{key}: {va:.3} -> {vb:.3} ({:+.1}%, limit -{fail_drop}%)",
+                        (vb - va) / va * 100.0
+                    ));
+                }
+            }
+            (Some(&va), None) => println!("{key:<44} {va:>14.3} {:>14} {:>9}", "-", "gone"),
+            (None, Some(&vb)) => println!("{key:<44} {:>14} {vb:>14.3} {:>9}", "-", "new"),
+            (None, None) => unreachable!("key came from one of the maps"),
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} metric(s) regressed beyond {fail_drop}%:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+/// Loads a JSON file and flattens every numeric leaf to a dotted path.
+fn flatten_json_file(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    flatten_value("", &value, &mut out);
+    Ok(out)
+}
+
+fn flatten_value(prefix: &str, value: &serde_json::Value, out: &mut BTreeMap<String, f64>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match value {
+        serde_json::Value::Number(n) => {
+            out.insert(prefix.to_string(), n.as_f64());
+        }
+        serde_json::Value::Object(fields) => {
+            for (k, v) in fields {
+                flatten_value(&join(k), v, out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten_value(&join(&i.to_string()), v, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]
@@ -348,5 +502,47 @@ mod tests {
             }
         );
         assert!(parse_conversion("bogus", 1.0).is_err());
+    }
+
+    #[test]
+    fn flatten_value_walks_nested_json() {
+        let v: serde_json::Value = serde_json::from_str(
+            r#"{"a": 1, "b": {"c": 2.5, "d": [10, 20]}, "e": "text", "f": null}"#,
+        )
+        .unwrap();
+        let mut out = BTreeMap::new();
+        flatten_value("", &v, &mut out);
+        assert_eq!(out["a"], 1.0);
+        assert_eq!(out["b.c"], 2.5);
+        assert_eq!(out["b.d.0"], 10.0);
+        assert_eq!(out["b.d.1"], 20.0);
+        assert_eq!(out.len(), 4, "non-numeric leaves are skipped: {out:?}");
+    }
+
+    #[test]
+    fn telemetry_diff_gates_on_drop() {
+        let dir = std::env::temp_dir().join("wdm_cli_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, r#"{"speedup": 10.0, "other": 1.0}"#).unwrap();
+        std::fs::write(&b, r#"{"speedup": 8.0, "other": 1.0}"#).unwrap();
+        let argv = |extra: &[&str]| {
+            let mut v = vec![
+                "diff".to_string(),
+                a.to_string_lossy().into_owned(),
+                b.to_string_lossy().into_owned(),
+            ];
+            v.extend(extra.iter().map(|s| s.to_string()));
+            Args::parse(&v).unwrap()
+        };
+        // 20% drop: passes a 25% gate, fails a 15% gate.
+        assert!(telemetry(&argv(&["--fail-drop", "25"])).is_ok());
+        let err = telemetry(&argv(&["--fail-drop", "15"])).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+        // Filtering to an unaffected metric passes.
+        assert!(telemetry(&argv(&["--metrics", "other", "--fail-drop", "15"])).is_ok());
+        // No gate: informational diff always succeeds.
+        assert!(telemetry(&argv(&[])).is_ok());
     }
 }

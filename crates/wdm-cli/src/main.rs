@@ -45,11 +45,17 @@ COMMANDS:
       --failure-rate F  fibre-cut rate (default 0)
       --repair R        mean repair time (default 20)
       --reconfig T      reconfiguration load threshold (default off)
+      --telemetry M     json | summary: collect and print merged telemetry
       --json            machine-readable output
 
   batch     --net FILE --mesh K
       --policy P        as above (default cost-only)
       --order O         as-given | shortest-first | longest-first
+
+  telemetry diff <BASELINE.json> <CANDIDATE.json>
+      --metrics SUBSTR  only compare metrics whose dotted path contains SUBSTR
+      --fail-drop PCT   exit non-zero if any compared metric drops > PCT%
+                        below the baseline (the CI perf gate)
 ";
 
 fn main() {
@@ -111,6 +117,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "route" => commands::route(&rest),
         "simulate" => commands::simulate(&rest),
         "batch" => commands::batch(&rest),
+        "telemetry" => commands::telemetry(&rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }

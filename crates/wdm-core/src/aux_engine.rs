@@ -46,6 +46,19 @@ use crate::aux_graph::{AuxArc, AuxEdgeData, AuxNode, AuxSpec, AuxWeights, Thresh
 use crate::network::{ResidualState, WdmNetwork};
 use wdm_graph::suurballe::DisjointPair;
 use wdm_graph::{DiGraph, EdgeId, NodeId, Path, SearchArena};
+use wdm_telemetry::{CacheOutcome, Counter, Hist, NoopRecorder, Recorder};
+
+/// What one [`AuxEngine::sync`] call actually recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SyncStats {
+    /// Every link's weights were refreshed (first sync, invalidation, or a
+    /// state-clock regression).
+    pub full: bool,
+    /// Number of links whose weights were recomputed this sync.
+    pub links_refreshed: u32,
+    /// The admission mask was recomputed for all links (threshold change).
+    pub remasked: bool,
+}
 
 /// One potential conversion arc `v_in^{e_in} → v_out^{e_out}` of the
 /// skeleton.
@@ -259,9 +272,21 @@ impl AuxEngine {
     /// sync (all links on first use, after [`AuxEngine::invalidate`], or
     /// when the state's clock moved backwards), reapplies the admission
     /// mask if the threshold changed, and retargets the terminal taps.
-    pub fn sync(&mut self, net: &WdmNetwork, state: &ResidualState, s: NodeId, t: NodeId) {
+    /// Returns what was recomputed (telemetry's cache-outcome signal).
+    pub fn sync(
+        &mut self,
+        net: &WdmNetwork,
+        state: &ResidualState,
+        s: NodeId,
+        t: NodeId,
+    ) -> SyncStats {
         debug_assert!(self.matches(net), "engine used with a different network");
         let full = !self.ever_synced || state.change_clock() < self.synced_clock;
+        let mut stats = SyncStats {
+            full,
+            links_refreshed: 0,
+            remasked: self.mask_stale,
+        };
         if full || self.mask_stale || state.change_clock() != self.synced_clock {
             self.pass += 1;
             let m = net.link_count();
@@ -270,6 +295,7 @@ impl AuxEngine {
                 let dirty = full || state.link_change_clock(e) > self.synced_clock;
                 if dirty {
                     self.refresh_weights(net, state, e);
+                    stats.links_refreshed += 1;
                 }
                 if dirty || self.mask_stale {
                     self.refresh_admission(net, state, e);
@@ -280,6 +306,7 @@ impl AuxEngine {
             self.ever_synced = true;
         }
         self.retarget(net, s, t);
+        stats
     }
 
     /// Recomputes the traversal weight of `e` and the conversion weights of
@@ -451,15 +478,61 @@ impl AuxEngine {
     }
 }
 
+/// Per-request accumulator of what the engines and searches did, reset by
+/// [`RouterCtx::begin_request`]. One request can issue many disjoint-pair
+/// searches (threshold probes), so these are sums over the request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Auxiliary-graph skeletons built from scratch.
+    pub skeleton_builds: u32,
+    /// Engine syncs that refreshed every link's weights.
+    pub full_refreshes: u32,
+    /// Engine syncs that refreshed only dirty links.
+    pub dirty_refreshes: u32,
+    /// Total links refreshed across the dirty syncs.
+    pub dirty_links: u32,
+    /// Engine syncs with nothing to recompute (pure skeleton reuse).
+    pub fast_syncs: u32,
+    /// Suurballe searches executed.
+    pub searches: u32,
+    /// Wall-clock nanoseconds spent inside those searches (sync + Suurballe).
+    pub search_ns: u64,
+}
+
+impl RequestStats {
+    /// Collapses the request's engine activity into the trace taxonomy.
+    pub fn cache_outcome(&self) -> CacheOutcome {
+        if self.skeleton_builds > 0 || self.full_refreshes > 0 {
+            CacheOutcome::FullRebuild
+        } else if self.dirty_refreshes > 0 {
+            CacheOutcome::DirtyRefresh {
+                links: self.dirty_links,
+            }
+        } else {
+            CacheOutcome::SkeletonReuse
+        }
+    }
+}
+
 /// Persistent routing context: one engine per auxiliary-graph family plus
 /// the shared [`SearchArena`]. Hold one of these per network wherever
 /// requests are routed repeatedly (the simulator owns one per run) and the
 /// skeleton/refresh machinery amortises across every request; one-shot
 /// entry points create a throwaway context internally.
+///
+/// The context is generic over a [`Recorder`]. The default [`NoopRecorder`]
+/// monomorphises all instrumentation away (every recording site is gated on
+/// `recorder.enabled()`, an `#[inline(always)] false` there), so the
+/// uninstrumented hot path is unchanged; [`RouterCtx::with_recorder`] swaps
+/// in a live recorder such as `&wdm_telemetry::TelemetrySink`.
 #[derive(Debug, Clone, Default)]
-pub struct RouterCtx {
+pub struct RouterCtx<R: Recorder = NoopRecorder> {
     /// Reusable Dijkstra/Suurballe buffers.
     pub arena: SearchArena,
+    recorder: R,
+    stats: RequestStats,
+    /// Arena alloc-event total at the last [`RouterCtx::begin_request`].
+    arena_allocs_at_begin: u64,
     g_prime: Option<AuxEngine>,
     g_c: Option<AuxEngine>,
     g_c_prospective: Option<AuxEngine>,
@@ -468,8 +541,49 @@ pub struct RouterCtx {
 }
 
 impl RouterCtx {
+    /// An uninstrumented context (the [`NoopRecorder`] default).
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+impl<R: Recorder> RouterCtx<R> {
+    /// A context whose searches report into `recorder`.
+    pub fn with_recorder(recorder: R) -> Self {
+        Self {
+            arena: SearchArena::new(),
+            recorder,
+            stats: RequestStats::default(),
+            arena_allocs_at_begin: 0,
+            g_prime: None,
+            g_c: None,
+            g_c_prospective: None,
+            g_rc: None,
+            g_rc_printed: None,
+        }
+    }
+
+    /// The attached recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Resets the per-request accumulator. Call once per request before
+    /// routing; [`RouterCtx::request_stats`] then describes that request.
+    pub fn begin_request(&mut self) {
+        self.stats = RequestStats::default();
+        self.arena_allocs_at_begin = self.arena.alloc_events();
+    }
+
+    /// Engine/search activity since the last [`RouterCtx::begin_request`].
+    pub fn request_stats(&self) -> RequestStats {
+        self.stats
+    }
+
+    /// Arena buffer-growth events since the last
+    /// [`RouterCtx::begin_request`].
+    pub fn request_arena_allocs(&self) -> u64 {
+        self.arena.alloc_events() - self.arena_allocs_at_begin
     }
 
     /// Invalidates every held engine (see [`AuxEngine::invalidate`]). Call
@@ -492,12 +606,13 @@ impl RouterCtx {
 
     /// The engine for `spec`'s family (building it on first use or after a
     /// network change) with its threshold set, plus the arena — returned
-    /// together so both can be borrowed at once.
+    /// together so both can be borrowed at once. The `bool` reports whether
+    /// the skeleton was (re)built.
     pub(crate) fn engine(
         &mut self,
         net: &WdmNetwork,
         spec: AuxSpec,
-    ) -> (&mut AuxEngine, &mut SearchArena) {
+    ) -> (&mut AuxEngine, &mut SearchArena, bool) {
         let slot = match (spec.weights, spec.basis) {
             (AuxWeights::AverageCost, _) if spec.threshold.is_none() => &mut self.g_prime,
             (AuxWeights::AverageCost, _) => &mut self.g_rc,
@@ -515,7 +630,7 @@ impl RouterCtx {
         }
         let eng = slot.as_mut().expect("just ensured");
         eng.set_threshold(spec.threshold);
-        (eng, &mut self.arena)
+        (eng, &mut self.arena, !reuse)
     }
 
     /// Syncs the engine for `spec` and runs Suurballe over the enabled
@@ -528,19 +643,61 @@ impl RouterCtx {
         t: NodeId,
         spec: AuxSpec,
     ) -> Option<(DisjointPair, [Vec<EdgeId>; 2])> {
-        let (eng, arena) = self.engine(net, spec);
-        eng.sync(net, state, s, t);
+        let enabled = self.recorder.enabled();
+        let start = enabled.then(std::time::Instant::now);
+        let (eng, arena, built) = self.engine(net, spec);
+        let sync = eng.sync(net, state, s, t);
         let eng: &AuxEngine = eng;
-        let pair = arena.edge_disjoint_pair(
-            eng.graph(),
-            eng.source(),
-            eng.sink(),
-            |e| eng.weight(e),
-            |e| eng.enabled(e),
-        )?;
-        let phys_a = eng.physical_edges(&pair.paths[0]);
-        let phys_b = eng.physical_edges(&pair.paths[1]);
-        Some((pair, [phys_a, phys_b]))
+        let result = arena
+            .edge_disjoint_pair(
+                eng.graph(),
+                eng.source(),
+                eng.sink(),
+                |e| eng.weight(e),
+                |e| eng.enabled(e),
+            )
+            .map(|pair| {
+                let phys_a = eng.physical_edges(&pair.paths[0]);
+                let phys_b = eng.physical_edges(&pair.paths[1]);
+                (pair, [phys_a, phys_b])
+            });
+        if enabled {
+            self.record_search(built, sync, start);
+        }
+        result
+    }
+
+    /// Cold path: folds one search's engine activity into the counters and
+    /// the per-request accumulator. Only called when the recorder is live.
+    fn record_search(&mut self, built: bool, sync: SyncStats, start: Option<std::time::Instant>) {
+        let r = &self.recorder;
+        let s = &mut self.stats;
+        r.add(Counter::SuurballeSearches, 1);
+        s.searches += 1;
+        if built {
+            r.add(Counter::EngineSkeletonBuilds, 1);
+            s.skeleton_builds += 1;
+        }
+        if sync.full {
+            r.add(Counter::EngineFullRefreshes, 1);
+            s.full_refreshes += 1;
+        } else if sync.links_refreshed > 0 {
+            r.add(Counter::EngineDirtyRefreshes, 1);
+            r.add(
+                Counter::EngineDirtyLinksRefreshed,
+                sync.links_refreshed as u64,
+            );
+            s.dirty_refreshes += 1;
+            s.dirty_links += sync.links_refreshed;
+        } else {
+            r.add(Counter::EngineFastSyncs, 1);
+            s.fast_syncs += 1;
+        }
+        if let Some(t0) = start {
+            let ns = t0.elapsed().as_nanos() as u64;
+            r.observe(Hist::SearchNanos, ns);
+            s.search_ns += ns;
+        }
     }
 }
 

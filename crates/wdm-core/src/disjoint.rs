@@ -23,6 +23,7 @@ use crate::network::{ResidualState, WdmNetwork};
 use crate::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath_filtered};
 use crate::semilightpath::{RobustRoute, Semilightpath};
 use wdm_graph::{EdgeId, NodeId};
+use wdm_telemetry::{NoopRecorder, Recorder};
 
 /// Diagnostics from one §3.3 run, used by the Lemma 2 / Theorem 2
 /// experiments.
@@ -62,17 +63,27 @@ pub struct DisjointDiagnostics {
 /// assert_eq!(state.network_load(&net), 0.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct RobustRouteFinder<'a> {
+pub struct RobustRouteFinder<'a, R: Recorder = NoopRecorder> {
     net: &'a WdmNetwork,
-    ctx: RouterCtx,
+    ctx: RouterCtx<R>,
 }
 
 impl<'a> RobustRouteFinder<'a> {
-    /// Creates a finder over `net`.
+    /// Creates an uninstrumented finder over `net`.
     pub fn new(net: &'a WdmNetwork) -> Self {
         Self {
             net,
             ctx: RouterCtx::new(),
+        }
+    }
+}
+
+impl<'a, R: Recorder> RobustRouteFinder<'a, R> {
+    /// Creates a finder over `net` whose searches report into `recorder`.
+    pub fn with_recorder(net: &'a WdmNetwork, recorder: R) -> Self {
+        Self {
+            net,
+            ctx: RouterCtx::with_recorder(recorder),
         }
     }
 
@@ -101,8 +112,8 @@ impl<'a> RobustRouteFinder<'a> {
 /// The §3.3 pipeline over a caller-owned [`RouterCtx`] — the hot-path entry
 /// point shared by [`RobustRouteFinder`], the simulator's cost-only policy
 /// and the benchmarks.
-pub fn robust_route_ctx(
-    ctx: &mut RouterCtx,
+pub fn robust_route_ctx<R: Recorder>(
+    ctx: &mut RouterCtx<R>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,

@@ -50,7 +50,7 @@ pub mod wavelength;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::aux_engine::{AuxEngine, RouterCtx};
+    pub use crate::aux_engine::{AuxEngine, RequestStats, RouterCtx, SyncStats};
     pub use crate::aux_graph::{AuxGraph, AuxSpec, AuxWeights};
     pub use crate::conversion::ConversionTable;
     pub use crate::disjoint::RobustRouteFinder;
@@ -64,4 +64,5 @@ pub mod prelude {
     pub use crate::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath};
     pub use crate::semilightpath::{Hop, RobustRoute, Semilightpath};
     pub use crate::wavelength::{Wavelength, WavelengthSet};
+    pub use wdm_telemetry::{NoopRecorder, Recorder, TelemetrySink};
 }

@@ -34,6 +34,7 @@ use crate::error::RoutingError;
 use crate::network::{ResidualState, WdmNetwork};
 use crate::semilightpath::RobustRoute;
 use wdm_graph::{EdgeId, NodeId};
+use wdm_telemetry::{Counter, Hist, Recorder};
 
 /// Default exponential base `a` for the congestion weights. The paper only
 /// requires `a > 1`; the experiments sweep `a ∈ {2, e, 10}`.
@@ -62,8 +63,8 @@ pub struct MinCogOutcome {
 /// mask changes between thresholds, so each probe after the first is an
 /// `O(m)` re-mask plus the searches — no graph construction, no `O(W²)`
 /// conversion sums.
-pub(crate) fn probe_route(
-    ctx: &mut RouterCtx,
+pub(crate) fn probe_route<R: Recorder>(
+    ctx: &mut RouterCtx<R>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -128,8 +129,8 @@ pub fn find_two_paths_mincog(
 /// of the threshold search shares one incrementally maintained `G_c` engine
 /// (probes after the first only re-mask admission), and a long-lived
 /// context additionally amortises across requests.
-pub fn find_two_paths_mincog_ctx(
-    ctx: &mut RouterCtx,
+pub fn find_two_paths_mincog_ctx<R: Recorder>(
+    ctx: &mut RouterCtx<R>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -149,12 +150,12 @@ pub fn find_two_paths_mincog_ctx(
     // prospective load equals the probe value we add a hair.
     let bump = 1e-9;
     let mut theta = theta_min;
-    loop {
+    let outcome = loop {
         probes += 1;
         if let Some((route, aux_paths)) =
             probe_route(ctx, net, state, s, t, AuxSpec::g_c(a, theta + bump))
         {
-            return Ok(MinCogOutcome {
+            break Ok(MinCogOutcome {
                 threshold: theta + bump,
                 aux_paths,
                 route,
@@ -163,9 +164,19 @@ pub fn find_two_paths_mincog_ctx(
         }
         if theta >= theta_max {
             // ϑ exceeded the max bound without a pair: drop the request.
-            return Err(RoutingError::LoadSearchExhausted);
+            break Err(RoutingError::LoadSearchExhausted);
         }
         theta = (theta * 2.0).min(theta_max);
+    };
+    record_probes(ctx, probes);
+    outcome
+}
+
+/// Cold path: reports one threshold search's probe count.
+fn record_probes<R: Recorder>(ctx: &RouterCtx<R>, probes: usize) {
+    if ctx.recorder().enabled() {
+        ctx.recorder().add(Counter::ThresholdProbes, probes as u64);
+        ctx.recorder().observe(Hist::ThresholdProbes, probes as u64);
     }
 }
 
@@ -193,8 +204,8 @@ pub fn exact_min_load_threshold(
 
 /// [`exact_min_load_threshold`] over a caller-owned [`RouterCtx`] (see
 /// [`find_two_paths_mincog_ctx`] for what sharing buys).
-pub fn exact_min_load_threshold_ctx(
-    ctx: &mut RouterCtx,
+pub fn exact_min_load_threshold_ctx<R: Recorder>(
+    ctx: &mut RouterCtx<R>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -232,6 +243,7 @@ pub fn exact_min_load_threshold_ctx(
             None => lo = mid + 1,
         }
     }
+    record_probes(ctx, probes);
     let (threshold, route, aux_paths) = best.ok_or(RoutingError::LoadSearchExhausted)?;
     Ok(MinCogOutcome {
         threshold,

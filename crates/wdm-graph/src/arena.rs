@@ -48,15 +48,18 @@ impl Default for TreeBank {
 
 impl TreeBank {
     /// Starts a new search over `n` nodes: grows the buffers if needed and
-    /// invalidates all previous entries by bumping the generation.
-    fn begin(&mut self, n: usize, source: NodeId) {
-        if self.stamp.len() < n {
+    /// invalidates all previous entries by bumping the generation. Returns
+    /// whether the buffers grew (an allocation event).
+    fn begin(&mut self, n: usize, source: NodeId) -> bool {
+        let grew = self.stamp.len() < n;
+        if grew {
             self.dist.resize(n, f64::INFINITY);
             self.pred.resize(n, None);
             self.stamp.resize(n, 0);
         }
         self.gen += 1;
         self.source = source;
+        grew
     }
 
     #[inline]
@@ -121,12 +124,15 @@ struct EdgeMask {
 }
 
 impl EdgeMask {
-    fn begin(&mut self, m: usize) {
-        if self.stamp.len() < m {
+    /// Starts a new mask over `m` edges; returns whether the buffers grew.
+    fn begin(&mut self, m: usize) -> bool {
+        let grew = self.stamp.len() < m;
+        if grew {
             self.bit.resize(m, false);
             self.stamp.resize(m, 0);
         }
         self.gen += 1;
+        grew
     }
 
     #[inline]
@@ -169,6 +175,9 @@ pub struct SearchArena {
     mask: EdgeMask,
     resid: DiGraph<(), ResidArc>,
     out_lists: Vec<Vec<EdgeId>>,
+    /// Buffer-growth events since construction (telemetry: a steady-state
+    /// arena stops allocating, so this should plateau after warm-up).
+    allocs: u64,
 }
 
 impl Default for SearchArena {
@@ -186,7 +195,14 @@ impl SearchArena {
             mask: EdgeMask::default(),
             resid: DiGraph::new(),
             out_lists: Vec::new(),
+            allocs: 0,
         }
+    }
+
+    /// Cumulative buffer-growth events (allocations) across all searches
+    /// served by this arena.
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
     }
 
     /// Arena-backed [`crate::suurballe::edge_disjoint_pair_filtered`]:
@@ -206,7 +222,7 @@ impl SearchArena {
             return None;
         }
         // Pass 1: shortest path tree from s.
-        dijkstra_into(
+        self.allocs += dijkstra_into(
             &mut self.t1,
             &mut self.heap,
             g,
@@ -214,12 +230,12 @@ impl SearchArena {
             None,
             &mut cost,
             &mut filter,
-        );
+        ) as u64;
         if !self.t1.reached(t) {
             return None;
         }
         let p1 = self.t1.path_to(g, t).expect("t is reached");
-        self.mask.begin(g.edge_count());
+        self.allocs += self.mask.begin(g.edge_count()) as u64;
         for &e in &p1.edges {
             self.mask.set(e.index(), true);
         }
@@ -227,8 +243,11 @@ impl SearchArena {
         // Pass 2: residual graph with reduced costs.
         let n = g.node_count();
         self.resid.clear_edges();
-        while self.resid.node_count() < n {
-            self.resid.add_node(());
+        if self.resid.node_count() < n {
+            self.allocs += 1;
+            while self.resid.node_count() < n {
+                self.resid.add_node(());
+            }
         }
         for e in g.edge_ids() {
             if !filter(e) {
@@ -263,7 +282,7 @@ impl SearchArena {
             // Edges touching unreachable nodes cannot lie on any s->t path.
         }
         let (t2, resid) = (&mut self.t2, &self.resid);
-        dijkstra_into(
+        let grew = dijkstra_into(
             t2,
             &mut self.heap,
             resid,
@@ -272,6 +291,7 @@ impl SearchArena {
             |e| resid.edge(e).reduced,
             |_| true,
         );
+        self.allocs += grew as u64;
         if !self.t2.reached(t) {
             return None;
         }
@@ -296,6 +316,7 @@ impl SearchArena {
         // Decompose the surviving edge set into two s->t paths by walking.
         if self.out_lists.len() < n {
             self.out_lists.resize_with(n, Vec::new);
+            self.allocs += 1;
         }
         let mut total = 0.0;
         for e in g.edge_ids() {
@@ -347,7 +368,8 @@ impl SearchArena {
 
 /// Dijkstra into a [`TreeBank`]: the exact relaxation loop of
 /// [`dijkstra_generic`](crate::dijkstra::dijkstra_generic) with the default
-/// 4-ary heap, writing into reused buffers.
+/// 4-ary heap, writing into reused buffers. Returns whether the tree bank
+/// had to grow (an allocation event).
 fn dijkstra_into<N, E>(
     bank: &mut TreeBank,
     heap: &mut DaryHeap<f64, 4>,
@@ -356,9 +378,9 @@ fn dijkstra_into<N, E>(
     target: Option<NodeId>,
     mut cost: impl FnMut(EdgeId) -> f64,
     mut filter: impl FnMut(EdgeId) -> bool,
-) {
+) -> bool {
     let n = g.node_count();
-    bank.begin(n, source);
+    let grew = bank.begin(n, source);
     heap.ensure_capacity(n);
     heap.clear();
     bank.set(source.index(), 0.0, None);
@@ -382,6 +404,7 @@ fn dijkstra_into<N, E>(
             }
         }
     }
+    grew
 }
 
 #[cfg(test)]
@@ -435,6 +458,24 @@ mod tests {
                 (a, b) => panic!("trial {trial}: feasibility disagrees ({a:?} vs {b:?})"),
             }
         }
+    }
+
+    /// A warmed-up arena serves same-size searches without allocating.
+    #[test]
+    fn alloc_events_plateau_after_warmup() {
+        let mut arena = SearchArena::new();
+        let g = topology::ring(24, 1.0);
+        arena
+            .edge_disjoint_pair(&g, NodeId(0), NodeId(12), |e| g.weight(e), |_| true)
+            .unwrap();
+        let after_warmup = arena.alloc_events();
+        assert!(after_warmup > 0, "first search must grow the buffers");
+        for _ in 0..10 {
+            arena
+                .edge_disjoint_pair(&g, NodeId(0), NodeId(12), |e| g.weight(e), |_| true)
+                .unwrap();
+        }
+        assert_eq!(arena.alloc_events(), after_warmup);
     }
 
     /// Reuse across differently-sized graphs must not leak state.

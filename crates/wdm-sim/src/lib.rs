@@ -32,10 +32,13 @@ pub mod traffic;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::batch::{full_mesh_demands, provision_batch, BatchOrder, Demand};
-    pub use crate::metrics::{mean_std, Metrics};
-    pub use crate::parallel::{run_replications, run_replications_streaming};
+    pub use crate::metrics::{mean_std, Metrics, PolicyTelemetry};
+    pub use crate::parallel::{
+        replication_seeds, run_replications, run_replications_streaming, run_replications_telemetry,
+    };
     pub use crate::policy::{Policy, ProvisionedRoute};
     pub use crate::shared::{SharedBackupPool, SharedProvisioner};
-    pub use crate::sim::{run_sim, SimConfig, Simulator};
+    pub use crate::sim::{run_sim, run_sim_recorded, SimConfig, Simulator};
     pub use crate::traffic::{HoldingDist, PairSelection, TrafficModel};
+    pub use wdm_telemetry::{NoopRecorder, Recorder, TelemetrySink, TelemetrySnapshot};
 }

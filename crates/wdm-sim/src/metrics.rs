@@ -1,6 +1,7 @@
 //! Simulation metrics: admission, cost, recovery, reconfiguration, load.
 
 use wdm_core::load::LoadSnapshot;
+use wdm_telemetry::TelemetrySnapshot;
 
 /// Counters accumulated over one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -109,6 +110,63 @@ impl Metrics {
     }
 }
 
+/// Telemetry aggregated per provisioning policy across replications.
+///
+/// [`Metrics`] deliberately stays telemetry-free (simulation results must be
+/// bit-identical with and without a recorder attached); this type is the
+/// side-channel that carries the merged [`TelemetrySnapshot`] of a policy's
+/// replication sweep, e.g. one entry per policy row in an experiment table.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PolicyTelemetry {
+    /// The policy's display name ([`crate::policy::Policy::name`]).
+    pub policy: String,
+    /// Replications folded into the snapshot.
+    pub replications: u64,
+    /// Merged counter/histogram totals across those replications.
+    pub snapshot: TelemetrySnapshot,
+}
+
+impl PolicyTelemetry {
+    /// An empty aggregate for `policy`.
+    pub fn new(policy: &str) -> Self {
+        PolicyTelemetry {
+            policy: policy.to_string(),
+            replications: 0,
+            snapshot: TelemetrySnapshot::default(),
+        }
+    }
+
+    /// Folds one replication's snapshot into the aggregate.
+    pub fn absorb(&mut self, snapshot: &TelemetrySnapshot) {
+        self.replications += 1;
+        self.snapshot.merge(snapshot);
+    }
+
+    /// Folds a whole sweep (e.g. another shard's aggregate) into this one.
+    /// Both sides must describe the same policy.
+    pub fn merge(&mut self, other: &PolicyTelemetry) {
+        debug_assert_eq!(self.policy, other.policy, "merging different policies");
+        self.replications += other.replications;
+        self.snapshot.merge(&other.snapshot);
+    }
+
+    /// Blocking probability as seen by the telemetry counters.
+    pub fn blocking_probability(&self) -> f64 {
+        let total = self.snapshot.total_requests();
+        if total == 0 {
+            0.0
+        } else {
+            let blocked = self
+                .snapshot
+                .counters
+                .get("requests_blocked")
+                .copied()
+                .unwrap_or(0);
+            blocked as f64 / total as f64
+        }
+    }
+}
+
 /// The Erlang-B blocking probability for offered load `erlangs` over `c`
 /// channels — the analytic ground truth for an M/M/c/c loss system.
 /// Computed by the standard stable recurrence
@@ -182,6 +240,23 @@ mod tests {
         // Monotone in load, antitone in channels.
         assert!(erlang_b(8.0, 10) > erlang_b(5.0, 10));
         assert!(erlang_b(5.0, 12) < erlang_b(5.0, 10));
+    }
+
+    #[test]
+    fn policy_telemetry_aggregates_and_merges() {
+        use wdm_telemetry::{Counter, Recorder, TelemetrySink};
+        let sink = TelemetrySink::new();
+        sink.add(Counter::RequestsRouted, 3);
+        sink.add(Counter::RequestsBlocked, 1);
+        let mut agg = PolicyTelemetry::new("joint(4.2)");
+        agg.absorb(&sink.snapshot());
+        agg.absorb(&sink.snapshot());
+        assert_eq!(agg.replications, 2);
+        assert_eq!(agg.snapshot.counters["requests_routed"], 6);
+        assert_eq!(agg.blocking_probability(), 0.25);
+        let mut total = PolicyTelemetry::new("joint(4.2)");
+        total.merge(&agg);
+        assert_eq!(total, agg);
     }
 
     #[test]

@@ -7,10 +7,31 @@
 //! liveness, and a crossbeam channel variant streams results as they land.
 
 use crate::metrics::Metrics;
-use crate::sim::{run_sim, SimConfig};
+use crate::sim::{run_sim, run_sim_recorded, SimConfig};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use wdm_core::network::WdmNetwork;
+use wdm_telemetry::{TelemetrySink, TelemetrySnapshot};
+
+/// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators"): a bijective avalanche mix on `u64`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives `n` replication seeds from `base`. Seed `i` is a pure function
+/// of `(base, i)`, so serial loops, parallel sweeps and resumed runs all see
+/// the same stream — there is no hidden dependence on iteration order or
+/// shard layout. Distinct bases give well-separated streams (SplitMix64
+/// avalanches every input bit).
+pub fn replication_seeds(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| splitmix64(base ^ splitmix64(i)))
+        .collect()
+}
 
 /// Runs `cfg` once per seed in parallel; results are returned in seed order
 /// (deterministic regardless of scheduling).
@@ -19,6 +40,34 @@ pub fn run_replications(net: &WdmNetwork, cfg: SimConfig, seeds: &[u64]) -> Vec<
         .par_iter()
         .map(|&seed| run_sim(net, SimConfig { seed, ..cfg }))
         .collect()
+}
+
+/// As [`run_replications`], additionally collecting telemetry: each
+/// replication records into its own private [`TelemetrySink`] (no cross-
+/// thread contention beyond the rayon fan-out) and the per-shard snapshots
+/// are folded in seed order. Snapshot merging is commutative, so the result
+/// equals a serial run over the same seeds metric-for-metric (timing
+/// histograms excepted — wall-clock durations are not seeded).
+pub fn run_replications_telemetry(
+    net: &WdmNetwork,
+    cfg: SimConfig,
+    seeds: &[u64],
+) -> (Vec<Metrics>, TelemetrySnapshot) {
+    let shards: Vec<(Metrics, TelemetrySnapshot)> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let sink = TelemetrySink::new();
+            let m = run_sim_recorded(net, SimConfig { seed, ..cfg }, &sink);
+            (m, sink.snapshot())
+        })
+        .collect();
+    let mut metrics = Vec::with_capacity(shards.len());
+    let mut telemetry = TelemetrySnapshot::default();
+    for (m, snap) in shards {
+        metrics.push(m);
+        telemetry.merge(&snap);
+    }
+    (metrics, telemetry)
 }
 
 /// As [`run_replications`], invoking `progress(done, total)` after each
@@ -98,6 +147,29 @@ mod tests {
             switchover_time: 0.001,
             setup_time_per_hop: 0.05,
         }
+    }
+
+    #[test]
+    fn replication_seeds_depend_only_on_base_and_index() {
+        let s = replication_seeds(42, 8);
+        assert_eq!(s.len(), 8);
+        // Pure function of (base, i): any prefix matches.
+        assert_eq!(replication_seeds(42, 3)[..], s[..3]);
+        // Distinct indices and distinct bases give distinct seeds.
+        let mut uniq: std::collections::HashSet<u64> = s.iter().copied().collect();
+        uniq.extend(replication_seeds(43, 8));
+        assert_eq!(uniq.len(), 16);
+    }
+
+    #[test]
+    fn telemetry_replications_keep_metrics_identical() {
+        let net = NetworkBuilder::nsfnet(8).build();
+        let seeds = replication_seeds(7, 3);
+        let plain = run_replications(&net, cfg(), &seeds);
+        let (with_telemetry, snap) = run_replications_telemetry(&net, cfg(), &seeds);
+        assert_eq!(plain, with_telemetry, "telemetry must not perturb runs");
+        let offered: u64 = plain.iter().map(|m| m.offered).sum();
+        assert_eq!(snap.total_requests(), offered);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use wdm_core::mincog::find_two_paths_mincog_ctx;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{RobustRoute, Semilightpath};
 use wdm_graph::NodeId;
+use wdm_telemetry::{Counter, Hist, Recorder, RouteTrace};
 
 /// A provisioned route: protected (primary + backup) or unprotected.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -121,9 +122,34 @@ impl Policy {
     /// auxiliary-graph engines and search buffers in `ctx`. The §3.3/§4
     /// policies route through the incremental [`RouterCtx`] hot path; the
     /// baseline policies don't use auxiliary graphs and ignore `ctx`.
-    pub fn route_ctx(
+    ///
+    /// When `ctx` carries a live [`Recorder`], every call emits the request
+    /// outcome (admission or blocking cause), cost/hop histograms and a
+    /// structured [`RouteTrace`]; with the default `NoopRecorder` all of
+    /// that compiles away.
+    pub fn route_ctx<R: Recorder>(
         &self,
-        ctx: &mut RouterCtx,
+        ctx: &mut RouterCtx<R>,
+        net: &WdmNetwork,
+        state: &ResidualState,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<ProvisionedRoute, RoutingError> {
+        let enabled = ctx.recorder().enabled();
+        if enabled {
+            ctx.begin_request();
+        }
+        let start = enabled.then(std::time::Instant::now);
+        let result = self.dispatch(ctx, net, state, s, t);
+        if let Some(start) = start {
+            record_request(ctx, s, t, &result, start);
+        }
+        result
+    }
+
+    fn dispatch<R: Recorder>(
+        &self,
+        ctx: &mut RouterCtx<R>,
         net: &WdmNetwork,
         state: &ResidualState,
         s: NodeId,
@@ -155,6 +181,67 @@ impl Policy {
             Policy::PrimaryOnly => {
                 baselines::primary_only(net, state, s, t).map(ProvisionedRoute::Unprotected)
             }
+        }
+    }
+}
+
+/// Records the outcome of one routing request (admission counters, blocking
+/// cause, cost/hop histograms, structured trace). Only called when the
+/// recorder is enabled.
+fn record_request<R: Recorder>(
+    ctx: &RouterCtx<R>,
+    s: NodeId,
+    t: NodeId,
+    result: &Result<ProvisionedRoute, RoutingError>,
+    start: std::time::Instant,
+) {
+    let rec = ctx.recorder();
+    rec.observe(Hist::RequestNanos, start.elapsed().as_nanos() as u64);
+    match result {
+        Ok(route) => {
+            rec.add(Counter::RequestsRouted, 1);
+            rec.observe(
+                Hist::RouteCostMilli,
+                (route.total_cost() * 1000.0).round() as u64,
+            );
+            let (primary, backup) = match route {
+                ProvisionedRoute::Protected(r) => (&r.primary, Some(&r.backup)),
+                ProvisionedRoute::Unprotected(p) => (p, None),
+            };
+            rec.observe(Hist::PrimaryHops, primary.len() as u64);
+            if let Some(b) = backup {
+                rec.observe(Hist::BackupHops, b.len() as u64);
+            }
+            let stats = ctx.request_stats();
+            rec.trace(&RouteTrace {
+                request_id: rec.next_request_id(),
+                src: s.0,
+                dst: t.0,
+                primary_wavelengths: primary
+                    .hops
+                    .iter()
+                    .map(|h| u32::from(h.wavelength.0))
+                    .collect(),
+                backup_wavelengths: backup
+                    .map(|b| b.hops.iter().map(|h| u32::from(h.wavelength.0)).collect())
+                    .unwrap_or_default(),
+                primary_cost: primary.cost,
+                backup_cost: backup.map_or(0.0, |b| b.cost),
+                cache: stats.cache_outcome(),
+                arena_allocs: ctx.request_arena_allocs(),
+                search_ns: stats.search_ns,
+            });
+        }
+        Err(e) => {
+            rec.add(Counter::RequestsBlocked, 1);
+            let cause = match e {
+                RoutingError::DegenerateRequest => Counter::BlockedDegenerate,
+                RoutingError::NoDisjointPair => Counter::BlockedNoDisjointPair,
+                RoutingError::RefinementInfeasible => Counter::BlockedRefinement,
+                RoutingError::LoadSearchExhausted => Counter::BlockedLoadSearch,
+                RoutingError::Unreachable { .. } => Counter::BlockedUnreachable,
+            };
+            rec.add(cause, 1);
         }
     }
 }

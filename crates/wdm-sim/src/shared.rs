@@ -27,6 +27,7 @@ use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{Hop, Semilightpath};
 use wdm_core::wavelength::{Wavelength, WavelengthSet};
 use wdm_graph::{EdgeId, NodeId};
+use wdm_telemetry::{Counter, NoopRecorder, Recorder};
 
 /// One shared backup channel: the connections using it and the union of
 /// the primary links it protects.
@@ -173,8 +174,9 @@ pub struct SharedConnection {
 /// reservations live in the [`SharedBackupPool`]. A channel is available to
 /// a *primary* only if it is both unused and unreserved; a *backup* may
 /// additionally join compatible reservations.
-pub struct SharedProvisioner<'a> {
+pub struct SharedProvisioner<'a, R: Recorder = NoopRecorder> {
     net: &'a WdmNetwork,
+    recorder: R,
     /// Channels taken by primaries (dedicated).
     pub working: ResidualState,
     /// Backup reservations.
@@ -185,15 +187,24 @@ pub struct SharedProvisioner<'a> {
 }
 
 impl<'a> SharedProvisioner<'a> {
+    /// A fresh provisioner over `net` (no telemetry).
+    pub fn new(net: &'a WdmNetwork) -> Self {
+        Self::with_recorder(net, NoopRecorder)
+    }
+}
+
+impl<'a, R: Recorder> SharedProvisioner<'a, R> {
     /// Checks the pool's sharing invariant against the live primaries.
     pub fn validate(&self) -> Result<usize, String> {
         self.pool.validate(&self.primaries)
     }
 
-    /// A fresh provisioner over `net`.
-    pub fn new(net: &'a WdmNetwork) -> Self {
+    /// As [`SharedProvisioner::new`], recording telemetry through
+    /// `recorder` (shared vs fresh backup channels, route searches).
+    pub fn with_recorder(net: &'a WdmNetwork, recorder: R) -> Self {
         Self {
             net,
+            recorder,
             working: ResidualState::fresh(net),
             pool: SharedBackupPool::new(),
             primaries: HashMap::new(),
@@ -218,7 +229,8 @@ impl<'a> SharedProvisioner<'a> {
     /// wavelengths are then re-assigned by the sharing-aware DP.
     pub fn provision(&mut self, s: NodeId, t: NodeId) -> Result<SharedConnection, RoutingError> {
         let routing_view = self.routing_state();
-        let route = RobustRouteFinder::new(self.net).find(&routing_view, s, t)?;
+        let route =
+            RobustRouteFinder::with_recorder(self.net, &self.recorder).find(&routing_view, s, t)?;
         let primary = route.primary;
         let primary_edges: Vec<EdgeId> = primary.edges().collect();
 
@@ -240,6 +252,14 @@ impl<'a> SharedProvisioner<'a> {
             .iter()
             .filter(|h| self.pool.is_shareable(h.edge, h.wavelength, &primary_edges))
             .count();
+        if self.recorder.enabled() {
+            self.recorder
+                .add(Counter::SharedBackupChannelsShared, shared_hops as u64);
+            self.recorder.add(
+                Counter::SharedBackupChannelsFresh,
+                (backup.hops.len() - shared_hops) as u64,
+            );
+        }
         self.pool
             .reserve(self.next_id, &backup.hops, &primary_edges);
         self.primaries.insert(self.next_id, primary_edges);
@@ -516,6 +536,27 @@ mod tests {
             p.release(c);
         }
         assert_eq!(p.channels_in_use(), 0);
+    }
+
+    #[test]
+    fn provisioner_records_shared_vs_fresh_channels() {
+        use wdm_telemetry::TelemetrySink;
+        let net = net();
+        let sink = TelemetrySink::new();
+        let mut p = SharedProvisioner::with_recorder(&net, &sink);
+        let pairs = [(0u32, 13u32), (1, 12), (2, 11), (3, 9), (5, 10), (6, 8)];
+        for &(s, t) in &pairs {
+            let _ = p.provision(NodeId(s), NodeId(t));
+        }
+        let snap = sink.snapshot();
+        let shared = snap.counters["shared_backup_channels_shared"];
+        let fresh = snap.counters["shared_backup_channels_fresh"];
+        // Without releases, every fresh hop opened a distinct channel and
+        // every hop (shared or fresh) is registered in the pool.
+        assert_eq!(fresh as usize, p.pool.reserved_channels());
+        assert_eq!((shared + fresh) as usize, p.pool.total_backup_hops());
+        // The underlying §3.3 searches flowed through the same recorder.
+        assert!(snap.counters["suurballe_searches"] > 0);
     }
 
     #[test]

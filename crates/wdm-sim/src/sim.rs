@@ -16,6 +16,7 @@ use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::optimal_slp::optimal_semilightpath_filtered;
 use wdm_core::semilightpath::{RobustRoute, Semilightpath};
 use wdm_graph::{EdgeId, NodeId};
+use wdm_telemetry::{NoopRecorder, Recorder};
 
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -82,14 +83,18 @@ struct Connection {
 
 /// The simulator. Owns the mutable residual state; borrows the immutable
 /// network (many simulators can share one network across threads).
-pub struct Simulator<'a> {
+///
+/// Generic over the telemetry [`Recorder`]: the default [`NoopRecorder`]
+/// compiles all instrumentation away; [`Simulator::with_recorder`] threads a
+/// live recorder (e.g. `&TelemetrySink`) through every routing call.
+pub struct Simulator<'a, R: Recorder = NoopRecorder> {
     net: &'a WdmNetwork,
     cfg: SimConfig,
     state: ResidualState,
     /// Incremental auxiliary-graph engines + search buffers, shared by every
     /// routing call of the run (the simulator's `state` is a single mutation
     /// lineage, so the engines' dirty-link tracking stays sound).
-    ctx: RouterCtx,
+    ctx: RouterCtx<R>,
     queue: EventQueue,
     rng: ChaCha8Rng,
     connections: HashMap<u64, Connection>,
@@ -102,13 +107,20 @@ pub struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    /// Creates a simulator over a fresh residual state.
+    /// Creates a simulator over a fresh residual state (no telemetry).
     pub fn new(net: &'a WdmNetwork, cfg: SimConfig) -> Self {
+        Self::with_recorder(net, cfg, NoopRecorder)
+    }
+}
+
+impl<'a, R: Recorder> Simulator<'a, R> {
+    /// As [`Simulator::new`], recording telemetry through `recorder`.
+    pub fn with_recorder(net: &'a WdmNetwork, cfg: SimConfig, recorder: R) -> Self {
         Self {
             net,
             cfg,
             state: ResidualState::fresh(net),
-            ctx: RouterCtx::new(),
+            ctx: RouterCtx::with_recorder(recorder),
             queue: EventQueue::new(),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             connections: HashMap::new(),
@@ -266,7 +278,7 @@ impl<'a> Simulator<'a> {
             Event::LinkRepair { link },
         );
 
-        let affected: Vec<u64> = self
+        let mut affected: Vec<u64> = self
             .connections
             .iter()
             .filter(|(_, c)| match &c.route {
@@ -277,6 +289,10 @@ impl<'a> Simulator<'a> {
             })
             .map(|(&id, _)| id)
             .collect();
+        // HashMap iteration order is random per instance; recovery order
+        // affects routing outcomes, so process connections oldest-first to
+        // keep runs a pure function of the seed.
+        affected.sort_unstable();
 
         for id in affected {
             let Some(c) = self.connections.get(&id) else {
@@ -373,7 +389,7 @@ impl<'a> Simulator<'a> {
             });
         let Some(hot) = hot else { return };
 
-        let users: Vec<u64> = self
+        let mut users: Vec<u64> = self
             .connections
             .iter()
             .filter(|(_, c)| match &c.route {
@@ -384,6 +400,9 @@ impl<'a> Simulator<'a> {
             })
             .map(|(&id, _)| id)
             .collect();
+        // Sorted for determinism (see on_failure) — move oldest connections
+        // first.
+        users.sort_unstable();
         if users.is_empty() {
             // Nothing to move: the hot link's load is all transit-free
             // reservation churn; not a reconfiguration.
@@ -448,6 +467,13 @@ impl<'a> Simulator<'a> {
 /// ```
 pub fn run_sim(net: &WdmNetwork, cfg: SimConfig) -> Metrics {
     Simulator::new(net, cfg).run()
+}
+
+/// As [`run_sim`], recording telemetry through `recorder` (typically a
+/// `&TelemetrySink`; [`Metrics`] itself stays recorder-independent so runs
+/// with and without telemetry compare equal).
+pub fn run_sim_recorded<R: Recorder>(net: &WdmNetwork, cfg: SimConfig, recorder: R) -> Metrics {
+    Simulator::with_recorder(net, cfg, recorder).run()
 }
 
 #[cfg(test)]

@@ -1,0 +1,73 @@
+//! Property test: the telemetry of a parallel replication sweep, merged
+//! across its per-shard sinks, equals the telemetry of running the same
+//! seeds serially through one sink.
+//!
+//! Deterministic metrics (all counters; every histogram not named `*_ns`)
+//! must match bucket-for-bucket. Timing histograms record wall-clock
+//! durations and only their population counts are required to agree.
+
+use proptest::prelude::*;
+use wdm_core::network::NetworkBuilder;
+use wdm_sim::prelude::*;
+
+/// Splits a snapshot into (deterministic part, timing-histogram counts).
+fn split_timing(mut snap: TelemetrySnapshot) -> (TelemetrySnapshot, Vec<(String, u64)>) {
+    let timing: Vec<(String, u64)> = snap
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.ends_with("_ns"))
+        .map(|(name, h)| (name.clone(), h.count))
+        .collect();
+    snap.histograms.retain(|name, _| !name.ends_with("_ns"));
+    (snap, timing)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn merged_parallel_telemetry_equals_serial(
+        base in 0u64..1_000_000,
+        n in 1usize..5,
+        erlang in 1u32..8,
+        policy_idx in 0usize..4,
+        fail_idx in 0usize..2,
+    ) {
+        let net = NetworkBuilder::nsfnet(8).build();
+        let policy = [
+            Policy::CostOnly,
+            Policy::LoadOnly { a: 2.0 },
+            Policy::Joint { a: 2.0 },
+            Policy::PrimaryOnly,
+        ][policy_idx];
+        let cfg = SimConfig {
+            traffic: TrafficModel::new(f64::from(erlang), 3.0),
+            duration: 30.0,
+            failure_rate: if fail_idx == 1 { 0.3 } else { 0.0 },
+            mean_repair: 5.0,
+            ..SimConfig::default_with(policy, 0)
+        };
+        let seeds = replication_seeds(base, n);
+
+        // Serial reference: every replication records into ONE sink, in
+        // seed order.
+        let sink = TelemetrySink::new();
+        let serial_metrics: Vec<Metrics> = seeds
+            .iter()
+            .map(|&seed| run_sim_recorded(&net, SimConfig { seed, ..cfg }, &sink))
+            .collect();
+        let serial = sink.snapshot();
+
+        // Parallel: one sink per shard, snapshots folded in seed order.
+        let (par_metrics, merged) = run_replications_telemetry(&net, cfg, &seeds);
+
+        prop_assert_eq!(&par_metrics, &serial_metrics, "metrics must not depend on telemetry plumbing");
+
+        let (serial_det, serial_ns) = split_timing(serial);
+        let (merged_det, merged_ns) = split_timing(merged);
+        // Counter sums and bucket-wise histogram contents are bit-equal.
+        prop_assert_eq!(serial_det, merged_det);
+        // Timing histograms: same set of names, same populations.
+        prop_assert_eq!(serial_ns, merged_ns);
+    }
+}

@@ -1,0 +1,173 @@
+//! Log-linear fixed-bucket histogram (HdrHistogram-style, no deps).
+//!
+//! Values below 8 get exact unit buckets; above that, each power-of-two
+//! octave is split into 8 linear sub-buckets, bounding relative error at
+//! 1/8 = 12.5 %. The full `u64` range maps into [`NUM_BUCKETS`] = 496
+//! buckets, so a histogram is a flat atomic array — recording is one
+//! relaxed `fetch_add` plus `fetch_min`/`fetch_max` for the extremes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unit buckets for values `0..8`.
+const LINEAR: usize = 8;
+/// Sub-buckets per octave (3 mantissa bits kept).
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total bucket count: 8 unit buckets + 8 sub-buckets for each octave
+/// `2^3 ..= 2^63`.
+pub const NUM_BUCKETS: usize = LINEAR + (64 - SUB_BITS as usize) * SUB;
+
+/// Maps a value to its bucket index.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < LINEAR as u64 {
+        return value as usize;
+    }
+    let oct = 63 - value.leading_zeros();
+    let sub = ((value >> (oct - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    LINEAR + (oct - SUB_BITS) as usize * SUB + sub
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < LINEAR {
+        return (index as u64, index as u64);
+    }
+    let oct = SUB_BITS + ((index - LINEAR) / SUB) as u32;
+    let sub = ((index - LINEAR) % SUB) as u64;
+    let width = 1u64 << (oct - SUB_BITS);
+    let lo = (SUB as u64 + sub) << (oct - SUB_BITS);
+    (lo, lo + (width - 1))
+}
+
+/// A lock-free histogram: one atomic slot per bucket plus count/sum/min/max.
+///
+/// All updates use relaxed ordering — slots are independent monotonic
+/// accumulators, and readers only observe them after a happens-before edge
+/// (thread join / sink handoff).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wrapping on overflow, as `fetch_add` does).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub fn min(&self) -> u64 {
+        self.min.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy of bucket `index`.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_partition_the_u64_range() {
+        // Buckets tile contiguously: each hi + 1 is the next lo.
+        let mut expect_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i} lo");
+            assert!(hi >= lo);
+            expect_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expect_lo, 0, "last bucket must end at u64::MAX");
+    }
+
+    #[test]
+    fn index_and_bounds_agree() {
+        let probes = [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside bucket {i} [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [8u64, 100, 5_000, 1 << 40] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let width = hi - lo + 1;
+            assert!(width as f64 / lo as f64 <= 0.125 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let h = AtomicHistogram::default();
+        for v in [3u64, 3, 900, 17] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 923);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 900);
+        assert_eq!(h.bucket(bucket_index(3)), 2);
+    }
+}

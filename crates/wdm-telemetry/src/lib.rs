@@ -1,0 +1,366 @@
+//! Telemetry substrate for the routing/simulation stack.
+//!
+//! Everything the paper's evaluation wants to see — per-request semilightpath
+//! cost (Eq. 1), blocking causes, how often the incremental [`AuxEngine`]
+//! fast path actually fires — flows through one narrow interface: the
+//! [`Recorder`] trait. Instrumented code is generic over `R: Recorder` and
+//! the default [`NoopRecorder`] monomorphises every call to nothing, so the
+//! uninstrumented hot path keeps its numbers (verified by an A/B criterion
+//! run in `wdm-bench`).
+//!
+//! The live implementation, [`TelemetrySink`], is lock-free on the hot path:
+//! plain atomic counters and atomic log-scaled histograms
+//! (HdrHistogram-style fixed buckets, ≤ 12.5 % relative error, no deps).
+//! A sink drains into a [`TelemetrySnapshot`] — a serde-friendly,
+//! order-insensitive value that merges commutatively across parallel shards.
+//!
+//! [`AuxEngine`]: ../wdm_core/aux_engine/index.html
+
+mod hist;
+mod sink;
+mod snapshot;
+
+pub use hist::{bucket_bounds, bucket_index, AtomicHistogram, NUM_BUCKETS};
+pub use sink::TelemetrySink;
+pub use snapshot::{BucketSnapshot, HistogramSnapshot, TelemetrySnapshot};
+
+/// Monotonic event counters, one slot per variant in a fixed array.
+///
+/// The discriminant is the array index; [`Counter::ALL`] and
+/// [`Counter::name`] keep the numeric layout and the snapshot key space in
+/// one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Requests for which a route was found.
+    RequestsRouted = 0,
+    /// Requests refused for any reason (sum of the `Blocked*` causes).
+    RequestsBlocked = 1,
+    /// Blocked: degenerate request (s == t).
+    BlockedDegenerate = 2,
+    /// Blocked: no edge-disjoint pair exists in the auxiliary graph.
+    BlockedNoDisjointPair = 3,
+    /// Blocked: Lemma 2 refinement found no feasible wavelength assignment.
+    BlockedRefinement = 4,
+    /// Blocked: the §4.1 threshold search exhausted its budget.
+    BlockedLoadSearch = 5,
+    /// Blocked: destination unreachable even ignoring disjointness.
+    BlockedUnreachable = 6,
+    /// Auxiliary-graph skeletons built from scratch (engine cold start).
+    EngineSkeletonBuilds = 7,
+    /// Engine syncs that re-weighted every link (threshold change etc.).
+    EngineFullRefreshes = 8,
+    /// Engine syncs that re-weighted only dirty links.
+    EngineDirtyRefreshes = 9,
+    /// Total links re-weighted across all dirty refreshes.
+    EngineDirtyLinksRefreshed = 10,
+    /// Engine syncs that found nothing to do (pure skeleton reuse).
+    EngineFastSyncs = 11,
+    /// Suurballe disjoint-pair searches executed.
+    SuurballeSearches = 12,
+    /// G_c feasibility probes issued by the §4.1 threshold search.
+    ThresholdProbes = 13,
+    /// Backup channels reused from another request's backup (shared mesh).
+    SharedBackupChannelsShared = 14,
+    /// Backup channels reserved fresh by the shared-mesh provisioner.
+    SharedBackupChannelsFresh = 15,
+    /// Search-arena buffer growth events (allocations on the hot path).
+    ArenaAllocEvents = 16,
+}
+
+impl Counter {
+    /// Number of counter slots.
+    pub const COUNT: usize = 17;
+
+    /// Every variant, in index order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::RequestsRouted,
+        Counter::RequestsBlocked,
+        Counter::BlockedDegenerate,
+        Counter::BlockedNoDisjointPair,
+        Counter::BlockedRefinement,
+        Counter::BlockedLoadSearch,
+        Counter::BlockedUnreachable,
+        Counter::EngineSkeletonBuilds,
+        Counter::EngineFullRefreshes,
+        Counter::EngineDirtyRefreshes,
+        Counter::EngineDirtyLinksRefreshed,
+        Counter::EngineFastSyncs,
+        Counter::SuurballeSearches,
+        Counter::ThresholdProbes,
+        Counter::SharedBackupChannelsShared,
+        Counter::SharedBackupChannelsFresh,
+        Counter::ArenaAllocEvents,
+    ];
+
+    /// Stable snake_case key used in snapshots and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::RequestsRouted => "requests_routed",
+            Counter::RequestsBlocked => "requests_blocked",
+            Counter::BlockedDegenerate => "blocked_degenerate",
+            Counter::BlockedNoDisjointPair => "blocked_no_disjoint_pair",
+            Counter::BlockedRefinement => "blocked_refinement",
+            Counter::BlockedLoadSearch => "blocked_load_search",
+            Counter::BlockedUnreachable => "blocked_unreachable",
+            Counter::EngineSkeletonBuilds => "engine_skeleton_builds",
+            Counter::EngineFullRefreshes => "engine_full_refreshes",
+            Counter::EngineDirtyRefreshes => "engine_dirty_refreshes",
+            Counter::EngineDirtyLinksRefreshed => "engine_dirty_links_refreshed",
+            Counter::EngineFastSyncs => "engine_fast_syncs",
+            Counter::SuurballeSearches => "suurballe_searches",
+            Counter::ThresholdProbes => "threshold_probes",
+            Counter::SharedBackupChannelsShared => "shared_backup_channels_shared",
+            Counter::SharedBackupChannelsFresh => "shared_backup_channels_fresh",
+            Counter::ArenaAllocEvents => "arena_alloc_events",
+        }
+    }
+}
+
+/// Value distributions, one log-scaled histogram per variant.
+///
+/// Names ending in `_ns` record wall-clock durations and are inherently
+/// nondeterministic run-to-run; everything else is a pure function of the
+/// request stream and reproduces bit-for-bit under a fixed seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Disjoint-pair search duration, nanoseconds (nondeterministic).
+    SearchNanos = 0,
+    /// Whole-request routing duration, nanoseconds (nondeterministic).
+    RequestNanos = 1,
+    /// Total route cost (Eq. 1), millicost units (deterministic).
+    RouteCostMilli = 2,
+    /// §4.1 threshold-search probes per request (deterministic).
+    ThresholdProbes = 3,
+    /// Primary-path hop count (deterministic).
+    PrimaryHops = 4,
+    /// Backup-path hop count (deterministic).
+    BackupHops = 5,
+}
+
+impl Hist {
+    /// Number of histogram slots.
+    pub const COUNT: usize = 6;
+
+    /// Every variant, in index order.
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::SearchNanos,
+        Hist::RequestNanos,
+        Hist::RouteCostMilli,
+        Hist::ThresholdProbes,
+        Hist::PrimaryHops,
+        Hist::BackupHops,
+    ];
+
+    /// Stable snake_case key used in snapshots and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SearchNanos => "search_ns",
+            Hist::RequestNanos => "request_ns",
+            Hist::RouteCostMilli => "route_cost_milli",
+            Hist::ThresholdProbes => "threshold_probes",
+            Hist::PrimaryHops => "primary_hops",
+            Hist::BackupHops => "backup_hops",
+        }
+    }
+
+    /// Whether this histogram records wall-clock time (and therefore cannot
+    /// be expected to reproduce bucket-for-bucket across runs).
+    pub fn is_timing(self) -> bool {
+        matches!(self, Hist::SearchNanos | Hist::RequestNanos)
+    }
+}
+
+/// How the incremental auxiliary-graph engine satisfied one request.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CacheOutcome {
+    /// Skeleton and weights were both current; nothing recomputed.
+    SkeletonReuse,
+    /// Skeleton reused; only the listed number of dirty links re-weighted.
+    DirtyRefresh {
+        /// Links whose weights were recomputed.
+        links: u32,
+    },
+    /// Skeleton rebuilt from scratch (cold start or topology change).
+    FullRebuild,
+}
+
+/// Structured per-request trace event.
+///
+/// Node ids and wavelengths are raw indices so this crate stays
+/// dependency-free; the emitting layer owns the mapping.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RouteTrace {
+    /// Monotonic id from [`Recorder::next_request_id`].
+    pub request_id: u64,
+    /// Source node index.
+    pub src: u32,
+    /// Destination node index.
+    pub dst: u32,
+    /// Wavelength index at each hop of the primary semilightpath.
+    pub primary_wavelengths: Vec<u32>,
+    /// Wavelength index at each hop of the backup semilightpath (empty for
+    /// unprotected routes).
+    pub backup_wavelengths: Vec<u32>,
+    /// Channel cost of the primary (Eq. 1 terms attributable to it).
+    pub primary_cost: f64,
+    /// Channel cost of the backup (0 for unprotected routes).
+    pub backup_cost: f64,
+    /// Engine cache outcome for the request's dominant engine sync.
+    pub cache: CacheOutcome,
+    /// Search-arena buffer growth events during the request.
+    pub arena_allocs: u64,
+    /// Wall-clock duration of the routing search, nanoseconds.
+    pub search_ns: u64,
+}
+
+/// The instrumentation interface the routing stack is generic over.
+///
+/// Call sites gate any non-trivial argument computation on
+/// [`Recorder::enabled`] so the [`NoopRecorder`] path compiles to nothing:
+///
+/// ```
+/// # use wdm_telemetry::{Recorder, NoopRecorder, Hist};
+/// # let recorder = NoopRecorder;
+/// # let expensive_summary = || 42u64;
+/// if recorder.enabled() {
+///     recorder.observe(Hist::RouteCostMilli, expensive_summary());
+/// }
+/// ```
+pub trait Recorder {
+    /// Whether events are recorded at all. `false` lets callers skip
+    /// computing event payloads entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Increments `counter` by `delta`.
+    fn add(&self, counter: Counter, delta: u64);
+
+    /// Records `value` into `hist`.
+    fn observe(&self, hist: Hist, value: u64);
+
+    /// Emits a per-request trace event.
+    fn trace(&self, event: &RouteTrace);
+
+    /// Allocates the next request id (0 when disabled).
+    fn next_request_id(&self) -> u64;
+}
+
+/// The zero-cost default: every method is an empty `#[inline(always)]`
+/// body, so code generic over `R: Recorder` monomorphised with this type
+/// carries no instrumentation at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn add(&self, _counter: Counter, _delta: u64) {}
+
+    #[inline(always)]
+    fn observe(&self, _hist: Hist, _value: u64) {}
+
+    #[inline(always)]
+    fn trace(&self, _event: &RouteTrace) {}
+
+    #[inline(always)]
+    fn next_request_id(&self) -> u64 {
+        0
+    }
+}
+
+/// Shared references record through the underlying recorder, so a single
+/// [`TelemetrySink`] can serve many contexts (and many threads) at once.
+impl<R: Recorder + ?Sized> Recorder for &R {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn add(&self, counter: Counter, delta: u64) {
+        (**self).add(counter, delta);
+    }
+
+    #[inline]
+    fn observe(&self, hist: Hist, value: u64) {
+        (**self).observe(hist, value);
+    }
+
+    #[inline]
+    fn trace(&self, event: &RouteTrace) {
+        (**self).trace(event);
+    }
+
+    #[inline]
+    fn next_request_id(&self) -> u64 {
+        (**self).next_request_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_are_unique_and_match_layout() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+        }
+        assert_eq!(Counter::ALL.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn hist_names_are_unique_and_match_layout() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+            assert!(seen.insert(h.name()), "duplicate name {}", h.name());
+        }
+        assert_eq!(Hist::ALL.len(), Hist::COUNT);
+        assert!(Hist::SearchNanos.is_timing());
+        assert!(!Hist::RouteCostMilli.is_timing());
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        assert_eq!(r.next_request_id(), 0);
+        // And through the blanket `&R` impl.
+        let by_ref: &dyn Recorder = &&r;
+        assert!(!by_ref.enabled());
+    }
+
+    #[test]
+    fn route_trace_round_trips_through_json() {
+        let t = RouteTrace {
+            request_id: 7,
+            src: 0,
+            dst: 13,
+            primary_wavelengths: vec![0, 0, 2],
+            backup_wavelengths: vec![1, 1],
+            primary_cost: 3.5,
+            backup_cost: 4.25,
+            cache: CacheOutcome::DirtyRefresh { links: 9 },
+            arena_allocs: 1,
+            search_ns: 12_345,
+        };
+        let text = serde_json::to_string(&t).unwrap();
+        let back: RouteTrace = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, t);
+        for cache in [CacheOutcome::SkeletonReuse, CacheOutcome::FullRebuild] {
+            let text = serde_json::to_string(&cache).unwrap();
+            let back: CacheOutcome = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, cache);
+        }
+    }
+}

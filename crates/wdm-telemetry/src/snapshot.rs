@@ -1,0 +1,242 @@
+//! Immutable, serde-friendly snapshots of a [`TelemetrySink`].
+
+use std::collections::BTreeMap;
+
+use crate::hist::{bucket_bounds, AtomicHistogram, NUM_BUCKETS};
+use crate::sink::TelemetrySink;
+use crate::{Counter, Hist};
+
+/// One non-empty histogram bucket.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BucketSnapshot {
+    /// Smallest value the bucket covers (inclusive).
+    pub lo: u64,
+    /// Largest value the bucket covers (inclusive).
+    pub hi: u64,
+    /// Recorded values in `[lo, hi]`.
+    pub count: u64,
+}
+
+/// Frozen histogram totals; only occupied buckets are materialised.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Occupied buckets, ascending by `lo`.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl HistogramSnapshot {
+    fn from_atomic(h: &AtomicHistogram) -> Self {
+        let mut buckets = Vec::new();
+        for i in 0..NUM_BUCKETS {
+            let count = h.bucket(i);
+            if count > 0 {
+                let (lo, hi) = bucket_bounds(i);
+                buckets.push(BucketSnapshot { lo, hi, count });
+            }
+        }
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets,
+        }
+    }
+
+    /// Mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`;
+    /// `None` when empty. Error is bounded by the bucket width (≤ 12.5 %).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return Some(b.hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds `other`'s population into `self` (bucket-wise; commutative and
+    /// associative, so shard merge order does not matter).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<u64, BucketSnapshot> =
+            self.buckets.iter().map(|b| (b.lo, *b)).collect();
+        for b in &other.buckets {
+            merged
+                .entry(b.lo)
+                .and_modify(|slot| slot.count += b.count)
+                .or_insert(*b);
+        }
+        self.buckets = merged.into_values().collect();
+    }
+}
+
+/// Frozen totals for a whole sink, keyed by the stable event names.
+///
+/// The map form (rather than fixed arrays) keeps snapshots forward- and
+/// backward-compatible across taxonomy changes: old JSON files load fine
+/// when counters are added later, and diff tooling works on any pair.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Counter totals by [`Counter::name`]; zero counters are included so a
+    /// snapshot always shows the full taxonomy.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram totals by [`Hist::name`]; empty histograms are skipped.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    pub(crate) fn from_sink(sink: &TelemetrySink) -> Self {
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), sink.counter(c)))
+            .collect();
+        let histograms = Hist::ALL
+            .iter()
+            .filter_map(|&h| {
+                let snap = HistogramSnapshot::from_atomic(sink.histogram(h));
+                (snap.count > 0).then(|| (h.name().to_string(), snap))
+            })
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Adds `other`'s totals into `self`. Counter-wise sums and bucket-wise
+    /// histogram merges — commutative, so parallel shards can be folded in
+    /// any order and still equal the serial run.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+    }
+
+    /// Sum of the two request-outcome counters (routed + blocked).
+    pub fn total_requests(&self) -> u64 {
+        self.counters.get("requests_routed").copied().unwrap_or(0)
+            + self.counters.get("requests_blocked").copied().unwrap_or(0)
+    }
+
+    /// Short human-readable table of every non-zero metric.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<32} {:>14}", "counter", "total");
+        for (name, value) in &self.counters {
+            if *value > 0 {
+                let _ = writeln!(out, "{name:<32} {value:>14}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "histogram", "count", "mean", "p50", "p99", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>10} {:>12.1} {:>12} {:>12} {:>12}",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.5).unwrap_or(0),
+                    h.quantile(0.99).unwrap_or(0),
+                    h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample_sink(values: &[u64]) -> TelemetrySink {
+        let sink = TelemetrySink::new();
+        for &v in values {
+            sink.add(Counter::RequestsRouted, 1);
+            sink.observe(Hist::RouteCostMilli, v);
+        }
+        sink
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let snap = sample_sink(&[1, 5, 900, 17, 17]).snapshot();
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counters["requests_routed"], 5);
+        assert_eq!(back.total_requests(), 5);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_sink() {
+        let all = [3u64, 9, 27, 81, 243, 729, 2187, 6561];
+        let serial = sample_sink(&all).snapshot();
+        let mut merged = TelemetrySnapshot::default();
+        // Merge shards in a scrambled order: result must still match.
+        for chunk in [&all[4..], &all[..2], &all[2..4]] {
+            merged.merge(&sample_sink(chunk).snapshot());
+        }
+        assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn quantiles_track_the_population() {
+        let snap = sample_sink(&[1, 2, 3, 4, 1000]).snapshot();
+        let h = &snap.histograms["route_cost_milli"];
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert!((h.mean() - 202.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_lists_nonzero_metrics() {
+        let snap = sample_sink(&[10]).snapshot();
+        let text = snap.summary();
+        assert!(text.contains("requests_routed"));
+        assert!(text.contains("route_cost_milli"));
+        assert!(!text.contains("requests_blocked"));
+    }
+}
