@@ -9,11 +9,12 @@ use wdm_core::load::load_snapshot;
 use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
 use wdm_graph::traverse::{edge_connectivity, is_strongly_connected};
 use wdm_graph::NodeId;
-use wdm_sim::batch::{full_mesh_demands, provision_batch, BatchOrder};
+use wdm_sim::batch::{full_mesh_demands, BatchOrder};
 use wdm_sim::metrics::mean_std;
 use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::{Policy, ProvisionedRoute};
-use wdm_sim::sim::SimConfig;
+use wdm_sim::prelude::NoopRecorder;
+use wdm_sim::sim::{run_batch_recorded, BatchConfig, SimConfig};
 use wdm_sim::traffic::TrafficModel;
 
 /// Parses a `--policy` value.
@@ -320,9 +321,18 @@ pub fn batch(args: &Args) -> Result<(), String> {
         "longest-first" => BatchOrder::LongestFirst,
         other => return Err(format!("unknown order '{other}'")),
     };
+    let window: usize = args.get_or("parallel-window", 1)?;
+    if window == 0 {
+        return Err("--parallel-window wants a positive window size".into());
+    }
     let state = ResidualState::fresh(&net);
     let demands = full_mesh_demands(net.node_count(), mesh);
-    let out = provision_batch(&net, &state, &demands, policy, order);
+    let cfg = BatchConfig {
+        policy,
+        order,
+        parallel_window: window,
+    };
+    let (out, stats) = run_batch_recorded(&net, &state, &demands, cfg, NoopRecorder);
     let snap = load_snapshot(&net, &out.state);
     println!(
         "accepted   {}/{} ({:.1}%)",
@@ -335,6 +345,15 @@ pub fn batch(args: &Args) -> Result<(), String> {
         "final load max {:.3}, p90 {:.3}, mean {:.3}",
         snap.max, snap.p90, snap.mean
     );
+    if window > 1 {
+        println!(
+            "speculation rounds {}, commits {}, aborts {} ({:.1}% abort rate)",
+            stats.rounds,
+            stats.commits,
+            stats.aborts,
+            stats.abort_rate() * 100.0
+        );
+    }
     Ok(())
 }
 

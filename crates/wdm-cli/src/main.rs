@@ -51,6 +51,8 @@ COMMANDS:
   batch     --net FILE --mesh K
       --policy P        as above (default cost-only)
       --order O         as-given | shortest-first | longest-first
+      --parallel-window K   speculate K demands per round (default 1 =
+                        serial; results are bit-identical for every K)
 
   telemetry diff <BASELINE.json> <CANDIDATE.json>
       --metrics SUBSTR  only compare metrics whose dotted path contains SUBSTR

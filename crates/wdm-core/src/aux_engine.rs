@@ -538,6 +538,9 @@ pub struct RouterCtx<R: Recorder = NoopRecorder> {
     g_c_prospective: Option<AuxEngine>,
     g_rc: Option<AuxEngine>,
     g_rc_printed: Option<AuxEngine>,
+    /// MinCog warm-start memory: `(residual epoch, accepted ladder index)`
+    /// of the last §4.1 threshold search (see `mincog::find_two_paths_mincog_ctx`).
+    pub(crate) mincog_warm: Option<(u64, u32)>,
 }
 
 impl RouterCtx {
@@ -560,7 +563,22 @@ impl<R: Recorder> RouterCtx<R> {
             g_c_prospective: None,
             g_rc: None,
             g_rc_printed: None,
+            mincog_warm: None,
         }
+    }
+
+    /// A cheap clone for a speculative worker: engines and arena buffers are
+    /// carried over (skeletons stay warm), but every engine is invalidated
+    /// so the first sync against the worker's snapshot re-weights from that
+    /// state instead of trusting the parent's change clocks, and warm-start
+    /// memory tied to the parent's lineage is dropped.
+    pub fn fork(&self) -> Self
+    where
+        R: Clone,
+    {
+        let mut ctx = self.clone();
+        ctx.invalidate();
+        ctx
     }
 
     /// The attached recorder.
@@ -602,6 +620,9 @@ impl<R: Recorder> RouterCtx<R> {
         {
             e.invalidate();
         }
+        // Warm-start memory keys on a change clock that is only meaningful
+        // within one lineage.
+        self.mincog_warm = None;
     }
 
     /// The engine for `spec`'s family (building it on first use or after a

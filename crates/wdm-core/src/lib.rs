@@ -53,7 +53,7 @@ pub mod prelude {
     pub use crate::aux_engine::{AuxEngine, RequestStats, RouterCtx, SyncStats};
     pub use crate::aux_graph::{AuxGraph, AuxSpec, AuxWeights};
     pub use crate::conversion::ConversionTable;
-    pub use crate::disjoint::RobustRouteFinder;
+    pub use crate::disjoint::{RobustRouteFinder, RouteFootprint};
     pub use crate::error::RoutingError;
     pub use crate::joint::find_two_paths_joint;
     pub use crate::load::{load_snapshot, LoadSnapshot};

@@ -53,6 +53,18 @@ pub struct MinCogOutcome {
     pub probes: usize,
 }
 
+impl MinCogOutcome {
+    /// The decision's dependency footprint: its links, plus the accepted
+    /// threshold marking it globally load-dependent (the ladder bounds read
+    /// every link's load — see
+    /// [`RouteFootprint::is_link_local`](crate::disjoint::RouteFootprint::is_link_local)).
+    pub fn dependency_footprint(&self) -> crate::disjoint::RouteFootprint {
+        let mut fp = crate::disjoint::RouteFootprint::of_route(&self.route);
+        fp.threshold = Some(self.threshold);
+        fp
+    }
+}
+
 /// Tries one threshold spec end-to-end: Suurballe on the thresholded `G_c`
 /// *plus* the Liang–Shen refinement. Under restricted conversion tables an
 /// auxiliary pair may have no feasible wavelength assignment — such probes
@@ -125,10 +137,35 @@ pub fn find_two_paths_mincog(
     find_two_paths_mincog_ctx(&mut RouterCtx::new(), net, state, s, t, a)
 }
 
+/// The `i`-th rung of the doubling ladder `ϑ_i = min(2^i·ϑ_min, ϑ_max)`,
+/// computed by the exact float sequence the escalation loop produces (so a
+/// remembered rung reproduces its probe value bit-for-bit).
+fn ladder_rung(theta_min: f64, theta_max: f64, i: u32) -> f64 {
+    let mut theta = theta_min;
+    for _ in 0..i {
+        theta = (theta * 2.0).min(theta_max);
+    }
+    theta
+}
+
 /// [`find_two_paths_mincog`] over a caller-owned [`RouterCtx`]: every probe
 /// of the threshold search shares one incrementally maintained `G_c` engine
 /// (probes after the first only re-mask admission), and a long-lived
 /// context additionally amortises across requests.
+///
+/// **Warm start.** The context remembers the accepted ladder rung of the
+/// previous search together with the residual-state change clock it was
+/// accepted at. A later search in the *same* residual epoch sees the same
+/// ladder (the bounds depend only on the state), so it starts probing at the
+/// remembered rung — halving downward while feasible, escalating by doubling
+/// as usual when infeasible. Under full conversion (assumption (i)) probe
+/// feasibility is monotone in ϑ, so both directions stop at exactly the rung
+/// the cold search would accept: the outcome is bit-identical and only the
+/// `probes` count (and the `threshold_probes` telemetry) shrinks. The ≤2·ϑ*
+/// guarantee is untouched — the rung below the accepted one is probed (or
+/// known) infeasible, hence ϑ* > ϑ/2. Without full conversion, refinement
+/// failures can make feasibility non-monotone and the warm start is
+/// disabled.
 pub fn find_two_paths_mincog_ctx<R: Recorder>(
     ctx: &mut RouterCtx<R>,
     net: &WdmNetwork,
@@ -144,32 +181,88 @@ pub fn find_two_paths_mincog_ctx<R: Recorder>(
     if theta_max <= 0.0 {
         return Err(RoutingError::LoadSearchExhausted);
     }
+    let epoch = state.change_clock();
+    let warm_rung = if net.full_conversion() {
+        ctx.mincog_warm
+            .filter(|&(ep, _)| ep == epoch)
+            .map(|(_, i)| i)
+    } else {
+        None
+    };
     let mut probes = 0usize;
 
     // ϑ is an *exclusive* upper bound on current load; to admit links whose
     // prospective load equals the probe value we add a hair.
     let bump = 1e-9;
-    let mut theta = theta_min;
-    let outcome = loop {
-        probes += 1;
-        if let Some((route, aux_paths)) =
-            probe_route(ctx, net, state, s, t, AuxSpec::g_c(a, theta + bump))
-        {
-            break Ok(MinCogOutcome {
+    let mut probe = |probes: &mut usize, theta: f64| {
+        *probes += 1;
+        probe_route(ctx, net, state, s, t, AuxSpec::g_c(a, theta + bump))
+    };
+
+    let accepted = if let Some(start) = warm_rung {
+        let theta = ladder_rung(theta_min, theta_max, start);
+        match probe(&mut probes, theta) {
+            Some(hit) => {
+                // Feasible at the remembered rung: halve downward to the
+                // lowest feasible rung (monotone ⇒ the cold answer).
+                let mut best = (start, theta, hit);
+                while best.0 > 0 {
+                    let below = ladder_rung(theta_min, theta_max, best.0 - 1);
+                    match probe(&mut probes, below) {
+                        Some(hit) => best = (best.0 - 1, below, hit),
+                        None => break,
+                    }
+                }
+                Some(best)
+            }
+            None => {
+                // Infeasible: escalate by doubling, exactly as the cold
+                // search would from this rung.
+                let mut i = start;
+                let mut theta = theta;
+                loop {
+                    if theta >= theta_max {
+                        break None;
+                    }
+                    theta = (theta * 2.0).min(theta_max);
+                    i += 1;
+                    if let Some(hit) = probe(&mut probes, theta) {
+                        break Some((i, theta, hit));
+                    }
+                }
+            }
+        }
+    } else {
+        // Cold search: ϑ_min, 2ϑ_min, 4ϑ_min, …, capped at ϑ_max.
+        let mut i = 0u32;
+        let mut theta = theta_min;
+        loop {
+            if let Some(hit) = probe(&mut probes, theta) {
+                break Some((i, theta, hit));
+            }
+            if theta >= theta_max {
+                break None;
+            }
+            theta = (theta * 2.0).min(theta_max);
+            i += 1;
+        }
+    };
+    record_probes(ctx, probes);
+    match accepted {
+        Some((rung, theta, (route, aux_paths))) => {
+            if net.full_conversion() {
+                ctx.mincog_warm = Some((epoch, rung));
+            }
+            Ok(MinCogOutcome {
                 threshold: theta + bump,
                 aux_paths,
                 route,
                 probes,
-            });
+            })
         }
-        if theta >= theta_max {
-            // ϑ exceeded the max bound without a pair: drop the request.
-            break Err(RoutingError::LoadSearchExhausted);
-        }
-        theta = (theta * 2.0).min(theta_max);
-    };
-    record_probes(ctx, probes);
-    outcome
+        // ϑ exceeded the max bound without a pair: drop the request.
+        None => Err(RoutingError::LoadSearchExhausted),
+    }
 }
 
 /// Cold path: reports one threshold search's probe count.
@@ -371,6 +464,60 @@ mod tests {
             find_two_paths_mincog(&net, &st, NodeId(0), NodeId(0), 2.0).unwrap_err(),
             RoutingError::DegenerateRequest
         );
+    }
+
+    #[test]
+    fn warm_start_same_epoch_is_bit_identical_with_fewer_probes() {
+        let net = corridors();
+        let mut st = ResidualState::fresh(&net);
+        // Corridors 1 and 2 heavily loaded (3/4), corridor 0 empty: the
+        // ladder 0.25 → 0.5 → 1.0 only becomes feasible at its last rung,
+        // so the cold search spends 3 probes.
+        for e in 2..6u32 {
+            for l in 0..3 {
+                st.occupy(&net, EdgeId(e), Wavelength(l)).unwrap();
+            }
+        }
+        let mut ctx = RouterCtx::new();
+        let cold =
+            find_two_paths_mincog_ctx(&mut ctx, &net, &st, NodeId(0), NodeId(4), 2.0).unwrap();
+        assert_eq!(cold.probes, 3);
+        // Same residual epoch: the warm search probes the accepted rung
+        // (feasible) and the rung below (infeasible) — 2 probes, same
+        // result bit-for-bit.
+        let warm =
+            find_two_paths_mincog_ctx(&mut ctx, &net, &st, NodeId(0), NodeId(4), 2.0).unwrap();
+        assert_eq!(warm.threshold, cold.threshold);
+        assert_eq!(warm.route, cold.route);
+        assert_eq!(warm.aux_paths, cold.aux_paths);
+        assert!(
+            warm.probes < cold.probes,
+            "warm {} cold {}",
+            warm.probes,
+            cold.probes
+        );
+    }
+
+    #[test]
+    fn warm_start_does_not_leak_across_epochs() {
+        let net = corridors();
+        let mut st = ResidualState::fresh(&net);
+        for e in 2..6u32 {
+            for l in 0..3 {
+                st.occupy(&net, EdgeId(e), Wavelength(l)).unwrap();
+            }
+        }
+        let mut ctx = RouterCtx::new();
+        let _ = find_two_paths_mincog_ctx(&mut ctx, &net, &st, NodeId(0), NodeId(4), 2.0).unwrap();
+        // Mutate the state: a new epoch. The warm slot must be ignored and
+        // the outcome must equal a fresh context's.
+        st.occupy(&net, EdgeId(0), Wavelength(3)).unwrap();
+        let stale_ctx =
+            find_two_paths_mincog_ctx(&mut ctx, &net, &st, NodeId(0), NodeId(4), 2.0).unwrap();
+        let fresh = find_two_paths_mincog(&net, &st, NodeId(0), NodeId(4), 2.0).unwrap();
+        assert_eq!(stale_ctx.threshold, fresh.threshold);
+        assert_eq!(stale_ctx.route, fresh.route);
+        assert_eq!(stale_ctx.probes, fresh.probes);
     }
 
     #[test]

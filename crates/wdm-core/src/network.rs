@@ -165,15 +165,21 @@ impl WdmNetwork {
     /// every node with node-identical cost, and uniform per-wavelength link
     /// costs.
     pub fn satisfies_approx_assumptions(&self) -> bool {
-        let full = self
-            .graph
+        self.full_conversion()
+            && self
+                .graph
+                .edge_ids()
+                .all(|e| self.graph.edge(e).is_uniform_cost())
+    }
+
+    /// Whether every node has a full conversion complement (assumption (i)
+    /// alone). Under full conversion the Lemma 2 refinement never fails, so
+    /// §4.1 threshold feasibility is monotone in ϑ — the property the
+    /// warm-started MinCog search relies on.
+    pub fn full_conversion(&self) -> bool {
+        self.graph
             .node_ids()
-            .all(|v| matches!(self.graph.node(v).conversion, ConversionTable::Full { .. }));
-        let uniform = self
-            .graph
-            .edge_ids()
-            .all(|e| self.graph.edge(e).is_uniform_cost());
-        full && uniform
+            .all(|v| matches!(self.graph.node(v).conversion, ConversionTable::Full { .. }))
     }
 }
 

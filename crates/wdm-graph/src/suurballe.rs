@@ -25,7 +25,7 @@
 //! both suboptimal and incomplete on "trap" topologies).
 
 use crate::arena::{ResidArc, SearchArena};
-use crate::dijkstra::dijkstra_filtered;
+use crate::dijkstra::{dijkstra_filtered, dijkstra_filtered_to};
 use crate::{DiGraph, EdgeId, NodeId, Path};
 
 /// A pair of edge-disjoint paths with their summed cost.
@@ -268,7 +268,9 @@ pub fn two_step_pair<N, E>(
     for &e in &p1.edges {
         banned[e.index()] = true;
     }
-    let tree2 = dijkstra_filtered(g, s, &mut cost, |e| !banned[e.index()]);
+    // The second pass only needs a path to `t`, not the full tree: stop as
+    // soon as `t` is settled (its distance and pred chain are exact then).
+    let tree2 = dijkstra_filtered_to(g, s, t, &mut cost, |e| !banned[e.index()]);
     let p2 = tree2.path_to(g, t)?;
     let total = p1.cost(&mut cost) + p2.cost(&mut cost);
     let (a, b) = if p1.cost(&mut cost) <= p2.cost(&mut cost) {
@@ -559,5 +561,74 @@ mod tests {
         let pair = two_step_pair(&g, NodeId(0), NodeId(3), |e| g.weight(e)).unwrap();
         assert_eq!(pair.total_cost, 12.0);
         assert!(pair.is_edge_disjoint());
+    }
+
+    /// `two_step_pair` with a full (non-pruned) second pass — the reference
+    /// for the early-exit differential test below.
+    fn two_step_pair_unpruned<N, E>(
+        g: &DiGraph<N, E>,
+        s: NodeId,
+        t: NodeId,
+        mut cost: impl FnMut(EdgeId) -> f64,
+    ) -> Option<DisjointPair> {
+        if s == t {
+            return None;
+        }
+        let tree1 = dijkstra_filtered(g, s, &mut cost, |_| true);
+        let p1 = tree1.path_to(g, t)?;
+        let mut banned = vec![false; g.edge_count()];
+        for &e in &p1.edges {
+            banned[e.index()] = true;
+        }
+        let tree2 = dijkstra_filtered(g, s, &mut cost, |e| !banned[e.index()]);
+        let p2 = tree2.path_to(g, t)?;
+        let total = p1.cost(&mut cost) + p2.cost(&mut cost);
+        let (a, b) = if p1.cost(&mut cost) <= p2.cost(&mut cost) {
+            (p1, p2)
+        } else {
+            (p2, p1)
+        };
+        Some(DisjointPair {
+            paths: [a, b],
+            total_cost: total,
+        })
+    }
+
+    #[test]
+    fn two_step_early_exit_matches_unpruned_run() {
+        use crate::topology::random_connected;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x75);
+        for trial in 0..60 {
+            let n = rng.gen_range(6..40);
+            let m = n + rng.gen_range(0..2 * n);
+            let g = random_connected(n, m, 1.0..10.0, &mut rng);
+            let s = NodeId(rng.gen_range(0..n as u32));
+            let mut t = NodeId(rng.gen_range(0..n as u32));
+            if s == t {
+                t = NodeId((t.0 + 1) % n as u32);
+            }
+            let pruned = two_step_pair(&g, s, t, |e| g.weight(e));
+            let full = two_step_pair_unpruned(&g, s, t, |e| g.weight(e));
+            match (pruned, full) {
+                (None, None) => {}
+                (Some(p), Some(f)) => {
+                    assert_eq!(
+                        p.paths[0].edges, f.paths[0].edges,
+                        "trial {trial}: first paths diverge"
+                    );
+                    assert_eq!(
+                        p.paths[1].edges, f.paths[1].edges,
+                        "trial {trial}: second paths diverge"
+                    );
+                    assert_eq!(p.total_cost, f.total_cost, "trial {trial}: costs diverge");
+                }
+                (p, f) => panic!(
+                    "trial {trial}: feasibility diverges (pruned {:?}, full {:?})",
+                    p.is_some(),
+                    f.is_some()
+                ),
+            }
+        }
     }
 }

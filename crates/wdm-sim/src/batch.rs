@@ -85,29 +85,7 @@ pub fn provision_batch(
     order: BatchOrder,
 ) -> BatchOutcome {
     let mut st = state.clone();
-
-    // Establish the processing order. Sort keys use the unprotected optimal
-    // route cost on the *initial* state (a static estimate).
-    let mut idx: Vec<usize> = (0..demands.len()).collect();
-    match order {
-        BatchOrder::AsGiven => {}
-        BatchOrder::ShortestFirst | BatchOrder::LongestFirst => {
-            let keys: Vec<f64> = demands
-                .iter()
-                .map(|d| {
-                    optimal_semilightpath(net, &st, d.src, d.dst).map_or(f64::INFINITY, |p| p.cost)
-                })
-                .collect();
-            idx.sort_by(|&a, &b| {
-                keys[a]
-                    .partial_cmp(&keys[b])
-                    .expect("route costs are not NaN")
-            });
-            if order == BatchOrder::LongestFirst {
-                idx.reverse();
-            }
-        }
-    }
+    let idx = processing_order(net, &st, demands, order);
 
     let mut provisioned = Vec::new();
     let mut rejected = Vec::new();
@@ -133,6 +111,40 @@ pub fn provision_batch(
         final_load,
         state: st,
     }
+}
+
+/// The demand indices in batch-processing order. Sort keys use the
+/// unprotected optimal route cost on the *initial* state (a static
+/// estimate). Shared with the speculative engine so both process the exact
+/// same sequence.
+pub(crate) fn processing_order(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    order: BatchOrder,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..demands.len()).collect();
+    match order {
+        BatchOrder::AsGiven => {}
+        BatchOrder::ShortestFirst | BatchOrder::LongestFirst => {
+            let keys: Vec<f64> = demands
+                .iter()
+                .map(|d| {
+                    optimal_semilightpath(net, state, d.src, d.dst)
+                        .map_or(f64::INFINITY, |p| p.cost)
+                })
+                .collect();
+            idx.sort_by(|&a, &b| {
+                keys[a]
+                    .partial_cmp(&keys[b])
+                    .expect("route costs are not NaN")
+            });
+            if order == BatchOrder::LongestFirst {
+                idx.reverse();
+            }
+        }
+    }
+    idx
 }
 
 /// A full-mesh demand set (`k` demands per ordered node pair) — the

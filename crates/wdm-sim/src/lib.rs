@@ -15,7 +15,10 @@
 //! * [`metrics`] — blocking probability, route costs, recovery outcomes,
 //!   reconfiguration counts, load distributions;
 //! * [`parallel`] — rayon-powered replication sweeps (one immutable network
-//!   shared across threads, one residual state per replication).
+//!   shared across threads, one residual state per replication);
+//! * [`speculative`] — optimistic parallel batch provisioning: windows of
+//!   demands routed concurrently against a frozen snapshot, committed in
+//!   demand order with conflict detection, bit-identical to the serial run.
 //!
 //! Determinism: every run is a pure function of its [`sim::SimConfig`]
 //! (including the seed); the parallel driver returns results in seed order.
@@ -27,18 +30,24 @@ pub mod parallel;
 pub mod policy;
 pub mod shared;
 pub mod sim;
+pub mod speculative;
 pub mod traffic;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::batch::{full_mesh_demands, provision_batch, BatchOrder, Demand};
+    pub use crate::batch::{full_mesh_demands, provision_batch, BatchOrder, BatchOutcome, Demand};
     pub use crate::metrics::{mean_std, Metrics, PolicyTelemetry};
     pub use crate::parallel::{
         replication_seeds, run_replications, run_replications_streaming, run_replications_telemetry,
     };
     pub use crate::policy::{Policy, ProvisionedRoute};
-    pub use crate::shared::{SharedBackupPool, SharedProvisioner};
-    pub use crate::sim::{run_sim, run_sim_recorded, SimConfig, Simulator};
+    pub use crate::shared::{SharedBackupPool, SharedConnection, SharedProvisioner};
+    pub use crate::sim::{
+        run_batch, run_batch_recorded, run_sim, run_sim_recorded, BatchConfig, SimConfig, Simulator,
+    };
+    pub use crate::speculative::{
+        distinct_static_costs, provision_batch_speculative, SpeculationStats,
+    };
     pub use crate::traffic::{HoldingDist, PairSelection, TrafficModel};
     pub use wdm_telemetry::{NoopRecorder, Recorder, TelemetrySink, TelemetrySnapshot};
 }

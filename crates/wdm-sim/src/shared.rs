@@ -21,13 +21,14 @@
 //! dedicated protection on batch workloads.
 
 use std::collections::HashMap;
-use wdm_core::disjoint::RobustRouteFinder;
+use wdm_core::aux_engine::RouterCtx;
+use wdm_core::disjoint::robust_route_ctx;
 use wdm_core::error::RoutingError;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{Hop, Semilightpath};
 use wdm_core::wavelength::{Wavelength, WavelengthSet};
 use wdm_graph::{EdgeId, NodeId};
-use wdm_telemetry::{Counter, NoopRecorder, Recorder};
+use wdm_telemetry::{Counter, Hist, NoopRecorder, Recorder};
 
 /// One shared backup channel: the connections using it and the union of
 /// the primary links it protects.
@@ -134,7 +135,12 @@ impl SharedBackupPool {
     ///
     /// `primaries` maps live connection ids to their primary edge sets.
     pub fn validate(&self, primaries: &HashMap<u64, Vec<EdgeId>>) -> Result<usize, String> {
-        for (&(e, l), sh) in &self.channels {
+        // HashMap iteration order is random per instance; check channels in
+        // sorted order so the *first* reported violation is deterministic.
+        let mut keys: Vec<(EdgeId, u8)> = self.channels.keys().copied().collect();
+        keys.sort_unstable_by_key(|&(e, l)| (e.index(), l));
+        for (e, l) in keys {
+            let sh = &self.channels[&(e, l)];
             for (i, a) in sh.conns.iter().enumerate() {
                 let pa = primaries
                     .get(a)
@@ -153,6 +159,13 @@ impl SharedBackupPool {
         }
         Ok(self.channels.len())
     }
+}
+
+/// A routing decision not yet committed: the find stage's output.
+struct FoundConnection {
+    primary: Semilightpath,
+    primary_edges: Vec<EdgeId>,
+    backup: Semilightpath,
 }
 
 /// A provisioned shared-protection connection.
@@ -216,7 +229,11 @@ impl<'a, R: Recorder> SharedProvisioner<'a, R> {
     /// backup reservations marked used (so primaries avoid both).
     fn routing_state(&self) -> ResidualState {
         let mut st = self.working.clone();
-        for &(e, l) in self.pool.channels.keys() {
+        // Sorted so the clone's per-link change clocks are stamped in a
+        // deterministic order (HashMap key order is random per instance).
+        let mut reserved: Vec<(EdgeId, u8)> = self.pool.channels.keys().copied().collect();
+        reserved.sort_unstable_by_key(|&(e, l)| (e.index(), l));
+        for (e, l) in reserved {
             // Reserved backup channels may already coincide with working
             // occupation only transiently; ignore double-set errors.
             let _ = st.occupy(self.net, e, Wavelength(l));
@@ -229,8 +246,24 @@ impl<'a, R: Recorder> SharedProvisioner<'a, R> {
     /// wavelengths are then re-assigned by the sharing-aware DP.
     pub fn provision(&mut self, s: NodeId, t: NodeId) -> Result<SharedConnection, RoutingError> {
         let routing_view = self.routing_state();
-        let route =
-            RobustRouteFinder::with_recorder(self.net, &self.recorder).find(&routing_view, s, t)?;
+        let mut ctx = RouterCtx::with_recorder(&self.recorder);
+        let found = self.find_on(&routing_view, &mut ctx, s, t)?;
+        self.commit_found(found)
+    }
+
+    /// The pure *find* stage of [`SharedProvisioner::provision`]: the §3.3
+    /// route pair on `routing_view` plus the sharing-aware backup
+    /// assignment against the current pool, with no mutation. Split out so
+    /// the speculative batch path can run it against a frozen view on
+    /// worker contexts.
+    fn find_on<R2: Recorder>(
+        &self,
+        routing_view: &ResidualState,
+        ctx: &mut RouterCtx<R2>,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<FoundConnection, RoutingError> {
+        let (route, _) = robust_route_ctx(ctx, self.net, routing_view, s, t)?;
         let primary = route.primary;
         let primary_edges: Vec<EdgeId> = primary.edges().collect();
 
@@ -242,8 +275,22 @@ impl<'a, R: Recorder> SharedProvisioner<'a, R> {
         let backup = self
             .assign_backup(&backup_edges, s, &primary_edges)
             .ok_or(RoutingError::RefinementInfeasible)?;
+        Ok(FoundConnection {
+            primary,
+            primary_edges,
+            backup,
+        })
+    }
 
-        // Commit: primary occupies working channels; backup reserves.
+    /// The *commit* stage of [`SharedProvisioner::provision`]: the primary
+    /// occupies working channels, the backup reserves (possibly shared)
+    /// pool channels.
+    fn commit_found(&mut self, found: FoundConnection) -> Result<SharedConnection, RoutingError> {
+        let FoundConnection {
+            primary,
+            primary_edges,
+            backup,
+        } = found;
         primary
             .occupy(self.net, &mut self.working)
             .map_err(|_| RoutingError::RefinementInfeasible)?;
@@ -271,6 +318,89 @@ impl<'a, R: Recorder> SharedProvisioner<'a, R> {
         };
         self.next_id += 1;
         Ok(conn)
+    }
+
+    /// Provisions a request sequence with speculative find-stage
+    /// parallelism: each round snapshots the routing view once, runs the
+    /// expensive find stage for a window of up to `window` pending requests
+    /// on worker contexts, then commits results **in request order**.
+    /// Because every successful commit changes both the routing view (the
+    /// primary occupies channels) and the sharing pool (the backup
+    /// reserves), a speculated result is serial-exact only while no commit
+    /// has happened since its snapshot (rule 1 of
+    /// [`crate::speculative`]'s protocol; degenerate requests commit
+    /// unconditionally). Later window members abort and re-speculate next
+    /// round, so the returned connections, pool and working state are
+    /// identical to calling [`SharedProvisioner::provision`] sequentially.
+    ///
+    /// The speculated find calls are unrecorded (matching the batch
+    /// engine's contract); `self.recorder` receives the commit-stage
+    /// sharing counters plus the speculation counters and the
+    /// per-round [`Hist::WindowOccupancy`] histogram.
+    pub fn provision_batch_speculative(
+        &mut self,
+        reqs: &[(NodeId, NodeId)],
+        window: usize,
+    ) -> Vec<Result<SharedConnection, RoutingError>>
+    where
+        R: Sync,
+    {
+        let window = window.max(1);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let base: RouterCtx = RouterCtx::with_recorder(NoopRecorder);
+        let mut ctxs: Vec<RouterCtx> = (0..cores.min(window)).map(|_| base.fork()).collect();
+
+        let mut out: Vec<Option<Result<SharedConnection, RoutingError>>> =
+            (0..reqs.len()).map(|_| None).collect();
+        let mut pos = 0;
+        while pos < reqs.len() {
+            let chunk = &reqs[pos..(pos + window).min(reqs.len())];
+            if self.recorder.enabled() {
+                self.recorder
+                    .observe(Hist::WindowOccupancy, chunk.len() as u64);
+            }
+            // Each round's view is an independent clone (working + pool
+            // overlay), so the workers' change-clock caches must not trust
+            // the previous round's clocks.
+            for ctx in &mut ctxs {
+                ctx.invalidate();
+            }
+            let view = self.routing_state();
+            let this = &*self;
+            let results = crate::speculative::fan_out(&mut ctxs, chunk, |ctx, &(s, t)| {
+                this.find_on(&view, ctx, s, t)
+            });
+
+            let mut committed_any = false;
+            let mut advanced = 0;
+            for (k, res) in results.into_iter().enumerate() {
+                let commit = !committed_any || matches!(res, Err(RoutingError::DegenerateRequest));
+                if !commit {
+                    break;
+                }
+                out[pos + k] = Some(match res {
+                    Ok(found) => {
+                        committed_any = true;
+                        self.commit_found(found)
+                    }
+                    Err(e) => Err(e),
+                });
+                advanced += 1;
+            }
+            let aborted = (chunk.len() - advanced) as u64;
+            if self.recorder.enabled() {
+                self.recorder
+                    .add(Counter::SpeculativeCommits, advanced as u64);
+                if aborted > 0 {
+                    self.recorder.add(Counter::SpeculativeAborts, aborted);
+                    self.recorder.add(Counter::SpeculativeRetries, aborted);
+                }
+            }
+            pos += advanced;
+        }
+        out.into_iter()
+            .map(|o| o.expect("every request resolves"))
+            .collect()
     }
 
     /// Sharing-aware wavelength DP along the backup's edges: minimise
@@ -557,6 +687,120 @@ mod tests {
         assert_eq!((shared + fresh) as usize, p.pool.total_backup_hops());
         // The underlying §3.3 searches flowed through the same recorder.
         assert!(snap.counters["suurballe_searches"] > 0);
+    }
+
+    #[test]
+    fn validate_first_error_is_deterministic() {
+        // Two channels whose sharers' primaries overlap (per the map given
+        // to validate); whatever the HashMap's internal order, the sorted
+        // scan must report the lower-indexed channel first.
+        let hop = |e: u32, l: u8| Hop {
+            edge: EdgeId(e),
+            wavelength: Wavelength(l),
+        };
+        let build = |reversed: bool| {
+            let mut pool = SharedBackupPool::new();
+            // Two channel groups, inserted in either order (the order of
+            // sharers *within* a channel is part of its history and kept).
+            let mut groups: Vec<[(u64, Hop, EdgeId); 2]> = vec![
+                [(1, hop(2, 0), EdgeId(20)), (2, hop(2, 0), EdgeId(21))],
+                [(3, hop(9, 1), EdgeId(22)), (4, hop(9, 1), EdgeId(23))],
+            ];
+            if reversed {
+                groups.reverse();
+            }
+            for group in groups {
+                for (conn, h, p) in group {
+                    pool.reserve(conn, &[h], &[p]);
+                }
+            }
+            pool
+        };
+        // At validate time, both sharer pairs claim a common primary link.
+        let mut primaries = HashMap::new();
+        primaries.insert(1u64, vec![EdgeId(7)]);
+        primaries.insert(2u64, vec![EdgeId(7)]);
+        primaries.insert(3u64, vec![EdgeId(8)]);
+        primaries.insert(4u64, vec![EdgeId(8)]);
+        let a = build(false).validate(&primaries).unwrap_err();
+        let b = build(true).validate(&primaries).unwrap_err();
+        assert_eq!(a, b);
+        assert!(a.contains("λ0"), "lowest channel first: {a}");
+    }
+
+    #[test]
+    fn routing_state_clock_stamping_is_deterministic() {
+        let net = net();
+        let mk = || {
+            let mut p = SharedProvisioner::new(&net);
+            for &(s, t) in &[(0u32, 13u32), (2, 11), (5, 10)] {
+                p.provision(NodeId(s), NodeId(t)).unwrap();
+            }
+            p.routing_state()
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a, b);
+        // The pool-overlay occupies are applied in sorted channel order, so
+        // even the per-link change clocks agree across instances.
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            assert_eq!(a.link_change_clock(e), b.link_change_clock(e), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn speculative_batch_matches_sequential_provision() {
+        let net = net();
+        let mut reqs: Vec<(NodeId, NodeId)> = [
+            (0u32, 13u32),
+            (1, 12),
+            (2, 11),
+            (3, 3), // degenerate: commits under any rule
+            (3, 9),
+            (5, 10),
+            (6, 8),
+            (7, 0),
+            (13, 1),
+            (0, 13),
+            (12, 2),
+        ]
+        .iter()
+        .map(|&(s, t)| (NodeId(s), NodeId(t)))
+        .collect();
+        reqs.extend(reqs.clone()); // repeat: later requests meet a loaded pool
+
+        let mut serial = SharedProvisioner::new(&net);
+        let expected: Vec<Result<SharedConnection, RoutingError>> =
+            reqs.iter().map(|&(s, t)| serial.provision(s, t)).collect();
+
+        for window in [1, 4, 64] {
+            let mut spec = SharedProvisioner::new(&net);
+            let got = spec.provision_batch_speculative(&reqs, window);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                match (g, e) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.id, b.id);
+                        assert_eq!(a.primary, b.primary);
+                        assert_eq!(a.backup, b.backup);
+                        assert_eq!(a.shared_hops, b.shared_hops);
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    _ => panic!("outcome mismatch (window {window}): {g:?} vs {e:?}"),
+                }
+            }
+            assert_eq!(spec.working, serial.working);
+            assert_eq!(
+                spec.pool.reserved_channels(),
+                serial.pool.reserved_channels()
+            );
+            assert_eq!(
+                spec.pool.total_backup_hops(),
+                serial.pool.total_backup_hops()
+            );
+            spec.validate().unwrap();
+        }
+        serial.validate().unwrap();
     }
 
     #[test]

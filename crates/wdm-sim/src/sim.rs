@@ -2,9 +2,11 @@
 //! failures with active/passive recovery, and threshold-triggered network
 //! reconfiguration.
 
+use crate::batch::{provision_batch, BatchOrder, BatchOutcome, Demand};
 use crate::events::{Event, EventQueue};
 use crate::metrics::Metrics;
 use crate::policy::{Policy, ProvisionedRoute};
+use crate::speculative::{provision_batch_speculative, SpeculationStats};
 use crate::traffic::{sample_exp, TrafficModel};
 use rand::Rng;
 use rand::SeedableRng;
@@ -446,6 +448,70 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                 }
             }
         }
+    }
+}
+
+/// Configuration of one batch-provisioning run: the policy/order knobs of
+/// [`crate::batch::provision_batch`] plus the speculative engine's window.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchConfig {
+    /// Provisioning policy.
+    pub policy: Policy,
+    /// Demand processing order.
+    pub order: BatchOrder,
+    /// Speculation window `K` (`--parallel-window`); `<= 1` provisions
+    /// serially. Any value yields a bit-identical [`BatchOutcome`] (see
+    /// [`crate::speculative`]).
+    pub parallel_window: usize,
+}
+
+impl BatchConfig {
+    /// Serial provisioning under `policy`, demands as given.
+    pub fn serial(policy: Policy) -> Self {
+        Self {
+            policy,
+            order: BatchOrder::AsGiven,
+            parallel_window: 1,
+        }
+    }
+}
+
+/// Unified batch entry point: provisions `demands` serially or through the
+/// speculative engine according to `cfg.parallel_window`. The outcome is
+/// the same either way; only wall-clock time differs.
+pub fn run_batch(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    cfg: BatchConfig,
+) -> BatchOutcome {
+    run_batch_recorded(net, state, demands, cfg, NoopRecorder).0
+}
+
+/// As [`run_batch`], threading `recorder` through the speculative engine
+/// (commit/abort/retry counters, window-occupancy histogram) and returning
+/// its [`SpeculationStats`] (all-zero for serial runs — the serial path is
+/// unrecorded by contract).
+pub fn run_batch_recorded<R: Recorder>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    cfg: BatchConfig,
+    recorder: R,
+) -> (BatchOutcome, SpeculationStats) {
+    if cfg.parallel_window <= 1 {
+        let out = provision_batch(net, state, demands, cfg.policy, cfg.order);
+        (out, SpeculationStats::default())
+    } else {
+        provision_batch_speculative(
+            net,
+            state,
+            demands,
+            cfg.policy,
+            cfg.order,
+            cfg.parallel_window,
+            recorder,
+        )
     }
 }
 

@@ -1,0 +1,452 @@
+//! Optimistic parallel batch provisioning — speculative routing with
+//! serial-equivalent commit.
+//!
+//! [`crate::batch::provision_batch`] routes a demand set one request at a
+//! time; each routing call sees every earlier reservation. That data
+//! dependency looks fully serial, but most windows of consecutive demands
+//! touch disjoint parts of the network, so their routing decisions would
+//! come out the same even if they could not see each other. This module
+//! exploits that: it routes a *window* of `K` pending demands concurrently
+//! against a frozen snapshot of the residual state, then **commits the
+//! results in demand order** under a conflict rule that guarantees the
+//! final [`BatchOutcome`] — routes, rejections, cost sums (in the same
+//! floating-point accumulation order) and residual state — is
+//! **bit-identical to the serial run**. Demands whose speculation cannot
+//! be proven serial-equivalent abort and re-speculate in the next round
+//! against a fresh snapshot.
+//!
+//! ## Commit rules
+//!
+//! Within a round, results are visited in processing order; a result
+//! commits iff one of:
+//!
+//! 1. **Frozen = live.** No committed route has occupied channels since
+//!    the round's snapshot was taken (rejections do not mutate state).
+//!    The speculated call then saw exactly the state the serial run would
+//!    have seen, so *any* result — success or failure — is the serial
+//!    result. The first pending demand of every round commits by this
+//!    rule, so every round makes progress and the engine terminates.
+//! 2. **Disjoint revalidation** (successful routes, guarded): the policy
+//!    [`has link-local decisions`](Policy::has_link_local_decisions), the
+//!    network has [`distinct_static_costs`], and none of the route's links
+//!    were occupied since the snapshot. Under uniform-per-link costs the
+//!    auxiliary-graph weight of a link is occupancy-invariant, so
+//!    intervening commits only *remove* candidate routes (saturating
+//!    links) without re-pricing any; the speculated optimum is still
+//!    feasible (its links are untouched) and still cheapest, and with
+//!    pairwise-distinct link costs it is almost surely the *unique*
+//!    cheapest, hence exactly what the serial run would pick. The
+//!    link-locality requirement is essential, not cosmetic: a policy such
+//!    as `TwoStep` picks the serial-identical *physical* path but breaks
+//!    equal-cost wavelength ties by the exploration order of a network-
+//!    wide `(link, λ)` Dijkstra, so occupancy changes on links the route
+//!    never touches still flip its λ assignment. (Distinctness of link
+//!    costs does not rule out equal path *sums*;
+//!    `tests/speculative_equivalence.rs` is the empirical backstop. The
+//!    guard is evaluated once per batch.)
+//!
+//!    Failures also commit under the guard when they are resource-
+//!    monotone: the batch only occupies channels, so live availability is
+//!    a subset of frozen availability, and a request with no disjoint
+//!    pair (or no route at all) on the frozen state has none on the live
+//!    state either. [`RoutingError::DegenerateRequest`] commits always
+//!    (it depends only on the endpoints). Load-dependent failures abort.
+//! 3. **In-order abort.** The first non-committable result aborts itself
+//!    and every later demand of the window (a later demand may have
+//!    depended on the aborted one's channels); they re-speculate next
+//!    round.
+//!
+//! Workers are [`RouterCtx::fork`] clones: auxiliary-graph skeletons stay
+//! warm across rounds, and because each round's snapshot is a descendant
+//! of the previous one's in a single mutation lineage, the engines'
+//! incremental change-clock sync stays sound — no per-round invalidation,
+//! no per-demand rebuild. On a single-core host the speedup over
+//! [`crate::batch::provision_batch`] comes entirely from that engine
+//! reuse (the serial path pays a full auxiliary-graph construction per
+//! demand); with more cores the window also routes concurrently.
+
+use crate::batch::{processing_order, BatchOrder, BatchOutcome, Demand};
+use crate::policy::Policy;
+use wdm_core::aux_engine::RouterCtx;
+use wdm_core::error::RoutingError;
+use wdm_core::load::load_snapshot;
+use wdm_core::network::{ResidualState, WdmNetwork};
+use wdm_graph::EdgeId;
+use wdm_telemetry::{Counter, Hist, NoopRecorder, Recorder};
+
+/// What the speculative engine did across one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SpeculationStats {
+    /// Speculation rounds executed (snapshot + window fan-out + commit).
+    pub rounds: u64,
+    /// Speculated results committed (successes and monotone failures).
+    pub commits: u64,
+    /// Speculated results aborted by the conflict rules.
+    pub aborts: u64,
+    /// Demands re-speculated in a later round (one per abort).
+    pub retries: u64,
+}
+
+impl SpeculationStats {
+    /// Aborted fraction of all speculated results.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.commits + self.aborts;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / total as f64
+        }
+    }
+}
+
+/// Whether every link declares one uniform per-wavelength cost and no two
+/// links share it — the static-cost premise of commit rule 2: under
+/// uniform per-link costs the auxiliary weight of a link never moves with
+/// occupancy, and pairwise-distinct costs make the cheapest route almost
+/// surely unique. Links with an empty wavelength complement fail the
+/// check (their minimum cost is not finite).
+pub fn distinct_static_costs(net: &WdmNetwork) -> bool {
+    let m = net.link_count();
+    let mut costs = Vec::with_capacity(m);
+    for ei in 0..m {
+        let e = EdgeId::from(ei);
+        if !net.graph().edge(e).is_uniform_cost() {
+            return false;
+        }
+        let c = net.min_link_cost(e);
+        if !c.is_finite() {
+            return false;
+        }
+        costs.push(c);
+    }
+    costs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    costs.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Routes every item on one of the worker contexts and returns the
+/// results in item order. Items are split into contiguous chunks, one per
+/// worker; with a single worker (or a single item) everything runs inline
+/// on the caller's thread. The result is a pure function of `f` — worker
+/// count and chunk boundaries never change what any item computes,
+/// because each context is synced from the same frozen state.
+pub(crate) fn fan_out<R, T, U>(
+    ctxs: &mut [RouterCtx<R>],
+    items: &[T],
+    f: impl Fn(&mut RouterCtx<R>, &T) -> U + Sync,
+) -> Vec<U>
+where
+    R: Recorder + Send,
+    T: Sync,
+    U: Send,
+{
+    let n = items.len();
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let workers = ctxs.len().min(n).max(1);
+    if workers <= 1 {
+        let ctx = ctxs.first_mut().expect("at least one worker context");
+        for (slot, item) in out.iter_mut().zip(items) {
+            *slot = Some(f(ctx, item));
+        }
+    } else {
+        let chunk = n.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for ((items_c, out_c), ctx) in items
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .zip(ctxs.iter_mut())
+            {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for (slot, item) in out_c.iter_mut().zip(items_c) {
+                        *slot = Some(f(ctx, item));
+                    }
+                });
+            }
+        })
+        .expect("speculation worker panicked");
+    }
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+/// As [`crate::batch::provision_batch`], but routing up to `window`
+/// pending demands speculatively per round (see the module docs for the
+/// commit protocol). The returned [`BatchOutcome`] is bit-identical to
+/// the serial run's for every `window`; `window <= 1` degenerates to
+/// serial processing with a persistent router context.
+///
+/// `recorder` receives only the speculation counters
+/// ([`Counter::SpeculativeCommits`] / [`Counter::SpeculativeAborts`] /
+/// [`Counter::SpeculativeRetries`]) and the per-round
+/// [`Hist::WindowOccupancy`] histogram; the routing calls themselves are
+/// unrecorded, matching the serial path's contract.
+pub fn provision_batch_speculative<R: Recorder>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    recorder: R,
+) -> (BatchOutcome, SpeculationStats) {
+    let window = window.max(1);
+    let mut st = state.clone();
+    let idx = processing_order(net, &st, demands, order);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let base: RouterCtx = RouterCtx::with_recorder(NoopRecorder);
+    let mut ctxs: Vec<RouterCtx> = (0..cores.min(window)).map(|_| base.fork()).collect();
+
+    let guard = policy.has_link_local_decisions() && distinct_static_costs(net);
+    let mut touched = vec![false; net.link_count()];
+    let mut provisioned = Vec::new();
+    let mut rejected = Vec::new();
+    let mut total_cost = 0.0;
+    let mut stats = SpeculationStats::default();
+
+    let mut pos = 0;
+    while pos < idx.len() {
+        let chunk = &idx[pos..(pos + window).min(idx.len())];
+        stats.rounds += 1;
+        if recorder.enabled() {
+            recorder.observe(Hist::WindowOccupancy, chunk.len() as u64);
+        }
+
+        let snapshot = st.clone();
+        let results = fan_out(&mut ctxs, chunk, |ctx, &i| {
+            let d = demands[i];
+            policy.route_ctx(ctx, net, &snapshot, d.src, d.dst)
+        });
+
+        // In-order commit against the live state.
+        let mut committed_any = false;
+        touched.iter_mut().for_each(|t| *t = false);
+        let mut advanced = 0;
+        for (i, res) in chunk.iter().copied().zip(results) {
+            // Rule 1: until a commit occupies channels, the live state
+            // still equals the snapshot and any result is serial-exact.
+            match res {
+                Ok(route) => {
+                    let fp = route.footprint();
+                    let ok =
+                        !committed_any || (guard && fp.links.iter().all(|e| !touched[e.index()]));
+                    if !ok {
+                        break; // rule 3: the rest of the window aborts too
+                    }
+                    for e in &fp.links {
+                        touched[e.index()] = true;
+                    }
+                    route
+                        .occupy(net, &mut st)
+                        .expect("committed route's links are untouched since its snapshot");
+                    total_cost += route.total_cost();
+                    provisioned.push((i, route));
+                    committed_any = true;
+                }
+                Err(err) => {
+                    let ok = !committed_any
+                        || match err {
+                            RoutingError::DegenerateRequest => true,
+                            RoutingError::NoDisjointPair | RoutingError::Unreachable { .. } => {
+                                guard
+                            }
+                            _ => false,
+                        };
+                    if !ok {
+                        break; // rule 3
+                    }
+                    rejected.push(i);
+                }
+            }
+            advanced += 1;
+        }
+
+        let aborted = (chunk.len() - advanced) as u64;
+        stats.commits += advanced as u64;
+        stats.aborts += aborted;
+        stats.retries += aborted;
+        if recorder.enabled() {
+            recorder.add(Counter::SpeculativeCommits, advanced as u64);
+            if aborted > 0 {
+                recorder.add(Counter::SpeculativeAborts, aborted);
+                recorder.add(Counter::SpeculativeRetries, aborted);
+            }
+        }
+        pos += advanced;
+    }
+
+    let final_load = load_snapshot(net, &st);
+    (
+        BatchOutcome {
+            provisioned,
+            rejected,
+            total_cost,
+            final_load,
+            state: st,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{full_mesh_demands, provision_batch};
+    use wdm_core::network::NetworkBuilder;
+    use wdm_telemetry::TelemetrySink;
+
+    fn nsfnet(w: usize) -> WdmNetwork {
+        NetworkBuilder::nsfnet(w).build()
+    }
+
+    /// A network whose links all carry distinct uniform costs (rule 2
+    /// applies for cost-static policies).
+    fn distinct_net(w: usize) -> WdmNetwork {
+        use wdm_core::conversion::ConversionTable;
+        let mut b = NetworkBuilder::new(w);
+        let n = 10u32;
+        let nodes: Vec<_> = (0..n)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.3 }))
+            .collect();
+        let mut c = 1.0;
+        // A ring plus chords: well connected, every cost unique.
+        for i in 0..n as usize {
+            for j in [(i + 1) % n as usize, (i + 3) % n as usize] {
+                b.add_link(nodes[i], nodes[j], c);
+                c += 0.13;
+                b.add_link(nodes[j], nodes[i], c);
+                c += 0.13;
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distinct_static_costs_detects_both_cases() {
+        assert!(distinct_static_costs(&distinct_net(4)));
+        // NSFNET's twin directed links share their length-derived cost.
+        assert!(!distinct_static_costs(&nsfnet(4)));
+    }
+
+    fn assert_outcomes_identical(a: &BatchOutcome, b: &BatchOutcome) {
+        assert_eq!(a.provisioned, b.provisioned);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.total_cost.to_bits(), b.total_cost.to_bits());
+        assert_eq!(a.final_load, b.final_load);
+        assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    fn speculative_matches_serial_on_distinct_cost_net() {
+        let net = distinct_net(4);
+        let st = ResidualState::fresh(&net);
+        let demands = full_mesh_demands(10, 1);
+        let serial = provision_batch(&net, &st, &demands, Policy::CostOnly, BatchOrder::AsGiven);
+        for window in [1, 2, 8, 64] {
+            let (spec, stats) = provision_batch_speculative(
+                &net,
+                &st,
+                &demands,
+                Policy::CostOnly,
+                BatchOrder::AsGiven,
+                window,
+                NoopRecorder,
+            );
+            assert_outcomes_identical(&serial, &spec);
+            assert_eq!(stats.commits, demands.len() as u64, "window {window}");
+            assert_eq!(stats.aborts, stats.retries);
+        }
+    }
+
+    #[test]
+    fn speculative_matches_serial_without_rule_two() {
+        // NSFNET + a load-sensitive policy: the guard is off, so only rule
+        // 1 commits — correctness must not depend on rule 2.
+        let net = nsfnet(8);
+        let st = ResidualState::fresh(&net);
+        let demands = full_mesh_demands(14, 1);
+        let policy = Policy::Joint { a: 2.0 };
+        let serial = provision_batch(&net, &st, &demands, policy, BatchOrder::LongestFirst);
+        let (spec, stats) = provision_batch_speculative(
+            &net,
+            &st,
+            &demands,
+            policy,
+            BatchOrder::LongestFirst,
+            8,
+            NoopRecorder,
+        );
+        assert_outcomes_identical(&serial, &spec);
+        // Every demand commits exactly once; each abort costs one retry.
+        assert_eq!(stats.commits, demands.len() as u64);
+        assert_eq!(
+            stats.commits + stats.aborts,
+            demands.len() as u64 + stats.retries
+        );
+    }
+
+    #[test]
+    fn counters_match_stats_and_windows_are_recorded() {
+        let net = distinct_net(4);
+        let st = ResidualState::fresh(&net);
+        let demands = full_mesh_demands(10, 1);
+        let sink = TelemetrySink::new();
+        let (_, stats) = provision_batch_speculative(
+            &net,
+            &st,
+            &demands,
+            Policy::CostOnly,
+            BatchOrder::AsGiven,
+            8,
+            &sink,
+        );
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters["speculative_commits"], stats.commits);
+        assert_eq!(snap.counters["speculative_aborts"], stats.aborts);
+        assert_eq!(snap.counters["speculative_retries"], stats.retries);
+        let occ = &snap.histograms["window_occupancy"];
+        assert_eq!(occ.count, stats.rounds);
+        // No routing telemetry leaks from the speculated calls.
+        assert_eq!(snap.counters["suurballe_searches"], 0);
+    }
+
+    #[test]
+    fn degenerate_and_infeasible_demands_reject_identically() {
+        let net = distinct_net(2);
+        let st = ResidualState::fresh(&net);
+        let mut demands = vec![Demand::new(3, 3)]; // degenerate
+        demands.extend(full_mesh_demands(10, 1));
+        demands.push(Demand::new(5, 5));
+        let serial = provision_batch(&net, &st, &demands, Policy::CostOnly, BatchOrder::AsGiven);
+        assert!(!serial.rejected.is_empty());
+        let (spec, _) = provision_batch_speculative(
+            &net,
+            &st,
+            &demands,
+            Policy::CostOnly,
+            BatchOrder::AsGiven,
+            16,
+            NoopRecorder,
+        );
+        assert_outcomes_identical(&serial, &spec);
+    }
+
+    #[test]
+    fn empty_batch_runs_no_rounds() {
+        let net = distinct_net(4);
+        let st = ResidualState::fresh(&net);
+        let (out, stats) = provision_batch_speculative(
+            &net,
+            &st,
+            &[],
+            Policy::CostOnly,
+            BatchOrder::AsGiven,
+            8,
+            NoopRecorder,
+        );
+        assert!(out.provisioned.is_empty() && out.rejected.is_empty());
+        assert_eq!(stats, SpeculationStats::default());
+    }
+}

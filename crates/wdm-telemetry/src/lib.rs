@@ -66,11 +66,18 @@ pub enum Counter {
     SharedBackupChannelsFresh = 15,
     /// Search-arena buffer growth events (allocations on the hot path).
     ArenaAllocEvents = 16,
+    /// Speculative batch routes committed straight from their snapshot
+    /// results (no serial re-route needed).
+    SpeculativeCommits = 17,
+    /// Speculative batch routes discarded by conflict validation.
+    SpeculativeAborts = 18,
+    /// Re-speculation attempts issued for aborted routes (one per abort).
+    SpeculativeRetries = 19,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 20;
 
     /// Every variant, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -91,6 +98,9 @@ impl Counter {
         Counter::SharedBackupChannelsShared,
         Counter::SharedBackupChannelsFresh,
         Counter::ArenaAllocEvents,
+        Counter::SpeculativeCommits,
+        Counter::SpeculativeAborts,
+        Counter::SpeculativeRetries,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -113,6 +123,9 @@ impl Counter {
             Counter::SharedBackupChannelsShared => "shared_backup_channels_shared",
             Counter::SharedBackupChannelsFresh => "shared_backup_channels_fresh",
             Counter::ArenaAllocEvents => "arena_alloc_events",
+            Counter::SpeculativeCommits => "speculative_commits",
+            Counter::SpeculativeAborts => "speculative_aborts",
+            Counter::SpeculativeRetries => "speculative_retries",
         }
     }
 }
@@ -137,11 +150,13 @@ pub enum Hist {
     PrimaryHops = 4,
     /// Backup-path hop count (deterministic).
     BackupHops = 5,
+    /// Demands per speculative batch window (deterministic).
+    WindowOccupancy = 6,
 }
 
 impl Hist {
     /// Number of histogram slots.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every variant, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -151,6 +166,7 @@ impl Hist {
         Hist::ThresholdProbes,
         Hist::PrimaryHops,
         Hist::BackupHops,
+        Hist::WindowOccupancy,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -162,6 +178,7 @@ impl Hist {
             Hist::ThresholdProbes => "threshold_probes",
             Hist::PrimaryHops => "primary_hops",
             Hist::BackupHops => "backup_hops",
+            Hist::WindowOccupancy => "window_occupancy",
         }
     }
 
