@@ -1,0 +1,53 @@
+//! Forking the residual state: O(m) full clones vs O(Δ) transactional
+//! undo logs, across network sizes m and touched-link counts Δ. The Txn
+//! numbers should be flat in m and linear in Δ; the clone numbers grow
+//! with m regardless of how little the fork actually touches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wdm_bench::{random_connected_instance, rng};
+use wdm_core::journal::Txn;
+use wdm_core::network::ResidualState;
+use wdm_core::semilightpath::Hop;
+use wdm_core::wavelength::Wavelength;
+use wdm_graph::EdgeId;
+
+fn bench_state_fork(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_fork");
+    for &n in &[50usize, 200, 800] {
+        let mut r = rng(n as u64 * 7 + 1);
+        let net = random_connected_instance(&mut r, n, 6, 16);
+        let m = net.link_count();
+        let state = ResidualState::fresh(&net);
+
+        group.bench_with_input(BenchmarkId::new("clone", m), &state, |b, st| {
+            b.iter(|| black_box(st.clone()))
+        });
+
+        for &delta in &[4usize, 16, 64] {
+            let hops: Vec<Hop> = (0..delta.min(m))
+                .map(|i| Hop {
+                    edge: EdgeId::from(i),
+                    wavelength: Wavelength(0),
+                })
+                .collect();
+            let mut local = state.clone();
+            group.bench_with_input(
+                BenchmarkId::new(format!("txn_delta{delta}"), m),
+                &net,
+                |b, net| {
+                    b.iter(|| {
+                        let mut txn = Txn::begin(&mut local);
+                        txn.occupy_hops(net, &hops).expect("fresh channels");
+                        black_box(txn.touched());
+                        txn.rollback();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_fork);
+criterion_main!(benches);

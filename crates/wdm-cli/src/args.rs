@@ -12,7 +12,7 @@ pub struct Args {
 }
 
 /// Keys that are boolean flags (no value follows).
-const FLAG_KEYS: &[&str] = &["json", "quiet", "help"];
+const FLAG_KEYS: &[&str] = &["json", "quiet", "help", "verify"];
 
 impl Args {
     /// Parses raw arguments (without the program/subcommand names).

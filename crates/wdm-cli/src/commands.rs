@@ -14,8 +14,24 @@ use wdm_sim::metrics::mean_std;
 use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::{Policy, ProvisionedRoute};
 use wdm_sim::prelude::NoopRecorder;
-use wdm_sim::sim::{run_batch_recorded, BatchConfig, SimConfig};
+use wdm_sim::sim::{run_batch_recorded, run_sim_journaled, BatchConfig, SimConfig};
 use wdm_sim::traffic::TrafficModel;
+
+/// On-disk format of `wdm simulate --journal` / `wdm replay`: the network
+/// and journal are self-contained, so replay needs no other inputs.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct JournalFile {
+    /// The network the journal was recorded on.
+    network: WdmNetwork,
+    /// The base seed the simulation ran with (provenance only).
+    seed: u64,
+    /// The provisioning policy's name (provenance only).
+    policy: String,
+    /// Checkpoint + ordered event log.
+    journal: wdm_core::journal::StateJournal,
+    /// [`ResidualState::semantic_hash`] of the live run's final state.
+    final_hash: u64,
+}
 
 /// Parses a `--policy` value.
 pub fn parse_policy(spec: &str) -> Result<Policy, String> {
@@ -249,7 +265,38 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         Some("summary") => Some("summary"),
         Some(other) => return Err(format!("--telemetry wants json|summary, got '{other}'")),
     };
-    let (runs, telemetry) = if telemetry_mode.is_some() {
+    let journal_path = args.get("journal");
+    if journal_path.is_some() {
+        if reps != 1 {
+            return Err("--journal wants --reps 1 (one journal describes one run)".into());
+        }
+        if telemetry_mode.is_some() {
+            return Err("--journal cannot be combined with --telemetry".into());
+        }
+    }
+    let (runs, telemetry) = if let Some(jpath) = journal_path {
+        // The journaled run uses the same derived seed as replication 0, so
+        // the metrics printed below are identical to the plain invocation.
+        let mut journal = wdm_core::journal::StateJournal::new(ResidualState::fresh(&net));
+        let (metrics, final_state) = run_sim_journaled(
+            &net,
+            SimConfig {
+                seed: seeds[0],
+                ..cfg
+            },
+            &mut journal,
+        );
+        let doc = JournalFile {
+            network: net.clone(),
+            seed,
+            policy: policy.name().to_string(),
+            journal,
+            final_hash: final_state.semantic_hash(),
+        };
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(jpath, json).map_err(|e| format!("writing {jpath}: {e}"))?;
+        (vec![metrics], None)
+    } else if telemetry_mode.is_some() {
         let (runs, snap) = run_replications_telemetry(&net, cfg, &seeds);
         (runs, Some(snap))
     } else {
@@ -306,6 +353,72 @@ pub fn simulate(args: &Args) -> Result<(), String> {
             let json = serde_json::to_string_pretty(snap).map_err(|e| e.to_string())?;
             println!("{json}");
         }
+    }
+    Ok(())
+}
+
+/// `wdm replay` — reconstruct a recorded simulation's final state from its
+/// journal and (with `--verify`) check it against the recorded hash.
+pub fn replay(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("missing journal file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc: JournalFile =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+
+    let replayed = doc
+        .journal
+        .replay(&doc.network)
+        .map_err(|e| format!("replay diverged: {e}"))?;
+    let hash = replayed.semantic_hash();
+    let verified = hash == doc.final_hash;
+
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in doc.journal.events() {
+        *counts.entry(ev.kind().to_string()).or_default() += 1;
+    }
+    let load = load_snapshot(&doc.network, &replayed);
+
+    if args.flag("json") {
+        let combined = serde_json::Value::Object(vec![
+            ("policy".to_string(), serde_json::to_value(&doc.policy)),
+            ("seed".to_string(), serde_json::to_value(&doc.seed)),
+            ("events".to_string(), serde_json::to_value(&counts)),
+            ("final_load".to_string(), serde_json::to_value(&load)),
+            (
+                "recorded_hash".to_string(),
+                serde_json::to_value(&doc.final_hash),
+            ),
+            ("replayed_hash".to_string(), serde_json::to_value(&hash)),
+            ("verified".to_string(), serde_json::to_value(&verified)),
+        ]);
+        let json = serde_json::to_string_pretty(&combined).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        println!("policy       {}", doc.policy);
+        println!("base seed    {}", doc.seed);
+        println!("events       {}", doc.journal.len());
+        for (kind, n) in &counts {
+            println!("  {kind:<12} {n}");
+        }
+        println!(
+            "final load   max {:.3}, p90 {:.3}, mean {:.3}",
+            load.max, load.p90, load.mean
+        );
+        println!(
+            "state hash   {:#018x} ({})",
+            hash,
+            if verified {
+                "matches the recorded hash"
+            } else {
+                "MISMATCH against the recorded hash"
+            }
+        );
+    }
+    if args.flag("verify") && !verified {
+        return Err(format!(
+            "final-state hash mismatch: recorded {:#018x}, replayed {:#018x}",
+            doc.final_hash, hash
+        ));
     }
     Ok(())
 }

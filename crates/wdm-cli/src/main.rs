@@ -46,6 +46,14 @@ COMMANDS:
       --repair R        mean repair time (default 20)
       --reconfig T      reconfiguration load threshold (default off)
       --telemetry M     json | summary: collect and print merged telemetry
+      --journal FILE    record the event journal (checkpoint + every
+                        provision/teardown/failure/repair/reconfigure) to
+                        FILE as JSON; wants --reps 1
+      --json            machine-readable output
+
+  replay <JOURNAL.json>
+      --verify          exit non-zero unless the replayed final state's
+                        hash matches the recorded one
       --json            machine-readable output
 
   batch     --net FILE --mesh K
@@ -118,6 +126,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "info" => commands::info(&rest),
         "route" => commands::route(&rest),
         "simulate" => commands::simulate(&rest),
+        "replay" => commands::replay(&rest),
         "batch" => commands::batch(&rest),
         "telemetry" => commands::telemetry(&rest),
         other => Err(format!("unknown command '{other}'")),

@@ -249,6 +249,102 @@ fn non_positive_simulate_params_are_clean_errors() {
 }
 
 #[test]
+fn journal_record_and_replay_verify() {
+    let net_path = tmp("journal.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "nsfnet",
+            "--wavelengths",
+            "8",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let journal_path = tmp("journal.json");
+    let out = wdm()
+        .args([
+            "simulate",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--erlangs",
+            "40",
+            "--duration",
+            "100",
+            "--seed",
+            "3",
+            "--failure-rate",
+            "0.02",
+            "--reconfig",
+            "0.7",
+            "--journal",
+            journal_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = wdm()
+        .args(["replay", journal_path.to_str().expect("utf8"), "--verify"])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "replay --verify must pass on an untampered journal: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("provision"), "{text}");
+    assert!(text.contains("matches the recorded hash"), "{text}");
+
+    // Tampering with the recorded hash must flip --verify to a failure.
+    let doc = std::fs::read_to_string(&journal_path).expect("read journal");
+    let mut v: serde_json::Value = serde_json::from_str(&doc).expect("journal is JSON");
+    if let serde_json::Value::Object(fields) = &mut v {
+        for (k, val) in fields.iter_mut() {
+            if k == "final_hash" {
+                *val = serde_json::to_value(&1234567u64);
+            }
+        }
+    }
+    let bad_path = tmp("journal_bad.json");
+    std::fs::write(&bad_path, serde_json::to_string(&v).expect("render")).expect("write");
+    let out = wdm()
+        .args(["replay", bad_path.to_str().expect("utf8"), "--verify"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success(), "tampered hash must fail --verify");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("hash mismatch"), "{err}");
+
+    // --journal is a single-run recording: multi-rep invocations refuse.
+    let out = wdm()
+        .args([
+            "simulate",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--erlangs",
+            "10",
+            "--duration",
+            "20",
+            "--reps",
+            "2",
+            "--journal",
+            journal_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--reps 1"));
+}
+
+#[test]
 fn dot_format_renders() {
     let out = wdm()
         .args(["topology", "grid:3x3", "--format", "dot"])

@@ -384,11 +384,16 @@ impl serde::Deserialize for ResidualState {
         let failed: Vec<bool> =
             serde::Deserialize::from_value(serde::field(fields, "failed", "ResidualState")?)?;
         let links = used.len();
+        // Clocks restart at 1 with every link stamped: a consumer that
+        // synced against a *different* lineage (clock `c`) sees either a
+        // clock regression (`1 < c`, full refresh) or every link dirty
+        // (`1 > 0`), so no warm engine can silently keep stale weights
+        // after a round trip through the serialized form.
         Ok(Self {
             used,
             failed,
-            clock: 0,
-            link_clock: vec![0; links],
+            clock: 1,
+            link_clock: vec![1; links],
         })
     }
 }
@@ -524,6 +529,58 @@ impl ResidualState {
             return f64::INFINITY;
         }
         (self.used[e.index()].count() + 1) as f64 / n as f64
+    }
+
+    /// Reverts a successful [`occupy`](Self::occupy) of `λ` on `e`,
+    /// restoring the link's clock stamp and retracting the global clock by
+    /// the one tick the occupy spent. Only [`crate::journal::Txn`] calls
+    /// this, in reverse mutation order, which is what makes the retraction
+    /// exact.
+    pub(crate) fn undo_occupy(&mut self, e: EdgeId, l: Wavelength, prev_link_clock: u64) {
+        let removed = self.used[e.index()].remove(l);
+        debug_assert!(removed, "undo of an occupy that did not happen");
+        self.link_clock[e.index()] = prev_link_clock;
+        self.clock -= 1;
+    }
+
+    /// Reverts a successful [`release`](Self::release); see
+    /// [`undo_occupy`](Self::undo_occupy) for the clock contract.
+    pub(crate) fn undo_release(&mut self, e: EdgeId, l: Wavelength, prev_link_clock: u64) {
+        let inserted = self.used[e.index()].insert(l);
+        debug_assert!(inserted, "undo of a release that did not happen");
+        self.link_clock[e.index()] = prev_link_clock;
+        self.clock -= 1;
+    }
+
+    /// Reverts a [`fail_link`](Self::fail_link)/[`repair_link`](Self::repair_link)
+    /// by restoring the previous failed flag and clock stamp.
+    pub(crate) fn undo_set_failed(&mut self, e: EdgeId, was_failed: bool, prev_link_clock: u64) {
+        self.failed[e.index()] = was_failed;
+        self.link_clock[e.index()] = prev_link_clock;
+        self.clock -= 1;
+    }
+
+    /// FNV-1a hash of the semantic payload (`used`, `failed`), ignoring the
+    /// change clocks — the same footprint [`PartialEq`] compares and the
+    /// serializer emits. `wdm replay --verify` checks recorded runs against
+    /// this, so it must stay stable across serde round trips.
+    pub fn semantic_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        };
+        for set in &self.used {
+            for byte in set.bits().to_le_bytes() {
+                eat(byte);
+            }
+        }
+        for &failed in &self.failed {
+            eat(u8::from(failed));
+        }
+        h
     }
 }
 

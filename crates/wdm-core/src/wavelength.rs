@@ -137,6 +137,13 @@ impl WavelengthSet {
         self.0 & !other.0 == 0
     }
 
+    /// The raw backing bitmask (bit `i` set ⇔ `λ_i` present). Stable across
+    /// serde round trips; the state hashes feed on this.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
     /// The lowest-index wavelength, if any (first-fit assignment order).
     #[inline]
     pub fn first(self) -> Option<Wavelength> {

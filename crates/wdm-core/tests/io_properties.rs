@@ -95,6 +95,29 @@ proptest! {
     }
 
     #[test]
+    fn state_round_trip_restarts_clocks_monotonically(spec in spec_strategy()) {
+        let net = build(&spec);
+        let mut st = wdm_core::network::ResidualState::fresh(&net);
+        for e in net.graph().edge_ids() {
+            if e.index() % 2 == 0 {
+                if let Some(l) = net.lambda(e).first() {
+                    let _ = st.occupy(&net, e, l);
+                }
+            }
+        }
+        let json = serde_json::to_string(&st).expect("serialise");
+        let back: wdm_core::network::ResidualState =
+            serde_json::from_str(&json).expect("deserialise");
+        prop_assert_eq!(&back, &st);
+        // Clocks restart at 1 — never 0 — with every link stamped dirty, so
+        // any consumer synced against the old lineage must refresh.
+        prop_assert_eq!(back.change_clock(), 1);
+        for e in net.graph().edge_ids() {
+            prop_assert_eq!(back.link_change_clock(e), 1);
+        }
+    }
+
+    #[test]
     fn json_round_trips_exactly(spec in spec_strategy()) {
         let net = build(&spec);
         let json = serde_json::to_string(&net).expect("serialise");
@@ -106,6 +129,44 @@ proptest! {
         }
         for v in net.graph().node_ids() {
             prop_assert_eq!(net.conversion(v), back.conversion(v));
+        }
+    }
+}
+
+/// Regression: a *warm* [`RouterCtx`](wdm_core::aux_engine::RouterCtx)
+/// (synced against the pre-round-trip state lineage at a high change
+/// clock) must route the round-tripped state identically to a cold one.
+/// An earlier revision deserialised states with clocks reset to 0, which
+/// the warm engine's per-link dirtiness test (`link clock > synced clock`)
+/// read as "nothing changed" — stale weights, silently wrong routes.
+#[test]
+fn warm_router_ctx_refreshes_against_round_tripped_state() {
+    use wdm_core::aux_engine::RouterCtx;
+    use wdm_core::disjoint::robust_route_ctx;
+    use wdm_core::network::ResidualState;
+
+    let net = NetworkBuilder::nsfnet(8).build();
+    let mut st = ResidualState::fresh(&net);
+    let mut warm = RouterCtx::new();
+    for &(s, t) in &[(0u32, 13u32), (2, 11), (5, 10)] {
+        let (route, _) = robust_route_ctx(&mut warm, &net, &st, NodeId(s), NodeId(t))
+            .expect("nsfnet pairs are routable");
+        route.occupy(&net, &mut st).expect("fresh channels");
+    }
+    assert!(st.change_clock() > 1, "the warm ctx synced past clock 1");
+
+    let json = serde_json::to_string(&st).expect("serialise");
+    let back: ResidualState = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(back, st);
+
+    let mut cold = RouterCtx::new();
+    for &(s, t) in &[(1u32, 12u32), (3, 9), (6, 8)] {
+        let w = robust_route_ctx(&mut warm, &net, &back, NodeId(s), NodeId(t));
+        let c = robust_route_ctx(&mut cold, &net, &back, NodeId(s), NodeId(t));
+        match (w, c) {
+            (Ok((wr, _)), Ok((cr, _))) => assert_eq!(wr, cr, "{s}->{t}"),
+            (Err(we), Err(ce)) => assert_eq!(we.to_string(), ce.to_string()),
+            (w, c) => panic!("warm/cold disagree on {s}->{t}: {w:?} vs {c:?}"),
         }
     }
 }

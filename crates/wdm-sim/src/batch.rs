@@ -9,6 +9,7 @@
 //! matter.
 
 use crate::policy::{Policy, ProvisionedRoute};
+use wdm_core::journal::{EventSink, NetEvent, NoopSink};
 use wdm_core::load::{load_snapshot, LoadSnapshot};
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::optimal_slp::optimal_semilightpath;
@@ -84,6 +85,21 @@ pub fn provision_batch(
     policy: Policy,
     order: BatchOrder,
 ) -> BatchOutcome {
+    provision_batch_journaled(net, state, demands, policy, order, NoopSink)
+}
+
+/// As [`provision_batch`], additionally appending one
+/// [`NetEvent::Provision`] per provisioned route to `journal` (`id` = the
+/// demand's index in `demands`), in processing order — replaying them over
+/// `state` reproduces the outcome's final state.
+pub fn provision_batch_journaled<J: EventSink>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    mut journal: J,
+) -> BatchOutcome {
     let mut st = state.clone();
     let idx = processing_order(net, &st, demands, order);
 
@@ -97,6 +113,12 @@ pub fn provision_batch(
                 route
                     .occupy(net, &mut st)
                     .expect("route computed against current state");
+                if journal.enabled() {
+                    journal.record(NetEvent::Provision {
+                        id: i as u64,
+                        channels: route.channels(),
+                    });
+                }
                 total_cost += route.total_cost();
                 provisioned.push((i, route));
             }

@@ -35,7 +35,10 @@ pub mod traffic;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::batch::{full_mesh_demands, provision_batch, BatchOrder, BatchOutcome, Demand};
+    pub use crate::batch::{
+        full_mesh_demands, provision_batch, provision_batch_journaled, BatchOrder, BatchOutcome,
+        Demand,
+    };
     pub use crate::metrics::{mean_std, Metrics, PolicyTelemetry};
     pub use crate::parallel::{
         replication_seeds, run_replications, run_replications_streaming, run_replications_telemetry,
@@ -43,11 +46,14 @@ pub mod prelude {
     pub use crate::policy::{Policy, ProvisionedRoute};
     pub use crate::shared::{SharedBackupPool, SharedConnection, SharedProvisioner};
     pub use crate::sim::{
-        run_batch, run_batch_recorded, run_sim, run_sim_recorded, BatchConfig, SimConfig, Simulator,
+        run_batch, run_batch_journaled, run_batch_recorded, run_sim, run_sim_journaled,
+        run_sim_recorded, BatchConfig, SimConfig, Simulator,
     };
     pub use crate::speculative::{
-        distinct_static_costs, provision_batch_speculative, SpeculationStats,
+        distinct_static_costs, provision_batch_speculative, provision_batch_speculative_journaled,
+        SpeculationStats,
     };
     pub use crate::traffic::{HoldingDist, PairSelection, TrafficModel};
+    pub use wdm_core::journal::{EventSink, NetEvent, NoopSink, ReplayError, StateJournal, Txn};
     pub use wdm_telemetry::{NoopRecorder, Recorder, TelemetrySink, TelemetrySnapshot};
 }

@@ -7,7 +7,7 @@ use wdm_core::error::RoutingError;
 use wdm_core::joint::{find_two_paths_joint_as_printed_ctx, find_two_paths_joint_ctx};
 use wdm_core::mincog::find_two_paths_mincog_ctx;
 use wdm_core::network::{ResidualState, WdmNetwork};
-use wdm_core::semilightpath::{RobustRoute, Semilightpath};
+use wdm_core::semilightpath::{Hop, RobustRoute, Semilightpath};
 use wdm_graph::NodeId;
 use wdm_telemetry::{Counter, Hist, Recorder, RouteTrace};
 
@@ -46,6 +46,22 @@ impl ProvisionedRoute {
         match self {
             ProvisionedRoute::Protected(r) => r.release(state),
             ProvisionedRoute::Unprotected(p) => p.release(state),
+        }
+    }
+
+    /// Every reserved channel in occupation order (primary hops then
+    /// backup hops) — the payload journal events carry, so replay occupies
+    /// in exactly the live order.
+    pub fn channels(&self) -> Vec<Hop> {
+        match self {
+            ProvisionedRoute::Protected(r) => r
+                .primary
+                .hops
+                .iter()
+                .chain(r.backup.hops.iter())
+                .copied()
+                .collect(),
+            ProvisionedRoute::Unprotected(p) => p.hops.clone(),
         }
     }
 

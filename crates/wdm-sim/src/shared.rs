@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use wdm_core::aux_engine::RouterCtx;
 use wdm_core::disjoint::robust_route_ctx;
 use wdm_core::error::RoutingError;
+use wdm_core::journal::{EventSink, NetEvent, NoopSink};
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{Hop, Semilightpath};
 use wdm_core::wavelength::{Wavelength, WavelengthSet};
@@ -187,9 +188,17 @@ pub struct SharedConnection {
 /// reservations live in the [`SharedBackupPool`]. A channel is available to
 /// a *primary* only if it is both unused and unreserved; a *backup* may
 /// additionally join compatible reservations.
-pub struct SharedProvisioner<'a, R: Recorder = NoopRecorder> {
+///
+/// The optional journal records the **working-state lineage only**:
+/// a [`NetEvent::Provision`] per committed primary and a
+/// [`NetEvent::Teardown`] per release. Pool reservations are *not*
+/// journaled — they live outside the [`ResidualState`] the journal's
+/// checkpoint/replay contract covers — so replaying a shared-provisioner
+/// journal reconstructs `working`, not the pool overlay.
+pub struct SharedProvisioner<'a, R: Recorder = NoopRecorder, J: EventSink = NoopSink> {
     net: &'a WdmNetwork,
     recorder: R,
+    journal: J,
     /// Channels taken by primaries (dedicated).
     pub working: ResidualState,
     /// Backup reservations.
@@ -207,17 +216,26 @@ impl<'a> SharedProvisioner<'a> {
 }
 
 impl<'a, R: Recorder> SharedProvisioner<'a, R> {
+    /// As [`SharedProvisioner::new`], recording telemetry through
+    /// `recorder` (shared vs fresh backup channels, route searches).
+    pub fn with_recorder(net: &'a WdmNetwork, recorder: R) -> Self {
+        Self::with_recorder_and_journal(net, recorder, NoopSink)
+    }
+}
+
+impl<'a, R: Recorder, J: EventSink> SharedProvisioner<'a, R, J> {
     /// Checks the pool's sharing invariant against the live primaries.
     pub fn validate(&self) -> Result<usize, String> {
         self.pool.validate(&self.primaries)
     }
 
-    /// As [`SharedProvisioner::new`], recording telemetry through
-    /// `recorder` (shared vs fresh backup channels, route searches).
-    pub fn with_recorder(net: &'a WdmNetwork, recorder: R) -> Self {
+    /// As [`SharedProvisioner::with_recorder`], additionally appending the
+    /// working-state lineage (primary occupies and releases) to `journal`.
+    pub fn with_recorder_and_journal(net: &'a WdmNetwork, recorder: R, journal: J) -> Self {
         Self {
             net,
             recorder,
+            journal,
             working: ResidualState::fresh(net),
             pool: SharedBackupPool::new(),
             primaries: HashMap::new(),
@@ -294,6 +312,12 @@ impl<'a, R: Recorder> SharedProvisioner<'a, R> {
         primary
             .occupy(self.net, &mut self.working)
             .map_err(|_| RoutingError::RefinementInfeasible)?;
+        if self.journal.enabled() {
+            self.journal.record(NetEvent::Provision {
+                id: self.next_id,
+                channels: primary.hops.clone(),
+            });
+        }
         let shared_hops = backup
             .hops
             .iter()
@@ -344,6 +368,7 @@ impl<'a, R: Recorder> SharedProvisioner<'a, R> {
     ) -> Vec<Result<SharedConnection, RoutingError>>
     where
         R: Sync,
+        J: Sync,
     {
         let window = window.max(1);
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -500,6 +525,12 @@ impl<'a, R: Recorder> SharedProvisioner<'a, R> {
     /// reservations.
     pub fn release(&mut self, conn: &SharedConnection) {
         conn.primary.release(&mut self.working);
+        if self.journal.enabled() {
+            self.journal.record(NetEvent::Teardown {
+                id: conn.id,
+                channels: conn.primary.hops.clone(),
+            });
+        }
         self.primaries.remove(&conn.id);
         let _ = self.pool.release(conn.id, &self.primaries);
     }
@@ -801,6 +832,39 @@ mod tests {
             spec.validate().unwrap();
         }
         serial.validate().unwrap();
+    }
+
+    #[test]
+    fn journal_replays_working_state_lineage() {
+        use wdm_core::journal::StateJournal;
+        let net = net();
+        let journal = StateJournal::new(ResidualState::fresh(&net));
+        let mut p = SharedProvisioner::with_recorder_and_journal(&net, NoopRecorder, journal);
+        let mut conns = Vec::new();
+        for &(s, t) in &[(0u32, 13u32), (1, 12), (2, 11), (5, 10), (6, 8)] {
+            if let Ok(c) = p.provision(NodeId(s), NodeId(t)) {
+                conns.push(c);
+            }
+        }
+        assert!(conns.len() >= 4, "most pairs should fit");
+        p.release(&conns.swap_remove(1));
+        let _ = p.provision(NodeId(7), NodeId(0));
+
+        // Replaying the journaled lineage over the fresh checkpoint must
+        // reconstruct `working` bit-identically, clocks included (pool
+        // reservations are deliberately outside the journal's contract).
+        let replayed = p.journal.replay(&net).expect("journal replays cleanly");
+        assert_eq!(replayed, p.working);
+        assert_eq!(replayed.change_clock(), p.working.change_clock());
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            assert_eq!(
+                replayed.link_change_clock(e),
+                p.working.link_change_clock(e),
+                "{e:?}"
+            );
+        }
+        assert_eq!(replayed.semantic_hash(), p.working.semantic_hash());
     }
 
     #[test]

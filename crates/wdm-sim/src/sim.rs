@@ -2,21 +2,22 @@
 //! failures with active/passive recovery, and threshold-triggered network
 //! reconfiguration.
 
-use crate::batch::{provision_batch, BatchOrder, BatchOutcome, Demand};
+use crate::batch::{provision_batch_journaled, BatchOrder, BatchOutcome, Demand};
 use crate::events::{Event, EventQueue};
 use crate::metrics::Metrics;
 use crate::policy::{Policy, ProvisionedRoute};
-use crate::speculative::{provision_batch_speculative, SpeculationStats};
+use crate::speculative::{provision_batch_speculative_journaled, SpeculationStats};
 use crate::traffic::{sample_exp, TrafficModel};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use wdm_core::aux_engine::RouterCtx;
+use wdm_core::journal::{EventSink, NetEvent, NoopSink, Txn};
 use wdm_core::load::load_snapshot;
-use wdm_core::network::{ResidualState, WdmNetwork};
+use wdm_core::network::{ResidualState, StateError, WdmNetwork};
 use wdm_core::optimal_slp::optimal_semilightpath_filtered;
-use wdm_core::semilightpath::{RobustRoute, Semilightpath};
+use wdm_core::semilightpath::{Hop, RobustRoute, Semilightpath};
 use wdm_graph::{EdgeId, NodeId};
 use wdm_telemetry::{NoopRecorder, Recorder};
 
@@ -89,7 +90,13 @@ struct Connection {
 /// Generic over the telemetry [`Recorder`]: the default [`NoopRecorder`]
 /// compiles all instrumentation away; [`Simulator::with_recorder`] threads a
 /// live recorder (e.g. `&TelemetrySink`) through every routing call.
-pub struct Simulator<'a, R: Recorder = NoopRecorder> {
+///
+/// Also generic over the lifecycle [`EventSink`]: with the default
+/// [`NoopSink`] no events (or their channel-list payloads) are ever built;
+/// [`Simulator::with_recorder_and_journal`] records every state mutation —
+/// provision, teardown, failure, repair, recovery and reconfiguration
+/// moves — so the run can be replayed bit-identically from its journal.
+pub struct Simulator<'a, R: Recorder = NoopRecorder, J: EventSink = NoopSink> {
     net: &'a WdmNetwork,
     cfg: SimConfig,
     state: ResidualState,
@@ -97,6 +104,7 @@ pub struct Simulator<'a, R: Recorder = NoopRecorder> {
     /// routing call of the run (the simulator's `state` is a single mutation
     /// lineage, so the engines' dirty-link tracking stays sound).
     ctx: RouterCtx<R>,
+    journal: J,
     queue: EventQueue,
     rng: ChaCha8Rng,
     connections: HashMap<u64, Connection>,
@@ -118,11 +126,27 @@ impl<'a> Simulator<'a> {
 impl<'a, R: Recorder> Simulator<'a, R> {
     /// As [`Simulator::new`], recording telemetry through `recorder`.
     pub fn with_recorder(net: &'a WdmNetwork, cfg: SimConfig, recorder: R) -> Self {
+        Self::with_recorder_and_journal(net, cfg, recorder, NoopSink)
+    }
+}
+
+impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
+    /// As [`Simulator::with_recorder`], additionally appending every state
+    /// mutation to `journal` (typically `&mut StateJournal`). Replaying the
+    /// journal over the fresh initial state reconstructs the final state
+    /// bit-identically, change clocks included.
+    pub fn with_recorder_and_journal(
+        net: &'a WdmNetwork,
+        cfg: SimConfig,
+        recorder: R,
+        journal: J,
+    ) -> Self {
         Self {
             net,
             cfg,
             state: ResidualState::fresh(net),
             ctx: RouterCtx::with_recorder(recorder),
+            journal,
             queue: EventQueue::new(),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             connections: HashMap::new(),
@@ -145,7 +169,14 @@ impl<'a, R: Recorder> Simulator<'a, R> {
     }
 
     /// Runs to the configured horizon and returns the metrics.
-    pub fn run(mut self) -> Metrics {
+    pub fn run(self) -> Metrics {
+        self.run_into().0
+    }
+
+    /// As [`run`](Self::run), additionally returning the final residual
+    /// state — the ground truth a journal replay (and its hash) is checked
+    /// against.
+    pub fn run_into(mut self) -> (Metrics, ResidualState) {
         let first = self.cfg.traffic.next_interarrival(&mut self.rng);
         self.queue.schedule(first, Event::Arrival);
         if self.cfg.failure_rate > 0.0 {
@@ -163,7 +194,7 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                 Event::Arrival => self.on_arrival(),
                 Event::Departure { conn } => self.on_departure(conn),
                 Event::LinkFailure { link } => self.on_failure(link),
-                Event::LinkRepair { link } => self.state.repair_link(link),
+                Event::LinkRepair { link } => self.on_repair(link),
             }
         }
         // Close the load integral at the horizon.
@@ -171,7 +202,7 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         self.accrue_load_integral();
         self.metrics.sim_time = self.cfg.duration;
         self.metrics.final_snapshot = Some(load_snapshot(self.net, &self.state));
-        self.metrics
+        (self.metrics, self.state)
     }
 
     fn pick_link(&mut self) -> EdgeId {
@@ -208,6 +239,12 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                 };
                 let id = self.next_conn;
                 self.next_conn += 1;
+                if self.journal.enabled() {
+                    self.journal.record(NetEvent::Provision {
+                        id,
+                        channels: route.channels(),
+                    });
+                }
                 self.connections.insert(
                     id,
                     Connection {
@@ -237,7 +274,9 @@ impl<'a, R: Recorder> Simulator<'a, R> {
             // would otherwise fire on every arrival.
             if rho >= th && self.now - self.last_reconfig >= 1.0 {
                 self.last_reconfig = self.now;
-                self.reconfigure();
+                // An Err cut the sweep short with the in-flight move rolled
+                // back atomically; the next threshold crossing retries.
+                let _ = self.reconfigure();
             }
         }
     }
@@ -246,6 +285,19 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         // The connection may already have been dropped by a failed recovery.
         if let Some(c) = self.connections.remove(&conn) {
             c.route.release(&mut self.state);
+            if self.journal.enabled() {
+                self.journal.record(NetEvent::Teardown {
+                    id: conn,
+                    channels: c.route.channels(),
+                });
+            }
+        }
+    }
+
+    fn on_repair(&mut self, link: EdgeId) {
+        self.state.repair_link(link);
+        if self.journal.enabled() {
+            self.journal.record(NetEvent::RepairLink { link });
         }
     }
 
@@ -275,6 +327,9 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         }
         self.metrics.failures_injected += 1;
         self.state.fail_link(link);
+        if self.journal.enabled() {
+            self.journal.record(NetEvent::FailLink { link });
+        }
         self.queue.schedule(
             self.now + sample_exp(&mut self.rng, 1.0 / self.cfg.mean_repair),
             Event::LinkRepair { link },
@@ -310,11 +365,25 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                             self.metrics.fast_switchovers += 1;
                             self.metrics.recovery_time_sum += self.cfg.switchover_time;
                             self.metrics.recovery_events += 1;
+                            let released = if self.journal.enabled() {
+                                r.primary.hops.clone()
+                            } else {
+                                Vec::new()
+                            };
                             r.primary.release(&mut self.state);
                             let new_primary = r.backup;
                             let new_backup = self.reprovision_backup(&new_primary);
                             if new_backup.is_some() {
                                 self.metrics.backups_reprovisioned += 1;
+                            }
+                            if self.journal.enabled() {
+                                self.journal.record(NetEvent::Reconfigure {
+                                    id,
+                                    released,
+                                    occupied: new_backup
+                                        .as_ref()
+                                        .map_or_else(Vec::new, |b| b.hops.clone()),
+                                });
                             }
                             let conn = self.connections.get_mut(&id).expect("present");
                             conn.route = match new_backup {
@@ -327,10 +396,24 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                         }
                         (false, true) => {
                             // Backup lost; try to re-protect.
+                            let released = if self.journal.enabled() {
+                                r.backup.hops.clone()
+                            } else {
+                                Vec::new()
+                            };
                             r.backup.release(&mut self.state);
                             let new_backup = self.reprovision_backup(&r.primary);
                             if new_backup.is_some() {
                                 self.metrics.backups_reprovisioned += 1;
+                            }
+                            if self.journal.enabled() {
+                                self.journal.record(NetEvent::Reconfigure {
+                                    id,
+                                    released,
+                                    occupied: new_backup
+                                        .as_ref()
+                                        .map_or_else(Vec::new, |b| b.hops.clone()),
+                                });
                             }
                             let conn = self.connections.get_mut(&id).expect("present");
                             conn.route = match new_backup {
@@ -353,6 +436,11 @@ impl<'a, R: Recorder> Simulator<'a, R> {
     /// Passive recovery: tear down and try to provision a fresh route now.
     fn passive_recover(&mut self, id: u64) {
         let c = self.connections.get(&id).expect("present").clone();
+        let released = if self.journal.enabled() {
+            c.route.channels()
+        } else {
+            Vec::new()
+        };
         c.route.release(&mut self.state);
         match self
             .cfg
@@ -363,6 +451,13 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                 route
                     .occupy(self.net, &mut self.state)
                     .expect("fresh route must occupy");
+                if self.journal.enabled() {
+                    self.journal.record(NetEvent::Reconfigure {
+                        id,
+                        released,
+                        occupied: route.channels(),
+                    });
+                }
                 self.metrics.passive_recoveries += 1;
                 self.metrics.recovery_time_sum +=
                     self.cfg.setup_time_per_hop * SimConfig::route_hops(&route) as f64;
@@ -370,6 +465,13 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                 self.connections.get_mut(&id).expect("present").route = route;
             }
             Err(_) => {
+                if self.journal.enabled() {
+                    self.journal.record(NetEvent::Reconfigure {
+                        id,
+                        released,
+                        occupied: Vec::new(),
+                    });
+                }
                 self.metrics.recovery_failures += 1;
                 self.connections.remove(&id);
             }
@@ -379,7 +481,11 @@ impl<'a, R: Recorder> Simulator<'a, R> {
     /// Threshold-triggered reconfiguration: move connections off the
     /// most-loaded link using the §4.2 joint algorithm until the hot link
     /// cools below the threshold (or no move helps).
-    fn reconfigure(&mut self) {
+    ///
+    /// Each candidate move runs in a [`Txn`], so a rejected mutation rolls
+    /// the probe back atomically; `Err` means the sweep was cut short with
+    /// the state exactly as the last completed move left it.
+    fn reconfigure(&mut self) -> Result<(), StateError> {
         let th = self.cfg.reconfig_threshold.expect("caller checked");
         let hot = (0..self.net.link_count())
             .map(EdgeId::from)
@@ -389,7 +495,7 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                     .partial_cmp(&self.state.load(self.net, b))
                     .expect("loads are finite")
             });
-        let Some(hot) = hot else { return };
+        let Some(hot) = hot else { return Ok(()) };
 
         let mut users: Vec<u64> = self
             .connections
@@ -408,7 +514,7 @@ impl<'a, R: Recorder> Simulator<'a, R> {
         if users.is_empty() {
             // Nothing to move: the hot link's load is all transit-free
             // reservation churn; not a reconfiguration.
-            return;
+            return Ok(());
         }
         self.metrics.reconfig_events += 1;
 
@@ -417,13 +523,21 @@ impl<'a, R: Recorder> Simulator<'a, R> {
                 break;
             }
             let c = self.connections.get(&id).expect("present").clone();
-            c.route.release(&mut self.state);
+            let released = c.route.channels();
+            // The probe runs inside a transaction: release the current
+            // reservation, route on the transactional state, and either
+            // commit the move or roll back to the exact pre-probe state
+            // (clocks included) in O(channels touched). Restore-after-
+            // release is therefore atomic — no re-occupy that could
+            // half-fail and strand channels.
+            let mut txn = Txn::begin(&mut self.state);
+            txn.release_hops(&released);
             // Joint policy with the hot link's channels avoided implicitly by
             // its congestion weight (and the threshold filter).
             let moved = wdm_core::joint::find_two_paths_joint_ctx(
                 &mut self.ctx,
                 self.net,
-                &self.state,
+                txn.state(),
                 c.src,
                 c.dst,
                 wdm_core::mincog::DEFAULT_CONGESTION_BASE,
@@ -433,21 +547,48 @@ impl<'a, R: Recorder> Simulator<'a, R> {
             };
             match moved {
                 Ok(out) if avoids_hot(&out.route) => {
-                    out.route
-                        .occupy(self.net, &mut self.state)
-                        .expect("fresh route must occupy");
+                    let occupied: Vec<Hop> = out
+                        .route
+                        .primary
+                        .hops
+                        .iter()
+                        .chain(out.route.backup.hops.iter())
+                        .copied()
+                        .collect();
+                    if let Err(err) = txn.occupy_hops(self.net, &occupied) {
+                        // Defensive: the route was computed against the
+                        // transactional state, so the occupy cannot be
+                        // rejected; if it ever is, undo the whole probe and
+                        // surface the error instead of panicking with
+                        // channels stranded.
+                        txn.rollback();
+                        self.ctx.invalidate();
+                        return Err(err);
+                    }
+                    txn.commit();
+                    if self.journal.enabled() {
+                        self.journal.record(NetEvent::Reconfigure {
+                            id,
+                            released,
+                            occupied,
+                        });
+                    }
                     self.metrics.reconfig_moved += 1;
                     self.connections.get_mut(&id).expect("present").route =
                         ProvisionedRoute::Protected(out.route);
                 }
                 _ => {
-                    // Restore the original reservation.
-                    c.route
-                        .occupy(self.net, &mut self.state)
-                        .expect("restoring a just-released route cannot fail");
+                    // No useful move: rewind the release. The rollback
+                    // regresses the change clock, and later mutations could
+                    // re-advance it past the router context's sync point
+                    // (masking the regression detector), so drop the warm
+                    // engines explicitly.
+                    txn.rollback();
+                    self.ctx.invalidate();
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -499,11 +640,26 @@ pub fn run_batch_recorded<R: Recorder>(
     cfg: BatchConfig,
     recorder: R,
 ) -> (BatchOutcome, SpeculationStats) {
+    run_batch_journaled(net, state, demands, cfg, recorder, NoopSink)
+}
+
+/// As [`run_batch_recorded`], additionally appending one
+/// [`NetEvent::Provision`] per provisioned route to `journal` in commit
+/// order — the journal replayed over `state` reproduces the outcome's
+/// final state regardless of `cfg.parallel_window`.
+pub fn run_batch_journaled<R: Recorder, J: EventSink>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    cfg: BatchConfig,
+    recorder: R,
+    journal: J,
+) -> (BatchOutcome, SpeculationStats) {
     if cfg.parallel_window <= 1 {
-        let out = provision_batch(net, state, demands, cfg.policy, cfg.order);
+        let out = provision_batch_journaled(net, state, demands, cfg.policy, cfg.order, journal);
         (out, SpeculationStats::default())
     } else {
-        provision_batch_speculative(
+        provision_batch_speculative_journaled(
             net,
             state,
             demands,
@@ -511,6 +667,7 @@ pub fn run_batch_recorded<R: Recorder>(
             cfg.order,
             cfg.parallel_window,
             recorder,
+            journal,
         )
     }
 }
@@ -540,6 +697,19 @@ pub fn run_sim(net: &WdmNetwork, cfg: SimConfig) -> Metrics {
 /// with and without telemetry compare equal).
 pub fn run_sim_recorded<R: Recorder>(net: &WdmNetwork, cfg: SimConfig, recorder: R) -> Metrics {
     Simulator::with_recorder(net, cfg, recorder).run()
+}
+
+/// As [`run_sim`], recording every state mutation into `journal`
+/// (typically `&mut StateJournal` over the fresh initial state) and
+/// returning the final residual state alongside the metrics. The journal's
+/// replay over that checkpoint equals the returned state bit-identically —
+/// the contract `wdm replay --verify` checks.
+pub fn run_sim_journaled<J: EventSink>(
+    net: &WdmNetwork,
+    cfg: SimConfig,
+    journal: J,
+) -> (Metrics, ResidualState) {
+    Simulator::with_recorder_and_journal(net, cfg, NoopRecorder, journal).run_into()
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //! touch disjoint parts of the network, so their routing decisions would
 //! come out the same even if they could not see each other. This module
 //! exploits that: it routes a *window* of `K` pending demands concurrently
-//! against a frozen snapshot of the residual state, then **commits the
+//! against a frozen view of the residual state (an immutable borrow — the
+//! state cannot move while the window routes, so freezing costs nothing;
+//! earlier revisions paid an O(m) clone per round), then **commits the
 //! results in demand order** under a conflict rule that guarantees the
 //! final [`BatchOutcome`] — routes, rejections, cost sums (in the same
 //! floating-point accumulation order) and residual state — is
@@ -69,6 +71,7 @@ use crate::batch::{processing_order, BatchOrder, BatchOutcome, Demand};
 use crate::policy::Policy;
 use wdm_core::aux_engine::RouterCtx;
 use wdm_core::error::RoutingError;
+use wdm_core::journal::{EventSink, NetEvent, NoopSink};
 use wdm_core::load::load_snapshot;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_graph::EdgeId;
@@ -191,6 +194,28 @@ pub fn provision_batch_speculative<R: Recorder>(
     window: usize,
     recorder: R,
 ) -> (BatchOutcome, SpeculationStats) {
+    provision_batch_speculative_journaled(
+        net, state, demands, policy, order, window, recorder, NoopSink,
+    )
+}
+
+/// As [`provision_batch_speculative`], additionally appending one
+/// [`NetEvent::Provision`] per committed route to `journal` (`id` = the
+/// demand's index in `demands`), in commit order — replaying them over
+/// `state` reproduces the outcome's final state. Event payloads are only
+/// built when [`EventSink::enabled`]; with [`NoopSink`] this is exactly
+/// the plain entry point.
+#[allow(clippy::too_many_arguments)] // the plain entry point minus journal is the common call
+pub fn provision_batch_speculative_journaled<R: Recorder, J: EventSink>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    recorder: R,
+    mut journal: J,
+) -> (BatchOutcome, SpeculationStats) {
     let window = window.max(1);
     let mut st = state.clone();
     let idx = processing_order(net, &st, demands, order);
@@ -214,10 +239,15 @@ pub fn provision_batch_speculative<R: Recorder>(
             recorder.observe(Hist::WindowOccupancy, chunk.len() as u64);
         }
 
-        let snapshot = st.clone();
+        // The "frozen snapshot" of the commit protocol is the live state
+        // itself, borrowed immutably for the fan-out: routing never
+        // mutates, and commits happen strictly after the round's routing,
+        // so this is the same freeze the old O(m) per-round clone bought —
+        // now for free.
+        let frozen = &st;
         let results = fan_out(&mut ctxs, chunk, |ctx, &i| {
             let d = demands[i];
-            policy.route_ctx(ctx, net, &snapshot, d.src, d.dst)
+            policy.route_ctx(ctx, net, frozen, d.src, d.dst)
         });
 
         // In-order commit against the live state.
@@ -241,6 +271,12 @@ pub fn provision_batch_speculative<R: Recorder>(
                     route
                         .occupy(net, &mut st)
                         .expect("committed route's links are untouched since its snapshot");
+                    if journal.enabled() {
+                        journal.record(NetEvent::Provision {
+                            id: i as u64,
+                            channels: route.channels(),
+                        });
+                    }
                     total_cost += route.total_cost();
                     provisioned.push((i, route));
                     committed_any = true;
