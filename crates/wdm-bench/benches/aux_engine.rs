@@ -17,7 +17,7 @@ use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::wavelength::Wavelength;
 use wdm_graph::suurballe::edge_disjoint_pair;
 use wdm_graph::{EdgeId, NodeId, SearchArena};
-use wdm_telemetry::TelemetrySink;
+use wdm_telemetry::{NoopRecorder, SpanBuffer, TelemetrySink, Tracer};
 
 /// Deterministic channel churn: each step toggles the next scripted channel
 /// (occupy if free, release if held), keeping the load stationary around
@@ -150,6 +150,36 @@ fn bench_hot_path(c: &mut Criterion) {
                 k += 1;
                 ctx.begin_request();
                 let route = robust_route_ctx(&mut ctx, net, &st, s, t);
+                black_box(route.ok().map(|(r, _)| r.total_cost()))
+            })
+        },
+    );
+
+    // And once with a live span buffer: two clock reads and a Vec push per
+    // pipeline phase. Drained periodically so the buffer stays cache-sized
+    // instead of growing across Criterion's sampling.
+    group.bench_with_input(
+        BenchmarkId::new("ctx_span", "n100_d4_w8"),
+        &net,
+        |b, net| {
+            let buf = SpanBuffer::new();
+            let mut st = ResidualState::fresh(net);
+            let mut churn = Churn::new(net, 256, 13);
+            let mut ctx = RouterCtx::with_recorder_and_tracer(NoopRecorder, &buf);
+            let mut k = 0usize;
+            let mut until_drain = 1024u32;
+            b.iter(|| {
+                churn.step(net, &mut st);
+                let (s, t) = reqs[k % reqs.len()];
+                k += 1;
+                ctx.begin_request();
+                ctx.tracer().begin_request();
+                let route = robust_route_ctx(&mut ctx, net, &st, s, t);
+                until_drain -= 1;
+                if until_drain == 0 {
+                    until_drain = 1024;
+                    black_box(buf.take_records().len());
+                }
                 black_box(route.ok().map(|(r, _)| r.total_cost()))
             })
         },

@@ -14,8 +14,12 @@ use wdm_sim::metrics::mean_std;
 use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::{Policy, ProvisionedRoute};
 use wdm_sim::prelude::NoopRecorder;
-use wdm_sim::sim::{run_batch_recorded, run_sim_journaled, BatchConfig, SimConfig};
+use wdm_sim::sim::{run_batch_recorded, run_sim_journaled, BatchConfig, SimConfig, Simulator};
 use wdm_sim::traffic::TrafficModel;
+use wdm_telemetry::{
+    FlightDump, FlightRecorder, Phase, SpanBuffer, TelemetrySink, DEFAULT_ANOMALY_THRESHOLD,
+    DEFAULT_ANOMALY_WINDOW, DEFAULT_FLIGHT_CAPACITY,
+};
 
 /// On-disk format of `wdm simulate --journal` / `wdm replay`: the network
 /// and journal are self-contained, so replay needs no other inputs.
@@ -27,10 +31,32 @@ struct JournalFile {
     seed: u64,
     /// The provisioning policy's name (provenance only).
     policy: String,
+    /// The full simulation configuration (base seed, not the derived
+    /// replication seed), so `wdm replay --telemetry` can re-run the
+    /// recorded simulation.
+    config: SimConfig,
     /// Checkpoint + ordered event log.
     journal: wdm_core::journal::StateJournal,
     /// [`ResidualState::semantic_hash`] of the live run's final state.
     final_hash: u64,
+}
+
+/// On-disk format of `wdm simulate --trace` / `wdm trace analyze`: the
+/// flight-recorder dump (per-request phase latencies, outcomes, journal
+/// correlation) plus enough provenance to label the analysis.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct TraceFile {
+    /// The provisioning policy's name.
+    policy: String,
+    /// The base seed the simulation ran with.
+    seed: u64,
+    /// Phase names in `Phase as usize` index order (the key for every
+    /// record's `phase_ns` vector).
+    phases: Vec<String>,
+    /// Requests offered over the whole run (the ring may hold fewer).
+    offered: u64,
+    /// The flight-recorder dump.
+    flight: FlightDump,
 }
 
 /// Parses a `--policy` value.
@@ -266,35 +292,75 @@ pub fn simulate(args: &Args) -> Result<(), String> {
         Some(other) => return Err(format!("--telemetry wants json|summary, got '{other}'")),
     };
     let journal_path = args.get("journal");
-    if journal_path.is_some() {
+    let trace_path = args.get("trace");
+    if journal_path.is_some() || trace_path.is_some() {
+        let opt = if journal_path.is_some() {
+            "--journal"
+        } else {
+            "--trace"
+        };
         if reps != 1 {
-            return Err("--journal wants --reps 1 (one journal describes one run)".into());
+            return Err(format!("{opt} wants --reps 1 (one file describes one run)"));
         }
         if telemetry_mode.is_some() {
-            return Err("--journal cannot be combined with --telemetry".into());
+            return Err(format!("{opt} cannot be combined with --telemetry"));
         }
     }
-    let (runs, telemetry) = if let Some(jpath) = journal_path {
-        // The journaled run uses the same derived seed as replication 0, so
+    let (runs, telemetry) = if journal_path.is_some() || trace_path.is_some() {
+        // The recorded run uses the same derived seed as replication 0, so
         // the metrics printed below are identical to the plain invocation.
-        let mut journal = wdm_core::journal::StateJournal::new(ResidualState::fresh(&net));
-        let (metrics, final_state) = run_sim_journaled(
-            &net,
-            SimConfig {
-                seed: seeds[0],
-                ..cfg
-            },
-            &mut journal,
-        );
-        let doc = JournalFile {
-            network: net.clone(),
-            seed,
-            policy: policy.name().to_string(),
-            journal,
-            final_hash: final_state.semantic_hash(),
+        let run_cfg = SimConfig {
+            seed: seeds[0],
+            ..cfg
         };
-        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
-        std::fs::write(jpath, json).map_err(|e| format!("writing {jpath}: {e}"))?;
+        let mut journal = wdm_core::journal::StateJournal::new(ResidualState::fresh(&net));
+        let (metrics, final_state, flight) = if trace_path.is_some() {
+            let flight_cap: usize = args.get_or("flight-cap", DEFAULT_FLIGHT_CAPACITY)?;
+            let tracer = SpanBuffer::new();
+            let flight = FlightRecorder::with_config(
+                flight_cap,
+                DEFAULT_ANOMALY_WINDOW,
+                DEFAULT_ANOMALY_THRESHOLD,
+            );
+            // The journal is driven even without --journal so every flight
+            // record's journal_seq is meaningful correlation, not zero.
+            let sim = Simulator::with_observability(
+                &net,
+                run_cfg,
+                NoopRecorder,
+                &mut journal,
+                &tracer,
+                Some(&flight),
+            );
+            let (metrics, final_state) = sim.run_into();
+            (metrics, final_state, Some(flight))
+        } else {
+            let (metrics, final_state) = run_sim_journaled(&net, run_cfg, &mut journal);
+            (metrics, final_state, None)
+        };
+        if let Some(jpath) = journal_path {
+            let doc = JournalFile {
+                network: net.clone(),
+                seed,
+                policy: policy.name().to_string(),
+                config: cfg,
+                journal,
+                final_hash: final_state.semantic_hash(),
+            };
+            let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+            std::fs::write(jpath, json).map_err(|e| format!("writing {jpath}: {e}"))?;
+        }
+        if let (Some(tpath), Some(flight)) = (trace_path, &flight) {
+            let doc = TraceFile {
+                policy: policy.name().to_string(),
+                seed,
+                phases: Phase::ALL.iter().map(|p| p.name().to_string()).collect(),
+                offered: metrics.offered,
+                flight: flight.dump(),
+            };
+            let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+            std::fs::write(tpath, json).map_err(|e| format!("writing {tpath}: {e}"))?;
+        }
         (vec![metrics], None)
     } else if telemetry_mode.is_some() {
         let (runs, snap) = run_replications_telemetry(&net, cfg, &seeds);
@@ -378,8 +444,30 @@ pub fn replay(args: &Args) -> Result<(), String> {
     }
     let load = load_snapshot(&doc.network, &replayed);
 
+    // `--telemetry json|summary`: re-run the recorded simulation (the
+    // journal embeds its full config) with a live recorder. Counters are
+    // a pure function of (config, seed), so they must equal what the
+    // original run would have recorded; only the `*_ns` timing histograms
+    // differ between machines and runs.
+    let replayed_telemetry = match args.get("telemetry") {
+        None => None,
+        Some(mode @ ("json" | "summary")) => {
+            let cfg = doc.config;
+            let sink = TelemetrySink::new();
+            let seeds = replication_seeds(cfg.seed, 1);
+            let sim_cfg = SimConfig {
+                seed: seeds[0],
+                ..cfg
+            };
+            let sim = Simulator::with_recorder(&doc.network, sim_cfg, &sink);
+            let _ = sim.run();
+            Some((mode, sink.snapshot()))
+        }
+        Some(other) => return Err(format!("--telemetry wants json|summary, got '{other}'")),
+    };
+
     if args.flag("json") {
-        let combined = serde_json::Value::Object(vec![
+        let mut fields = vec![
             ("policy".to_string(), serde_json::to_value(&doc.policy)),
             ("seed".to_string(), serde_json::to_value(&doc.seed)),
             ("events".to_string(), serde_json::to_value(&counts)),
@@ -390,7 +478,11 @@ pub fn replay(args: &Args) -> Result<(), String> {
             ),
             ("replayed_hash".to_string(), serde_json::to_value(&hash)),
             ("verified".to_string(), serde_json::to_value(&verified)),
-        ]);
+        ];
+        if let Some((_, snap)) = &replayed_telemetry {
+            fields.push(("telemetry".to_string(), serde_json::to_value(snap)));
+        }
+        let combined = serde_json::Value::Object(fields);
         let json = serde_json::to_string_pretty(&combined).map_err(|e| e.to_string())?;
         println!("{json}");
     } else {
@@ -413,6 +505,15 @@ pub fn replay(args: &Args) -> Result<(), String> {
                 "MISMATCH against the recorded hash"
             }
         );
+        if let Some((mode, snap)) = &replayed_telemetry {
+            println!("--- replayed telemetry ---");
+            if *mode == "summary" {
+                print!("{}", snap.summary());
+            } else {
+                let json = serde_json::to_string_pretty(snap).map_err(|e| e.to_string())?;
+                println!("{json}");
+            }
+        }
     }
     if args.flag("verify") && !verified {
         return Err(format!(
@@ -467,6 +568,297 @@ pub fn batch(args: &Args) -> Result<(), String> {
             stats.abort_rate() * 100.0
         );
     }
+    Ok(())
+}
+
+/// `wdm trace <verb>`.
+pub fn trace(args: &Args) -> Result<(), String> {
+    match args.positional(0) {
+        Some("analyze") => trace_analyze(args),
+        Some(other) => Err(format!("unknown trace verb '{other}' (expected 'analyze')")),
+        None => Err("usage: wdm trace analyze <trace.json> [--top K] [--json]".into()),
+    }
+}
+
+/// `wdm trace analyze` — per-phase latency attribution, slowest requests
+/// and abort causes from a `wdm simulate --trace` dump.
+fn trace_analyze(args: &Args) -> Result<(), String> {
+    let path = args.positional(1).ok_or("missing trace file")?;
+    let top_k: usize = args.get_or("top", 5)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc: TraceFile = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+
+    let records = &doc.flight.records;
+    if records.is_empty() {
+        return Err("trace holds no flight records".into());
+    }
+
+    // Aggregate: total request time, per-phase attribution, the residual
+    // the sub-phases do not cover (queueing between spans, bookkeeping),
+    // outcome and abort-cause counts.
+    let root = Phase::Request.name();
+    let mut total_ns = 0u64;
+    let mut attributed_ns = 0u64;
+    let mut phase_sums: BTreeMap<String, u64> = BTreeMap::new();
+    let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut abort_causes: BTreeMap<String, u64> = BTreeMap::new();
+    for r in records {
+        total_ns += r.total_ns;
+        for (name, ns) in r.named_phases() {
+            attributed_ns += ns;
+            *phase_sums.entry(name.to_string()).or_default() += ns;
+        }
+        *outcomes.entry(r.outcome.clone()).or_default() += 1;
+        if let Some(cause) = &r.abort_cause {
+            *abort_causes.entry(cause.clone()).or_default() += 1;
+        }
+    }
+    let attributed_fraction = if total_ns > 0 {
+        attributed_ns as f64 / total_ns as f64
+    } else {
+        1.0
+    };
+    // The invariant the span layer guarantees: sub-phases nest inside the
+    // root span, so attribution can never exceed the measured total.
+    let phase_sum_ok = attributed_ns <= total_ns;
+
+    let mut slowest: Vec<usize> = (0..records.len()).collect();
+    slowest.sort_by_key(|&i| std::cmp::Reverse(records[i].total_ns));
+    slowest.truncate(top_k);
+
+    if args.flag("json") {
+        let top: Vec<serde_json::Value> = slowest
+            .iter()
+            .map(|&i| {
+                let r = &records[i];
+                serde_json::Value::Object(vec![
+                    ("request".to_string(), serde_json::to_value(&r.request)),
+                    ("src".to_string(), serde_json::to_value(&r.src)),
+                    ("dst".to_string(), serde_json::to_value(&r.dst)),
+                    ("outcome".to_string(), serde_json::to_value(&r.outcome)),
+                    ("total_ns".to_string(), serde_json::to_value(&r.total_ns)),
+                    (
+                        "journal_seq".to_string(),
+                        serde_json::to_value(&r.journal_seq),
+                    ),
+                    (
+                        "phases".to_string(),
+                        serde_json::to_value(
+                            &r.named_phases()
+                                .into_iter()
+                                .map(|(n, ns)| (n.to_string(), ns))
+                                .collect::<BTreeMap<String, u64>>(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let combined = serde_json::Value::Object(vec![
+            ("policy".to_string(), serde_json::to_value(&doc.policy)),
+            ("seed".to_string(), serde_json::to_value(&doc.seed)),
+            ("offered".to_string(), serde_json::to_value(&doc.offered)),
+            ("records".to_string(), serde_json::to_value(&records.len())),
+            (
+                "dropped".to_string(),
+                serde_json::to_value(&doc.flight.dropped),
+            ),
+            ("outcomes".to_string(), serde_json::to_value(&outcomes)),
+            (
+                "abort_causes".to_string(),
+                serde_json::to_value(&abort_causes),
+            ),
+            ("total_ns".to_string(), serde_json::to_value(&total_ns)),
+            (
+                "attributed_ns".to_string(),
+                serde_json::to_value(&attributed_ns),
+            ),
+            (
+                "attributed_fraction".to_string(),
+                serde_json::to_value(&attributed_fraction),
+            ),
+            (
+                "phase_sum_ok".to_string(),
+                serde_json::to_value(&phase_sum_ok),
+            ),
+            ("phase_ns".to_string(), serde_json::to_value(&phase_sums)),
+            (
+                "anomaly_fired".to_string(),
+                serde_json::to_value(&doc.flight.anomaly.is_some()),
+            ),
+            ("top".to_string(), serde_json::Value::Array(top)),
+        ]);
+        let json = serde_json::to_string_pretty(&combined).map_err(|e| e.to_string())?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("policy        {}", doc.policy);
+    println!(
+        "records       {} of {} offered ({} dropped off the ring)",
+        records.len(),
+        doc.offered,
+        doc.flight.dropped
+    );
+    for (outcome, n) in &outcomes {
+        println!("  {outcome:<12} {n}");
+    }
+    if !abort_causes.is_empty() {
+        println!("abort causes");
+        for (cause, n) in &abort_causes {
+            println!("  {cause:<12} {n}");
+        }
+    }
+    println!(
+        "latency       total {:.3} ms across {} requests ({} mean us/request)",
+        total_ns as f64 / 1e6,
+        records.len(),
+        total_ns / records.len() as u64 / 1_000
+    );
+    println!(
+        "attribution   {:.1}% of {root} time inside named sub-phases ({})",
+        attributed_fraction * 100.0,
+        if phase_sum_ok {
+            "sums consistently"
+        } else {
+            "EXCEEDS the measured total"
+        }
+    );
+    for (name, ns) in &phase_sums {
+        println!(
+            "  {name:<14} {:>10.3} ms ({:.1}%)",
+            *ns as f64 / 1e6,
+            *ns as f64 / total_ns.max(1) as f64 * 100.0
+        );
+    }
+    if doc.flight.anomaly.is_some() {
+        println!("anomaly       FIRED (see the trace file's anomaly snapshot)");
+    }
+    println!("slowest {} requests", slowest.len());
+    for &i in &slowest {
+        let r = &records[i];
+        let phases: Vec<String> = r
+            .named_phases()
+            .iter()
+            .map(|(n, ns)| format!("{n} {:.1}us", *ns as f64 / 1e3))
+            .collect();
+        println!(
+            "  #{:<6} {} -> {} {:<8} {:>8.1}us  seq {}  [{}]",
+            r.request,
+            r.src,
+            r.dst,
+            r.outcome,
+            r.total_ns as f64 / 1e3,
+            r.journal_seq,
+            phases.join(", ")
+        );
+    }
+    Ok(())
+}
+
+/// `wdm serve-metrics` — run a simulation while exposing live telemetry as
+/// a Prometheus text-format endpoint on a plain `TcpListener` (no HTTP
+/// dependency; the exposition format is newline-delimited text).
+pub fn serve_metrics(args: &Args) -> Result<(), String> {
+    use std::io::{Read, Write};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let net = load_network(args.require("net")?)?;
+    let erlangs: f64 = args.get_or("erlangs", 60.0)?;
+    let duration: f64 = args.get_or("duration", 1000.0)?;
+    let holding: f64 = args.get_or("holding", 10.0)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("cost-only"))?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let port: u16 = args.get_or("port", 9184)?;
+    let serve_requests: u64 = args.get_or("serve-requests", 0)?;
+
+    let cfg = SimConfig {
+        policy,
+        traffic: TrafficModel::new(erlangs / holding, holding),
+        duration,
+        failure_rate: args.get_or("failure-rate", 0.0)?,
+        mean_repair: args.get_or("repair", 20.0)?,
+        reconfig_threshold: None,
+        seed: replication_seeds(seed, 1)[0],
+        switchover_time: 0.001,
+        setup_time_per_hop: 0.05,
+    };
+
+    let listener = std::net::TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    // `--port 0` binds an ephemeral port; print the resolved address first
+    // (and flushed) so scripted callers can scrape it.
+    println!("serving http://{addr}/metrics");
+    std::io::stdout().flush().ok();
+
+    let sink = TelemetrySink::new();
+    let done = AtomicBool::new(false);
+    let mut served = 0u64;
+    let metrics = std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            let m = Simulator::with_recorder(&net, cfg, &sink).run();
+            done.store(true, Ordering::Release);
+            m
+        });
+        // Poll-accept so the loop notices simulation completion: with
+        // `--serve-requests N` it keeps serving until N responses went
+        // out (even past completion — CI probes race the short sims);
+        // without it, it serves whatever arrives while the run lasts.
+        listener.set_nonblocking(true).ok();
+        loop {
+            let finished = done.load(Ordering::Acquire);
+            if serve_requests > 0 {
+                if served >= serve_requests && finished {
+                    break;
+                }
+            } else if finished {
+                break;
+            }
+            match listener.accept() {
+                Ok((mut conn, _)) => {
+                    conn.set_nonblocking(false).ok();
+                    // Read until the blank line ending the request head.
+                    let mut req = Vec::new();
+                    let mut byte = [0u8; 512];
+                    while !req.windows(4).any(|w| w == b"\r\n\r\n") {
+                        match conn.read(&mut byte) {
+                            Ok(0) => break,
+                            Ok(n) => req.extend_from_slice(&byte[..n]),
+                            Err(_) => break,
+                        }
+                    }
+                    let head = String::from_utf8_lossy(&req);
+                    let target = head.split_whitespace().nth(1).unwrap_or("");
+                    let (status, body) = if target == "/metrics" {
+                        ("200 OK", sink.snapshot().prometheus("wdm"))
+                    } else {
+                        ("404 Not Found", "only /metrics is exported\n".to_string())
+                    };
+                    let response = format!(
+                        "HTTP/1.1 {status}\r\n\
+                         Content-Type: text/plain; version=0.0.4\r\n\
+                         Content-Length: {}\r\n\
+                         Connection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    conn.write_all(response.as_bytes()).ok();
+                    served += 1;
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(e) => eprintln!("accept: {e}"),
+            }
+        }
+        handle.join().expect("simulation thread panicked")
+    });
+
+    println!(
+        "simulation done: {} offered, {} admitted, {:.3}% blocking; served {served} scrape(s)",
+        metrics.offered,
+        metrics.admitted,
+        metrics.blocking_probability() * 100.0
+    );
     Ok(())
 }
 

@@ -49,12 +49,31 @@ COMMANDS:
       --journal FILE    record the event journal (checkpoint + every
                         provision/teardown/failure/repair/reconfigure) to
                         FILE as JSON; wants --reps 1
+      --trace FILE      record per-request spans + flight records (phase
+                        latencies, outcomes, journal correlation) to FILE
+                        as JSON; wants --reps 1; combines with --journal
+      --flight-cap N    flight-recorder ring capacity (default 512)
       --json            machine-readable output
 
   replay <JOURNAL.json>
       --verify          exit non-zero unless the replayed final state's
                         hash matches the recorded one
+      --telemetry M     json | summary: re-run the recorded simulation
+                        from the journal's embedded config with a live
+                        recorder and print its telemetry
       --json            machine-readable output
+
+  trace analyze <TRACE.json>
+      --top K           show the K slowest requests (default 5)
+      --json            machine-readable output
+
+  serve-metrics --net FILE
+      --port P          listen on 127.0.0.1:P (default 9184; 0 picks an
+                        ephemeral port, printed on startup)
+      --serve-requests N  keep serving until N scrapes answered (default:
+                        exit when the simulation ends)
+      --erlangs E --duration D --holding H --policy P --seed S
+                        simulation shape, as in 'wdm simulate'
 
   batch     --net FILE --mesh K
       --policy P        as above (default cost-only)
@@ -129,6 +148,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "replay" => commands::replay(&rest),
         "batch" => commands::batch(&rest),
         "telemetry" => commands::telemetry(&rest),
+        "trace" => commands::trace(&rest),
+        "serve-metrics" => commands::serve_metrics(&rest),
         other => Err(format!("unknown command '{other}'")),
     }
 }

@@ -353,3 +353,309 @@ fn dot_format_renders() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
 }
+
+/// Drops `*_ns` timing histograms (wall-clock, machine-dependent) from a
+/// telemetry snapshot value; counters and event-shape histograms are pure
+/// functions of (config, seed) and must reproduce exactly.
+fn comparable_telemetry(telemetry: &serde_json::Value) -> serde_json::Value {
+    let counters = telemetry.get("counters").expect("counters").clone();
+    let hists: Vec<(String, serde_json::Value)> = telemetry
+        .get("histograms")
+        .and_then(|h| h.as_object())
+        .expect("histograms")
+        .iter()
+        .filter(|(name, _)| !name.ends_with("_ns"))
+        .cloned()
+        .collect();
+    serde_json::Value::Object(vec![
+        ("counters".to_string(), counters),
+        ("histograms".to_string(), serde_json::Value::Object(hists)),
+    ])
+}
+
+#[test]
+fn trace_record_and_analyze() {
+    let net_path = tmp("trace.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "nsfnet",
+            "--wavelengths",
+            "8",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let trace_path = tmp("trace.json");
+    let out = wdm()
+        .args([
+            "simulate",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--erlangs",
+            "60",
+            "--duration",
+            "200",
+            "--policy",
+            "cost-only",
+            "--seed",
+            "3",
+            "--trace",
+            trace_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Text report renders.
+    let out = wdm()
+        .args(["trace", "analyze", trace_path.to_str().expect("utf8")])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("routed"), "{text}");
+    assert!(text.contains("latency"), "{text}");
+
+    // JSON report: the span layer's structural invariant (sub-phase time
+    // nests inside each request's root span) and the per-phase attribution
+    // covering the bulk of measured time.
+    let out = wdm()
+        .args([
+            "trace",
+            "analyze",
+            trace_path.to_str().expect("utf8"),
+            "--json",
+            "--top",
+            "3",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("trace analyze emits JSON");
+    assert_eq!(
+        v.get("phase_sum_ok"),
+        Some(&serde_json::Value::Bool(true)),
+        "sub-phase durations must nest inside each root span"
+    );
+    let fraction = match v.get("attributed_fraction") {
+        Some(serde_json::Value::Number(n)) => n.as_f64(),
+        other => panic!("attributed_fraction missing: {other:?}"),
+    };
+    // The acceptance bar is 95% on a quiet machine; leave headroom for
+    // noisy CI schedulers inflating the root span between sub-phases.
+    assert!(
+        fraction > 0.90,
+        "per-phase attribution explains only {:.1}% of measured time",
+        fraction * 100.0
+    );
+    let phases = v
+        .get("phase_ns")
+        .and_then(|p| p.as_object())
+        .expect("phase_ns object");
+    for required in ["suurballe_p1", "suurballe_p2", "commit"] {
+        let ns = phases
+            .iter()
+            .find(|(k, _)| k == required)
+            .map(|(_, val)| match val {
+                serde_json::Value::Number(n) => n.as_f64(),
+                _ => 0.0,
+            })
+            .unwrap_or(0.0);
+        assert!(ns > 0.0, "phase '{required}' recorded no time: {phases:?}");
+    }
+    let top = v.get("top").and_then(|t| t.as_array()).expect("top array");
+    assert!(!top.is_empty() && top.len() <= 3, "top-K wants K entries");
+    for entry in top {
+        assert!(entry.get("journal_seq").is_some(), "top entries correlate");
+    }
+}
+
+#[test]
+fn replay_telemetry_matches_live() {
+    let net_path = tmp("replay_telemetry.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "nsfnet",
+            "--wavelengths",
+            "8",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    for policy in ["cost-only", "joint"] {
+        for seed in ["3", "9"] {
+            let base = [
+                "simulate",
+                "--net",
+                net_path.to_str().expect("utf8"),
+                "--erlangs",
+                "40",
+                "--duration",
+                "120",
+                "--policy",
+                policy,
+                "--seed",
+                seed,
+            ];
+            let out = wdm()
+                .args(base)
+                .args(["--telemetry", "json", "--json"])
+                .output()
+                .expect("spawn");
+            assert!(
+                out.status.success(),
+                "{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let live: serde_json::Value =
+                serde_json::from_slice(&out.stdout).expect("live telemetry JSON");
+
+            let journal_path = tmp(&format!("replay_telemetry_{policy}_{seed}.json"));
+            assert!(wdm()
+                .args(base)
+                .args(["--journal", journal_path.to_str().expect("utf8")])
+                .status()
+                .expect("spawn")
+                .success());
+            let out = wdm()
+                .args([
+                    "replay",
+                    journal_path.to_str().expect("utf8"),
+                    "--telemetry",
+                    "json",
+                    "--json",
+                ])
+                .output()
+                .expect("spawn");
+            assert!(
+                out.status.success(),
+                "{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let replayed: serde_json::Value =
+                serde_json::from_slice(&out.stdout).expect("replayed telemetry JSON");
+
+            let live_t = comparable_telemetry(live.get("telemetry").expect("live telemetry"));
+            let replayed_t =
+                comparable_telemetry(replayed.get("telemetry").expect("replayed telemetry"));
+            assert_eq!(
+                live_t, replayed_t,
+                "replayed telemetry diverged from live run ({policy}, seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn serve_metrics_answers_prometheus_scrape() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let net_path = tmp("serve.wdm");
+    assert!(wdm()
+        .args([
+            "topology",
+            "nsfnet",
+            "--wavelengths",
+            "8",
+            "--out",
+            net_path.to_str().expect("utf8"),
+        ])
+        .status()
+        .expect("spawn")
+        .success());
+    let mut child = wdm()
+        .args([
+            "serve-metrics",
+            "--net",
+            net_path.to_str().expect("utf8"),
+            "--erlangs",
+            "40",
+            "--duration",
+            "80",
+            "--port",
+            "0",
+            "--serve-requests",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("address line");
+    let addr = line
+        .trim()
+        .strip_prefix("serving http://")
+        .and_then(|rest| rest.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+
+    let scrape = |addr: &str| -> std::io::Result<String> {
+        let mut conn = std::net::TcpStream::connect(addr)?;
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: wdm\r\nConnection: close\r\n\r\n")?;
+        let mut response = String::new();
+        conn.read_to_string(&mut response)?;
+        Ok(response)
+    };
+
+    let response = scrape(&addr).expect("first scrape");
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "{}",
+        &response[..response.len().min(200)]
+    );
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    assert!(
+        response.contains("wdm_requests_routed_total"),
+        "counter exposition missing: {response}"
+    );
+
+    // The first scrape can land before any request completes, when every
+    // histogram is still empty and thus skipped. Keep scraping while the
+    // simulation makes progress until buckets show up; the server stays
+    // alive until the run ends, so this converges well before it exits.
+    let mut response = response;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !response.contains("_bucket{le=") {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no histogram exposition before timeout: {response}"
+        );
+        match scrape(&addr) {
+            Ok(r) => response = r,
+            // Server already drained and exited — the previous response is
+            // final and must have carried the finished run's histograms.
+            Err(_) => break,
+        }
+    }
+    assert!(
+        response.contains("_bucket{le="),
+        "histogram exposition missing: {response}"
+    );
+
+    // Scrapes answered: the server drains the run and exits cleanly.
+    let status = child.wait().expect("wait");
+    assert!(status.success());
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).ok();
+    assert!(rest.contains("scrape(s)"), "{rest}");
+}

@@ -46,7 +46,9 @@ use crate::aux_graph::{AuxArc, AuxEdgeData, AuxNode, AuxSpec, AuxWeights, Thresh
 use crate::network::{ResidualState, WdmNetwork};
 use wdm_graph::suurballe::DisjointPair;
 use wdm_graph::{DiGraph, EdgeId, NodeId, Path, SearchArena};
-use wdm_telemetry::{CacheOutcome, Counter, Hist, NoopRecorder, Recorder};
+use wdm_telemetry::{
+    CacheOutcome, Counter, Hist, NoopRecorder, NoopTracer, Phase, Recorder, Tracer,
+};
 
 /// What one [`AuxEngine::sync`] call actually recomputed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -520,16 +522,21 @@ impl RequestStats {
 /// skeleton/refresh machinery amortises across every request; one-shot
 /// entry points create a throwaway context internally.
 ///
-/// The context is generic over a [`Recorder`]. The default [`NoopRecorder`]
-/// monomorphises all instrumentation away (every recording site is gated on
-/// `recorder.enabled()`, an `#[inline(always)] false` there), so the
-/// uninstrumented hot path is unchanged; [`RouterCtx::with_recorder`] swaps
-/// in a live recorder such as `&wdm_telemetry::TelemetrySink`.
+/// The context is generic over a [`Recorder`] and a [`Tracer`]. The
+/// defaults [`NoopRecorder`] / [`NoopTracer`] monomorphise all
+/// instrumentation away (every recording site is gated on an
+/// `#[inline(always)] false` `enabled()`), so the uninstrumented hot path
+/// is unchanged; [`RouterCtx::with_recorder`] swaps in a live recorder
+/// such as `&wdm_telemetry::TelemetrySink`, and
+/// [`RouterCtx::with_recorder_and_tracer`] additionally attaches a span
+/// buffer that times the pipeline phases (aux refresh, the two Suurballe
+/// passes, physical map-back, refinement) per request.
 #[derive(Debug, Clone, Default)]
-pub struct RouterCtx<R: Recorder = NoopRecorder> {
+pub struct RouterCtx<R: Recorder = NoopRecorder, T: Tracer = NoopTracer> {
     /// Reusable Dijkstra/Suurballe buffers.
     pub arena: SearchArena,
     recorder: R,
+    tracer: T,
     stats: RequestStats,
     /// Arena alloc-event total at the last [`RouterCtx::begin_request`].
     arena_allocs_at_begin: u64,
@@ -544,18 +551,28 @@ pub struct RouterCtx<R: Recorder = NoopRecorder> {
 }
 
 impl RouterCtx {
-    /// An uninstrumented context (the [`NoopRecorder`] default).
+    /// An uninstrumented context (the [`NoopRecorder`] / [`NoopTracer`]
+    /// defaults).
     pub fn new() -> Self {
         Self::default()
     }
 }
 
-impl<R: Recorder> RouterCtx<R> {
-    /// A context whose searches report into `recorder`.
+impl<R: Recorder> RouterCtx<R, NoopTracer> {
+    /// A context whose searches report into `recorder` (no span tracing).
     pub fn with_recorder(recorder: R) -> Self {
+        Self::with_recorder_and_tracer(recorder, NoopTracer)
+    }
+}
+
+impl<R: Recorder, T: Tracer> RouterCtx<R, T> {
+    /// A context whose searches report into `recorder` and whose pipeline
+    /// phases are timed into `tracer`.
+    pub fn with_recorder_and_tracer(recorder: R, tracer: T) -> Self {
         Self {
             arena: SearchArena::new(),
             recorder,
+            tracer,
             stats: RequestStats::default(),
             arena_allocs_at_begin: 0,
             g_prime: None,
@@ -571,10 +588,13 @@ impl<R: Recorder> RouterCtx<R> {
     /// carried over (skeletons stay warm), but every engine is invalidated
     /// so the first sync against the worker's snapshot re-weights from that
     /// state instead of trusting the parent's change clocks, and warm-start
-    /// memory tied to the parent's lineage is dropped.
+    /// memory tied to the parent's lineage is dropped. A live span buffer
+    /// clones *empty* (sharing the clock domain), so the worker records its
+    /// own spans from ordinal zero.
     pub fn fork(&self) -> Self
     where
         R: Clone,
+        T: Clone,
     {
         let mut ctx = self.clone();
         ctx.invalidate();
@@ -584,6 +604,11 @@ impl<R: Recorder> RouterCtx<R> {
     /// The attached recorder.
     pub fn recorder(&self) -> &R {
         &self.recorder
+    }
+
+    /// The attached tracer.
+    pub fn tracer(&self) -> &T {
+        &self.tracer
     }
 
     /// Resets the per-request accumulator. Call once per request before
@@ -626,22 +651,25 @@ impl<R: Recorder> RouterCtx<R> {
     }
 
     /// The engine for `spec`'s family (building it on first use or after a
-    /// network change) with its threshold set, plus the arena — returned
-    /// together so both can be borrowed at once. The `bool` reports whether
-    /// the skeleton was (re)built.
-    pub(crate) fn engine(
-        &mut self,
+    /// network change) with its threshold set. Slot selection and (re)build
+    /// run over the five engine slots borrowed
+    /// individually so callers can keep disjoint borrows of the context's
+    /// other fields (arena, tracer) alive alongside the returned engine.
+    fn engine_slot<'a>(
+        g_prime: &'a mut Option<AuxEngine>,
+        g_c: &'a mut Option<AuxEngine>,
+        g_c_prospective: &'a mut Option<AuxEngine>,
+        g_rc: &'a mut Option<AuxEngine>,
+        g_rc_printed: &'a mut Option<AuxEngine>,
         net: &WdmNetwork,
         spec: AuxSpec,
-    ) -> (&mut AuxEngine, &mut SearchArena, bool) {
+    ) -> (&'a mut AuxEngine, bool) {
         let slot = match (spec.weights, spec.basis) {
-            (AuxWeights::AverageCost, _) if spec.threshold.is_none() => &mut self.g_prime,
-            (AuxWeights::AverageCost, _) => &mut self.g_rc,
-            (AuxWeights::AverageCostOverN, _) => &mut self.g_rc_printed,
-            (AuxWeights::CongestionExp { .. }, ThresholdBasis::CurrentLoad) => &mut self.g_c,
-            (AuxWeights::CongestionExp { .. }, ThresholdBasis::ProspectiveLoad) => {
-                &mut self.g_c_prospective
-            }
+            (AuxWeights::AverageCost, _) if spec.threshold.is_none() => g_prime,
+            (AuxWeights::AverageCost, _) => g_rc,
+            (AuxWeights::AverageCostOverN, _) => g_rc_printed,
+            (AuxWeights::CongestionExp { .. }, ThresholdBasis::CurrentLoad) => g_c,
+            (AuxWeights::CongestionExp { .. }, ThresholdBasis::ProspectiveLoad) => g_c_prospective,
         };
         let reuse = slot.as_ref().is_some_and(|eng| {
             eng.matches(net) && eng.spec().weights == spec.weights && eng.spec().basis == spec.basis
@@ -651,7 +679,7 @@ impl<R: Recorder> RouterCtx<R> {
         }
         let eng = slot.as_mut().expect("just ensured");
         eng.set_threshold(spec.threshold);
-        (eng, &mut self.arena, !reuse)
+        (eng, !reuse)
     }
 
     /// Syncs the engine for `spec` and runs Suurballe over the enabled
@@ -666,22 +694,60 @@ impl<R: Recorder> RouterCtx<R> {
     ) -> Option<(DisjointPair, [Vec<EdgeId>; 2])> {
         let enabled = self.recorder.enabled();
         let start = enabled.then(std::time::Instant::now);
-        let (eng, arena, built) = self.engine(net, spec);
+        let RouterCtx {
+            arena,
+            tracer,
+            g_prime,
+            g_c,
+            g_c_prospective,
+            g_rc,
+            g_rc_printed,
+            ..
+        } = &mut *self;
+        let (eng, built) =
+            Self::engine_slot(g_prime, g_c, g_c_prospective, g_rc, g_rc_printed, net, spec);
+        let tracing = tracer.enabled();
+        let sync_t0 = tracer.now_ns();
         let sync = eng.sync(net, state, s, t);
+        if tracing {
+            tracer.record(Phase::AuxRefresh, sync_t0);
+        }
         let eng: &AuxEngine = eng;
+        let p1_t0 = tracer.now_ns();
+        // The staged callback fires between the two Suurballe passes; it
+        // closes the pass-1 span and opens the pass-2 stamp. If pass 1
+        // fails (t unreachable) it never fires and neither span records.
+        let mut p2_t0 = None;
         let result = arena
-            .edge_disjoint_pair(
+            .edge_disjoint_pair_staged(
                 eng.graph(),
                 eng.source(),
                 eng.sink(),
                 |e| eng.weight(e),
                 |e| eng.enabled(e),
+                || {
+                    if tracing {
+                        tracer.record(Phase::SuurballeP1, p1_t0);
+                        p2_t0 = Some(tracer.now_ns());
+                    }
+                },
             )
             .map(|pair| {
+                if let Some(t0) = p2_t0.take() {
+                    tracer.record(Phase::SuurballeP2, t0);
+                }
+                let mb_t0 = tracer.now_ns();
                 let phys_a = eng.physical_edges(&pair.paths[0]);
                 let phys_b = eng.physical_edges(&pair.paths[1]);
+                if tracing {
+                    tracer.record(Phase::MapBack, mb_t0);
+                }
                 (pair, [phys_a, phys_b])
             });
+        if let Some(t0) = p2_t0 {
+            // Pass 2 ran but found no second path: still attribute it.
+            tracer.record(Phase::SuurballeP2, t0);
+        }
         if enabled {
             self.record_search(built, sync, start);
         }

@@ -23,7 +23,7 @@ use crate::network::{ResidualState, WdmNetwork};
 use crate::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath_filtered};
 use crate::semilightpath::{RobustRoute, Semilightpath};
 use wdm_graph::{EdgeId, NodeId};
-use wdm_telemetry::{NoopRecorder, Recorder};
+use wdm_telemetry::{NoopRecorder, NoopTracer, Phase, Recorder, Tracer};
 
 /// Diagnostics from one §3.3 run, used by the Lemma 2 / Theorem 2
 /// experiments.
@@ -121,9 +121,9 @@ impl RouteFootprint {
 /// assert_eq!(state.network_load(&net), 0.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct RobustRouteFinder<'a, R: Recorder = NoopRecorder> {
+pub struct RobustRouteFinder<'a, R: Recorder = NoopRecorder, T: Tracer = NoopTracer> {
     net: &'a WdmNetwork,
-    ctx: RouterCtx<R>,
+    ctx: RouterCtx<R, T>,
 }
 
 impl<'a> RobustRouteFinder<'a> {
@@ -142,6 +142,17 @@ impl<'a, R: Recorder> RobustRouteFinder<'a, R> {
         Self {
             net,
             ctx: RouterCtx::with_recorder(recorder),
+        }
+    }
+}
+
+impl<'a, R: Recorder, T: Tracer> RobustRouteFinder<'a, R, T> {
+    /// Creates a finder over `net` reporting into `recorder` with pipeline
+    /// phases timed into `tracer`.
+    pub fn with_recorder_and_tracer(net: &'a WdmNetwork, recorder: R, tracer: T) -> Self {
+        Self {
+            net,
+            ctx: RouterCtx::with_recorder_and_tracer(recorder, tracer),
         }
     }
 
@@ -170,8 +181,8 @@ impl<'a, R: Recorder> RobustRouteFinder<'a, R> {
 /// The §3.3 pipeline over a caller-owned [`RouterCtx`] — the hot-path entry
 /// point shared by [`RobustRouteFinder`], the simulator's cost-only policy
 /// and the benchmarks.
-pub fn robust_route_ctx<R: Recorder>(
-    ctx: &mut RouterCtx<R>,
+pub fn robust_route_ctx<R: Recorder, T: Tracer>(
+    ctx: &mut RouterCtx<R, T>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -184,8 +195,14 @@ pub fn robust_route_ctx<R: Recorder>(
         .disjoint_pair(net, state, s, t, AuxSpec::g_prime())
         .ok_or(RoutingError::NoDisjointPair)?;
 
-    let leg_a = refine_leg(net, state, s, t, &phys_a)?;
-    let leg_b = refine_leg(net, state, s, t, &phys_b)?;
+    let tracing = ctx.tracer().enabled();
+    let refine_t0 = ctx.tracer().now_ns();
+    let leg_a = refine_leg(net, state, s, t, &phys_a);
+    let leg_b = refine_leg(net, state, s, t, &phys_b);
+    if tracing {
+        ctx.tracer().record(Phase::Refine, refine_t0);
+    }
+    let (leg_a, leg_b) = (leg_a?, leg_b?);
     debug_assert!(
         !leg_a.shares_edge_with(&leg_b),
         "Lemma 2: refinement must preserve edge-disjointness"

@@ -20,7 +20,7 @@ use crate::mincog::{find_two_paths_mincog_ctx, route_bottleneck_load};
 use crate::network::{ResidualState, WdmNetwork};
 use crate::semilightpath::RobustRoute;
 use wdm_graph::NodeId;
-use wdm_telemetry::Recorder;
+use wdm_telemetry::{Recorder, Tracer};
 
 /// Result of the §4.2 joint optimisation.
 #[derive(Debug, Clone)]
@@ -49,8 +49,8 @@ pub fn find_two_paths_joint(
 /// [`find_two_paths_joint`] over a caller-owned [`RouterCtx`]: both phases
 /// run on incrementally maintained auxiliary-graph engines (`G_c` for the
 /// threshold search, `G_rc` for the cost pass) that persist across requests.
-pub fn find_two_paths_joint_ctx<R: Recorder>(
-    ctx: &mut RouterCtx<R>,
+pub fn find_two_paths_joint_ctx<R: Recorder, T: Tracer>(
+    ctx: &mut RouterCtx<R, T>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -74,8 +74,8 @@ pub fn find_two_paths_joint_as_printed(
 }
 
 /// [`find_two_paths_joint_as_printed`] over a caller-owned [`RouterCtx`].
-pub fn find_two_paths_joint_as_printed_ctx<R: Recorder>(
-    ctx: &mut RouterCtx<R>,
+pub fn find_two_paths_joint_as_printed_ctx<R: Recorder, T: Tracer>(
+    ctx: &mut RouterCtx<R, T>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -85,8 +85,8 @@ pub fn find_two_paths_joint_as_printed_ctx<R: Recorder>(
     find_two_paths_joint_with(ctx, net, state, s, t, a, true)
 }
 
-fn find_two_paths_joint_with<R: Recorder>(
-    ctx: &mut RouterCtx<R>,
+fn find_two_paths_joint_with<R: Recorder, T: Tracer>(
+    ctx: &mut RouterCtx<R, T>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,

@@ -66,5 +66,7 @@ pub mod prelude {
     pub use crate::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath};
     pub use crate::semilightpath::{Hop, RobustRoute, Semilightpath};
     pub use crate::wavelength::{Wavelength, WavelengthSet};
-    pub use wdm_telemetry::{NoopRecorder, Recorder, TelemetrySink};
+    pub use wdm_telemetry::{
+        NoopRecorder, NoopTracer, Phase, Recorder, SpanBuffer, TelemetrySink, Tracer,
+    };
 }

@@ -34,7 +34,7 @@ use crate::error::RoutingError;
 use crate::network::{ResidualState, WdmNetwork};
 use crate::semilightpath::RobustRoute;
 use wdm_graph::{EdgeId, NodeId};
-use wdm_telemetry::{Counter, Hist, Recorder};
+use wdm_telemetry::{Counter, Hist, Recorder, Tracer};
 
 /// Default exponential base `a` for the congestion weights. The paper only
 /// requires `a > 1`; the experiments sweep `a ∈ {2, e, 10}`.
@@ -75,8 +75,8 @@ impl MinCogOutcome {
 /// mask changes between thresholds, so each probe after the first is an
 /// `O(m)` re-mask plus the searches — no graph construction, no `O(W²)`
 /// conversion sums.
-pub(crate) fn probe_route<R: Recorder>(
-    ctx: &mut RouterCtx<R>,
+pub(crate) fn probe_route<R: Recorder, T: Tracer>(
+    ctx: &mut RouterCtx<R, T>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -166,8 +166,8 @@ fn ladder_rung(theta_min: f64, theta_max: f64, i: u32) -> f64 {
 /// known) infeasible, hence ϑ* > ϑ/2. Without full conversion, refinement
 /// failures can make feasibility non-monotone and the warm start is
 /// disabled.
-pub fn find_two_paths_mincog_ctx<R: Recorder>(
-    ctx: &mut RouterCtx<R>,
+pub fn find_two_paths_mincog_ctx<R: Recorder, T: Tracer>(
+    ctx: &mut RouterCtx<R, T>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,
@@ -266,7 +266,7 @@ pub fn find_two_paths_mincog_ctx<R: Recorder>(
 }
 
 /// Cold path: reports one threshold search's probe count.
-fn record_probes<R: Recorder>(ctx: &RouterCtx<R>, probes: usize) {
+fn record_probes<R: Recorder, T: Tracer>(ctx: &RouterCtx<R, T>, probes: usize) {
     if ctx.recorder().enabled() {
         ctx.recorder().add(Counter::ThresholdProbes, probes as u64);
         ctx.recorder().observe(Hist::ThresholdProbes, probes as u64);
@@ -297,8 +297,8 @@ pub fn exact_min_load_threshold(
 
 /// [`exact_min_load_threshold`] over a caller-owned [`RouterCtx`] (see
 /// [`find_two_paths_mincog_ctx`] for what sharing buys).
-pub fn exact_min_load_threshold_ctx<R: Recorder>(
-    ctx: &mut RouterCtx<R>,
+pub fn exact_min_load_threshold_ctx<R: Recorder, T: Tracer>(
+    ctx: &mut RouterCtx<R, T>,
     net: &WdmNetwork,
     state: &ResidualState,
     s: NodeId,

@@ -215,8 +215,24 @@ impl SearchArena {
         g: &DiGraph<N, E>,
         s: NodeId,
         t: NodeId,
+        cost: impl FnMut(EdgeId) -> f64,
+        filter: impl FnMut(EdgeId) -> bool,
+    ) -> Option<crate::suurballe::DisjointPair> {
+        self.edge_disjoint_pair_staged(g, s, t, cost, filter, || {})
+    }
+
+    /// [`SearchArena::edge_disjoint_pair`] with a stage boundary hook:
+    /// `pass1_done` fires once after the pass-1 tree and P1 extraction,
+    /// immediately before the residual graph is built — the natural
+    /// observation point for per-pass timing. Results are identical.
+    pub fn edge_disjoint_pair_staged<N, E>(
+        &mut self,
+        g: &DiGraph<N, E>,
+        s: NodeId,
+        t: NodeId,
         mut cost: impl FnMut(EdgeId) -> f64,
         mut filter: impl FnMut(EdgeId) -> bool,
+        mut pass1_done: impl FnMut(),
     ) -> Option<crate::suurballe::DisjointPair> {
         if s == t {
             return None;
@@ -239,6 +255,7 @@ impl SearchArena {
         for &e in &p1.edges {
             self.mask.set(e.index(), true);
         }
+        pass1_done();
 
         // Pass 2: residual graph with reduced costs.
         let n = g.node_count();

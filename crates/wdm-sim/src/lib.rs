@@ -51,9 +51,13 @@ pub mod prelude {
     };
     pub use crate::speculative::{
         distinct_static_costs, provision_batch_speculative, provision_batch_speculative_journaled,
-        SpeculationStats,
+        provision_batch_speculative_observed, SpeculationStats,
     };
     pub use crate::traffic::{HoldingDist, PairSelection, TrafficModel};
     pub use wdm_core::journal::{EventSink, NetEvent, NoopSink, ReplayError, StateJournal, Txn};
-    pub use wdm_telemetry::{NoopRecorder, Recorder, TelemetrySink, TelemetrySnapshot};
+    pub use wdm_telemetry::{
+        FlightAnnotation, FlightAnomaly, FlightDump, FlightRecord, FlightRecorder, ManualClock,
+        MonotonicClock, NoopRecorder, NoopTracer, Phase, Recorder, SpanBuffer, SpanRecord,
+        TelemetrySink, TelemetrySnapshot, Tracer,
+    };
 }

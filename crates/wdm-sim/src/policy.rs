@@ -9,7 +9,7 @@ use wdm_core::mincog::find_two_paths_mincog_ctx;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{Hop, RobustRoute, Semilightpath};
 use wdm_graph::NodeId;
-use wdm_telemetry::{Counter, Hist, Recorder, RouteTrace};
+use wdm_telemetry::{Counter, Hist, Recorder, RouteTrace, Tracer};
 
 /// A provisioned route: protected (primary + backup) or unprotected.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -197,10 +197,14 @@ impl Policy {
     /// When `ctx` carries a live [`Recorder`], every call emits the request
     /// outcome (admission or blocking cause), cost/hop histograms and a
     /// structured [`RouteTrace`]; with the default `NoopRecorder` all of
-    /// that compiles away.
-    pub fn route_ctx<R: Recorder>(
+    /// that compiles away. When `ctx` carries a live [`Tracer`], every call
+    /// opens a new span ordinal (`Tracer::begin_request`) and the pipeline
+    /// records its phase spans into it; the *caller* owning the surrounding
+    /// commit records the root `Phase::Request` span and any commit/abort
+    /// spans, since routing alone can't see the decision's fate.
+    pub fn route_ctx<R: Recorder, T: Tracer>(
         &self,
-        ctx: &mut RouterCtx<R>,
+        ctx: &mut RouterCtx<R, T>,
         net: &WdmNetwork,
         state: &ResidualState,
         s: NodeId,
@@ -210,6 +214,7 @@ impl Policy {
         if enabled {
             ctx.begin_request();
         }
+        ctx.tracer().begin_request();
         let start = enabled.then(std::time::Instant::now);
         let result = self.dispatch(ctx, net, state, s, t);
         if let Some(start) = start {
@@ -218,9 +223,9 @@ impl Policy {
         result
     }
 
-    fn dispatch<R: Recorder>(
+    fn dispatch<R: Recorder, T: Tracer>(
         &self,
-        ctx: &mut RouterCtx<R>,
+        ctx: &mut RouterCtx<R, T>,
         net: &WdmNetwork,
         state: &ResidualState,
         s: NodeId,
@@ -259,8 +264,8 @@ impl Policy {
 /// Records the outcome of one routing request (admission counters, blocking
 /// cause, cost/hop histograms, structured trace). Only called when the
 /// recorder is enabled.
-fn record_request<R: Recorder>(
-    ctx: &RouterCtx<R>,
+fn record_request<R: Recorder, T: Tracer>(
+    ctx: &RouterCtx<R, T>,
     s: NodeId,
     t: NodeId,
     result: &Result<ProvisionedRoute, RoutingError>,

@@ -29,7 +29,9 @@ use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{Hop, Semilightpath};
 use wdm_core::wavelength::{Wavelength, WavelengthSet};
 use wdm_graph::{EdgeId, NodeId};
-use wdm_telemetry::{Counter, Hist, NoopRecorder, Recorder};
+use wdm_telemetry::{
+    Counter, FlightRecorder, Hist, NoopRecorder, NoopTracer, Phase, Recorder, Tracer,
+};
 
 /// One shared backup channel: the connections using it and the union of
 /// the primary links it protects.
@@ -194,7 +196,13 @@ pub struct SharedConnection {
 /// [`NetEvent::Teardown`] per release. Pool reservations are *not*
 /// journaled — they live outside the [`ResidualState`] the journal's
 /// checkpoint/replay contract covers — so replaying a shared-provisioner
-/// journal reconstructs `working`, not the pool overlay.
+/// journal reconstructs `working`, not the pool overlay. Two observability
+/// channels cover that gap: every pool mutation bumps
+/// [`Counter::PoolReserve`] / [`Counter::PoolRelease`], and with a
+/// [`FlightRecorder`] attached each mutation also leaves an annotation
+/// stamped with the provisioner's own journal sequence number, so a
+/// replay consumer can line the un-journaled pool activity up against the
+/// working-state lineage it *can* reconstruct.
 pub struct SharedProvisioner<'a, R: Recorder = NoopRecorder, J: EventSink = NoopSink> {
     net: &'a WdmNetwork,
     recorder: R,
@@ -206,6 +214,10 @@ pub struct SharedProvisioner<'a, R: Recorder = NoopRecorder, J: EventSink = Noop
     /// Primary edge sets per live connection (for release-time rebuilds).
     primaries: HashMap<u64, Vec<EdgeId>>,
     next_id: u64,
+    /// Events appended to `journal` so far (annotation correlation).
+    journal_seq: u64,
+    /// Optional flight recorder receiving pool-mutation annotations.
+    flight: Option<&'a FlightRecorder>,
 }
 
 impl<'a> SharedProvisioner<'a> {
@@ -240,7 +252,16 @@ impl<'a, R: Recorder, J: EventSink> SharedProvisioner<'a, R, J> {
             pool: SharedBackupPool::new(),
             primaries: HashMap::new(),
             next_id: 0,
+            journal_seq: 0,
+            flight: None,
         }
+    }
+
+    /// Attaches a flight recorder: every pool reserve/release from now on
+    /// leaves an annotation correlated with the journal sequence number,
+    /// covering the pool's un-journaled mutations (see the type docs).
+    pub fn attach_flight_recorder(&mut self, flight: &'a FlightRecorder) {
+        self.flight = Some(flight);
     }
 
     /// The state a *routing* decision must see: working channels plus all
@@ -263,10 +284,37 @@ impl<'a, R: Recorder, J: EventSink> SharedProvisioner<'a, R, J> {
     /// the two edge-disjoint paths on the fully-reserved view; the backup's
     /// wavelengths are then re-assigned by the sharing-aware DP.
     pub fn provision(&mut self, s: NodeId, t: NodeId) -> Result<SharedConnection, RoutingError> {
+        self.provision_traced(s, t, &NoopTracer)
+    }
+
+    /// As [`SharedProvisioner::provision`], recording spans on `tracer`:
+    /// one root [`Phase::Request`] span per call, the routing sub-phases
+    /// underneath it, and a [`Phase::Commit`] span around the working/pool
+    /// mutation when the request succeeds.
+    pub fn provision_traced<T: Tracer>(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        tracer: &T,
+    ) -> Result<SharedConnection, RoutingError> {
+        let tracing = tracer.enabled();
+        tracer.begin_request();
+        let req_t0 = tracer.now_ns();
         let routing_view = self.routing_state();
-        let mut ctx = RouterCtx::with_recorder(&self.recorder);
-        let found = self.find_on(&routing_view, &mut ctx, s, t)?;
-        self.commit_found(found)
+        let mut ctx = RouterCtx::with_recorder_and_tracer(&self.recorder, tracer);
+        let found = self.find_on(&routing_view, &mut ctx, s, t);
+        let out = found.and_then(|f| {
+            let commit_t0 = tracer.now_ns();
+            let conn = self.commit_found(f);
+            if tracing {
+                tracer.record(Phase::Commit, commit_t0);
+            }
+            conn
+        });
+        if tracing {
+            tracer.record(Phase::Request, req_t0);
+        }
+        out
     }
 
     /// The pure *find* stage of [`SharedProvisioner::provision`]: the §3.3
@@ -274,10 +322,10 @@ impl<'a, R: Recorder, J: EventSink> SharedProvisioner<'a, R, J> {
     /// assignment against the current pool, with no mutation. Split out so
     /// the speculative batch path can run it against a frozen view on
     /// worker contexts.
-    fn find_on<R2: Recorder>(
+    fn find_on<R2: Recorder, T2: Tracer>(
         &self,
         routing_view: &ResidualState,
-        ctx: &mut RouterCtx<R2>,
+        ctx: &mut RouterCtx<R2, T2>,
         s: NodeId,
         t: NodeId,
     ) -> Result<FoundConnection, RoutingError> {
@@ -313,6 +361,7 @@ impl<'a, R: Recorder, J: EventSink> SharedProvisioner<'a, R, J> {
             .occupy(self.net, &mut self.working)
             .map_err(|_| RoutingError::RefinementInfeasible)?;
         if self.journal.enabled() {
+            self.journal_seq += 1;
             self.journal.record(NetEvent::Provision {
                 id: self.next_id,
                 channels: primary.hops.clone(),
@@ -329,6 +378,19 @@ impl<'a, R: Recorder, J: EventSink> SharedProvisioner<'a, R, J> {
             self.recorder.add(
                 Counter::SharedBackupChannelsFresh,
                 (backup.hops.len() - shared_hops) as u64,
+            );
+        }
+        if self.recorder.enabled() {
+            self.recorder.add(Counter::PoolReserve, 1);
+        }
+        if let Some(fr) = self.flight {
+            fr.annotate(
+                self.journal_seq,
+                format!(
+                    "pool reserve conn={} hops={} shared={shared_hops}",
+                    self.next_id,
+                    backup.hops.len()
+                ),
             );
         }
         self.pool
@@ -526,12 +588,26 @@ impl<'a, R: Recorder, J: EventSink> SharedProvisioner<'a, R, J> {
     pub fn release(&mut self, conn: &SharedConnection) {
         conn.primary.release(&mut self.working);
         if self.journal.enabled() {
+            self.journal_seq += 1;
             self.journal.record(NetEvent::Teardown {
                 id: conn.id,
                 channels: conn.primary.hops.clone(),
             });
         }
         self.primaries.remove(&conn.id);
+        if self.recorder.enabled() {
+            self.recorder.add(Counter::PoolRelease, 1);
+        }
+        if let Some(fr) = self.flight {
+            fr.annotate(
+                self.journal_seq,
+                format!(
+                    "pool release conn={} hops={}",
+                    conn.id,
+                    conn.backup.hops.len()
+                ),
+            );
+        }
         let _ = self.pool.release(conn.id, &self.primaries);
     }
 
@@ -619,6 +695,60 @@ mod tests {
             p.channels_in_use(),
             p.dedicated_equivalent()
         );
+    }
+
+    #[test]
+    fn pool_mutations_are_counted_and_annotated() {
+        use wdm_core::journal::StateJournal;
+        use wdm_telemetry::{SpanBuffer, TelemetrySink};
+
+        let net = net();
+        let sink = TelemetrySink::new();
+        let journal = StateJournal::new(ResidualState::fresh(&net));
+        let flight = FlightRecorder::new();
+        let tracer = SpanBuffer::new();
+        let mut p = SharedProvisioner::with_recorder_and_journal(&net, &sink, journal);
+        p.attach_flight_recorder(&flight);
+
+        let a = p.provision_traced(NodeId(0), NodeId(13), &tracer).unwrap();
+        let b = p.provision_traced(NodeId(2), NodeId(11), &tracer).unwrap();
+        p.release(&a);
+
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters["pool_reserve"], 2);
+        assert_eq!(snap.counters["pool_release"], 1);
+
+        // Annotations carry the journal sequence the pool mutation rode
+        // with: reserve n happens with n provisions journaled, the release
+        // after the third event (2 provisions + 1 teardown).
+        let dump = flight.dump();
+        assert_eq!(dump.annotations.len(), 3);
+        assert!(dump.annotations[0].note.starts_with("pool reserve conn=0"));
+        assert_eq!(dump.annotations[0].journal_seq, 1);
+        assert!(dump.annotations[1].note.starts_with("pool reserve conn=1"));
+        assert_eq!(dump.annotations[1].journal_seq, 2);
+        assert!(dump.annotations[2].note.starts_with("pool release conn=0"));
+        assert_eq!(dump.annotations[2].journal_seq, 3);
+
+        // Spans: one root per provision, each with a commit underneath and
+        // sub-phases that fit inside the root.
+        assert_eq!(tracer.requests_begun(), 2);
+        let recs = tracer.records();
+        assert_eq!(recs.iter().filter(|r| r.phase == Phase::Request).count(), 2);
+        assert_eq!(recs.iter().filter(|r| r.phase == Phase::Commit).count(), 2);
+        for req in 0..2u64 {
+            let root = recs
+                .iter()
+                .find(|r| r.request == req && r.phase == Phase::Request)
+                .unwrap();
+            let sub: u64 = recs
+                .iter()
+                .filter(|r| r.request == req && r.phase != Phase::Request)
+                .map(|r| r.duration_ns())
+                .sum();
+            assert!(sub <= root.duration_ns());
+        }
+        let _ = b;
     }
 
     #[test]

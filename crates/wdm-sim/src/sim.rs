@@ -19,7 +19,9 @@ use wdm_core::network::{ResidualState, StateError, WdmNetwork};
 use wdm_core::optimal_slp::optimal_semilightpath_filtered;
 use wdm_core::semilightpath::{Hop, RobustRoute, Semilightpath};
 use wdm_graph::{EdgeId, NodeId};
-use wdm_telemetry::{NoopRecorder, Recorder};
+use wdm_telemetry::{
+    FlightRecord, FlightRecorder, NoopRecorder, NoopTracer, Phase, Recorder, Tracer,
+};
 
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -96,15 +98,31 @@ struct Connection {
 /// [`Simulator::with_recorder_and_journal`] records every state mutation —
 /// provision, teardown, failure, repair, recovery and reconfiguration
 /// moves — so the run can be replayed bit-identically from its journal.
-pub struct Simulator<'a, R: Recorder = NoopRecorder, J: EventSink = NoopSink> {
+///
+/// And generic over the span [`Tracer`]: with the default [`NoopTracer`]
+/// phase timing compiles away; [`Simulator::with_observability`] attaches a
+/// live span buffer (per-request phase spans) and, optionally, a
+/// [`FlightRecorder`] whose per-request records carry the journal sequence
+/// number current when each request was decided — the correlation `wdm
+/// replay` needs to reconstruct the exact state a pathological request saw.
+pub struct Simulator<
+    'a,
+    R: Recorder = NoopRecorder,
+    J: EventSink = NoopSink,
+    T: Tracer = NoopTracer,
+> {
     net: &'a WdmNetwork,
     cfg: SimConfig,
     state: ResidualState,
     /// Incremental auxiliary-graph engines + search buffers, shared by every
     /// routing call of the run (the simulator's `state` is a single mutation
     /// lineage, so the engines' dirty-link tracking stays sound).
-    ctx: RouterCtx<R>,
+    ctx: RouterCtx<R, T>,
     journal: J,
+    /// Events appended to `journal` so far (the flight recorder stamps each
+    /// request with the value *before* the request's own events).
+    journal_seq: u64,
+    flight: Option<&'a FlightRecorder>,
     queue: EventQueue,
     rng: ChaCha8Rng,
     connections: HashMap<u64, Connection>,
@@ -141,12 +159,30 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
         recorder: R,
         journal: J,
     ) -> Self {
+        Self::with_observability(net, cfg, recorder, journal, NoopTracer, None)
+    }
+}
+
+impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
+    /// The fully instrumented constructor: telemetry `recorder`, lifecycle
+    /// `journal`, span `tracer` (e.g. `&SpanBuffer`) and an optional flight
+    /// recorder collecting one record per arrival.
+    pub fn with_observability(
+        net: &'a WdmNetwork,
+        cfg: SimConfig,
+        recorder: R,
+        journal: J,
+        tracer: T,
+        flight: Option<&'a FlightRecorder>,
+    ) -> Self {
         Self {
             net,
             cfg,
             state: ResidualState::fresh(net),
-            ctx: RouterCtx::with_recorder(recorder),
+            ctx: RouterCtx::with_recorder_and_tracer(recorder, tracer),
             journal,
+            journal_seq: 0,
+            flight,
             queue: EventQueue::new(),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             connections: HashMap::new(),
@@ -156,6 +192,15 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
             last_reconfig: f64::NEG_INFINITY,
             last_integral_at: 0.0,
         }
+    }
+
+    /// Appends one event to the journal, advancing the sequence counter the
+    /// flight recorder stamps requests with. All journal writes go through
+    /// here (call sites still gate on `journal.enabled()` so payloads are
+    /// never built for the [`NoopSink`]).
+    fn journal_event(&mut self, event: NetEvent) {
+        self.journal_seq += 1;
+        self.journal.record(event);
     }
 
     /// Accumulates the time-weighted network-load integral up to `self.now`
@@ -220,12 +265,17 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
             .traffic
             .draw_pair(self.net.node_count(), &mut self.rng);
         self.metrics.offered += 1;
-        match self
+        let tracing = self.ctx.tracer().enabled();
+        let req_t0 = self.ctx.tracer().now_ns();
+        let seq_before = self.journal_seq;
+        let mut footprint_links = 0u32;
+        let routed = match self
             .cfg
             .policy
             .route_ctx(&mut self.ctx, self.net, &self.state, s, t)
         {
             Ok(route) => {
+                let commit_t0 = self.ctx.tracer().now_ns();
                 route
                     .occupy(self.net, &mut self.state)
                     .expect("route computed against current state must occupy");
@@ -240,10 +290,13 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
                 let id = self.next_conn;
                 self.next_conn += 1;
                 if self.journal.enabled() {
-                    self.journal.record(NetEvent::Provision {
+                    self.journal_event(NetEvent::Provision {
                         id,
                         channels: route.channels(),
                     });
+                }
+                if self.flight.is_some() {
+                    footprint_links = route.footprint().links.len() as u32;
                 }
                 self.connections.insert(
                     id,
@@ -256,10 +309,33 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
                 let hold = self.cfg.traffic.holding(&mut self.rng);
                 self.queue
                     .schedule(self.now + hold, Event::Departure { conn: id });
+                if tracing {
+                    self.ctx.tracer().record(Phase::Commit, commit_t0);
+                }
+                true
             }
             Err(_) => {
                 self.metrics.blocked += 1;
+                false
             }
+        };
+        if tracing {
+            self.ctx.tracer().record(Phase::Request, req_t0);
+        }
+        if let Some(fr) = self.flight {
+            let phase_ns = self.ctx.tracer().last_request_phases();
+            fr.push(FlightRecord {
+                request: fr.total_requests(),
+                src: s.0,
+                dst: t.0,
+                policy: self.cfg.policy.name().to_string(),
+                outcome: if routed { "routed" } else { "blocked" }.to_string(),
+                journal_seq: seq_before,
+                footprint_links,
+                phase_ns: phase_ns.to_vec(),
+                total_ns: phase_ns[Phase::Request as usize],
+                abort_cause: None,
+            });
         }
         // Load sample + optional reconfiguration.
         let rho = self.state.network_load(self.net);
@@ -286,7 +362,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
         if let Some(c) = self.connections.remove(&conn) {
             c.route.release(&mut self.state);
             if self.journal.enabled() {
-                self.journal.record(NetEvent::Teardown {
+                self.journal_event(NetEvent::Teardown {
                     id: conn,
                     channels: c.route.channels(),
                 });
@@ -297,7 +373,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
     fn on_repair(&mut self, link: EdgeId) {
         self.state.repair_link(link);
         if self.journal.enabled() {
-            self.journal.record(NetEvent::RepairLink { link });
+            self.journal_event(NetEvent::RepairLink { link });
         }
     }
 
@@ -328,7 +404,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
         self.metrics.failures_injected += 1;
         self.state.fail_link(link);
         if self.journal.enabled() {
-            self.journal.record(NetEvent::FailLink { link });
+            self.journal_event(NetEvent::FailLink { link });
         }
         self.queue.schedule(
             self.now + sample_exp(&mut self.rng, 1.0 / self.cfg.mean_repair),
@@ -377,7 +453,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
                                 self.metrics.backups_reprovisioned += 1;
                             }
                             if self.journal.enabled() {
-                                self.journal.record(NetEvent::Reconfigure {
+                                self.journal_event(NetEvent::Reconfigure {
                                     id,
                                     released,
                                     occupied: new_backup
@@ -407,7 +483,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
                                 self.metrics.backups_reprovisioned += 1;
                             }
                             if self.journal.enabled() {
-                                self.journal.record(NetEvent::Reconfigure {
+                                self.journal_event(NetEvent::Reconfigure {
                                     id,
                                     released,
                                     occupied: new_backup
@@ -452,7 +528,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
                     .occupy(self.net, &mut self.state)
                     .expect("fresh route must occupy");
                 if self.journal.enabled() {
-                    self.journal.record(NetEvent::Reconfigure {
+                    self.journal_event(NetEvent::Reconfigure {
                         id,
                         released,
                         occupied: route.channels(),
@@ -466,7 +542,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
             }
             Err(_) => {
                 if self.journal.enabled() {
-                    self.journal.record(NetEvent::Reconfigure {
+                    self.journal_event(NetEvent::Reconfigure {
                         id,
                         released,
                         occupied: Vec::new(),
@@ -567,7 +643,7 @@ impl<'a, R: Recorder, J: EventSink> Simulator<'a, R, J> {
                     }
                     txn.commit();
                     if self.journal.enabled() {
-                        self.journal.record(NetEvent::Reconfigure {
+                        self.journal_event(NetEvent::Reconfigure {
                             id,
                             released,
                             occupied,
@@ -886,5 +962,54 @@ mod tests {
         let m = run_sim(&net, base_cfg(Policy::Joint { a: 2.0 }, 9));
         assert!(m.admitted > 0);
         assert!(m.mean_route_cost() > 0.0);
+    }
+
+    #[test]
+    fn spans_and_flight_records_cover_every_request() {
+        use wdm_core::journal::NoopSink;
+        use wdm_telemetry::SpanBuffer;
+
+        let net = nsfnet();
+        let tracer = SpanBuffer::new();
+        let flight = FlightRecorder::new();
+        let sim = Simulator::with_observability(
+            &net,
+            base_cfg(Policy::CostOnly, 17),
+            NoopRecorder,
+            NoopSink,
+            &tracer,
+            Some(&flight),
+        );
+        let m = sim.run();
+        assert!(m.offered > 0);
+
+        // Every arrival opens exactly one root span.
+        assert_eq!(tracer.requests_begun(), m.offered);
+        let records = tracer.records();
+        let roots = records.iter().filter(|r| r.phase == Phase::Request).count() as u64;
+        assert_eq!(roots, m.offered);
+
+        // One flight record per arrival, and sub-phase time never exceeds
+        // the root span it was measured inside.
+        assert_eq!(flight.total_requests(), m.offered);
+        let dump = flight.dump();
+        let mut routed = 0u64;
+        for rec in &dump.records {
+            let sub_sum: u64 = rec.named_phases().iter().map(|&(_, ns)| ns).sum();
+            assert!(sub_sum <= rec.total_ns, "sub-phases exceed root: {rec:?}");
+            match rec.outcome.as_str() {
+                "routed" => {
+                    routed += 1;
+                    assert!(rec.footprint_links > 0);
+                }
+                "blocked" => assert_eq!(rec.footprint_links, 0),
+                other => panic!("unexpected outcome {other}"),
+            }
+        }
+        // The ring holds the most recent records only; counts within it
+        // must be consistent with its own contents.
+        assert!(routed <= m.admitted);
+        // Un-journaled run: correlation sequence stays 0 for every record.
+        assert!(dump.records.iter().all(|r| r.journal_seq == 0));
     }
 }

@@ -75,7 +75,7 @@ use wdm_core::journal::{EventSink, NetEvent, NoopSink};
 use wdm_core::load::load_snapshot;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_graph::EdgeId;
-use wdm_telemetry::{Counter, Hist, NoopRecorder, Recorder};
+use wdm_telemetry::{Counter, Hist, NoopRecorder, NoopTracer, Phase, Recorder, Tracer};
 
 /// What the speculative engine did across one batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -132,13 +132,14 @@ pub fn distinct_static_costs(net: &WdmNetwork) -> bool {
 /// on the caller's thread. The result is a pure function of `f` — worker
 /// count and chunk boundaries never change what any item computes,
 /// because each context is synced from the same frozen state.
-pub(crate) fn fan_out<R, T, U>(
-    ctxs: &mut [RouterCtx<R>],
+pub(crate) fn fan_out<R, TR, T, U>(
+    ctxs: &mut [RouterCtx<R, TR>],
     items: &[T],
-    f: impl Fn(&mut RouterCtx<R>, &T) -> U + Sync,
+    f: impl Fn(&mut RouterCtx<R, TR>, &T) -> U + Sync,
 ) -> Vec<U>
 where
     R: Recorder + Send,
+    TR: Tracer + Send,
     T: Sync,
     U: Send,
 {
@@ -214,15 +215,52 @@ pub fn provision_batch_speculative_journaled<R: Recorder, J: EventSink>(
     order: BatchOrder,
     window: usize,
     recorder: R,
+    journal: J,
+) -> (BatchOutcome, SpeculationStats) {
+    provision_batch_speculative_observed(
+        net,
+        state,
+        demands,
+        policy,
+        order,
+        window,
+        recorder,
+        journal,
+        &NoopTracer,
+    )
+}
+
+/// As [`provision_batch_speculative_journaled`], additionally recording
+/// spans on `tracer`. Each worker routes on a [`Tracer::fork_worker`]
+/// child; the children are folded back in worker order after every
+/// round's fan-out (contiguous chunk assignment makes that the serial
+/// record stream), and the commit loop then attaches [`Phase::Commit`] /
+/// [`Phase::Abort`] spans to the window members via
+/// [`Tracer::record_earlier`]. A demand that aborts re-speculates next
+/// round under a *new* request ordinal, so one demand may own one span
+/// group per speculation attempt — attempts, not demands, are the unit
+/// the span stream counts.
+#[allow(clippy::too_many_arguments)]
+pub fn provision_batch_speculative_observed<R: Recorder, J: EventSink, T: Tracer + Send>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    recorder: R,
     mut journal: J,
+    tracer: &T,
 ) -> (BatchOutcome, SpeculationStats) {
     let window = window.max(1);
     let mut st = state.clone();
     let idx = processing_order(net, &st, demands, order);
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let base: RouterCtx = RouterCtx::with_recorder(NoopRecorder);
-    let mut ctxs: Vec<RouterCtx> = (0..cores.min(window)).map(|_| base.fork()).collect();
+    let mut ctxs: Vec<RouterCtx<NoopRecorder, T>> = (0..cores.min(window))
+        .map(|_| RouterCtx::with_recorder_and_tracer(NoopRecorder, tracer.fork_worker()))
+        .collect();
+    let tracing = tracer.enabled();
 
     let guard = policy.has_link_local_decisions() && distinct_static_costs(net);
     let mut touched = vec![false; net.link_count()];
@@ -249,12 +287,24 @@ pub fn provision_batch_speculative_journaled<R: Recorder, J: EventSink>(
             let d = demands[i];
             policy.route_ctx(ctx, net, frozen, d.src, d.dst)
         });
+        if tracing {
+            // Fold worker spans back in worker order: chunks are
+            // contiguous and zipped with the workers in order, so this is
+            // the serial record stream for the round.
+            for ctx in &ctxs {
+                tracer.absorb_worker(ctx.tracer());
+            }
+        }
 
         // In-order commit against the live state.
+        let n_round = chunk.len() as u64;
         let mut committed_any = false;
         touched.iter_mut().for_each(|t| *t = false);
         let mut advanced = 0;
-        for (i, res) in chunk.iter().copied().zip(results) {
+        for (k, (i, res)) in chunk.iter().copied().zip(results).enumerate() {
+            // The k-th window member's routing spans sit `back` requests
+            // before the buffer tail after the fold above.
+            let back = n_round - 1 - k as u64;
             // Rule 1: until a commit occupies channels, the live state
             // still equals the snapshot and any result is serial-exact.
             match res {
@@ -263,8 +313,23 @@ pub fn provision_batch_speculative_journaled<R: Recorder, J: EventSink>(
                     let ok =
                         !committed_any || (guard && fp.links.iter().all(|e| !touched[e.index()]));
                     if !ok {
+                        // With the guard on, the speculated route's links
+                        // were occupied since its snapshot; with it off,
+                        // serial equivalence is unprovable once anything
+                        // committed.
+                        if recorder.enabled() {
+                            recorder.add(
+                                if guard {
+                                    Counter::SpeculativeAbortConflict
+                                } else {
+                                    Counter::SpeculativeAbortOrdering
+                                },
+                                1,
+                            );
+                        }
                         break; // rule 3: the rest of the window aborts too
                     }
+                    let commit_t0 = tracer.now_ns();
                     for e in &fp.links {
                         touched[e.index()] = true;
                     }
@@ -280,6 +345,9 @@ pub fn provision_batch_speculative_journaled<R: Recorder, J: EventSink>(
                     total_cost += route.total_cost();
                     provisioned.push((i, route));
                     committed_any = true;
+                    if tracing {
+                        tracer.record_earlier(back, Phase::Commit, commit_t0);
+                    }
                 }
                 Err(err) => {
                     let ok = !committed_any
@@ -291,12 +359,25 @@ pub fn provision_batch_speculative_journaled<R: Recorder, J: EventSink>(
                             _ => false,
                         };
                     if !ok {
+                        // A load-dependent failure observed on a snapshot
+                        // the committed routes have since shifted.
+                        if recorder.enabled() {
+                            recorder.add(Counter::SpeculativeAbortLoadShift, 1);
+                        }
                         break; // rule 3
                     }
                     rejected.push(i);
                 }
             }
             advanced += 1;
+        }
+        if tracing {
+            // Mark every aborted attempt (the non-committable result and
+            // the window tail behind it); they re-speculate next round.
+            let abort_t0 = tracer.now_ns();
+            for k in advanced..chunk.len() {
+                tracer.record_earlier(n_round - 1 - k as u64, Phase::Abort, abort_t0);
+            }
         }
 
         let aborted = (chunk.len() - advanced) as u64;
@@ -467,6 +548,48 @@ mod tests {
             NoopRecorder,
         );
         assert_outcomes_identical(&serial, &spec);
+    }
+
+    #[test]
+    fn observed_speculation_attaches_spans_to_attempts() {
+        use wdm_core::journal::NoopSink;
+        use wdm_telemetry::SpanBuffer;
+
+        // NSFNET + a load-sensitive policy: the guard is off, so windows
+        // genuinely abort and re-speculate.
+        let net = nsfnet(8);
+        let st = ResidualState::fresh(&net);
+        let demands = full_mesh_demands(14, 1);
+        let tracer = SpanBuffer::new();
+        let sink = TelemetrySink::new();
+        let (out, stats) = provision_batch_speculative_observed(
+            &net,
+            &st,
+            &demands,
+            Policy::Joint { a: 2.0 },
+            BatchOrder::LongestFirst,
+            8,
+            &sink,
+            NoopSink,
+            &tracer,
+        );
+        // One request ordinal per speculation *attempt*, not per demand.
+        assert_eq!(tracer.requests_begun(), stats.commits + stats.aborts);
+        let recs = tracer.records();
+        let commits = recs.iter().filter(|r| r.phase == Phase::Commit).count();
+        assert_eq!(commits, out.provisioned.len());
+        let aborts = recs.iter().filter(|r| r.phase == Phase::Abort).count() as u64;
+        assert_eq!(aborts, stats.aborts);
+        assert!(stats.aborts > 0, "load-sensitive batch should abort some");
+        // Cause counters fire once per aborted round (the first
+        // non-committable result; the tail aborts with it).
+        let snap = sink.snapshot();
+        let causes = snap.counters["speculative_abort_conflict"]
+            + snap.counters["speculative_abort_ordering"]
+            + snap.counters["speculative_abort_load_shift"];
+        assert!(causes >= 1 && causes <= stats.aborts);
+        // The guard is off on NSFNET, so no conflict-rule aborts exist.
+        assert_eq!(snap.counters["speculative_abort_conflict"], 0);
     }
 
     #[test]

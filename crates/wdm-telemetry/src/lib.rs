@@ -16,13 +16,22 @@
 //!
 //! [`AuxEngine`]: ../wdm_core/aux_engine/index.html
 
+mod flight;
 mod hist;
 mod sink;
 mod snapshot;
+mod span;
 
+pub use flight::{
+    FlightAnnotation, FlightAnomaly, FlightDump, FlightRecord, FlightRecorder,
+    DEFAULT_ANOMALY_THRESHOLD, DEFAULT_ANOMALY_WINDOW, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use hist::{bucket_bounds, bucket_index, AtomicHistogram, NUM_BUCKETS};
 pub use sink::TelemetrySink;
 pub use snapshot::{BucketSnapshot, HistogramSnapshot, TelemetrySnapshot};
+pub use span::{
+    Clock, ManualClock, MonotonicClock, NoopTracer, Phase, SpanBuffer, SpanRecord, Tracer,
+};
 
 /// Monotonic event counters, one slot per variant in a fixed array.
 ///
@@ -73,11 +82,24 @@ pub enum Counter {
     SpeculativeAborts = 18,
     /// Re-speculation attempts issued for aborted routes (one per abort).
     SpeculativeRetries = 19,
+    /// Shared-backup pool channel reservations (outside journal coverage).
+    PoolReserve = 20,
+    /// Shared-backup pool channel releases (outside journal coverage).
+    PoolRelease = 21,
+    /// Speculative aborts caused by a footprint conflict with an earlier
+    /// commit in the same window.
+    SpeculativeAbortConflict = 22,
+    /// Speculative aborts forced by the strict-ordering rule (any earlier
+    /// commit invalidates later snapshot results under this policy).
+    SpeculativeAbortOrdering = 23,
+    /// Speculative aborts where the route failed outright against the
+    /// shifted load after earlier commits landed.
+    SpeculativeAbortLoadShift = 24,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 25;
 
     /// Every variant, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -101,6 +123,11 @@ impl Counter {
         Counter::SpeculativeCommits,
         Counter::SpeculativeAborts,
         Counter::SpeculativeRetries,
+        Counter::PoolReserve,
+        Counter::PoolRelease,
+        Counter::SpeculativeAbortConflict,
+        Counter::SpeculativeAbortOrdering,
+        Counter::SpeculativeAbortLoadShift,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -126,6 +153,11 @@ impl Counter {
             Counter::SpeculativeCommits => "speculative_commits",
             Counter::SpeculativeAborts => "speculative_aborts",
             Counter::SpeculativeRetries => "speculative_retries",
+            Counter::PoolReserve => "pool_reserve",
+            Counter::PoolRelease => "pool_release",
+            Counter::SpeculativeAbortConflict => "speculative_abort_conflict",
+            Counter::SpeculativeAbortOrdering => "speculative_abort_ordering",
+            Counter::SpeculativeAbortLoadShift => "speculative_abort_load_shift",
         }
     }
 }

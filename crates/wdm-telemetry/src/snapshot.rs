@@ -152,6 +152,35 @@ impl TelemetrySnapshot {
             + self.counters.get("requests_blocked").copied().unwrap_or(0)
     }
 
+    /// Renders the snapshot in Prometheus text exposition format
+    /// (version 0.0.4). Counters become `<prefix>_<name>_total`;
+    /// histograms become the standard cumulative `_bucket{le="…"}` /
+    /// `_sum` / `_count` triple with a closing `le="+Inf"` bucket.
+    pub fn prometheus(&self, prefix: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {prefix}_{name}_total counter");
+            let _ = writeln!(out, "{prefix}_{name}_total {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {prefix}_{name} histogram");
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                let _ = writeln!(
+                    out,
+                    "{prefix}_{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    b.hi
+                );
+            }
+            let _ = writeln!(out, "{prefix}_{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{prefix}_{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{prefix}_{name}_count {}", h.count);
+        }
+        out
+    }
+
     /// Short human-readable table of every non-zero metric.
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
@@ -229,6 +258,28 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(3));
         assert_eq!(h.quantile(1.0), Some(1000));
         assert!((h.mean() - 202.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let snap = sample_sink(&[1, 5, 900]).snapshot();
+        let text = snap.prometheus("wdm");
+        assert!(text.contains("# TYPE wdm_requests_routed_total counter"));
+        assert!(text.contains("wdm_requests_routed_total 3"));
+        assert!(text.contains("# TYPE wdm_route_cost_milli histogram"));
+        assert!(text.contains("wdm_route_cost_milli_count 3"));
+        assert!(text.contains("wdm_route_cost_milli_sum 906"));
+        assert!(text.contains("wdm_route_cost_milli_bucket{le=\"+Inf\"} 3"));
+        // Cumulative bucket counts are non-decreasing and end at count.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("wdm_route_cost_milli_bucket") {
+                let v: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last);
+                last = v;
+            }
+        }
+        assert_eq!(last, 3);
     }
 
     #[test]

@@ -1,0 +1,604 @@
+//! Hierarchical phase spans for the routing pipeline.
+//!
+//! A [`Tracer`] is the per-request timing sibling of [`Recorder`]: the
+//! routing stack is generic over `T: Tracer`, the default [`NoopTracer`]
+//! monomorphises every span site away (verified by the A/B criterion bench
+//! next to `ctx_noop`/`ctx_telemetry`), and the live [`SpanBuffer`] records
+//! closed spans into a lock-free single-owner buffer.
+//!
+//! The span model is deliberately flat: a *root* span per request
+//! ([`Phase::Request`], recorded by the driving loop) plus non-overlapping
+//! *sub-phase* spans recorded inside it by the pipeline (auxiliary-graph
+//! refresh, the two Suurballe passes, physical map-back, Lemma 2
+//! refinement, commit/abort). Because sub-phases nest inside the root and
+//! never overlap each other, their durations sum to at most the root's, and
+//! the residual `root − Σ sub` is the pipeline's unattributed overhead —
+//! `wdm trace analyze` reports exactly this decomposition.
+//!
+//! Timestamps come from an injectable monotonic [`Clock`]; production code
+//! uses [`MonotonicClock`] (an `Instant` origin) while tests drive a
+//! [`ManualClock`] so phase arithmetic is exact.
+//!
+//! Concurrency model: a `SpanBuffer` is owned by one worker (interior
+//! `RefCell`, `Send` but not `Sync` — no atomics on the record path).
+//! `Clone` produces an *empty* buffer sharing the clock domain — the
+//! worker-fork semantics `RouterCtx::fork` relies on — and
+//! [`SpanBuffer::absorb`] folds a worker's records back in, renumbering
+//! request ordinals so absorbing worker buffers in worker order reproduces
+//! the serial record stream.
+//!
+//! [`Recorder`]: crate::Recorder
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The traced phases of one request, in pipeline order.
+///
+/// The discriminant is the array index (as for [`crate::Counter`]);
+/// [`Phase::ALL`] and [`Phase::name`] keep layout and key space in one
+/// place. [`Phase::Request`] is the root span; everything else is a
+/// sub-phase recorded inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[repr(usize)]
+pub enum Phase {
+    /// Root span: the whole request, routing plus commit.
+    Request,
+    /// Auxiliary-graph engine sync (skeleton build / dirty refresh).
+    AuxRefresh,
+    /// Suurballe pass 1: shortest path on the enabled skeleton.
+    SuurballeP1,
+    /// Suurballe pass 2: residual build + second path + decomposition.
+    SuurballeP2,
+    /// Mapping auxiliary paths back to physical edges.
+    MapBack,
+    /// Lemma 2 / Liang–Shen wavelength refinement of both legs.
+    Refine,
+    /// Committing the route (occupy + journal append).
+    Commit,
+    /// Speculative abort: a window result discarded by the commit rules.
+    Abort,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 8;
+
+    /// Every variant, in index order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Request,
+        Phase::AuxRefresh,
+        Phase::SuurballeP1,
+        Phase::SuurballeP2,
+        Phase::MapBack,
+        Phase::Refine,
+        Phase::Commit,
+        Phase::Abort,
+    ];
+
+    /// Stable snake_case key used in trace files and analysis output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Request => "request",
+            Phase::AuxRefresh => "aux_refresh",
+            Phase::SuurballeP1 => "suurballe_p1",
+            Phase::SuurballeP2 => "suurballe_p2",
+            Phase::MapBack => "map_back",
+            Phase::Refine => "refine",
+            Phase::Commit => "commit",
+            Phase::Abort => "abort",
+        }
+    }
+}
+
+/// A monotonic nanosecond time source. Injectable so span arithmetic is
+/// testable with exact, hand-advanced timestamps.
+pub trait Clock {
+    /// Nanoseconds since this clock's origin (monotonic, never decreases).
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: nanoseconds since an `Instant` origin captured at
+/// construction. `Copy`, so forked buffers share one time domain.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-driven test clock. Clones share the underlying cell, so a test
+/// can advance time while a buffer (or a forked worker's buffer) reads it.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A clock at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One closed span: a phase interval attributed to a request ordinal.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanRecord {
+    /// Request ordinal within the recording buffer (0-based, assigned by
+    /// [`Tracer::begin_request`]; renumbered on [`SpanBuffer::absorb`]).
+    pub request: u64,
+    /// The phase this span times.
+    pub phase: Phase,
+    /// Clock reading when the phase started.
+    pub start_ns: u64,
+    /// Clock reading when the phase ended (`>= start_ns`).
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// The span-recording interface the routing stack is generic over.
+///
+/// Call sites follow the [`Recorder`] discipline: gate span bookkeeping on
+/// [`Tracer::enabled`], take a start stamp with [`Tracer::now_ns`] (0 when
+/// disabled) and close the span with [`Tracer::record`], which stamps the
+/// end internally. The [`NoopTracer`] default compiles all of it away.
+///
+/// [`Recorder`]: crate::Recorder
+pub trait Tracer {
+    /// Whether spans are recorded at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Current clock reading (0 when disabled).
+    fn now_ns(&self) -> u64;
+
+    /// Opens the next request ordinal; subsequent spans attach to it.
+    fn begin_request(&self);
+
+    /// Closes a span for the current request: `phase` ran from `start_ns`
+    /// until now.
+    fn record(&self, phase: Phase, start_ns: u64);
+
+    /// Closes a span for an earlier request: `back = 0` is the latest begun
+    /// request, `back = 1` the one before it, and so on. The speculative
+    /// commit loop uses this to attribute commit/abort spans to window
+    /// members after their routing spans were absorbed.
+    fn record_earlier(&self, back: u64, phase: Phase, start_ns: u64);
+
+    /// Per-phase duration totals of the latest begun request, indexed by
+    /// `Phase as usize` (all zeros when disabled). Only meaningful while
+    /// the latest request's records are still the buffer tail (the serial
+    /// simulator's case).
+    fn last_request_phases(&self) -> [u64; Phase::COUNT];
+
+    /// An empty child tracer for a fan-out worker, on the same clock
+    /// domain; fold the child's spans back with
+    /// [`Tracer::absorb_worker`]. Noop tracers fork noops.
+    fn fork_worker(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Drains `child`'s spans into `self`, renumbering the child's
+    /// request ordinals to follow `self`'s. Absorbing contiguous-chunk
+    /// workers in worker order reproduces the serial record stream.
+    fn absorb_worker(&self, child: &Self)
+    where
+        Self: Sized;
+}
+
+/// The zero-cost default: every method is an empty `#[inline(always)]`
+/// body, so code generic over `T: Tracer` monomorphised with this type
+/// carries no span instrumentation at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn now_ns(&self) -> u64 {
+        0
+    }
+
+    #[inline(always)]
+    fn begin_request(&self) {}
+
+    #[inline(always)]
+    fn record(&self, _phase: Phase, _start_ns: u64) {}
+
+    #[inline(always)]
+    fn record_earlier(&self, _back: u64, _phase: Phase, _start_ns: u64) {}
+
+    #[inline(always)]
+    fn last_request_phases(&self) -> [u64; Phase::COUNT] {
+        [0; Phase::COUNT]
+    }
+
+    #[inline(always)]
+    fn fork_worker(&self) -> Self {
+        NoopTracer
+    }
+
+    #[inline(always)]
+    fn absorb_worker(&self, _child: &Self) {}
+}
+
+/// Shared references trace through the underlying tracer, mirroring the
+/// blanket `&R: Recorder` impl.
+impl<T: Tracer + ?Sized> Tracer for &T {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        (**self).now_ns()
+    }
+
+    #[inline]
+    fn begin_request(&self) {
+        (**self).begin_request();
+    }
+
+    #[inline]
+    fn record(&self, phase: Phase, start_ns: u64) {
+        (**self).record(phase, start_ns);
+    }
+
+    #[inline]
+    fn record_earlier(&self, back: u64, phase: Phase, start_ns: u64) {
+        (**self).record_earlier(back, phase, start_ns);
+    }
+
+    #[inline]
+    fn last_request_phases(&self) -> [u64; Phase::COUNT] {
+        (**self).last_request_phases()
+    }
+
+    /// Forks by *sharing* the underlying tracer: spans land directly on
+    /// it, so [`Tracer::absorb_worker`] has nothing to fold back. Sound
+    /// only where sharing is — `&SpanBuffer` is not `Send`, so threaded
+    /// fan-outs reject a shared buffer at compile time.
+    #[inline]
+    fn fork_worker(&self) -> Self {
+        self
+    }
+
+    #[inline]
+    fn absorb_worker(&self, _child: &Self) {}
+}
+
+#[derive(Debug, Default)]
+struct SpanInner {
+    /// Number of `begin_request` calls; the current request is `begun - 1`.
+    begun: u64,
+    records: Vec<SpanRecord>,
+}
+
+/// The live [`Tracer`]: a single-owner span buffer.
+///
+/// Interior mutability is a `RefCell` — recording is a bounds check and a
+/// `Vec` push, no atomics — so the buffer is `Send` (a worker can own it)
+/// but not `Sync` (two threads cannot share one; give each worker a
+/// [`Clone`], which starts empty, and [`SpanBuffer::absorb`] the workers
+/// back in worker order).
+#[derive(Debug)]
+pub struct SpanBuffer<C: Clock = MonotonicClock> {
+    clock: C,
+    inner: RefCell<SpanInner>,
+}
+
+impl SpanBuffer<MonotonicClock> {
+    /// An empty buffer on a fresh monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(MonotonicClock::default())
+    }
+}
+
+impl Default for SpanBuffer<MonotonicClock> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Worker-fork semantics: a clone shares the clock domain but starts with
+/// an empty buffer and a fresh request ordinal space.
+impl<C: Clock + Clone> Clone for SpanBuffer<C> {
+    fn clone(&self) -> Self {
+        SpanBuffer {
+            clock: self.clock.clone(),
+            inner: RefCell::new(SpanInner::default()),
+        }
+    }
+}
+
+impl<C: Clock> SpanBuffer<C> {
+    /// An empty buffer reading timestamps from `clock`.
+    pub fn with_clock(clock: C) -> Self {
+        SpanBuffer {
+            clock,
+            inner: RefCell::new(SpanInner::default()),
+        }
+    }
+
+    /// The clock this buffer stamps spans with.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Number of requests begun so far.
+    pub fn requests_begun(&self) -> u64 {
+        self.inner.borrow().begun
+    }
+
+    /// A copy of every recorded span, in recording order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.borrow().records.clone()
+    }
+
+    /// Drains the buffer, returning every recorded span and resetting the
+    /// ordinal space.
+    pub fn take_records(&self) -> Vec<SpanRecord> {
+        let mut b = self.inner.borrow_mut();
+        b.begun = 0;
+        std::mem::take(&mut b.records)
+    }
+
+    /// Folds `other`'s records into `self`, renumbering `other`'s request
+    /// ordinals to follow `self`'s, and drains `other`. Absorbing worker
+    /// buffers in worker order (with contiguous chunk assignment, as
+    /// `fan_out` does) therefore yields the same record stream as running
+    /// the workers' requests serially on `self`.
+    pub fn absorb(&self, other: &Self) {
+        let (theirs, begun) = {
+            let mut o = other.inner.borrow_mut();
+            let begun = o.begun;
+            o.begun = 0;
+            (std::mem::take(&mut o.records), begun)
+        };
+        let mut b = self.inner.borrow_mut();
+        let offset = b.begun;
+        b.records.extend(theirs.into_iter().map(|mut r| {
+            r.request += offset;
+            r
+        }));
+        b.begun += begun;
+    }
+}
+
+impl<C: Clock + Clone> Tracer for SpanBuffer<C> {
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn fork_worker(&self) -> Self {
+        self.clone()
+    }
+
+    fn absorb_worker(&self, child: &Self) {
+        self.absorb(child);
+    }
+
+    fn begin_request(&self) {
+        self.inner.borrow_mut().begun += 1;
+    }
+
+    fn record(&self, phase: Phase, start_ns: u64) {
+        self.record_earlier(0, phase, start_ns);
+    }
+
+    fn record_earlier(&self, back: u64, phase: Phase, start_ns: u64) {
+        let end_ns = self.clock.now_ns().max(start_ns);
+        let mut b = self.inner.borrow_mut();
+        let Some(request) = b.begun.checked_sub(1 + back) else {
+            return; // span outside any begun request: dropped
+        };
+        b.records.push(SpanRecord {
+            request,
+            phase,
+            start_ns,
+            end_ns,
+        });
+    }
+
+    fn last_request_phases(&self) -> [u64; Phase::COUNT] {
+        let b = self.inner.borrow();
+        let mut out = [0u64; Phase::COUNT];
+        let Some(current) = b.begun.checked_sub(1) else {
+            return out;
+        };
+        for r in b.records.iter().rev() {
+            if r.request != current {
+                break;
+            }
+            out[r.phase as usize] += r.duration_ns();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_unique_and_match_layout() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+            assert!(seen.insert(p.name()), "duplicate name {}", p.name());
+        }
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+    }
+
+    #[test]
+    fn noop_tracer_is_disabled() {
+        let t = NoopTracer;
+        assert!(!t.enabled());
+        assert_eq!(t.now_ns(), 0);
+        t.begin_request();
+        t.record(Phase::Request, 0);
+        assert_eq!(t.last_request_phases(), [0; Phase::COUNT]);
+        // And through the blanket `&T` impl.
+        let by_ref: &dyn Tracer = &&t;
+        assert!(!by_ref.enabled());
+    }
+
+    #[test]
+    fn spans_attach_to_the_current_request() {
+        let clock = ManualClock::new();
+        let buf = SpanBuffer::with_clock(clock.clone());
+        assert!(buf.enabled());
+
+        buf.begin_request();
+        let t0 = buf.now_ns();
+        clock.advance(10);
+        buf.record(Phase::AuxRefresh, t0);
+
+        buf.begin_request();
+        let t1 = buf.now_ns();
+        clock.advance(5);
+        buf.record(Phase::Refine, t1);
+
+        let recs = buf.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].request, 0);
+        assert_eq!(recs[0].duration_ns(), 10);
+        assert_eq!(recs[1].request, 1);
+        assert_eq!(recs[1].phase, Phase::Refine);
+        assert_eq!(buf.requests_begun(), 2);
+    }
+
+    #[test]
+    fn record_earlier_targets_prior_ordinals() {
+        let clock = ManualClock::new();
+        let buf = SpanBuffer::with_clock(clock.clone());
+        buf.begin_request();
+        buf.begin_request();
+        buf.begin_request();
+        let t = buf.now_ns();
+        clock.advance(3);
+        buf.record_earlier(2, Phase::Commit, t);
+        buf.record_earlier(0, Phase::Abort, t);
+        // A `back` beyond the begun count is dropped, not wrapped.
+        buf.record_earlier(9, Phase::Commit, t);
+        let recs = buf.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].request, recs[0].phase), (0, Phase::Commit));
+        assert_eq!((recs[1].request, recs[1].phase), (2, Phase::Abort));
+    }
+
+    #[test]
+    fn phase_durations_sum_exactly_to_the_root_span() {
+        // The satellite contract: under the injectable clock, sub-phase
+        // durations plus the unattributed residual equal the root exactly.
+        let clock = ManualClock::new();
+        let buf = SpanBuffer::with_clock(clock.clone());
+        buf.begin_request();
+        let root_start = buf.now_ns();
+
+        let sub = [
+            (Phase::AuxRefresh, 7u64),
+            (Phase::SuurballeP1, 11),
+            (Phase::SuurballeP2, 13),
+            (Phase::MapBack, 3),
+            (Phase::Refine, 17),
+            (Phase::Commit, 2),
+        ];
+        for &(phase, ns) in &sub {
+            let t = buf.now_ns();
+            clock.advance(ns);
+            buf.record(phase, t);
+            clock.advance(1); // unattributed gap between phases
+        }
+        buf.record(Phase::Request, root_start);
+
+        let phases = buf.last_request_phases();
+        let total = phases[Phase::Request as usize];
+        let sub_sum: u64 = Phase::ALL
+            .iter()
+            .filter(|&&p| p != Phase::Request)
+            .map(|&p| phases[p as usize])
+            .sum();
+        let expected_sub: u64 = sub.iter().map(|&(_, ns)| ns).sum();
+        assert_eq!(sub_sum, expected_sub);
+        assert_eq!(total, expected_sub + sub.len() as u64); // + the gaps
+        assert_eq!(sub_sum + sub.len() as u64, total, "sub + residual = root");
+    }
+
+    #[test]
+    fn clone_is_empty_and_absorb_renumbers() {
+        let clock = ManualClock::new();
+        let parent = SpanBuffer::with_clock(clock.clone());
+        parent.begin_request();
+        parent.record(Phase::Request, 0);
+
+        let worker = parent.clone();
+        assert_eq!(worker.requests_begun(), 0);
+        assert!(worker.records().is_empty());
+
+        worker.begin_request();
+        clock.advance(4);
+        worker.record(Phase::Request, 0);
+        worker.begin_request();
+        worker.record(Phase::Refine, 2);
+
+        parent.absorb(&worker);
+        assert_eq!(worker.requests_begun(), 0);
+        assert!(worker.records().is_empty());
+        assert_eq!(parent.requests_begun(), 3);
+        let recs = parent.records();
+        let ordinals: Vec<u64> = recs.iter().map(|r| r.request).collect();
+        assert_eq!(ordinals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn span_record_round_trips_through_json() {
+        let r = SpanRecord {
+            request: 5,
+            phase: Phase::SuurballeP2,
+            start_ns: 100,
+            end_ns: 250,
+        };
+        let text = serde_json::to_string(&r).unwrap();
+        let back: SpanRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.duration_ns(), 150);
+    }
+}

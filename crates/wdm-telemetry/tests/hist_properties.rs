@@ -1,0 +1,113 @@
+//! Property tests for histogram snapshots: quantile sanity (monotone in
+//! `q`, bounded by the observed extremes, exact at both ends) and shard
+//! merging (commutative and associative, so any merge order over any
+//! partition equals the single-sink snapshot) — including populations that
+//! hit value 0, `u64::MAX`, and the overflow bucket.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use wdm_telemetry::{Counter, Hist, Recorder, TelemetrySink, TelemetrySnapshot};
+
+fn sink_with(values: &[u64]) -> TelemetrySink {
+    let sink = TelemetrySink::new();
+    for &v in values {
+        sink.add(Counter::RequestsRouted, 1);
+        sink.observe(Hist::RouteCostMilli, v);
+    }
+    sink
+}
+
+/// Populations biased toward the interesting edges: 0, u64::MAX, and the
+/// overflow (last) bucket, alongside ordinary values.
+fn population() -> impl Strategy<Value = Vec<u64>> {
+    pvec(
+        prop_oneof![
+            Just(0u64),
+            Just(u64::MAX),
+            Just(u64::MAX - 1),
+            Just(15u64 << 60), // lowest value of the overflow bucket
+            0u64..10_000,
+            any::<u64>(),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(values in population()) {
+        let snap = sink_with(&values).snapshot();
+        let h = &snap.histograms["route_cost_milli"];
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+
+        let grid: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+        let mut prev = None;
+        for &q in &grid {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= lo, "q{q}: {v} below min {lo}");
+            prop_assert!(v <= hi, "q{q}: {v} above max {hi}");
+            if let Some(p) = prev {
+                prop_assert!(v >= p, "quantile not monotone at q{q}: {v} < {p}");
+            }
+            prev = Some(v);
+        }
+        // Both ends are exact regardless of bucket width.
+        prop_assert_eq!(h.quantile(1.0), Some(hi));
+        // q=0 resolves to rank 1: the first occupied bucket, which holds
+        // the minimum — so the answer is within that bucket's width of it.
+        let q0 = h.quantile(0.0).unwrap();
+        prop_assert!(q0 >= lo && q0 <= hi);
+    }
+
+    #[test]
+    fn shard_merges_match_single_sink(
+        values in population(),
+        cuts in pvec(0usize..40, 0..4),
+        reverse in any::<bool>(),
+    ) {
+        let serial = sink_with(&values).snapshot();
+
+        // Partition the population at the (sorted, clamped) cut points.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c.min(values.len())).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        let mut shards: Vec<&[u64]> = bounds
+            .windows(2)
+            .map(|w| &values[w[0]..w[1]])
+            .collect();
+        if reverse {
+            shards.reverse(); // commutativity: order must not matter
+        }
+
+        // Left fold (((a ∪ b) ∪ c) ∪ d)…
+        let mut left = TelemetrySnapshot::default();
+        for shard in &shards {
+            left.merge(&sink_with(shard).snapshot());
+        }
+        prop_assert_eq!(&left, &serial);
+
+        // …and a right-associated fold (a ∪ (b ∪ (c ∪ d))).
+        let mut right = TelemetrySnapshot::default();
+        for shard in shards.iter().rev() {
+            let mut acc = sink_with(shard).snapshot();
+            acc.merge(&right);
+            right = acc;
+        }
+        prop_assert_eq!(&right, &serial);
+    }
+}
+
+#[test]
+fn overflow_bucket_quantile_is_exact_at_the_top() {
+    // All mass in the overflow bucket: every quantile must report a value
+    // inside [min, max] even though the bucket spans up to u64::MAX.
+    let snap = sink_with(&[15u64 << 60, u64::MAX - 3, u64::MAX]).snapshot();
+    let h = &snap.histograms["route_cost_milli"];
+    assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    assert_eq!(h.quantile(0.0), Some(u64::MAX)); // clamped to observed max
+    assert_eq!(h.min, 15u64 << 60);
+}

@@ -1,0 +1,99 @@
+//! Property tests for the span layer's fork/absorb contract: replaying an
+//! arbitrary request stream through forked worker buffers (contiguous
+//! chunks, absorbed in worker order) yields the *identical* record stream —
+//! ordinals, phases, and timestamps — as recording the whole stream
+//! serially on one buffer. This is the invariant the speculative batch
+//! engine's per-round `absorb_worker` loop relies on to keep trace files
+//! independent of the parallel window size.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use wdm_telemetry::{ManualClock, Phase, SpanBuffer, Tracer};
+
+/// A generated request: its sub-phase spans as (phase index, duration,
+/// trailing unattributed gap).
+type GenRequest = Vec<(usize, u64, u64)>;
+
+/// Sub-phases only (index 1..8); the root span is recorded by the replay.
+fn requests() -> impl Strategy<Value = Vec<GenRequest>> {
+    pvec(
+        pvec((1usize..Phase::COUNT, 0u64..1_000, 0u64..10), 0..6),
+        0..24,
+    )
+}
+
+/// Replays `chunk` onto `buf`: for each request, a root span wrapping its
+/// sub-phases, with the shared manual clock advanced by each duration.
+fn replay(buf: &SpanBuffer<ManualClock>, clock: &ManualClock, chunk: &[GenRequest]) {
+    for request in chunk {
+        buf.begin_request();
+        let root_start = buf.now_ns();
+        for &(phase_idx, duration, gap) in request {
+            let t = buf.now_ns();
+            clock.advance(duration);
+            buf.record(Phase::ALL[phase_idx], t);
+            clock.advance(gap);
+        }
+        buf.record(Phase::Request, root_start);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn absorbed_worker_chunks_reproduce_the_serial_stream(
+        stream in requests(),
+        chunk_size in 1usize..9,
+    ) {
+        // Serial reference: one buffer records every request in order.
+        let serial_clock = ManualClock::new();
+        let serial = SpanBuffer::with_clock(serial_clock.clone());
+        replay(&serial, &serial_clock, &stream);
+
+        // Parallel shape: the stream split into contiguous chunks, each
+        // replayed on a forked worker, workers absorbed in chunk order —
+        // exactly the speculative engine's per-round discipline.
+        let par_clock = ManualClock::new();
+        let parent = SpanBuffer::with_clock(par_clock.clone());
+        let workers: Vec<SpanBuffer<ManualClock>> = stream
+            .chunks(chunk_size.max(1))
+            .map(|chunk| {
+                let worker = parent.fork_worker();
+                prop_assert!(worker.records().is_empty(), "forks start empty");
+                replay(&worker, &par_clock, chunk);
+                Ok(worker)
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+        for worker in &workers {
+            parent.absorb_worker(worker);
+            prop_assert_eq!(worker.requests_begun(), 0, "absorb drains the worker");
+            prop_assert!(worker.records().is_empty(), "absorb drains the worker");
+        }
+
+        prop_assert_eq!(parent.requests_begun(), stream.len() as u64);
+        // Bit-identical streams: absorb's ordinal renumbering plus the
+        // shared clock domain make the merged buffer indistinguishable
+        // from the serial one, timestamps included.
+        prop_assert_eq!(parent.records(), serial.records());
+    }
+
+    #[test]
+    fn last_request_phases_sums_sub_phases_of_the_tail(stream in requests()) {
+        let clock = ManualClock::new();
+        let buf = SpanBuffer::with_clock(clock.clone());
+        replay(&buf, &clock, &stream);
+        let phases = buf.last_request_phases();
+        match stream.last() {
+            None => prop_assert_eq!(phases, [0; Phase::COUNT]),
+            Some(last) => {
+                let mut expected = [0u64; Phase::COUNT];
+                for &(phase_idx, duration, gap) in last {
+                    expected[phase_idx] += duration;
+                    expected[Phase::Request as usize] += duration + gap;
+                }
+                prop_assert_eq!(phases, expected);
+            }
+        }
+    }
+}
