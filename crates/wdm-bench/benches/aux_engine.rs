@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
 use std::hint::black_box;
-use wdm_bench::{random_connected_instance, rng};
+use wdm_bench::{dyadic_connected_instance, random_connected_instance, rng};
 use wdm_core::aux_engine::{AuxEngine, RouterCtx};
 use wdm_core::aux_graph::{AuxGraph, AuxSpec};
 use wdm_core::disjoint::robust_route_ctx;
@@ -109,6 +109,40 @@ fn bench_hot_path(c: &mut Criterion) {
                 |e| eng.weight(e),
                 |e| eng.enabled(e),
             );
+            black_box(pair.map(|p| p.total_cost))
+        })
+    });
+
+    // The CSR tier: same engine, searched through its flat mirror with the
+    // integer bucket queue and warm Johnson potentials. Runs on a dyadic
+    // (quarter-integer cost, free conversion) instance of the same shape so
+    // the integer certificate holds on every request.
+    group.bench_function(BenchmarkId::new("engine_csr", "n100_d4_w8"), |b| {
+        let net = {
+            let mut r = rng(11);
+            dyadic_connected_instance(&mut r, 100, 4, 8)
+        };
+        let reqs = requests(&net, 64, 12);
+        let mut st = ResidualState::fresh(&net);
+        let mut churn = Churn::new(&net, 256, 13);
+        let mut eng = AuxEngine::new(&net, AuxSpec::g_prime());
+        eng.set_warm_potentials(true);
+        let mut arena = SearchArena::new();
+        let mut k = 0usize;
+        b.iter(|| {
+            churn.step(&net, &mut st);
+            let (s, t) = reqs[k % reqs.len()];
+            k += 1;
+            eng.sync(&net, &st, s, t);
+            eng.warm_prepare(&net);
+            let (aux_s, aux_t) = (eng.source(), eng.sink());
+            let (view, int, pot) = eng.flat_parts();
+            let pair = match int {
+                Some(iw) => {
+                    arena.edge_disjoint_pair_flat_int(&view, &iw, Some(pot), aux_s, aux_t, || {})
+                }
+                None => arena.edge_disjoint_pair_flat(&view, aux_s, aux_t, || {}),
+            };
             black_box(pair.map(|p| p.total_cost))
         })
     });

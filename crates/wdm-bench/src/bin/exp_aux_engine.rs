@@ -11,13 +11,22 @@
 //! * **scratch** — the pre-engine pipeline: `AuxGraph::build` over the
 //!   residual state, then the allocating Suurballe (`edge_disjoint_pair`);
 //! * **engine**  — a persistent [`AuxEngine`] synced per request (only
-//!   dirty links refreshed) searched by a reusable [`SearchArena`].
+//!   dirty links refreshed) searched by a reusable [`SearchArena`] over the
+//!   pointer-chasing skeleton graph;
+//! * **csr**     — the same engine searched through its flat CSR mirror:
+//!   integer-scaled bucket-heap Dijkstra with warm Johnson potentials
+//!   carried across requests.
+//!
+//! Instances use quarter-integer link costs and free conversions so the
+//! integer certificate holds on every request (same topology distribution
+//! and cost magnitudes as the continuous generator — tiers stay
+//! comparable with earlier baselines).
 //!
 //! Writes the machine-readable results to `BENCH_aux_engine.json` in the
 //! working directory (the committed artifact lives at the repo root).
 
 use rand::Rng;
-use wdm_bench::{random_connected_instance, rng, timed, Table};
+use wdm_bench::{dyadic_connected_instance, rng, timed, Table};
 use wdm_core::aux_engine::AuxEngine;
 use wdm_core::aux_graph::{AuxGraph, AuxSpec};
 use wdm_core::network::{ResidualState, WdmNetwork};
@@ -34,7 +43,13 @@ struct SizeResult {
     requests: usize,
     scratch_ns_per_req: f64,
     engine_ns_per_req: f64,
+    csr_ns_per_req: f64,
+    /// scratch / engine — the PR-5 baseline ratio.
     speedup: f64,
+    /// scratch / csr.
+    csr_speedup: f64,
+    /// engine / csr — the CSR tentpole's gain over the pointer engine.
+    csr_vs_engine: f64,
 }
 
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
@@ -138,9 +153,41 @@ fn engine_pass(net: &WdmNetwork, stream: &[(NodeId, NodeId)], seed: u64) -> (usi
     (found, secs)
 }
 
+/// One CSR-pipeline pass: persistent engine synced per request, searched
+/// through the flat CSR mirror — integer bucket-heap Dijkstra with warm
+/// Johnson potentials when the dyadic certificate holds (always, on these
+/// instances), f64 flat fallback otherwise.
+fn csr_pass(net: &WdmNetwork, stream: &[(NodeId, NodeId)], seed: u64) -> (usize, f64) {
+    let mut st = ResidualState::fresh(net);
+    let mut churn = Churn::new(net, 256, seed ^ 2);
+    let mut eng = AuxEngine::new(net, AuxSpec::g_prime());
+    eng.set_warm_potentials(true);
+    let mut arena = SearchArena::new();
+    let mut found = 0usize;
+    let (_, secs) = timed(|| {
+        for &(s, t) in stream {
+            churn.step(net, &mut st);
+            eng.sync(net, &st, s, t);
+            eng.warm_prepare(net);
+            let (aux_s, aux_t) = (eng.source(), eng.sink());
+            let (view, int, pot) = eng.flat_parts();
+            let pair = match int {
+                Some(iw) => {
+                    arena.edge_disjoint_pair_flat_int(&view, &iw, Some(pot), aux_s, aux_t, || {})
+                }
+                None => arena.edge_disjoint_pair_flat(&view, aux_s, aux_t, || {}),
+            };
+            if pair.is_some() {
+                found += 1;
+            }
+        }
+    });
+    (found, secs)
+}
+
 fn measure(n: usize, d: usize, w: usize, reqs: usize, passes: usize, seed: u64) -> SizeResult {
     let mut r = rng(seed);
-    let net = random_connected_instance(&mut r, n, d, w);
+    let net = dyadic_connected_instance(&mut r, n, d, w);
     let stream = requests(&net, reqs, seed ^ 1);
 
     // Alternate the pipelines and keep each one's fastest pass: the minimum
@@ -149,19 +196,27 @@ fn measure(n: usize, d: usize, w: usize, reqs: usize, passes: usize, seed: u64) 
     // measurement swings ±25 % on a busy box).
     let mut scratch_secs = f64::INFINITY;
     let mut engine_secs = f64::INFINITY;
+    let mut csr_secs = f64::INFINITY;
     for _ in 0..passes {
         let (found_scratch, ss) = scratch_pass(&net, &stream, seed);
         let (found_engine, es) = engine_pass(&net, &stream, seed);
+        let (found_csr, cs) = csr_pass(&net, &stream, seed);
         assert_eq!(
             found_scratch, found_engine,
-            "the two pipelines must route identically"
+            "the scratch and engine pipelines must route identically"
+        );
+        assert_eq!(
+            found_scratch, found_csr,
+            "the CSR pipeline must route identically"
         );
         scratch_secs = scratch_secs.min(ss);
         engine_secs = engine_secs.min(es);
+        csr_secs = csr_secs.min(cs);
     }
 
     let scratch_ns = scratch_secs / reqs as f64 * 1e9;
     let engine_ns = engine_secs / reqs as f64 * 1e9;
+    let csr_ns = csr_secs / reqs as f64 * 1e9;
     SizeResult {
         name: format!("n{n}_d{d}_w{w}"),
         nodes: n,
@@ -170,7 +225,10 @@ fn measure(n: usize, d: usize, w: usize, reqs: usize, passes: usize, seed: u64) 
         requests: reqs,
         scratch_ns_per_req: scratch_ns,
         engine_ns_per_req: engine_ns,
+        csr_ns_per_req: csr_ns,
         speedup: scratch_ns / engine_ns,
+        csr_speedup: scratch_ns / csr_ns,
+        csr_vs_engine: engine_ns / csr_ns,
     }
 }
 
@@ -178,8 +236,18 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (reqs, passes) = if quick { (200, 3) } else { (2000, 5) };
 
-    println!("aux-engine — incremental refresh vs scratch rebuild (ns/request)\n");
-    let mut table = Table::new(&["size", "m", "W", "scratch ns", "engine ns", "speedup"]);
+    println!("aux-engine — scratch rebuild vs pointer engine vs CSR engine (ns/request)\n");
+    let mut table = Table::new(&[
+        "size",
+        "m",
+        "W",
+        "scratch ns",
+        "engine ns",
+        "csr ns",
+        "eng speedup",
+        "csr speedup",
+        "csr/eng",
+    ]);
     let mut sizes = Vec::new();
     for &(n, d, w) in &[(50usize, 4usize, 8usize), (100, 4, 8), (200, 4, 8)] {
         let res = measure(n, d, w, reqs, passes, 0xA0 + n as u64);
@@ -189,7 +257,10 @@ fn main() {
             res.wavelengths.to_string(),
             format!("{:.0}", res.scratch_ns_per_req),
             format!("{:.0}", res.engine_ns_per_req),
+            format!("{:.0}", res.csr_ns_per_req),
             format!("{:.2}x", res.speedup),
+            format!("{:.2}x", res.csr_speedup),
+            format!("{:.2}x", res.csr_vs_engine),
         ]);
         sizes.push(res);
     }

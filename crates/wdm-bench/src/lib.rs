@@ -107,6 +107,32 @@ pub fn random_connected_instance(
     NetworkBuilder::from_topology(&topo, w, ConversionTable::Full { cost: 0.5 }, 1.0).build()
 }
 
+/// Like [`random_connected_instance`] but with link costs quantised to
+/// quarter-integers and free conversions: every auxiliary-graph weight is a
+/// dyadic rational, so the engine's integer certificate holds and the
+/// scaled bucket-heap search path engages. Structure and cost magnitudes
+/// match the continuous generator (same topology distribution), keeping the
+/// tiers comparable.
+pub fn dyadic_connected_instance(
+    rng: &mut ChaCha8Rng,
+    n: usize,
+    avg_degree: usize,
+    w: usize,
+) -> WdmNetwork {
+    let m = n * avg_degree / 2;
+    let topo = wdm_graph::topology::random_connected(n, m.max(n - 1), 1.0..10.0, rng);
+    let mut b = NetworkBuilder::new(w);
+    for _ in topo.node_ids() {
+        b.add_node(ConversionTable::Full { cost: 0.0 });
+    }
+    for e in topo.edge_ids() {
+        let (u, v) = topo.endpoints(e);
+        let q = ((topo.weight(e) * 4.0).round() / 4.0).max(0.25);
+        b.add_link(u, v, q);
+    }
+    b.build()
+}
+
 /// Simple fixed-width table printer (markdown-ish).
 pub struct Table {
     headers: Vec<String>,

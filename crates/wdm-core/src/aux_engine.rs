@@ -45,7 +45,21 @@
 use crate::aux_graph::{AuxArc, AuxEdgeData, AuxNode, AuxSpec, AuxWeights, ThresholdBasis};
 use crate::network::{ResidualState, WdmNetwork};
 use wdm_graph::suurballe::DisjointPair;
-use wdm_graph::{DiGraph, EdgeId, NodeId, Path, SearchArena};
+use wdm_graph::{DiGraph, EdgeId, FlatView, IntWeights, NodeId, Path, Potentials, SearchArena};
+
+/// Fixed-point scale for integer weight certification: weights that are
+/// exact multiples of `2^-SCALE_SHIFT` get a `u64` key `weight << SCALE_SHIFT`.
+/// 1/64 covers every dyadic cost the scratch builder can produce from
+/// dyadic link/conversion costs (uniform averages of dyadics with power-of-two
+/// divisors stay dyadic); congestion-exponential weights never certify and
+/// fall back to the f64 search path.
+pub const SCALE_SHIFT: u32 = 6;
+
+/// Upper bound on a certified per-arc key. Keys above this (weights ≥ 1024)
+/// de-certify the arc: the bucket queue's span is `max_key + 1 + max π`, so
+/// unbounded keys would trade heap ops for unbounded bucket scans — and the
+/// exactness argument needs headroom below 2^53 for summed distances.
+const KEY_CAP: u64 = 1 << 16;
 use wdm_telemetry::{
     CacheOutcome, Counter, Hist, NoopRecorder, NoopTracer, Phase, Recorder, Tracer,
 };
@@ -112,6 +126,47 @@ pub struct AuxEngine {
     /// dirty in the same sync pass.
     conv_stamp: Vec<u64>,
     pass: u64,
+
+    // ---- CSR flat mirror (the layout the searches actually traverse) ----
+    /// Row offsets per aux node (`len == node_count + 1`).
+    csr_off: Vec<u32>,
+    /// Destination aux node per CSR slot.
+    csr_head: Vec<u32>,
+    /// Skeleton arc id per CSR slot.
+    csr_arc: Vec<u32>,
+    /// CSR slot per arc id (inverse of `csr_arc`).
+    arc_slot: Vec<u32>,
+    /// Tail / head aux node per arc id.
+    arc_src: Vec<u32>,
+    arc_dst: Vec<u32>,
+    /// Weight mirror per arc id (kept bit-identical to the graph payload).
+    arc_weight: Vec<f64>,
+    /// Certified integer key per arc id (valid only while `arc_exact`).
+    arc_key: Vec<u64>,
+    /// Whether the arc's weight is exactly `arc_key / 2^SCALE_SHIFT`.
+    arc_exact: Vec<bool>,
+    /// Slot-ordered mirrors of `arc_weight` / `enabled` / `arc_key`: the
+    /// relaxation loops walk slots sequentially, so keeping their operands
+    /// slot-contiguous spares an indirection per scanned arc.
+    slot_weight: Vec<f64>,
+    slot_enabled: Vec<bool>,
+    slot_key: Vec<u64>,
+    /// Number of arcs whose weight failed certification; the integer search
+    /// engages only at zero.
+    inexact: u32,
+    /// Monotone upper bound on certified keys ever written.
+    max_key: u64,
+
+    // ---- warm Johnson potentials (opt-in) ----
+    /// Whether searches may carry potentials across requests.
+    warm: bool,
+    /// The carried potentials (empty until the first warm search adopts).
+    pot: Potentials,
+    /// Arcs whose feasibility constraint may have tightened since the last
+    /// repair (weight decrease or disabled→enabled flip).
+    pi_events: Vec<u32>,
+    /// Worklist buffer for `pi_repair`.
+    pi_work: Vec<u32>,
 }
 
 impl AuxEngine {
@@ -215,6 +270,36 @@ impl AuxEngine {
 
         let edge_count = graph.edge_count();
         let conv_count = conv.len();
+
+        // CSR mirror of the finished skeleton. The skeleton never changes
+        // shape, so this is built once; weights/enabled bits are per-arc
+        // array updates from here on. Per-node slots inherit the ascending
+        // arc-id order of `out_edges` (arcs are appended in id order), which
+        // is what keeps flat relaxation order — and every Dijkstra tie —
+        // identical to the pointer-based search.
+        let n_aux = graph.node_count();
+        let mut csr_off = Vec::with_capacity(n_aux + 1);
+        let mut csr_head = Vec::with_capacity(edge_count);
+        let mut csr_arc = Vec::with_capacity(edge_count);
+        for v in graph.node_ids() {
+            csr_off.push(csr_head.len() as u32);
+            for &e in graph.out_edges(v) {
+                csr_head.push(graph.dst(e).index() as u32);
+                csr_arc.push(e.index() as u32);
+            }
+        }
+        csr_off.push(csr_head.len() as u32);
+        let mut arc_slot = vec![0u32; edge_count];
+        for (slot, &a) in csr_arc.iter().enumerate() {
+            arc_slot[a as usize] = slot as u32;
+        }
+        let mut arc_src = vec![0u32; edge_count];
+        let mut arc_dst = vec![0u32; edge_count];
+        for e in graph.edge_ids() {
+            arc_src[e.index()] = graph.src(e).index() as u32;
+            arc_dst[e.index()] = graph.dst(e).index() as u32;
+        }
+
         Self {
             spec,
             graph,
@@ -235,6 +320,25 @@ impl AuxEngine {
             cur_t: None,
             conv_stamp: vec![0; conv_count],
             pass: 0,
+            csr_off,
+            csr_head,
+            csr_arc,
+            arc_slot,
+            arc_src,
+            arc_dst,
+            // All skeleton weights start at 0.0 == key 0, which certifies.
+            arc_weight: vec![0.0; edge_count],
+            arc_key: vec![0; edge_count],
+            arc_exact: vec![true; edge_count],
+            slot_weight: vec![0.0; edge_count],
+            slot_enabled: vec![false; edge_count],
+            slot_key: vec![0; edge_count],
+            inexact: 0,
+            max_key: 0,
+            warm: false,
+            pot: Potentials::default(),
+            pi_events: Vec::new(),
+            pi_work: Vec::new(),
         }
     }
 
@@ -289,6 +393,12 @@ impl AuxEngine {
             links_refreshed: 0,
             remasked: self.mask_stale,
         };
+        // A full refresh or a whole-mask recompute floods the engine with
+        // weight/enable transitions; carrying potentials across one would
+        // require trusting the very bookkeeping the reset discards. The
+        // all-zero potential is always feasible, so reset (satellite of the
+        // `ResidualState`-clock-restart hazard: all-dirty ⇒ full π rebuild).
+        let reset_pi = self.warm && (full || self.mask_stale);
         if full || self.mask_stale || state.change_clock() != self.synced_clock {
             self.pass += 1;
             let m = net.link_count();
@@ -307,8 +417,51 @@ impl AuxEngine {
             self.synced_clock = state.change_clock();
             self.ever_synced = true;
         }
+        if self.warm {
+            if reset_pi || self.inexact > 0 {
+                self.pot.reset(self.graph.node_count());
+                self.pi_events.clear();
+            } else {
+                self.pi_repair();
+            }
+        }
         self.retarget(net, s, t);
         stats
+    }
+
+    /// Writes an arc weight into both the graph payload and the flat mirror,
+    /// maintaining the integer certification and (when warm) the potential
+    /// feasibility event queue.
+    fn set_arc_weight(&mut self, arc: EdgeId, w: f64) {
+        let i = arc.index();
+        self.graph.edge_mut(arc).weight = w;
+        let old = self.arc_weight[i];
+        self.arc_weight[i] = w;
+        let slot = self.arc_slot[i] as usize;
+        self.slot_weight[slot] = w;
+        let scaled = w * (1u64 << SCALE_SHIFT) as f64;
+        // NaN/negative/huge all fail one of these (NaN.fract() is NaN).
+        let exact = scaled >= 0.0 && scaled <= KEY_CAP as f64 && scaled.fract() == 0.0;
+        if exact {
+            let key = scaled as u64;
+            self.arc_key[i] = key;
+            self.slot_key[slot] = key;
+            if key > self.max_key {
+                self.max_key = key;
+            }
+        }
+        if exact != self.arc_exact[i] {
+            self.arc_exact[i] = exact;
+            if exact {
+                self.inexact -= 1;
+            } else {
+                self.inexact += 1;
+            }
+        }
+        if self.warm && w < old {
+            // A weight decrease can break π(v) ≤ π(u) + w.
+            self.pi_events.push(i as u32);
+        }
     }
 
     /// Recomputes the traversal weight of `e` and the conversion weights of
@@ -336,7 +489,7 @@ impl AuxEngine {
                 }
             }
         };
-        self.graph.edge_mut(self.trav_arc[ei]).weight = weight;
+        self.set_arc_weight(self.trav_arc[ei], weight);
         for i in 0..self.conv_of_link[ei].len() {
             let ci = self.conv_of_link[ei][i] as usize;
             if self.conv_stamp[ci] != self.pass {
@@ -364,12 +517,21 @@ impl AuxEngine {
         }
         self.conv[ci].k = k as u32;
         if k > 0 {
-            self.graph.edge_mut(slot.arc).weight = match self.spec.weights {
+            let w = match self.spec.weights {
                 AuxWeights::CongestionExp { .. } => 0.0,
                 _ => total / k as f64,
             };
+            self.set_arc_weight(slot.arc, w);
         }
         self.update_conv_enabled(ci);
+    }
+
+    /// Writes an arc's enabled bit into both the arc-indexed array and its
+    /// slot-ordered mirror.
+    #[inline]
+    fn set_enabled(&mut self, idx: usize, en: bool) {
+        self.enabled[idx] = en;
+        self.slot_enabled[self.arc_slot[idx] as usize] = en;
     }
 
     /// Recomputes admission of `e` and the enabled bits of the arcs that
@@ -388,9 +550,18 @@ impl AuxEngine {
             }
         };
         self.admitted[ei] = adm;
-        self.enabled[self.trav_arc[ei].index()] = adm;
-        self.enabled[self.src_tap[ei].index()] = adm && self.cur_s == Some(net.graph().src(e));
-        self.enabled[self.dst_tap[ei].index()] = adm && self.cur_t == Some(net.graph().dst(e));
+        let ti = self.trav_arc[ei].index();
+        if self.warm && adm && !self.enabled[ti] {
+            // Newly enabled arc: its feasibility constraint comes into force.
+            self.pi_events.push(ti as u32);
+        }
+        self.set_enabled(ti, adm);
+        // Tap constraints are re-derived from scratch each warm solve
+        // (`warm_prepare`), so their flips need no events.
+        let src_en = adm && self.cur_s == Some(net.graph().src(e));
+        self.set_enabled(self.src_tap[ei].index(), src_en);
+        let dst_en = adm && self.cur_t == Some(net.graph().dst(e));
+        self.set_enabled(self.dst_tap[ei].index(), dst_en);
         for i in 0..self.conv_of_link[ei].len() {
             let ci = self.conv_of_link[ei][i] as usize;
             self.update_conv_enabled(ci);
@@ -401,8 +572,12 @@ impl AuxEngine {
     /// and at least one conversion is allowed under current availability.
     fn update_conv_enabled(&mut self, ci: usize) {
         let slot = self.conv[ci];
-        self.enabled[slot.arc.index()] =
-            slot.k > 0 && self.admitted[slot.ein.index()] && self.admitted[slot.eout.index()];
+        let en = slot.k > 0 && self.admitted[slot.ein.index()] && self.admitted[slot.eout.index()];
+        let idx = slot.arc.index();
+        if self.warm && en && !self.enabled[idx] {
+            self.pi_events.push(idx as u32);
+        }
+        self.set_enabled(idx, en);
     }
 
     /// Moves the terminal taps to `(s, t)`.
@@ -410,25 +585,185 @@ impl AuxEngine {
         if self.cur_s != Some(s) {
             if let Some(old) = self.cur_s {
                 for &e in net.graph().out_edges(old) {
-                    self.enabled[self.src_tap[e.index()].index()] = false;
+                    self.set_enabled(self.src_tap[e.index()].index(), false);
                 }
             }
             for &e in net.graph().out_edges(s) {
-                self.enabled[self.src_tap[e.index()].index()] = self.admitted[e.index()];
+                self.set_enabled(self.src_tap[e.index()].index(), self.admitted[e.index()]);
             }
             self.cur_s = Some(s);
         }
         if self.cur_t != Some(t) {
             if let Some(old) = self.cur_t {
                 for &e in net.graph().in_edges(old) {
-                    self.enabled[self.dst_tap[e.index()].index()] = false;
+                    self.set_enabled(self.dst_tap[e.index()].index(), false);
                 }
             }
             for &e in net.graph().in_edges(t) {
-                self.enabled[self.dst_tap[e.index()].index()] = self.admitted[e.index()];
+                self.set_enabled(self.dst_tap[e.index()].index(), self.admitted[e.index()]);
             }
             self.cur_t = Some(t);
         }
+    }
+
+    /// Restores the potential feasibility invariant after queued weight
+    /// decreases / arc enables by propagating upper-bound decreases forward
+    /// along the CSR (lowering `π(v)` can only break constraints on arcs
+    /// *out of* `v`). Budgeted: a change burst whose repair would cost more
+    /// than a few sweeps resets to the all-zero potential instead — always
+    /// feasible, merely cold.
+    fn pi_repair(&mut self) {
+        if self.pi_events.is_empty() {
+            return;
+        }
+        if self.pot.pi.is_empty() {
+            // Nothing adopted yet; zeros are feasible under any weights.
+            self.pi_events.clear();
+            return;
+        }
+        let n = self.graph.node_count();
+        debug_assert_eq!(self.pot.pi.len(), n);
+        for k in 0..self.pi_events.len() {
+            let a = self.pi_events[k] as usize;
+            if !self.enabled[a] {
+                continue;
+            }
+            let (u, v) = (self.arc_src[a] as usize, self.arc_dst[a] as usize);
+            let bound = self.pot.pi[u] + self.arc_key[a];
+            if self.pot.pi[v] > bound {
+                self.pot.pi[v] = bound;
+                self.pi_work.push(v as u32);
+            }
+        }
+        self.pi_events.clear();
+        let mut budget = 4 * n as u64;
+        while let Some(x) = self.pi_work.pop() {
+            let x = x as usize;
+            for slot in self.csr_off[x] as usize..self.csr_off[x + 1] as usize {
+                if budget == 0 {
+                    self.pi_work.clear();
+                    self.pot.reset(n);
+                    return;
+                }
+                budget -= 1;
+                let a = self.csr_arc[slot] as usize;
+                if !self.enabled[a] {
+                    continue;
+                }
+                let v = self.csr_head[slot] as usize;
+                let bound = self.pot.pi[x] + self.arc_key[a];
+                if self.pot.pi[v] > bound {
+                    self.pot.pi[v] = bound;
+                    self.pi_work.push(v as u32);
+                }
+            }
+        }
+    }
+
+    /// Re-derives the terminal potentials for the current `(s, t)` taps.
+    /// The aux source has no in-arcs, so *raising* `π(source)` to the max
+    /// enabled src-tap head keeps every constraint satisfiable without
+    /// cascading; symmetrically the sink has no out-arcs, so *lowering*
+    /// `π(sink)` to the min enabled dst-tap tail is safe. Call after
+    /// [`AuxEngine::sync`] and before a warm search.
+    pub fn warm_prepare(&mut self, net: &WdmNetwork) {
+        if !self.warm || self.pot.pi.is_empty() {
+            return;
+        }
+        let (Some(s), Some(t)) = (self.cur_s, self.cur_t) else {
+            return;
+        };
+        let mut ps = 0u64;
+        for &e in net.graph().out_edges(s) {
+            let tap = self.src_tap[e.index()].index();
+            if self.enabled[tap] {
+                ps = ps.max(self.pot.pi[self.arc_dst[tap] as usize]);
+            }
+        }
+        self.pot.pi[self.source.index()] = ps;
+        let mut pt = u64::MAX;
+        for &e in net.graph().in_edges(t) {
+            let tap = self.dst_tap[e.index()].index();
+            if self.enabled[tap] {
+                pt = pt.min(self.pot.pi[self.arc_src[tap] as usize]);
+            }
+        }
+        // No enabled dst tap ⇒ the sink has no in-arcs at all, so its
+        // potential is unconstrained.
+        self.pot.pi[self.sink.index()] = if pt == u64::MAX { 0 } else { pt };
+    }
+
+    /// Opts this engine in/out of carrying Johnson potentials across
+    /// requests (off by default). Warm starts keep every total cost
+    /// bit-identical under certified integer weights but may select a
+    /// different equal-cost optimum, so differential oracles leave this off.
+    pub fn set_warm_potentials(&mut self, on: bool) {
+        if self.warm != on {
+            self.warm = on;
+            self.pot = Potentials::default();
+            self.pi_events.clear();
+            self.pi_work.clear();
+        }
+    }
+
+    /// Whether warm potentials are enabled.
+    #[inline]
+    pub fn warm_potentials(&self) -> bool {
+        self.warm
+    }
+
+    /// The carried potentials (test observability).
+    pub fn potentials(&self) -> &Potentials {
+        &self.pot
+    }
+
+    /// Whether every arc weight currently certifies as an exact multiple of
+    /// `2^-SCALE_SHIFT` within the key cap — the precondition for the
+    /// integer/bucket search path.
+    #[inline]
+    pub fn int_certified(&self) -> bool {
+        self.inexact == 0
+    }
+
+    /// The flat CSR view of the skeleton (weights and enabled bits reflect
+    /// the last [`AuxEngine::sync`]).
+    pub fn flat_view(&self) -> FlatView<'_> {
+        FlatView {
+            offsets: &self.csr_off,
+            heads: &self.csr_head,
+            slot_arc: &self.csr_arc,
+            arc_slot: &self.arc_slot,
+            src: &self.arc_src,
+            dst: &self.arc_dst,
+            weight: &self.arc_weight,
+            enabled: &self.enabled,
+            slot_weight: &self.slot_weight,
+            slot_enabled: &self.slot_enabled,
+        }
+    }
+
+    /// Split-borrow accessor for the search call: the flat view and (when
+    /// certified) the integer keys, alongside a mutable borrow of the
+    /// potentials for warm adoption.
+    pub fn flat_parts(&mut self) -> (FlatView<'_>, Option<IntWeights<'_>>, &mut Potentials) {
+        let int = (self.inexact == 0).then_some(IntWeights {
+            key: &self.slot_key,
+            scale_shift: SCALE_SHIFT,
+            max_key: self.max_key,
+        });
+        let view = FlatView {
+            offsets: &self.csr_off,
+            heads: &self.csr_head,
+            slot_arc: &self.csr_arc,
+            arc_slot: &self.arc_slot,
+            src: &self.arc_src,
+            dst: &self.arc_dst,
+            weight: &self.arc_weight,
+            enabled: &self.enabled,
+            slot_weight: &self.slot_weight,
+            slot_enabled: &self.slot_enabled,
+        };
+        (view, int, &mut self.pot)
     }
 
     /// The skeleton graph. Search it with the [`AuxEngine::enabled`] filter;
@@ -545,6 +880,8 @@ pub struct RouterCtx<R: Recorder = NoopRecorder, T: Tracer = NoopTracer> {
     g_c_prospective: Option<AuxEngine>,
     g_rc: Option<AuxEngine>,
     g_rc_printed: Option<AuxEngine>,
+    /// Opt-in: engines carry Johnson potentials across requests.
+    warm: bool,
     /// MinCog warm-start memory: `(residual epoch, accepted ladder index)`
     /// of the last §4.1 threshold search (see `mincog::find_two_paths_mincog_ctx`).
     pub(crate) mincog_warm: Option<(u64, u32)>,
@@ -580,7 +917,29 @@ impl<R: Recorder, T: Tracer> RouterCtx<R, T> {
             g_c_prospective: None,
             g_rc: None,
             g_rc_printed: None,
+            warm: false,
             mincog_warm: None,
+        }
+    }
+
+    /// Opts every engine in this context into warm Johnson potentials
+    /// (off by default). Warm starts never change a pair's total cost under
+    /// the certified integer weights, but may pick a different equal-cost
+    /// optimum — leave off when exact route reproducibility against a cold
+    /// context matters.
+    pub fn set_warm_potentials(&mut self, on: bool) {
+        self.warm = on;
+        for e in [
+            &mut self.g_prime,
+            &mut self.g_c,
+            &mut self.g_c_prospective,
+            &mut self.g_rc,
+            &mut self.g_rc_printed,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            e.set_warm_potentials(on);
         }
     }
 
@@ -702,48 +1061,60 @@ impl<R: Recorder, T: Tracer> RouterCtx<R, T> {
             g_c_prospective,
             g_rc,
             g_rc_printed,
+            warm,
             ..
         } = &mut *self;
         let (eng, built) =
             Self::engine_slot(g_prime, g_c, g_c_prospective, g_rc, g_rc_printed, net, spec);
+        eng.set_warm_potentials(*warm);
         let tracing = tracer.enabled();
         let sync_t0 = tracer.now_ns();
         let sync = eng.sync(net, state, s, t);
+        eng.warm_prepare(net);
         if tracing {
             tracer.record(Phase::AuxRefresh, sync_t0);
         }
-        let eng: &AuxEngine = eng;
+        let source = eng.source();
+        let sink = eng.sink();
         let p1_t0 = tracer.now_ns();
         // The staged callback fires between the two Suurballe passes; it
         // closes the pass-1 span and opens the pass-2 stamp. If pass 1
         // fails (t unreachable) it never fires and neither span records.
         let mut p2_t0 = None;
-        let result = arena
-            .edge_disjoint_pair_staged(
-                eng.graph(),
-                eng.source(),
-                eng.sink(),
-                |e| eng.weight(e),
-                |e| eng.enabled(e),
-                || {
+        // The searches run over the engine's CSR mirror: the bucket-queue
+        // integer path when every weight certifies as dyadic (bit-identical
+        // to the f64 path), the flat f64 d-ary path otherwise.
+        let (view, int, pot) = eng.flat_parts();
+        let warm_pot = if *warm { Some(pot) } else { None };
+        let pair_opt = match int {
+            Some(iw) => {
+                arena.edge_disjoint_pair_flat_int(&view, &iw, warm_pot, source, sink, || {
                     if tracing {
                         tracer.record(Phase::SuurballeP1, p1_t0);
                         p2_t0 = Some(tracer.now_ns());
                     }
-                },
-            )
-            .map(|pair| {
-                if let Some(t0) = p2_t0.take() {
-                    tracer.record(Phase::SuurballeP2, t0);
-                }
-                let mb_t0 = tracer.now_ns();
-                let phys_a = eng.physical_edges(&pair.paths[0]);
-                let phys_b = eng.physical_edges(&pair.paths[1]);
+                })
+            }
+            None => arena.edge_disjoint_pair_flat(&view, source, sink, || {
                 if tracing {
-                    tracer.record(Phase::MapBack, mb_t0);
+                    tracer.record(Phase::SuurballeP1, p1_t0);
+                    p2_t0 = Some(tracer.now_ns());
                 }
-                (pair, [phys_a, phys_b])
-            });
+            }),
+        };
+        let eng: &AuxEngine = eng;
+        let result = pair_opt.map(|pair| {
+            if let Some(t0) = p2_t0.take() {
+                tracer.record(Phase::SuurballeP2, t0);
+            }
+            let mb_t0 = tracer.now_ns();
+            let phys_a = eng.physical_edges(&pair.paths[0]);
+            let phys_b = eng.physical_edges(&pair.paths[1]);
+            if tracing {
+                tracer.record(Phase::MapBack, mb_t0);
+            }
+            (pair, [phys_a, phys_b])
+        });
         if let Some(t0) = p2_t0 {
             // Pass 2 ran but found no second path: still attribute it.
             tracer.record(Phase::SuurballeP2, t0);

@@ -26,7 +26,7 @@ use wdm_core::joint::{find_two_paths_joint, find_two_paths_joint_ctx};
 use wdm_core::mincog::{find_two_paths_mincog, find_two_paths_mincog_ctx};
 use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
 use wdm_core::wavelength::{Wavelength, WavelengthSet};
-use wdm_graph::suurballe::edge_disjoint_pair_filtered;
+use wdm_graph::suurballe::{edge_disjoint_pair_filtered, DisjointPair};
 use wdm_graph::{EdgeId, NodeId, SearchArena};
 
 fn random_net(rng: &mut ChaCha8Rng) -> WdmNetwork {
@@ -112,6 +112,24 @@ fn canon_scratch(aux: &AuxGraph) -> Vec<(String, u64)> {
         .collect()
 }
 
+/// Two optional pairs over the same skeleton must agree bit-for-bit: same
+/// feasibility, same total-cost bits, same arc-id sequences.
+fn assert_pair_bits(a: &Option<DisjointPair>, b: &Option<DisjointPair>, label: &str) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(
+                a.total_cost.to_bits(),
+                b.total_cost.to_bits(),
+                "{label}: cost bits"
+            );
+            assert_eq!(a.paths[0].edges, b.paths[0].edges, "{label}: leg 0");
+            assert_eq!(a.paths[1].edges, b.paths[1].edges, "{label}: leg 1");
+        }
+        _ => panic!("{label}: feasibility disagrees"),
+    }
+}
+
 /// Engine-refreshed graph == scratch build, and arena pair search over the
 /// engine == allocating pair search over the scratch graph.
 #[allow(clippy::too_many_arguments)]
@@ -139,6 +157,17 @@ fn check_family(
         "{ctx_label}: enabled arcs / weight bits"
     );
 
+    // Tentpole invariant: both CSR flat searches — the f64 d-ary path and,
+    // whenever the dyadic certificate holds, the scaled bucket path — must
+    // be bit-identical to the pointer-chasing arena search over the same
+    // skeleton (same arc ids, same cost bits).
+    let (aux_s, aux_t) = (eng.source(), eng.sink());
+    let int_pair = {
+        let (view, int, _pot) = eng.flat_parts();
+        int.map(|iw| arena.edge_disjoint_pair_flat_int(&view, &iw, None, aux_s, aux_t, || {}))
+    };
+    let flat_pair = arena.edge_disjoint_pair_flat(&eng.flat_view(), aux_s, aux_t, || {});
+
     let eng_pair = {
         let eng: &AuxEngine = eng;
         arena.edge_disjoint_pair(
@@ -149,6 +178,14 @@ fn check_family(
             |e| eng.enabled(e),
         )
     };
+    assert_pair_bits(
+        &eng_pair,
+        &flat_pair,
+        &format!("{ctx_label}: flat f64 vs pointer"),
+    );
+    if let Some(ip) = &int_pair {
+        assert_pair_bits(&eng_pair, ip, &format!("{ctx_label}: flat int vs pointer"));
+    }
     let scratch_pair = edge_disjoint_pair_filtered(
         &scratch.graph,
         scratch.source,
@@ -232,6 +269,156 @@ fn engine_equals_scratch_under_random_mutation_sequences() {
                 t,
                 AuxSpec::g_rc(theta),
                 "G_rc",
+            );
+        }
+    }
+}
+
+/// Quarter-integer link costs and free conversions make every aux weight a
+/// dyadic rational below the scale cap, so the engine's integer certificate
+/// must hold and the scaled bucket search must engage — and stay
+/// bit-identical to the scratch oracle and the pointer search.
+///
+/// (Conversion costs must be 0 here: a conversion arc averages over all
+/// allowed pairs *including* free identity pairs, so `m·c / k` with `m < k`
+/// is generally non-dyadic for `c ≠ 0`.)
+fn dyadic_net(rng: &mut ChaCha8Rng) -> WdmNetwork {
+    let n = rng.gen_range(4..10usize);
+    let w = 4usize;
+    let mut b = NetworkBuilder::new(w);
+    for _ in 0..n {
+        let conv = match rng.gen_range(0..3) {
+            0 => ConversionTable::None,
+            1 => ConversionTable::Full { cost: 0.0 },
+            _ => ConversionTable::Range {
+                range: rng.gen_range(1..3),
+                cost: 0.0,
+            },
+        };
+        b.add_node(conv);
+    }
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(0.45) {
+                let mut set = WavelengthSet::empty();
+                for l in 0..w {
+                    if rng.gen_bool(0.7) {
+                        set.insert(Wavelength(l as u8));
+                    }
+                }
+                if set.is_empty() {
+                    set.insert(Wavelength(0));
+                }
+                let cost = rng.gen_range(4..40) as f64 / 4.0;
+                b.add_link_with(NodeId(u), NodeId(v), cost, set);
+            }
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn dyadic_costs_engage_certified_integer_path() {
+    for seed in 0..10u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0DAD ^ seed);
+        let net = dyadic_net(&mut rng);
+        let mut st = ResidualState::fresh(&net);
+        let mut arena = SearchArena::new();
+        let mut eng_gp = AuxEngine::new(&net, AuxSpec::g_prime());
+        let mut eng_grc = AuxEngine::new(&net, AuxSpec::g_rc(0.5));
+        let mut theta = 0.5;
+        for _step in 0..25 {
+            for _ in 0..rng.gen_range(0..3) {
+                random_op(&mut rng, &net, &mut st);
+            }
+            if rng.gen_bool(0.3) {
+                theta = rng.gen_range(0.05..1.1);
+            }
+            let s = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            let t = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            if s == t {
+                continue;
+            }
+            check_family(
+                &net,
+                &st,
+                &mut eng_gp,
+                &mut arena,
+                s,
+                t,
+                AuxSpec::g_prime(),
+                "dyadic G'",
+            );
+            assert!(eng_gp.int_certified(), "dyadic G' weights must certify");
+            check_family(
+                &net,
+                &st,
+                &mut eng_grc,
+                &mut arena,
+                s,
+                t,
+                AuxSpec::g_rc(theta),
+                "dyadic G_rc",
+            );
+            assert!(eng_grc.int_certified(), "dyadic G_rc weights must certify");
+        }
+    }
+}
+
+/// Extreme cost ranges must *decertify* the integer path (scale overflow or
+/// non-dyadic fractions) rather than route on clamped keys: the engine falls
+/// back to the f64 flat search and still matches the scratch oracle
+/// bit-for-bit. Regression for the weight-scaling overflow guard.
+#[test]
+fn extreme_cost_ranges_decertify_and_still_match() {
+    // Case 1: huge dyadic costs — `cost << SCALE_SHIFT` exceeds the key cap.
+    // Case 2: fine-grained non-dyadic costs (multiples of 0.1).
+    for (case, cost_of) in [
+        ("overflow", (|i: u32| 2048.0 + i as f64) as fn(u32) -> f64),
+        (
+            "non-dyadic",
+            (|i: u32| 0.1 * (i + 1) as f64) as fn(u32) -> f64,
+        ),
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xB16C057);
+        let w = 4usize;
+        let mut b = NetworkBuilder::new(w);
+        for _ in 0..6 {
+            b.add_node(ConversionTable::Full { cost: 0.0 });
+        }
+        let mut i = 0u32;
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                if u != v && rng.gen_bool(0.6) {
+                    b.add_link_with(NodeId(u), NodeId(v), cost_of(i), WavelengthSet::full(w));
+                    i += 1;
+                }
+            }
+        }
+        let net = b.build();
+        let mut st = ResidualState::fresh(&net);
+        let mut arena = SearchArena::new();
+        let mut eng = AuxEngine::new(&net, AuxSpec::g_prime());
+        for step in 0..10 {
+            random_op(&mut rng, &net, &mut st);
+            let s = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            let t = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            if s == t {
+                continue;
+            }
+            check_family(
+                &net,
+                &st,
+                &mut eng,
+                &mut arena,
+                s,
+                t,
+                AuxSpec::g_prime(),
+                &format!("{case} step {step}"),
+            );
+            assert!(
+                !eng.int_certified(),
+                "{case}: extreme costs must decertify the integer path"
             );
         }
     }

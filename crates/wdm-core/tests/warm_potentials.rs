@@ -1,0 +1,265 @@
+//! Warm Johnson potentials: safety and exactness.
+//!
+//! The engine may carry Johnson-style potentials across requests so that
+//! Suurballe pass 1 restarts warm (reduced keys, narrow bucket span). Two
+//! properties are pinned here:
+//!
+//! 1. **Exactness** — a warm search may pick a different *equal-cost*
+//!    optimum, but the pair's `total_cost` bits must equal the cold
+//!    search's, step for step, across long mutation histories.
+//! 2. **Staleness safety** — potentials are only valid for the residual
+//!    state they were adopted under. Any event that invalidates the whole
+//!    skeleton (a change-clock restart from a fresh/replaced
+//!    [`ResidualState`], a threshold re-mask) must wipe the potentials to
+//!    the all-zero (always-feasible) vector rather than let stale values
+//!    leak into reduced keys.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_core::aux_engine::{AuxEngine, RouterCtx};
+use wdm_core::aux_graph::AuxSpec;
+use wdm_core::conversion::ConversionTable;
+use wdm_core::mincog::{find_two_paths_mincog, find_two_paths_mincog_ctx};
+use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use wdm_core::wavelength::{Wavelength, WavelengthSet};
+use wdm_graph::{EdgeId, NodeId, SearchArena};
+
+/// Quarter-integer costs, free conversions: every weight certifies as a
+/// dyadic multiple of `2^-SCALE_SHIFT`, so the integer/bucket path (and
+/// with it the warm machinery) engages on every solve.
+fn dyadic_net(rng: &mut ChaCha8Rng) -> WdmNetwork {
+    let n = rng.gen_range(5..10usize);
+    let w = 4usize;
+    let mut b = NetworkBuilder::new(w);
+    for _ in 0..n {
+        let conv = if rng.gen_bool(0.5) {
+            ConversionTable::Full { cost: 0.0 }
+        } else {
+            ConversionTable::None
+        };
+        b.add_node(conv);
+    }
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(0.5) {
+                let mut set = WavelengthSet::empty();
+                for l in 0..w {
+                    if rng.gen_bool(0.7) {
+                        set.insert(Wavelength(l as u8));
+                    }
+                }
+                if set.is_empty() {
+                    set.insert(Wavelength(0));
+                }
+                let cost = rng.gen_range(4..40) as f64 / 4.0;
+                b.add_link_with(NodeId(u), NodeId(v), cost, set);
+            }
+        }
+    }
+    b.build()
+}
+
+fn random_op(rng: &mut ChaCha8Rng, net: &WdmNetwork, st: &mut ResidualState) {
+    let e = EdgeId::from(rng.gen_range(0..net.link_count()));
+    match rng.gen_range(0..4) {
+        0 => {
+            let l = Wavelength(rng.gen_range(0..net.num_wavelengths()) as u8);
+            let _ = st.occupy(net, e, l);
+        }
+        1 => {
+            let l = Wavelength(rng.gen_range(0..net.num_wavelengths()) as u8);
+            let _ = st.release(e, l);
+        }
+        2 => st.fail_link(e),
+        _ => st.repair_link(e),
+    }
+}
+
+/// One solve over an engine: sync, warm-prepare (a no-op on cold engines),
+/// then the flat search — integer path when certified (always, on these
+/// nets), warm iff the engine carries potentials.
+fn solve(
+    eng: &mut AuxEngine,
+    arena: &mut SearchArena,
+    net: &WdmNetwork,
+    st: &ResidualState,
+    s: NodeId,
+    t: NodeId,
+) -> Option<(u64, Vec<Vec<EdgeId>>)> {
+    eng.sync(net, st, s, t);
+    eng.warm_prepare(net);
+    let warm = eng.warm_potentials();
+    let (aux_s, aux_t) = (eng.source(), eng.sink());
+    let (view, int, pot) = eng.flat_parts();
+    let iw = int.expect("dyadic nets must certify the integer path");
+    let warm_pot = warm.then_some(pot);
+    let pair = arena.edge_disjoint_pair_flat_int(&view, &iw, warm_pot, aux_s, aux_t, || {})?;
+    let eng: &AuxEngine = eng;
+    let legs = pair
+        .paths
+        .iter()
+        .map(|p| eng.physical_edges(p))
+        .collect::<Vec<_>>();
+    Some((pair.total_cost.to_bits(), legs))
+}
+
+/// Warm and cold engines dragged through the same mutation history produce
+/// pairs with identical `total_cost` bits, and the warm pair's legs stay
+/// edge-disjoint in physical links.
+#[test]
+fn warm_totals_match_cold_across_mutations() {
+    for seed in 0..12u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x3A12 ^ seed);
+        let net = dyadic_net(&mut rng);
+        let mut st = ResidualState::fresh(&net);
+        let mut arena = SearchArena::new();
+        let mut cold = AuxEngine::new(&net, AuxSpec::g_prime());
+        let mut warm = AuxEngine::new(&net, AuxSpec::g_prime());
+        warm.set_warm_potentials(true);
+        for step in 0..30 {
+            for _ in 0..rng.gen_range(0..3) {
+                random_op(&mut rng, &net, &mut st);
+            }
+            let s = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            let t = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            if s == t {
+                continue;
+            }
+            let c = solve(&mut cold, &mut arena, &net, &st, s, t);
+            let w = solve(&mut warm, &mut arena, &net, &st, s, t);
+            match (c, w) {
+                (None, None) => {}
+                (Some((cb, _)), Some((wb, legs))) => {
+                    assert_eq!(cb, wb, "seed {seed} step {step}: total-cost bits");
+                    let mut seen = std::collections::HashSet::new();
+                    for leg in &legs {
+                        for &e in leg {
+                            assert!(
+                                seen.insert(e),
+                                "seed {seed} step {step}: warm legs share a physical link"
+                            );
+                        }
+                    }
+                }
+                (c, w) => panic!("seed {seed} step {step}: feasibility split {c:?} vs {w:?}"),
+            }
+        }
+    }
+}
+
+/// A change-clock restart (fresh [`ResidualState`] handed to a synced
+/// engine) forces a full refresh — and must wipe the carried potentials to
+/// all-zero. Stale potentials surviving a clock reset would silently
+/// corrupt reduced keys on the next warm solve.
+#[test]
+fn stale_potentials_never_survive_clock_reset() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57A1E);
+    let net = dyadic_net(&mut rng);
+    let mut st = ResidualState::fresh(&net);
+    let mut arena = SearchArena::new();
+    let mut eng = AuxEngine::new(&net, AuxSpec::g_prime());
+    eng.set_warm_potentials(true);
+
+    // Advance the clock and solve until the engine has adopted nonzero
+    // potentials.
+    let mut adopted = false;
+    for step in 0..40 {
+        random_op(&mut rng, &net, &mut st);
+        let s = NodeId((step % net.node_count()) as u32);
+        let t = NodeId(((step + 2) % net.node_count()) as u32);
+        if s == t {
+            continue;
+        }
+        solve(&mut eng, &mut arena, &net, &st, s, t);
+        if eng.potentials().pi.iter().any(|&p| p > 0) {
+            adopted = true;
+            break;
+        }
+    }
+    assert!(adopted, "test net never produced nonzero potentials");
+
+    // Clock restart: a brand-new state starts from clock 0, strictly below
+    // the engine's synced clock -> full refresh -> potentials wiped.
+    let st2 = ResidualState::fresh(&net);
+    eng.sync(&net, &st2, NodeId(0), NodeId(1));
+    assert!(
+        eng.potentials().pi.iter().all(|&p| p == 0),
+        "stale potentials survived a change-clock reset"
+    );
+    assert_eq!(
+        eng.potentials().max,
+        0,
+        "potential bound survived the reset"
+    );
+}
+
+/// A threshold change re-masks the whole admission set (arcs flip without
+/// per-link dirt), so it must also reset the potentials.
+#[test]
+fn threshold_remask_resets_potentials() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7E5A);
+    let net = dyadic_net(&mut rng);
+    let mut st = ResidualState::fresh(&net);
+    let mut arena = SearchArena::new();
+    let mut eng = AuxEngine::new(&net, AuxSpec::g_rc(0.9));
+    eng.set_warm_potentials(true);
+
+    let mut adopted = false;
+    for step in 0..40 {
+        random_op(&mut rng, &net, &mut st);
+        let s = NodeId((step % net.node_count()) as u32);
+        let t = NodeId(((step + 3) % net.node_count()) as u32);
+        if s == t {
+            continue;
+        }
+        solve(&mut eng, &mut arena, &net, &st, s, t);
+        if eng.potentials().pi.iter().any(|&p| p > 0) {
+            adopted = true;
+            break;
+        }
+    }
+    assert!(adopted, "test net never produced nonzero potentials");
+
+    eng.set_threshold(Some(0.35));
+    eng.sync(&net, &st, NodeId(0), NodeId(1));
+    assert!(
+        eng.potentials().pi.iter().all(|&p| p == 0),
+        "potentials survived a threshold re-mask"
+    );
+}
+
+/// The warm router context agrees with the cold one-shot router on
+/// feasibility, threshold bits and probe counts across a mutation history
+/// (routes may differ only among equal-cost optima, which the total-cost
+/// assertions in `warm_totals_match_cold_across_mutations` pin).
+#[test]
+fn warm_ctx_matches_one_shot_feasibility_and_threshold() {
+    for seed in 0..8u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xCA1D ^ seed);
+        let net = dyadic_net(&mut rng);
+        let mut st = ResidualState::fresh(&net);
+        let mut ctx = RouterCtx::new();
+        ctx.set_warm_potentials(true);
+        for _step in 0..20 {
+            for _ in 0..rng.gen_range(0..4) {
+                random_op(&mut rng, &net, &mut st);
+            }
+            let s = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            let t = NodeId(rng.gen_range(0..net.node_count()) as u32);
+            if s == t {
+                continue;
+            }
+            match (
+                find_two_paths_mincog_ctx(&mut ctx, &net, &st, s, t, 2.0),
+                find_two_paths_mincog(&net, &st, s, t, 2.0),
+            ) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+                    assert_eq!(a.probes, b.probes);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("warm ctx/one-shot feasibility split: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}

@@ -4,8 +4,21 @@
 //! Dijkstra's extracted keys form a monotone non-decreasing sequence bounded
 //! by `max_key`. A circular array of buckets then gives O(1) insert,
 //! decrease-key, and amortised O(1 + C/n) pop — the classic Dial's algorithm
-//! queue. Used by the hop-count routing baselines and as a fast path when a
-//! network declares integral costs.
+//! queue. Used by the hop-count routing baselines and as the fast path of
+//! the CSR auxiliary-graph engine when a network's costs certify as exact
+//! dyadic rationals.
+//!
+//! Two hardening properties matter for that fast path:
+//!
+//! * **Deterministic ties.** [`MinQueue::pop_min`] returns the *smallest id*
+//!   among the minimum-key entries — the same `(key, id)` order as
+//!   [`DaryHeap`](crate::DaryHeap), so a Dijkstra run produces an identical
+//!   settle sequence (and therefore identical predecessor trees) under
+//!   either engine (`tests/heap_equivalence.rs`).
+//! * **O(1) reset.** Presence and bucket heads are generation-stamped, so
+//!   [`MinQueue::clear`] is a counter bump, not an `O(capacity + span)`
+//!   fill — one queue serves an unbounded stream of searches, like the
+//!   generation-stamped tree banks in `wdm-graph`'s `SearchArena`.
 
 use crate::MinQueue;
 
@@ -20,17 +33,30 @@ const ABSENT: u32 = u32::MAX;
 /// the maximum edge cost + 1).
 #[derive(Debug, Clone)]
 pub struct BucketQueue {
-    /// `buckets[k % span]` = intrusive doubly-linked list head (id) or ABSENT.
+    /// `buckets[k % span]` = intrusive doubly-linked list head (id), valid
+    /// only while `bucket_gen` matches the current generation.
     buckets: Vec<u32>,
+    bucket_gen: Vec<u64>,
     /// Per-id linked-list pointers and keys.
     next: Vec<u32>,
     prev: Vec<u32>,
     keys: Vec<u64>,
-    present: Vec<bool>,
+    /// `stamp[id] == gen` ⇔ the id is present.
+    stamp: Vec<u64>,
+    gen: u64,
     /// Cursor: all live keys are in `[floor, floor + span)`.
     floor: u64,
     span: u64,
     len: usize,
+    /// Binary min-heap over ids holding the bucket currently being drained
+    /// (every entry has key == `drain_key`). Dijkstra workloads with large
+    /// tie classes (e.g. zero-reduced-cost plateaus) put thousands of ids in
+    /// one bucket; scanning the chain for the smallest id on every pop is
+    /// quadratic in the class size, while draining through this heap keeps
+    /// the identical smallest-id-first order at O(log k) per operation.
+    drain: Vec<u32>,
+    /// Key of the drain heap's entries; `u64::MAX` while inactive.
+    drain_key: u64,
 }
 
 impl BucketQueue {
@@ -41,14 +67,53 @@ impl BucketQueue {
         assert!(capacity < ABSENT as usize);
         Self {
             buckets: vec![ABSENT; span as usize],
+            bucket_gen: vec![0; span as usize],
             next: vec![ABSENT; capacity],
             prev: vec![ABSENT; capacity],
             keys: vec![0; capacity],
-            present: vec![false; capacity],
+            stamp: vec![0; capacity],
+            gen: 1,
             floor: 0,
             span,
             len: 0,
+            drain: Vec::new(),
+            drain_key: u64::MAX,
         }
+    }
+
+    /// Grows the id capacity and/or the key span in place, keeping the
+    /// allocation. Must be called on an empty queue (the bucket array cannot
+    /// be re-hashed under live entries); the queue is reset as by
+    /// [`MinQueue::clear`]. Returns whether any buffer grew (an allocation
+    /// event, for arena telemetry).
+    ///
+    /// # Panics
+    /// Panics if the queue is non-empty.
+    pub fn ensure(&mut self, capacity: usize, span: u64) -> bool {
+        assert!(self.len == 0, "ensure on a non-empty bucket queue");
+        assert!(span >= 1, "span must be at least 1");
+        assert!(capacity < ABSENT as usize);
+        let mut grew = false;
+        if self.stamp.len() < capacity {
+            self.next.resize(capacity, ABSENT);
+            self.prev.resize(capacity, ABSENT);
+            self.keys.resize(capacity, 0);
+            self.stamp.resize(capacity, 0);
+            grew = true;
+        }
+        if self.span < span {
+            self.buckets.resize(span as usize, ABSENT);
+            self.bucket_gen.resize(span as usize, 0);
+            self.span = span;
+            grew = true;
+        }
+        self.clear();
+        grew
+    }
+
+    /// The key span the queue was sized for.
+    pub fn span(&self) -> u64 {
+        self.span
     }
 
     #[inline]
@@ -56,11 +121,22 @@ impl BucketQueue {
         (key % self.span) as usize
     }
 
+    /// Bucket head, or `ABSENT` if the slot is stale (previous generation).
+    #[inline]
+    fn head(&self, b: usize) -> u32 {
+        if self.bucket_gen[b] == self.gen {
+            self.buckets[b]
+        } else {
+            ABSENT
+        }
+    }
+
     fn unlink(&mut self, id: usize) {
         let b = self.bucket_of(self.keys[id]);
         let (p, n) = (self.prev[id], self.next[id]);
         if p == ABSENT {
             self.buckets[b] = n;
+            self.bucket_gen[b] = self.gen;
         } else {
             self.next[p as usize] = n;
         }
@@ -80,13 +156,68 @@ impl BucketQueue {
         );
         self.keys[id] = key;
         let b = self.bucket_of(key);
-        let head = self.buckets[b];
+        let head = self.head(b);
         self.next[id] = head;
         self.prev[id] = ABSENT;
         if head != ABSENT {
             self.prev[head as usize] = id as u32;
         }
         self.buckets[b] = id as u32;
+        self.bucket_gen[b] = self.gen;
+    }
+
+    /// Smallest id in bucket `b` (the deterministic tie winner), or
+    /// `ABSENT` for an empty bucket. O(bucket length).
+    #[inline]
+    fn min_id_in(&self, b: usize) -> u32 {
+        let mut best = self.head(b);
+        if best != ABSENT {
+            let mut cur = self.next[best as usize];
+            while cur != ABSENT {
+                if cur < best {
+                    best = cur;
+                }
+                cur = self.next[cur as usize];
+            }
+        }
+        best
+    }
+
+    fn drain_push(&mut self, id: u32) {
+        self.drain.push(id);
+        let mut i = self.drain.len() - 1;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.drain[p] <= self.drain[i] {
+                break;
+            }
+            self.drain.swap(p, i);
+            i = p;
+        }
+    }
+
+    fn drain_pop(&mut self) -> Option<u32> {
+        let last = self.drain.len().checked_sub(1)?;
+        self.drain.swap(0, last);
+        let out = self.drain.pop().expect("non-empty");
+        let n = self.drain.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            let mut s = i;
+            if l < n && self.drain[l] < self.drain[s] {
+                s = l;
+            }
+            if l + 1 < n && self.drain[l + 1] < self.drain[s] {
+                s = l + 1;
+            }
+            if s == i {
+                break;
+            }
+            self.drain.swap(i, s);
+            i = s;
+        }
+        Some(out)
     }
 }
 
@@ -98,12 +229,12 @@ impl MinQueue<u64> for BucketQueue {
     }
 
     fn capacity(&self) -> usize {
-        self.present.len()
+        self.stamp.len()
     }
 
     fn insert(&mut self, id: usize, key: u64) {
-        assert!(id < self.present.len(), "id {id} out of capacity");
-        assert!(!self.present[id], "id {id} already present");
+        assert!(id < self.stamp.len(), "id {id} out of capacity");
+        assert!(self.stamp[id] != self.gen, "id {id} already present");
         if self.len == 0 && (key < self.floor || key >= self.floor + self.span) {
             // Empty queue and the key falls outside the current window: the
             // monotone sequence is restarting, so the window may move.
@@ -113,8 +244,16 @@ impl MinQueue<u64> for BucketQueue {
             // floor, which we cannot know yet.)
             self.floor = key;
         }
-        self.present[id] = true;
-        self.link(id, key);
+        self.stamp[id] = self.gen;
+        if key == self.drain_key {
+            // The bucket for this key has already been moved into the drain
+            // heap; joining the chain instead would be skipped by the pop
+            // cursor.
+            self.keys[id] = key;
+            self.drain_push(id as u32);
+        } else {
+            self.link(id, key);
+        }
         self.len += 1;
     }
 
@@ -122,26 +261,35 @@ impl MinQueue<u64> for BucketQueue {
         if self.len == 0 {
             return None;
         }
-        // Scan forward from the floor cursor to the first non-empty bucket.
         loop {
-            let b = self.bucket_of(self.floor);
-            let mut cur = self.buckets[b];
-            // The bucket may contain keys other than `floor` only if span
-            // aliases; with keys confined to [floor, floor+span) every entry
-            // in bucket `floor % span` has key == floor.
-            if cur != ABSENT {
-                // Pop the head (any entry in this bucket has the min key).
-                let id = cur as usize;
-                debug_assert_eq!(self.keys[id], self.floor);
-                cur = self.next[id];
-                self.buckets[b] = cur;
-                if cur != ABSENT {
-                    self.prev[cur as usize] = ABSENT;
+            // Drain the current tie class in ascending id order — the same
+            // (key, id) rule as the d-ary heap.
+            if self.drain_key == self.floor {
+                if let Some(best) = self.drain_pop() {
+                    let id = best as usize;
+                    debug_assert_eq!(self.keys[id], self.floor);
+                    self.stamp[id] = 0;
+                    self.len -= 1;
+                    return Some((id, self.floor));
                 }
-                self.next[id] = ABSENT;
-                self.present[id] = false;
-                self.len -= 1;
-                return Some((id, self.floor));
+                self.drain_key = u64::MAX;
+                self.floor += 1;
+            }
+            // Scan forward from the floor cursor to the first non-empty
+            // bucket; with keys confined to [floor, floor + span), every
+            // entry there has key == floor. Move its whole chain into the
+            // drain heap and pop from that.
+            let b = self.bucket_of(self.floor);
+            let mut cur = self.head(b);
+            if cur != ABSENT {
+                self.buckets[b] = ABSENT;
+                self.bucket_gen[b] = self.gen;
+                while cur != ABSENT {
+                    self.drain_push(cur);
+                    cur = self.next[cur as usize];
+                }
+                self.drain_key = self.floor;
+                continue;
             }
             self.floor += 1;
         }
@@ -151,11 +299,16 @@ impl MinQueue<u64> for BucketQueue {
         if self.len == 0 {
             return None;
         }
+        if self.drain_key == self.floor {
+            if let Some(&best) = self.drain.first() {
+                return Some((best as usize, self.floor));
+            }
+        }
         let mut f = self.floor;
         loop {
-            let head = self.buckets[(f % self.span) as usize];
-            if head != ABSENT {
-                return Some((head as usize, f));
+            let best = self.min_id_in((f % self.span) as usize);
+            if best != ABSENT {
+                return Some((best as usize, f));
             }
             f += 1;
         }
@@ -163,19 +316,27 @@ impl MinQueue<u64> for BucketQueue {
 
     fn decrease_key(&mut self, id: usize, key: u64) -> bool {
         assert!(
-            id < self.present.len() && self.present[id],
+            id < self.stamp.len() && self.stamp[id] == self.gen,
             "decrease_key on absent id {id}"
         );
         if key >= self.keys[id] {
             return false;
         }
+        // An entry already in the drain heap has key == drain_key == floor,
+        // the monotone minimum — it can never be decreased, so `id` is
+        // always chain-linked here and unlinking is safe.
         self.unlink(id);
-        self.link(id, key);
+        if key == self.drain_key {
+            self.keys[id] = key;
+            self.drain_push(id as u32);
+        } else {
+            self.link(id, key);
+        }
         true
     }
 
     fn contains(&self, id: usize) -> bool {
-        id < self.present.len() && self.present[id]
+        id < self.stamp.len() && self.stamp[id] == self.gen
     }
 
     fn key(&self, id: usize) -> Option<u64> {
@@ -191,12 +352,13 @@ impl MinQueue<u64> for BucketQueue {
     }
 
     fn clear(&mut self) {
-        self.buckets.fill(ABSENT);
-        self.next.fill(ABSENT);
-        self.prev.fill(ABSENT);
-        self.present.fill(false);
+        // Generation bump invalidates every bucket head and presence stamp
+        // at once — O(1), so an arena can reset the queue per search.
+        self.gen += 1;
         self.floor = 0;
         self.len = 0;
+        self.drain.clear();
+        self.drain_key = u64::MAX;
     }
 }
 
@@ -273,5 +435,87 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 8);
+    }
+
+    /// Equal keys pop in ascending id order regardless of insertion order —
+    /// the same tie rule as the hardened d-ary heap.
+    #[test]
+    fn ties_break_by_smallest_id() {
+        for perm in [
+            vec![3usize, 1, 4, 0, 2],
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+        ] {
+            let mut q = BucketQueue::new(8, 4);
+            for &id in &perm {
+                q.insert(id, 2);
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| q.pop_min().map(|(id, _)| id)).collect();
+            assert_eq!(order, vec![0, 1, 2, 3, 4], "insertion order {perm:?}");
+        }
+    }
+
+    /// clear() is a generation bump: stale bucket heads from the previous
+    /// generation must not resurface, and the queue is immediately reusable.
+    #[test]
+    fn clear_is_generational() {
+        let mut q = BucketQueue::new(8, 8);
+        q.insert(1, 3);
+        q.insert(2, 3);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.contains(1));
+        assert_eq!(q.pop_min(), None);
+        // Same bucket slot as before the clear; the stale chain is invisible.
+        q.insert(5, 3);
+        assert_eq!(q.pop_min(), Some((5, 3)));
+        assert_eq!(q.pop_min(), None);
+    }
+
+    /// A queue abandoned mid-drain (early-exit Dijkstra) resets in O(1) and
+    /// serves the next search correctly.
+    #[test]
+    fn reuse_after_partial_drain() {
+        let mut q = BucketQueue::new(16, 8);
+        for id in 0..10 {
+            q.insert(id, (id % 4) as u64);
+        }
+        let _ = q.pop_min();
+        let _ = q.pop_min();
+        q.clear();
+        for id in 0..16 {
+            q.insert(id, (16 - id) as u64 % 8);
+        }
+        let mut got = 0;
+        let mut last = 0;
+        while let Some((_, k)) = q.pop_min() {
+            assert!(k >= last);
+            last = k;
+            got += 1;
+        }
+        assert_eq!(got, 16);
+    }
+
+    /// ensure() grows capacity and span in place.
+    #[test]
+    fn ensure_grows_capacity_and_span() {
+        let mut q = BucketQueue::new(2, 2);
+        q.insert(0, 1);
+        assert_eq!(q.pop_min(), Some((0, 1)));
+        q.ensure(32, 64);
+        assert_eq!(q.capacity(), 32);
+        assert_eq!(q.span(), 64);
+        q.insert(31, 63);
+        q.insert(30, 0);
+        assert_eq!(q.pop_min(), Some((30, 0)));
+        assert_eq!(q.pop_min(), Some((31, 63)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn ensure_on_live_queue_panics() {
+        let mut q = BucketQueue::new(4, 4);
+        q.insert(0, 0);
+        q.ensure(8, 8);
     }
 }

@@ -4,6 +4,14 @@
 //! reverse index `pos[id] -> slot`, so `decrease_key` and `contains` are O(1)
 //! lookups plus an O(log_d n) sift. `D = 4` is the usual sweet spot on modern
 //! CPUs: shallower trees than binary heaps and sibling keys share cache lines.
+//!
+//! Ties are broken deterministically: among equal keys the smallest id pops
+//! first. The sift comparisons order entries by `(key, id)` lexicographically,
+//! so the pop sequence is a pure function of the inserted/decreased
+//! `(id, key)` set — independent of operation interleaving. [`BucketQueue`]
+//! (`crate::BucketQueue`) implements the same tie rule, which is what lets a
+//! Dijkstra run swap heap engines without perturbing its settle order
+//! (`tests/heap_equivalence.rs` pins this).
 #![allow(clippy::neg_cmp_op_on_partial_ord)] // NaN-safe "not a decrease" checks
 
 use crate::MinQueue;
@@ -24,10 +32,17 @@ pub struct DaryHeap<K, const D: usize = 4> {
 }
 
 impl<K: PartialOrd + Copy, const D: usize> DaryHeap<K, D> {
+    /// Lexicographic `(key, id)` order: the heap's total order. Equal keys
+    /// rank by ascending id, making pop order deterministic under ties.
+    #[inline]
+    fn before(a: (u32, K), b: (u32, K)) -> bool {
+        a.1 < b.1 || (a.1 == b.1 && a.0 < b.0)
+    }
+
     fn sift_up(&mut self, mut slot: usize) {
         while slot > 0 {
             let parent = (slot - 1) / D;
-            if self.slots[slot].1 < self.slots[parent].1 {
+            if Self::before(self.slots[slot], self.slots[parent]) {
                 self.swap_slots(slot, parent);
                 slot = parent;
             } else {
@@ -46,11 +61,11 @@ impl<K: PartialOrd + Copy, const D: usize> DaryHeap<K, D> {
             let last_child = (first_child + D).min(len);
             let mut best = first_child;
             for c in (first_child + 1)..last_child {
-                if self.slots[c].1 < self.slots[best].1 {
+                if Self::before(self.slots[c], self.slots[best]) {
                     best = c;
                 }
             }
-            if self.slots[best].1 < self.slots[slot].1 {
+            if Self::before(self.slots[best], self.slots[slot]) {
                 self.swap_slots(slot, best);
                 slot = best;
             } else {
@@ -84,7 +99,7 @@ impl<K: PartialOrd + Copy, const D: usize> DaryHeap<K, D> {
         for slot in 1..self.slots.len() {
             let parent = (slot - 1) / D;
             assert!(
-                !(self.slots[slot].1 < self.slots[parent].1),
+                !Self::before(self.slots[slot], self.slots[parent]),
                 "heap order violated at slot {slot}"
             );
         }
@@ -285,5 +300,38 @@ mod tests {
             seen[id] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Equal keys pop in ascending id order regardless of insertion order.
+    #[test]
+    fn ties_break_by_smallest_id() {
+        for perm in [
+            vec![3usize, 1, 4, 0, 2],
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+        ] {
+            let mut h = H::with_capacity(8);
+            for &id in &perm {
+                h.insert(id, 7.0);
+                h.assert_invariants();
+            }
+            let order: Vec<usize> = std::iter::from_fn(|| h.pop_min().map(|(id, _)| id)).collect();
+            assert_eq!(order, vec![0, 1, 2, 3, 4], "insertion order {perm:?}");
+        }
+    }
+
+    /// Mixed keys and ties: pop order is exactly ascending `(key, id)`.
+    #[test]
+    fn pop_order_is_key_then_id() {
+        let entries = [(5usize, 2.0), (1, 1.0), (4, 2.0), (0, 2.0), (3, 1.0)];
+        let mut h = H::with_capacity(8);
+        for &(id, k) in &entries {
+            h.insert(id, k);
+        }
+        let order: Vec<(usize, f64)> = std::iter::from_fn(|| h.pop_min()).collect();
+        assert_eq!(
+            order,
+            vec![(1, 1.0), (3, 1.0), (0, 2.0), (4, 2.0), (5, 2.0)]
+        );
     }
 }
