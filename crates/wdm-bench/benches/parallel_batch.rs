@@ -1,14 +1,18 @@
 //! Speculative batch provisioning vs the serial loop (the per-window
-//! regression guard behind `exp_parallel_batch`).
+//! regression guard behind `exp_parallel_batch`), in both schedule
+//! modes: the PR 3 windowed abort-the-rest engine and the conflict-aware
+//! group scheduler.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use wdm_bench::{random_connected_instance, rng};
+use wdm_core::journal::NoopSink;
 use wdm_core::network::ResidualState;
 use wdm_sim::batch::{provision_batch, BatchOrder, Demand};
 use wdm_sim::policy::Policy;
-use wdm_sim::speculative::provision_batch_speculative;
-use wdm_telemetry::NoopRecorder;
+use wdm_sim::schedule::ScheduleMode;
+use wdm_sim::speculative::provision_batch_speculative_scheduled;
+use wdm_telemetry::{NoopRecorder, NoopTracer};
 
 fn bench_windows(c: &mut Criterion) {
     let mut r = rng(0xBA7C4);
@@ -35,24 +39,28 @@ fn bench_windows(c: &mut Criterion) {
     group.bench_function("serial", |b| {
         b.iter(|| black_box(provision_batch(&net, &state, &demands, policy, order)))
     });
-    for window in [1usize, 8, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("speculative", window),
-            &window,
-            |b, &window| {
+    for (label, schedule) in [
+        ("conflict-groups", ScheduleMode::ConflictGroups),
+        ("windowed", ScheduleMode::Windowed),
+    ] {
+        for window in [1usize, 8, 64] {
+            group.bench_with_input(BenchmarkId::new(label, window), &window, |b, &window| {
                 b.iter(|| {
-                    black_box(provision_batch_speculative(
+                    black_box(provision_batch_speculative_scheduled(
                         &net,
                         &state,
                         &demands,
                         policy,
                         order,
                         window,
+                        schedule,
                         NoopRecorder,
+                        NoopSink,
+                        &NoopTracer,
                     ))
                 })
-            },
-        );
+            });
+        }
     }
     group.finish();
 }

@@ -5,33 +5,54 @@
 //! cargo run --release -p wdm-bench --bin exp_parallel_batch -- --quick # smoke
 //! ```
 //!
-//! Provisions the same demand batch on an m≈800-link, W=8 instance two
+//! Provisions the same demand batch on an m≈800-link, W=8 instance three
 //! ways and reports ns/demand:
 //!
 //! * **serial** — [`provision_batch`], the pre-engine baseline: one
 //!   throwaway router context (a full auxiliary-graph construction) per
 //!   demand;
-//! * **speculative(K)** — [`provision_batch_speculative`] at window sizes
-//!   K ∈ {1, 2, 8, 64}: persistent forked router contexts, per-round
-//!   snapshots, in-order conflict-checked commit.
+//! * **conflict-groups(K)** — the conflict-aware scheduler at window
+//!   sizes K ∈ {1, 2, 8, 64}: footprint-predicted link-disjoint groups,
+//!   inline serial routing for predicted conflicts, bounded retry on
+//!   mispredictions;
+//! * **windowed(K)** — the PR 3 abort-the-rest engine at the same K, kept
+//!   as the before/after reference for the contention-collapse curve
+//!   (EXPERIMENTS.md A8).
 //!
 //! Every speculative pass is asserted bit-identical to the serial outcome
 //! (the engine's contract), so the speedup is measured on provably equal
 //! work. On a single-core host the gain is the engine reuse; with more
-//! cores the window also routes concurrently.
+//! cores the group also routes concurrently.
+//!
+//! Timed passes run unrecorded; a separate untimed instrumented pass per
+//! configuration collects the abort-cause counters and the
+//! conflict-group-size histogram into the report.
 //!
 //! Writes the machine-readable results to `BENCH_parallel_batch.json` in
-//! the working directory (the committed artifact lives at the repo root);
-//! CI gates on the `window 8` speedup via `wdm telemetry diff`.
+//! the working directory (the committed artifact lives at the repo root).
+//! CI gates the K=8 speedup via `wdm telemetry diff` and the K=64
+//! scaling (`k64_vs_k8_speedup`, K=64 abort rate) via `wdm telemetry
+//! assert`.
 
 use rand::Rng;
 use wdm_bench::{rng, timed, Table};
 use wdm_core::conversion::ConversionTable;
+use wdm_core::journal::NoopSink;
 use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
 use wdm_sim::batch::{provision_batch, BatchOrder, BatchOutcome, Demand};
 use wdm_sim::policy::Policy;
-use wdm_sim::speculative::{distinct_static_costs, provision_batch_speculative, SpeculationStats};
-use wdm_telemetry::NoopRecorder;
+use wdm_sim::schedule::ScheduleMode;
+use wdm_sim::speculative::{
+    distinct_static_costs, provision_batch_speculative_scheduled, SpeculationStats,
+};
+use wdm_telemetry::{NoopRecorder, NoopTracer, TelemetrySink};
+
+#[derive(Debug, Default, Clone, Copy, serde::Serialize, serde::Deserialize)]
+struct AbortCauses {
+    conflict: u64,
+    ordering: u64,
+    load_shift: u64,
+}
 
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct WindowResult {
@@ -40,6 +61,11 @@ struct WindowResult {
     speedup: f64,
     rounds: u64,
     abort_rate: f64,
+    retries: u64,
+    inline_routes: u64,
+    abort_causes: AbortCauses,
+    group_size_mean: f64,
+    group_size_max: u64,
 }
 
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
@@ -51,7 +77,15 @@ struct BenchReport {
     wavelengths: usize,
     demands: usize,
     serial_ns_per_demand: f64,
+    /// Conflict-groups scheduling — the headline numbers CI gates on.
     windows: Vec<WindowResult>,
+    /// The PR 3 windowed engine on the same instance: the "before" curve.
+    /// (Named so the gate filter `windows.` cannot match it.)
+    windowed_reference: Vec<WindowResult>,
+    /// Scaling headroom: speedup(K=64) / speedup(K=8) under
+    /// conflict-groups. Near-monotone scaling keeps this near (or above)
+    /// 1.0; the old windowed engine collapsed to 0.13.
+    k64_vs_k8_speedup: f64,
 }
 
 /// A connected instance whose directed links carry pairwise-distinct
@@ -101,11 +135,109 @@ fn assert_outcomes_identical(serial: &BatchOutcome, spec: &BatchOutcome, window:
     assert_eq!(serial.state, spec.state, "window {window}");
 }
 
+const WINDOWS: [usize; 4] = [1, 2, 8, 64];
+
+/// One mode's full sweep: timed min-of-`passes` ns/demand per window
+/// (unrecorded), plus one untimed instrumented pass for the counters and
+/// the group-size histogram.
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    schedule: ScheduleMode,
+    reference: &BatchOutcome,
+    serial_ns: f64,
+    passes: usize,
+) -> Vec<WindowResult> {
+    let mut secs_min = [f64::INFINITY; WINDOWS.len()];
+    let mut stats_by_window = [SpeculationStats::default(); WINDOWS.len()];
+    for _ in 0..passes {
+        for (slot, &window) in WINDOWS.iter().enumerate() {
+            let ((out, stats), secs) = timed(|| {
+                provision_batch_speculative_scheduled(
+                    net,
+                    state,
+                    demands,
+                    policy,
+                    order,
+                    window,
+                    schedule,
+                    NoopRecorder,
+                    NoopSink,
+                    &NoopTracer,
+                )
+            });
+            assert_outcomes_identical(reference, &out, window);
+            secs_min[slot] = secs_min[slot].min(secs);
+            stats_by_window[slot] = stats;
+        }
+    }
+
+    WINDOWS
+        .iter()
+        .zip(&secs_min)
+        .zip(&stats_by_window)
+        .map(|((&window, &secs), stats)| {
+            let sink = TelemetrySink::new();
+            let _ = provision_batch_speculative_scheduled(
+                net,
+                state,
+                demands,
+                policy,
+                order,
+                window,
+                schedule,
+                &sink,
+                NoopSink,
+                &NoopTracer,
+            );
+            let snap = sink.snapshot();
+            // Absent entries mean "never recorded": windowed mode has no
+            // group histogram, and either mode may simply not abort.
+            let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+            let grp = snap.histograms.get("conflict_group_size");
+            let ns = secs / demands.len() as f64 * 1e9;
+            WindowResult {
+                window,
+                ns_per_demand: ns,
+                speedup: serial_ns / ns,
+                rounds: stats.rounds,
+                abort_rate: stats.abort_rate(),
+                retries: stats.retries,
+                inline_routes: stats.inline_routes,
+                abort_causes: AbortCauses {
+                    conflict: counter("speculative_abort_conflict"),
+                    ordering: counter("speculative_abort_ordering"),
+                    load_shift: counter("speculative_abort_load_shift"),
+                },
+                group_size_mean: grp.map_or(0.0, |g| if g.count > 0 { g.mean() } else { 0.0 }),
+                group_size_max: grp.map_or(0, |g| g.max),
+            }
+        })
+        .collect()
+}
+
+fn print_mode(table: &mut Table, label: &str, results: &[WindowResult]) {
+    for res in results {
+        table.row(vec![
+            format!("{label} K={}", res.window),
+            format!("{:.0}", res.ns_per_demand),
+            format!("{:.2}x", res.speedup),
+            res.rounds.to_string(),
+            format!("{:.1}%", res.abort_rate * 100.0),
+            res.inline_routes.to_string(),
+            format!("{:.1}", res.group_size_mean),
+        ]);
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n, demand_count, passes) = if quick { (60, 150, 2) } else { (200, 1000, 3) };
     let (d, w) = (4usize, 8usize);
-    const WINDOWS: [usize; 4] = [1, 2, 8, 64];
 
     let mut r = rng(0xBA7C4);
     let net = distinct_cost_instance(&mut r, n, d, w);
@@ -130,7 +262,7 @@ fn main() {
     let order = BatchOrder::AsGiven;
 
     println!(
-        "parallel-batch — speculative windows vs serial loop \
+        "parallel-batch — conflict-groups vs windowed speculation vs serial \
          (n={n}, m={}, W={w}, {demand_count} demands, CostOnly)\n",
         net.link_count()
     );
@@ -139,64 +271,76 @@ fn main() {
     // timed pass must reproduce bit-identically.
     let reference = provision_batch(&net, &state, &demands, policy, order);
 
-    // Alternate serial and speculative passes and keep each configuration's
-    // fastest pass: the minimum is the run least disturbed by other tenants
-    // of the machine, so the speedup ratio is stable enough for CI to gate
-    // on (a single-pass measurement swings ±25 % on a busy box).
+    // Keep each configuration's fastest pass: the minimum is the run
+    // least disturbed by other tenants of the machine, so the speedup
+    // ratio is stable enough for CI to gate on (a single-pass measurement
+    // swings ±25 % on a busy box).
     let mut serial_secs = f64::INFINITY;
-    let mut window_secs = [f64::INFINITY; WINDOWS.len()];
-    let mut window_stats = [SpeculationStats::default(); WINDOWS.len()];
     for _ in 0..passes {
         let (out, secs) = timed(|| provision_batch(&net, &state, &demands, policy, order));
         assert_outcomes_identical(&reference, &out, 0);
         serial_secs = serial_secs.min(secs);
-        for (slot, &window) in WINDOWS.iter().enumerate() {
-            let ((out, stats), secs) = timed(|| {
-                provision_batch_speculative(
-                    &net,
-                    &state,
-                    &demands,
-                    policy,
-                    order,
-                    window,
-                    NoopRecorder,
-                )
-            });
-            assert_outcomes_identical(&reference, &out, window);
-            window_secs[slot] = window_secs[slot].min(secs);
-            window_stats[slot] = stats;
-        }
     }
-
     let serial_ns = serial_secs / demand_count as f64 * 1e9;
-    let mut table = Table::new(&["config", "ns/demand", "speedup", "rounds", "abort rate"]);
+
+    let groups = sweep(
+        &net,
+        &state,
+        &demands,
+        policy,
+        order,
+        ScheduleMode::ConflictGroups,
+        &reference,
+        serial_ns,
+        passes,
+    );
+    let windowed = sweep(
+        &net,
+        &state,
+        &demands,
+        policy,
+        order,
+        ScheduleMode::Windowed,
+        &reference,
+        serial_ns,
+        passes,
+    );
+
+    let mut table = Table::new(&[
+        "config",
+        "ns/demand",
+        "speedup",
+        "rounds",
+        "abort rate",
+        "inline",
+        "grp mean",
+    ]);
     table.row(vec![
         String::from("serial"),
         format!("{serial_ns:.0}"),
         String::from("1.00x"),
         String::from("-"),
         String::from("-"),
+        String::from("-"),
+        String::from("-"),
     ]);
-    let mut windows = Vec::new();
-    for ((&window, &secs), stats) in WINDOWS.iter().zip(&window_secs).zip(&window_stats) {
-        let ns = secs / demand_count as f64 * 1e9;
-        let res = WindowResult {
-            window,
-            ns_per_demand: ns,
-            speedup: serial_ns / ns,
-            rounds: stats.rounds,
-            abort_rate: stats.abort_rate(),
-        };
-        table.row(vec![
-            format!("speculative K={window}"),
-            format!("{:.0}", res.ns_per_demand),
-            format!("{:.2}x", res.speedup),
-            res.rounds.to_string(),
-            format!("{:.1}%", res.abort_rate * 100.0),
-        ]);
-        windows.push(res);
-    }
+    print_mode(&mut table, "conflict-groups", &groups);
+    print_mode(&mut table, "windowed", &windowed);
     table.print();
+
+    let speedup_at = |rs: &[WindowResult], k: usize| {
+        rs.iter()
+            .find(|r| r.window == k)
+            .map(|r| r.speedup)
+            .expect("window measured")
+    };
+    let k64_vs_k8 = speedup_at(&groups, 64) / speedup_at(&groups, 8);
+    println!(
+        "\nscaling: conflict-groups K=64 at {:.2} of K=8 speedup \
+         (windowed reference: {:.2})",
+        k64_vs_k8,
+        speedup_at(&windowed, 64) / speedup_at(&windowed, 8)
+    );
 
     let report = BenchReport {
         bench: String::from("parallel_batch"),
@@ -206,9 +350,11 @@ fn main() {
         wavelengths: w,
         demands: demand_count,
         serial_ns_per_demand: serial_ns,
-        windows,
+        windows: groups,
+        windowed_reference: windowed,
+        k64_vs_k8_speedup: k64_vs_k8,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write("BENCH_parallel_batch.json", &json).expect("write BENCH_parallel_batch.json");
-    println!("\nwrote BENCH_parallel_batch.json");
+    println!("wrote BENCH_parallel_batch.json");
 }

@@ -14,6 +14,7 @@ use wdm_sim::metrics::mean_std;
 use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::{Policy, ProvisionedRoute};
 use wdm_sim::prelude::NoopRecorder;
+use wdm_sim::schedule::ScheduleMode;
 use wdm_sim::sim::{run_batch_recorded, run_sim_journaled, BatchConfig, SimConfig, Simulator};
 use wdm_sim::traffic::TrafficModel;
 use wdm_telemetry::{
@@ -539,12 +540,19 @@ pub fn batch(args: &Args) -> Result<(), String> {
     if window == 0 {
         return Err("--parallel-window wants a positive window size".into());
     }
+    let schedule = match args.get("schedule") {
+        None => ScheduleMode::default(),
+        Some(s) => ScheduleMode::parse(s).ok_or_else(|| {
+            format!("unknown schedule '{s}' (expected 'windowed' or 'conflict-groups')")
+        })?,
+    };
     let state = ResidualState::fresh(&net);
     let demands = full_mesh_demands(net.node_count(), mesh);
     let cfg = BatchConfig {
         policy,
         order,
         parallel_window: window,
+        schedule,
     };
     let (out, stats) = run_batch_recorded(&net, &state, &demands, cfg, NoopRecorder);
     let snap = load_snapshot(&net, &out.state);
@@ -561,11 +569,15 @@ pub fn batch(args: &Args) -> Result<(), String> {
     );
     if window > 1 {
         println!(
-            "speculation rounds {}, commits {}, aborts {} ({:.1}% abort rate)",
+            "speculation [{}] rounds {}, commits {}, aborts {} ({:.1}% abort rate), \
+             retries {}, inline {}",
+            schedule.name(),
             stats.rounds,
             stats.commits,
             stats.aborts,
-            stats.abort_rate() * 100.0
+            stats.abort_rate() * 100.0,
+            stats.retries,
+            stats.inline_routes
         );
     }
     Ok(())
@@ -866,14 +878,74 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
 pub fn telemetry(args: &Args) -> Result<(), String> {
     match args.positional(0) {
         Some("diff") => telemetry_diff(args),
+        Some("assert") => telemetry_assert(args),
         Some(other) => Err(format!(
-            "unknown telemetry verb '{other}' (expected 'diff')"
+            "unknown telemetry verb '{other}' (expected 'diff' or 'assert')"
         )),
         None => Err(
             "usage: wdm telemetry diff <baseline.json> <candidate.json> \
-                     [--metrics SUBSTR] [--fail-drop PCT]"
+                     [--metrics SUBSTR] [--fail-drop PCT]\n\
+             \x20      wdm telemetry assert <file.json> --metric PATH [--min X] [--max X]"
                 .into(),
         ),
+    }
+}
+
+/// `wdm telemetry assert` — absolute gate on one metric of a JSON file.
+///
+/// Complements `telemetry diff`'s relative gate: where diff compares a
+/// candidate against a baseline, assert checks a single dotted-path metric
+/// against fixed bounds (`--min` and/or `--max`), exiting non-zero on
+/// violation. The CI batch-scheduling leg uses it to pin abort rates and
+/// speedup ratios to absolute budgets no re-baselining can erode.
+fn telemetry_assert(args: &Args) -> Result<(), String> {
+    let path = args.positional(1).ok_or("missing telemetry file")?;
+    let metric = args.require("metric")?;
+    let min = args.get("min").map(str::parse::<f64>).transpose();
+    let min = min.map_err(|e| format!("bad value for --min: {e}"))?;
+    let max = args.get("max").map(str::parse::<f64>).transpose();
+    let max = max.map_err(|e| format!("bad value for --max: {e}"))?;
+    if min.is_none() && max.is_none() {
+        return Err("telemetry assert wants --min and/or --max".into());
+    }
+    let flat = flatten_json_file(path)?;
+    let &value = flat.get(metric).ok_or_else(|| {
+        let mut near: Vec<&str> = flat
+            .keys()
+            .filter(|k| k.contains(metric) || metric.contains(k.as_str()))
+            .map(|k| k.as_str())
+            .take(5)
+            .collect();
+        if near.is_empty() {
+            near = flat.keys().map(|k| k.as_str()).take(5).collect();
+        }
+        format!(
+            "metric '{metric}' not found in {path} (nearby: {})",
+            near.join(", ")
+        )
+    })?;
+    let mut violations = Vec::new();
+    if let Some(lo) = min {
+        if value < lo || value.is_nan() {
+            violations.push(format!("{value:.4} < required minimum {lo}"));
+        }
+    }
+    if let Some(hi) = max {
+        if value > hi || value.is_nan() {
+            violations.push(format!("{value:.4} > allowed maximum {hi}"));
+        }
+    }
+    let bounds = match (min, max) {
+        (Some(lo), Some(hi)) => format!("[{lo}, {hi}]"),
+        (Some(lo), None) => format!(">= {lo}"),
+        (None, Some(hi)) => format!("<= {hi}"),
+        (None, None) => unreachable!("checked above"),
+    };
+    if violations.is_empty() {
+        println!("{metric} = {value:.4} ok ({bounds})");
+        Ok(())
+    } else {
+        Err(format!("{metric}: {}", violations.join("; ")))
     }
 }
 

@@ -80,11 +80,18 @@ COMMANDS:
       --order O         as-given | shortest-first | longest-first
       --parallel-window K   speculate K demands per round (default 1 =
                         serial; results are bit-identical for every K)
+      --schedule S      windowed | conflict-groups (default): how the
+                        speculative engine picks each round's demands
 
   telemetry diff <BASELINE.json> <CANDIDATE.json>
       --metrics SUBSTR  only compare metrics whose dotted path contains SUBSTR
       --fail-drop PCT   exit non-zero if any compared metric drops > PCT%
                         below the baseline (the CI perf gate)
+
+  telemetry assert <FILE.json> --metric PATH
+      --min X           exit non-zero unless metric >= X
+      --max X           exit non-zero unless metric <= X
+                        (absolute gates; PATH is the exact dotted path)
 ";
 
 fn main() {

@@ -46,6 +46,7 @@ pub mod multi;
 pub mod network;
 pub mod node_disjoint;
 pub mod optimal_slp;
+pub mod predict;
 pub mod semilightpath;
 pub mod wavelength;
 
@@ -64,6 +65,9 @@ pub mod prelude {
     pub use crate::network::{NetworkBuilder, ResidualState, WdmNetwork};
     pub use crate::node_disjoint::find_node_disjoint;
     pub use crate::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath};
+    pub use crate::predict::{
+        AllConflictOracle, FootprintOracle, LocalityPredictor, NoConflictOracle,
+    };
     pub use crate::semilightpath::{Hop, RobustRoute, Semilightpath};
     pub use crate::wavelength::{Wavelength, WavelengthSet};
     pub use wdm_telemetry::{

@@ -1,0 +1,237 @@
+//! Cheap per-demand [`RouteFootprint`] prediction for conflict-aware
+//! batch scheduling.
+//!
+//! The speculative batch engine (`wdm-sim`) wants to know, *before*
+//! routing anything, which demands of a window are likely to touch the
+//! same links. Computing the real footprint means routing the demand —
+//! exactly the work the scheduler is trying to organise — so prediction
+//! has to be much cheaper than one routing call and is allowed to be
+//! wrong in either direction:
+//!
+//! * a **missed conflict** (two demands predicted disjoint whose routes
+//!   collide) costs the scheduler one bounded retry at commit time;
+//! * a **false conflict** (predicted overlap that never materialises)
+//!   costs some parallelism — the demands are serialised needlessly.
+//!
+//! Correctness never depends on the prediction: the engine revalidates
+//! every speculated result against the *actual* links occupied since its
+//! snapshot.
+//!
+//! [`LocalityPredictor`] implements the s/t-region locality heuristic:
+//! every route from `s` to `t` must leave through `s`'s out-links and
+//! arrive through `t`'s in-links (a disjoint *pair* uses at least two of
+//! each), and on sparse wide-area topologies the first/last few hops
+//! dominate contention. The predictor therefore precomputes, per node,
+//! the set of directed links within `radius` undirected hops — the
+//! node's *ball* — and predicts `ball(s) ∪ ball(t)`. When a real
+//! footprint for the same `(s, t)` pair has been observed (fed back by
+//! the scheduler from `wdm-core::disjoint`'s [`RouteFootprint`] after a
+//! commit), it is unioned in as well: repeated pairs predict with the
+//! precision of the last actual route, fresh pairs fall back to pure
+//! locality.
+
+use crate::disjoint::RouteFootprint;
+use crate::network::WdmNetwork;
+use std::collections::HashMap;
+use wdm_graph::{EdgeId, NodeId};
+
+/// A source of footprint predictions for batch demands, plus the feedback
+/// channel the scheduler uses to report footprints that became known.
+///
+/// Implementations must be deterministic (prediction shapes scheduling,
+/// and batch runs are required to be reproducible) but are free to be
+/// arbitrarily wrong — see the module docs for what mispredictions cost.
+pub trait FootprintOracle {
+    /// Appends the predicted directed-link footprint of a route request
+    /// `(s, t)` to `out` (duplicates allowed; the caller deduplicates or
+    /// stamps).
+    fn predict(&mut self, s: NodeId, t: NodeId, out: &mut Vec<EdgeId>);
+
+    /// Feeds back the actual footprint of a route committed for `(s, t)`.
+    /// Default: ignore.
+    fn observe(&mut self, s: NodeId, t: NodeId, footprint: &RouteFootprint) {
+        let _ = (s, t, footprint);
+    }
+}
+
+/// The s/t-region locality heuristic with learned per-pair refinement.
+#[derive(Debug, Clone)]
+pub struct LocalityPredictor {
+    /// Per-node: every directed link with an endpoint within `radius`
+    /// undirected hops of the node (sorted, deduplicated).
+    balls: Vec<Vec<EdgeId>>,
+    /// Last observed real footprint per `(s, t)` pair. Bounded by the
+    /// number of distinct pairs the batch actually carries.
+    learned: HashMap<(u32, u32), Vec<EdgeId>>,
+}
+
+/// Default ball radius: two undirected hops. On sparse wide-area
+/// topologies (average degree ~4) this covers the first and last third of
+/// a typical route while keeping the ball around `degree²` links — small
+/// enough that scheduling stays far cheaper than routing.
+pub const DEFAULT_PREDICT_RADIUS: usize = 2;
+
+impl LocalityPredictor {
+    /// Precomputes the radius-`radius` ball of every node of `net`.
+    pub fn new(net: &WdmNetwork, radius: usize) -> Self {
+        let g = net.graph();
+        let n = g.node_count();
+        let mut balls = Vec::with_capacity(n);
+        let mut seen_node = vec![u32::MAX; n];
+        let mut frontier = Vec::new();
+        let mut next = Vec::new();
+        for v in 0..n {
+            let center = NodeId(v as u32);
+            let mut ball = Vec::new();
+            seen_node[v] = v as u32;
+            frontier.clear();
+            frontier.push(center);
+            for _ in 0..radius {
+                next.clear();
+                for &u in &frontier {
+                    for &e in g.out_edges(u).iter().chain(g.in_edges(u)) {
+                        ball.push(e);
+                        let (a, b) = g.endpoints(e);
+                        let far = if a == u { b } else { a };
+                        if seen_node[far.index()] != v as u32 {
+                            seen_node[far.index()] = v as u32;
+                            next.push(far);
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+            }
+            ball.sort_unstable_by_key(|e| e.index());
+            ball.dedup();
+            balls.push(ball);
+        }
+        Self {
+            balls,
+            learned: HashMap::new(),
+        }
+    }
+
+    /// Creates a predictor with [`DEFAULT_PREDICT_RADIUS`].
+    pub fn with_default_radius(net: &WdmNetwork) -> Self {
+        Self::new(net, DEFAULT_PREDICT_RADIUS)
+    }
+
+    /// The precomputed ball of `v` (sorted directed links).
+    pub fn ball(&self, v: NodeId) -> &[EdgeId] {
+        &self.balls[v.index()]
+    }
+}
+
+impl FootprintOracle for LocalityPredictor {
+    fn predict(&mut self, s: NodeId, t: NodeId, out: &mut Vec<EdgeId>) {
+        out.extend_from_slice(&self.balls[s.index()]);
+        out.extend_from_slice(&self.balls[t.index()]);
+        if let Some(fp) = self.learned.get(&(s.0, t.0)) {
+            out.extend_from_slice(fp);
+        }
+    }
+
+    fn observe(&mut self, s: NodeId, t: NodeId, footprint: &RouteFootprint) {
+        self.learned.insert((s.0, t.0), footprint.links.clone());
+    }
+}
+
+/// An oracle that predicts the empty footprint for every pair — maximal
+/// optimism, so every true conflict is a miss. Useful as the adversarial
+/// baseline in tests: the engine must stay serial-equivalent and pay only
+/// retries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoConflictOracle;
+
+impl FootprintOracle for NoConflictOracle {
+    fn predict(&mut self, _s: NodeId, _t: NodeId, _out: &mut Vec<EdgeId>) {}
+}
+
+/// An oracle that predicts every link for every pair — maximal pessimism:
+/// all demands conflict, groups degenerate to singletons and the batch
+/// runs serially (but still correctly).
+#[derive(Debug, Clone, Copy)]
+pub struct AllConflictOracle {
+    /// Number of directed links in the network.
+    pub links: usize,
+}
+
+impl FootprintOracle for AllConflictOracle {
+    fn predict(&mut self, _s: NodeId, _t: NodeId, out: &mut Vec<EdgeId>) {
+        out.extend((0..self.links).map(EdgeId::from));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::ConversionTable;
+    use crate::network::NetworkBuilder;
+
+    /// Directed 6-cycle: ball radii are easy to count by hand.
+    fn ring(n: u32) -> WdmNetwork {
+        let mut b = NetworkBuilder::new(2);
+        let nodes: Vec<_> = (0..n)
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.1 }))
+            .collect();
+        for i in 0..n as usize {
+            b.add_link(nodes[i], nodes[(i + 1) % n as usize], 1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ball_radius_one_is_incident_links() {
+        let net = ring(6);
+        let p = LocalityPredictor::new(&net, 1);
+        // Node 2 of a directed ring touches link 1 (in) and link 2 (out).
+        assert_eq!(p.ball(NodeId(2)), &[EdgeId(1), EdgeId(2)]);
+    }
+
+    #[test]
+    fn ball_radius_two_reaches_neighbours_links() {
+        let net = ring(6);
+        let p = LocalityPredictor::new(&net, 2);
+        // Radius 2 from node 2: links of nodes 1, 2, 3 -> {0, 1, 2, 3}.
+        assert_eq!(
+            p.ball(NodeId(2)),
+            &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]
+        );
+    }
+
+    #[test]
+    fn prediction_unions_both_endpoint_balls_and_learned_footprint() {
+        let net = ring(6);
+        let mut p = LocalityPredictor::new(&net, 1);
+        let mut out = Vec::new();
+        p.predict(NodeId(0), NodeId(3), &mut out);
+        out.sort_unstable_by_key(|e| e.index());
+        out.dedup();
+        assert_eq!(out, vec![EdgeId(0), EdgeId(2), EdgeId(3), EdgeId(5)]);
+
+        // Observing a real footprint folds it into later predictions.
+        let fp = RouteFootprint::of_links([EdgeId(1)]);
+        p.observe(NodeId(0), NodeId(3), &fp);
+        let mut out2 = Vec::new();
+        p.predict(NodeId(0), NodeId(3), &mut out2);
+        assert!(out2.contains(&EdgeId(1)));
+        // Other pairs are unaffected.
+        let mut out3 = Vec::new();
+        p.predict(NodeId(3), NodeId(0), &mut out3);
+        assert!(!out3.contains(&EdgeId(1)));
+    }
+
+    #[test]
+    fn degenerate_oracles_cover_the_extremes() {
+        let net = ring(4);
+        let mut none = NoConflictOracle;
+        let mut all = AllConflictOracle {
+            links: net.link_count(),
+        };
+        let mut out = Vec::new();
+        none.predict(NodeId(0), NodeId(1), &mut out);
+        assert!(out.is_empty());
+        all.predict(NodeId(0), NodeId(1), &mut out);
+        assert_eq!(out.len(), net.link_count());
+    }
+}

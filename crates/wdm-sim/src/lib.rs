@@ -28,6 +28,7 @@ pub mod events;
 pub mod metrics;
 pub mod parallel;
 pub mod policy;
+pub mod schedule;
 pub mod shared;
 pub mod sim;
 pub mod speculative;
@@ -44,6 +45,7 @@ pub mod prelude {
         replication_seeds, run_replications, run_replications_streaming, run_replications_telemetry,
     };
     pub use crate::policy::{Policy, ProvisionedRoute};
+    pub use crate::schedule::{ConflictPartitioner, GroupPlan, ScheduleMode};
     pub use crate::shared::{SharedBackupPool, SharedConnection, SharedProvisioner};
     pub use crate::sim::{
         run_batch, run_batch_journaled, run_batch_recorded, run_sim, run_sim_journaled,
@@ -51,10 +53,14 @@ pub mod prelude {
     };
     pub use crate::speculative::{
         distinct_static_costs, provision_batch_speculative, provision_batch_speculative_journaled,
-        provision_batch_speculative_observed, SpeculationStats,
+        provision_batch_speculative_observed, provision_batch_speculative_scheduled,
+        provision_batch_speculative_with_oracle, SpeculationStats,
     };
     pub use crate::traffic::{HoldingDist, PairSelection, TrafficModel};
     pub use wdm_core::journal::{EventSink, NetEvent, NoopSink, ReplayError, StateJournal, Txn};
+    pub use wdm_core::predict::{
+        AllConflictOracle, FootprintOracle, LocalityPredictor, NoConflictOracle,
+    };
     pub use wdm_telemetry::{
         FlightAnnotation, FlightAnomaly, FlightDump, FlightRecord, FlightRecorder, ManualClock,
         MonotonicClock, NoopRecorder, NoopTracer, Phase, Recorder, SpanBuffer, SpanRecord,

@@ -6,7 +6,8 @@ use crate::batch::{provision_batch_journaled, BatchOrder, BatchOutcome, Demand};
 use crate::events::{Event, EventQueue};
 use crate::metrics::Metrics;
 use crate::policy::{Policy, ProvisionedRoute};
-use crate::speculative::{provision_batch_speculative_journaled, SpeculationStats};
+use crate::schedule::ScheduleMode;
+use crate::speculative::{provision_batch_speculative_scheduled, SpeculationStats};
 use crate::traffic::{sample_exp, TrafficModel};
 use rand::Rng;
 use rand::SeedableRng;
@@ -680,6 +681,11 @@ pub struct BatchConfig {
     /// serially. Any value yields a bit-identical [`BatchOutcome`] (see
     /// [`crate::speculative`]).
     pub parallel_window: usize,
+    /// How the speculative engine schedules each round (`--schedule`);
+    /// irrelevant when `parallel_window <= 1`. Either mode yields a
+    /// bit-identical [`BatchOutcome`]; they differ in wasted work under
+    /// contention.
+    pub schedule: ScheduleMode,
 }
 
 impl BatchConfig {
@@ -689,6 +695,7 @@ impl BatchConfig {
             policy,
             order: BatchOrder::AsGiven,
             parallel_window: 1,
+            schedule: ScheduleMode::default(),
         }
     }
 }
@@ -735,15 +742,17 @@ pub fn run_batch_journaled<R: Recorder, J: EventSink>(
         let out = provision_batch_journaled(net, state, demands, cfg.policy, cfg.order, journal);
         (out, SpeculationStats::default())
     } else {
-        provision_batch_speculative_journaled(
+        provision_batch_speculative_scheduled(
             net,
             state,
             demands,
             cfg.policy,
             cfg.order,
             cfg.parallel_window,
+            cfg.schedule,
             recorder,
             journal,
+            &wdm_telemetry::NoopTracer,
         )
     }
 }

@@ -13,14 +13,35 @@
 //! results in demand order** under a conflict rule that guarantees the
 //! final [`BatchOutcome`] — routes, rejections, cost sums (in the same
 //! floating-point accumulation order) and residual state — is
-//! **bit-identical to the serial run**. Demands whose speculation cannot
-//! be proven serial-equivalent abort and re-speculate in the next round
-//! against a fresh snapshot.
+//! **bit-identical to the serial run**.
+//!
+//! Two [`ScheduleMode`]s decide *which* pending demands speculate each
+//! round and what happens on a conflict:
+//!
+//! * [`ScheduleMode::Windowed`] (PR 3): speculate on the next `K` demands
+//!   wholesale; the first non-committable result aborts the rest of the
+//!   window (a later demand may have depended on the aborted one's
+//!   channels), and the tail re-speculates next round. Under contention
+//!   this collapses — at `K = 64` nearly every window aborts.
+//! * [`ScheduleMode::ConflictGroups`] (default): a
+//!   [`ConflictPartitioner`] predicts per-demand footprints through a
+//!   [`FootprintOracle`] and selects a link-disjoint conflict group out
+//!   of a `2K` lookahead; only the group speculates. Demands the
+//!   partitioner skipped are routed **inline at their exact serial
+//!   position** during the commit sweep — at that point the live state
+//!   *is* the serial state, so the inline result is serial-exact by
+//!   construction. A group member whose revalidation fails (a
+//!   misprediction) is likewise re-routed inline on the spot — a bounded
+//!   retry of exactly one extra routing call — instead of poisoning the
+//!   rest of the round. The footprint-stamped `touched` array acts as the
+//!   reservation lock table: every committed route (speculated or inline)
+//!   stamps its links, and a speculated route commits only if its links
+//!   are unstamped since its snapshot.
 //!
 //! ## Commit rules
 //!
-//! Within a round, results are visited in processing order; a result
-//! commits iff one of:
+//! Within a round, results are visited in processing order; a speculated
+//! result commits iff one of:
 //!
 //! 1. **Frozen = live.** No committed route has occupied channels since
 //!    the round's snapshot was taken (rejections do not mutate state).
@@ -53,10 +74,18 @@
 //!    pair (or no route at all) on the frozen state has none on the live
 //!    state either. [`RoutingError::DegenerateRequest`] commits always
 //!    (it depends only on the endpoints). Load-dependent failures abort.
-//! 3. **In-order abort.** The first non-committable result aborts itself
-//!    and every later demand of the window (a later demand may have
-//!    depended on the aborted one's channels); they re-speculate next
-//!    round.
+//! 3. **Conflict recovery.** Windowed mode: the first non-committable
+//!    result aborts itself and every later demand of the window; they
+//!    re-speculate next round. Conflict-groups mode: the non-committable
+//!    result alone aborts and is re-routed inline at its serial position
+//!    (live = serial there, so the retry is exact); the rest of the round
+//!    proceeds.
+//!
+//! With the rule-2 guard off (load-sensitive policy or non-distinct
+//! costs), conflict-groups mode does not burn speculation that rule 1
+//! would discard: the plan degenerates to one demand per round — a warm
+//! serial loop over persistent router contexts, which is exactly where
+//! the measured single-core speedup comes from.
 //!
 //! Workers are [`RouterCtx::fork`] clones: auxiliary-graph skeletons stay
 //! warm across rounds, and because each round's snapshot is a descendant
@@ -68,26 +97,34 @@
 //! demand); with more cores the window also routes concurrently.
 
 use crate::batch::{processing_order, BatchOrder, BatchOutcome, Demand};
-use crate::policy::Policy;
+use crate::policy::{Policy, ProvisionedRoute};
+use crate::schedule::{ConflictPartitioner, GroupPlan, ScheduleMode};
 use wdm_core::aux_engine::RouterCtx;
 use wdm_core::error::RoutingError;
 use wdm_core::journal::{EventSink, NetEvent, NoopSink};
 use wdm_core::load::load_snapshot;
 use wdm_core::network::{ResidualState, WdmNetwork};
-use wdm_graph::EdgeId;
+use wdm_core::predict::{FootprintOracle, LocalityPredictor};
+use wdm_graph::{EdgeId, NodeId};
 use wdm_telemetry::{Counter, Hist, NoopRecorder, NoopTracer, Phase, Recorder, Tracer};
 
 /// What the speculative engine did across one batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SpeculationStats {
-    /// Speculation rounds executed (snapshot + window fan-out + commit).
+    /// Speculation rounds executed (snapshot + group fan-out + commit).
     pub rounds: u64,
     /// Speculated results committed (successes and monotone failures).
     pub commits: u64,
     /// Speculated results aborted by the conflict rules.
     pub aborts: u64,
-    /// Demands re-speculated in a later round (one per abort).
+    /// Demands routed again after their speculation aborted — one per
+    /// abort (windowed: re-speculated next round; conflict-groups:
+    /// re-routed inline at their serial position).
     pub retries: u64,
+    /// Demands the conflict-groups scheduler never speculated — skipped
+    /// by the partitioner as predicted-conflicting and routed inline at
+    /// their serial position. Always zero in windowed mode.
+    pub inline_routes: u64,
 }
 
 impl SpeculationStats {
@@ -176,16 +213,19 @@ where
 }
 
 /// As [`crate::batch::provision_batch`], but routing up to `window`
-/// pending demands speculatively per round (see the module docs for the
-/// commit protocol). The returned [`BatchOutcome`] is bit-identical to
-/// the serial run's for every `window`; `window <= 1` degenerates to
-/// serial processing with a persistent router context.
+/// pending demands speculatively per round under the default
+/// [`ScheduleMode`] (see the module docs for the commit protocol). The
+/// returned [`BatchOutcome`] is bit-identical to the serial run's for
+/// every `window`; `window <= 1` degenerates to serial processing with a
+/// persistent router context.
 ///
 /// `recorder` receives only the speculation counters
 /// ([`Counter::SpeculativeCommits`] / [`Counter::SpeculativeAborts`] /
-/// [`Counter::SpeculativeRetries`]) and the per-round
-/// [`Hist::WindowOccupancy`] histogram; the routing calls themselves are
-/// unrecorded, matching the serial path's contract.
+/// [`Counter::SpeculativeRetries`] /
+/// [`Counter::SpeculativeInlineRoutes`]) and the per-round
+/// [`Hist::WindowOccupancy`] / [`Hist::ConflictGroupSize`] histograms;
+/// the routing calls themselves are unrecorded, matching the serial
+/// path's contract.
 pub fn provision_batch_speculative<R: Recorder>(
     net: &WdmNetwork,
     state: &ResidualState,
@@ -235,13 +275,107 @@ pub fn provision_batch_speculative_journaled<R: Recorder, J: EventSink>(
 /// child; the children are folded back in worker order after every
 /// round's fan-out (contiguous chunk assignment makes that the serial
 /// record stream), and the commit loop then attaches [`Phase::Commit`] /
-/// [`Phase::Abort`] spans to the window members via
-/// [`Tracer::record_earlier`]. A demand that aborts re-speculates next
-/// round under a *new* request ordinal, so one demand may own one span
-/// group per speculation attempt — attempts, not demands, are the unit
-/// the span stream counts.
+/// [`Phase::Abort`] spans to the round's attempts via
+/// [`Tracer::record_earlier`]. A demand may own more than one span group
+/// — one per routing attempt (a windowed-mode abort re-speculates next
+/// round; a conflict-groups abort re-routes inline immediately) —
+/// attempts, not demands, are the unit the span stream counts.
 #[allow(clippy::too_many_arguments)]
 pub fn provision_batch_speculative_observed<R: Recorder, J: EventSink, T: Tracer + Send>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    recorder: R,
+    journal: J,
+    tracer: &T,
+) -> (BatchOutcome, SpeculationStats) {
+    provision_batch_speculative_scheduled(
+        net,
+        state,
+        demands,
+        policy,
+        order,
+        window,
+        ScheduleMode::default(),
+        recorder,
+        journal,
+        tracer,
+    )
+}
+
+/// The full entry point: as [`provision_batch_speculative_observed`] with
+/// an explicit [`ScheduleMode`]. Conflict-groups mode predicts footprints
+/// with a [`LocalityPredictor`] at its default radius; use
+/// [`provision_batch_speculative_with_oracle`] to supply another oracle.
+#[allow(clippy::too_many_arguments)]
+pub fn provision_batch_speculative_scheduled<R: Recorder, J: EventSink, T: Tracer + Send>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    schedule: ScheduleMode,
+    recorder: R,
+    journal: J,
+    tracer: &T,
+) -> (BatchOutcome, SpeculationStats) {
+    match schedule {
+        ScheduleMode::Windowed => run_windowed(
+            net, state, demands, policy, order, window, recorder, journal, tracer,
+        ),
+        ScheduleMode::ConflictGroups => {
+            let mut oracle = LocalityPredictor::with_default_radius(net);
+            run_conflict_groups(
+                net,
+                state,
+                demands,
+                policy,
+                order,
+                window,
+                recorder,
+                journal,
+                tracer,
+                &mut oracle,
+            )
+        }
+    }
+}
+
+/// Conflict-groups scheduling with a caller-supplied [`FootprintOracle`].
+/// The oracle only shapes the schedule — any oracle, however wrong,
+/// yields the same bit-identical [`BatchOutcome`]; mispredictions cost
+/// retries (missed conflicts) or parallelism (spurious ones).
+#[allow(clippy::too_many_arguments)]
+pub fn provision_batch_speculative_with_oracle<
+    R: Recorder,
+    J: EventSink,
+    T: Tracer + Send,
+    O: FootprintOracle,
+>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    recorder: R,
+    journal: J,
+    tracer: &T,
+    oracle: &mut O,
+) -> (BatchOutcome, SpeculationStats) {
+    run_conflict_groups(
+        net, state, demands, policy, order, window, recorder, journal, tracer, oracle,
+    )
+}
+
+/// The PR 3 windowed engine: speculate on the next `window` demands, abort
+/// the window tail at the first conflict.
+#[allow(clippy::too_many_arguments)]
+fn run_windowed<R: Recorder, J: EventSink, T: Tracer + Send>(
     net: &WdmNetwork,
     state: &ResidualState,
     demands: &[Demand],
@@ -407,11 +541,295 @@ pub fn provision_batch_speculative_observed<R: Recorder, J: EventSink, T: Tracer
     )
 }
 
+/// Routes demand `idx` on the live state and commits whatever comes back.
+/// The live state equals the serial state at this point in processing
+/// order — every earlier demand of the batch has already committed its
+/// serial result — so this result is serial-exact by construction and
+/// commits unconditionally. Used for demands the partitioner skipped and
+/// for bounded retries of mispredicted group members.
+#[allow(clippy::too_many_arguments)]
+fn route_inline_serial<J: EventSink, T: Tracer + Send, O: FootprintOracle + ?Sized>(
+    net: &WdmNetwork,
+    st: &mut ResidualState,
+    demand: Demand,
+    id: usize,
+    policy: Policy,
+    ctx: &mut RouterCtx<NoopRecorder, T>,
+    tracer: &T,
+    tracing: bool,
+    journal: &mut J,
+    oracle: &mut O,
+    touched: &mut [bool],
+    committed_any: &mut bool,
+    provisioned: &mut Vec<(usize, ProvisionedRoute)>,
+    rejected: &mut Vec<usize>,
+    total_cost: &mut f64,
+) {
+    let res = policy.route_ctx(ctx, net, &*st, demand.src, demand.dst);
+    if tracing {
+        // The inline attempt becomes the newest request in the span
+        // stream; callers account for the shift when attributing spans to
+        // earlier fan-out attempts.
+        tracer.absorb_worker(ctx.tracer());
+    }
+    match res {
+        Ok(route) => {
+            let commit_t0 = tracer.now_ns();
+            let fp = route.footprint();
+            oracle.observe(demand.src, demand.dst, &fp);
+            for e in &fp.links {
+                touched[e.index()] = true;
+            }
+            route
+                .occupy(net, st)
+                .expect("inline route computed on the live state");
+            if journal.enabled() {
+                journal.record(NetEvent::Provision {
+                    id: id as u64,
+                    channels: route.channels(),
+                });
+            }
+            *total_cost += route.total_cost();
+            provisioned.push((id, route));
+            *committed_any = true;
+            if tracing {
+                tracer.record_earlier(0, Phase::Commit, commit_t0);
+            }
+        }
+        Err(_) => rejected.push(id),
+    }
+}
+
+/// The conflict-groups engine: plan a link-disjoint group, speculate only
+/// on it, sweep the round's whole range in processing order committing
+/// members by rules 1–2 and routing everything else (skipped demands and
+/// mispredicted members) inline at its serial position.
+#[allow(clippy::too_many_arguments)]
+fn run_conflict_groups<R: Recorder, J: EventSink, T: Tracer + Send, O: FootprintOracle>(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    recorder: R,
+    mut journal: J,
+    tracer: &T,
+    oracle: &mut O,
+) -> (BatchOutcome, SpeculationStats) {
+    let window = window.max(1);
+    let mut st = state.clone();
+    let idx = processing_order(net, &st, demands, order);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut ctxs: Vec<RouterCtx<NoopRecorder, T>> = (0..cores.min(window))
+        .map(|_| RouterCtx::with_recorder_and_tracer(NoopRecorder, tracer.fork_worker()))
+        .collect();
+    let tracing = tracer.enabled();
+
+    let guard = policy.has_link_local_decisions() && distinct_static_costs(net);
+    let mut partitioner = ConflictPartitioner::new(net.link_count());
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut member_ids: Vec<usize> = Vec::new();
+    let mut touched = vec![false; net.link_count()];
+    let mut provisioned = Vec::new();
+    let mut rejected = Vec::new();
+    let mut total_cost = 0.0;
+    let mut stats = SpeculationStats::default();
+
+    let mut pos = 0;
+    while pos < idx.len() {
+        stats.rounds += 1;
+        // Plan the round. Without the rule-2 guard only rule 1 can commit
+        // — exactly one demand per round — so speculating a whole group
+        // would discard all but the head's work; degenerate to the warm
+        // serial loop instead.
+        let plan = if guard && window > 1 {
+            pairs.clear();
+            pairs.extend(idx[pos..].iter().take(window * 2).map(|&i| {
+                let d = demands[i];
+                (d.src, d.dst)
+            }));
+            partitioner.plan(oracle, &pairs, window)
+        } else {
+            GroupPlan {
+                members: vec![0],
+                range: 1,
+            }
+        };
+        if recorder.enabled() {
+            recorder.observe(Hist::WindowOccupancy, plan.range as u64);
+            recorder.observe(Hist::ConflictGroupSize, plan.members.len() as u64);
+        }
+
+        // Speculate on the group against the frozen (= live, immutably
+        // borrowed) state.
+        member_ids.clear();
+        member_ids.extend(plan.members.iter().map(|&k| idx[pos + k]));
+        let frozen = &st;
+        let results = fan_out(&mut ctxs, &member_ids, |ctx, &i| {
+            let d = demands[i];
+            policy.route_ctx(ctx, net, frozen, d.src, d.dst)
+        });
+        if tracing {
+            for ctx in &ctxs {
+                tracer.absorb_worker(ctx.tracer());
+            }
+        }
+
+        // Sweep the whole range in processing order.
+        let n_members = plan.members.len() as u64;
+        let mut appended: u64 = 0; // inline requests absorbed since the fold
+        let mut member_rank: usize = 0;
+        let mut results = results.into_iter();
+        let mut committed_any = false;
+        touched.iter_mut().for_each(|t| *t = false);
+        for k in 0..plan.range {
+            let i = idx[pos + k];
+            if plan.members.get(member_rank) != Some(&k) {
+                // Skipped by the partitioner: predicted to conflict with
+                // the scanned prefix; route it at its serial position.
+                stats.inline_routes += 1;
+                if recorder.enabled() {
+                    recorder.add(Counter::SpeculativeInlineRoutes, 1);
+                }
+                route_inline_serial(
+                    net,
+                    &mut st,
+                    demands[i],
+                    i,
+                    policy,
+                    &mut ctxs[0],
+                    tracer,
+                    tracing,
+                    &mut journal,
+                    oracle,
+                    &mut touched,
+                    &mut committed_any,
+                    &mut provisioned,
+                    &mut rejected,
+                    &mut total_cost,
+                );
+                appended += 1;
+                continue;
+            }
+            let res = results.next().expect("one result per group member");
+            let back = (n_members - 1 - member_rank as u64) + appended;
+            member_rank += 1;
+            let committable = match &res {
+                // Rule 1 / rule 2, exactly as in windowed mode.
+                Ok(route) => {
+                    !committed_any
+                        || (guard && route.footprint().links.iter().all(|e| !touched[e.index()]))
+                }
+                Err(err) => {
+                    !committed_any
+                        || match err {
+                            RoutingError::DegenerateRequest => true,
+                            RoutingError::NoDisjointPair | RoutingError::Unreachable { .. } => {
+                                guard
+                            }
+                            _ => false,
+                        }
+                }
+            };
+            if committable {
+                stats.commits += 1;
+                if recorder.enabled() {
+                    recorder.add(Counter::SpeculativeCommits, 1);
+                }
+                match res {
+                    Ok(route) => {
+                        let commit_t0 = tracer.now_ns();
+                        let fp = route.footprint();
+                        oracle.observe(demands[i].src, demands[i].dst, &fp);
+                        for e in &fp.links {
+                            touched[e.index()] = true;
+                        }
+                        route
+                            .occupy(net, &mut st)
+                            .expect("committed route's links are untouched since its snapshot");
+                        if journal.enabled() {
+                            journal.record(NetEvent::Provision {
+                                id: i as u64,
+                                channels: route.channels(),
+                            });
+                        }
+                        total_cost += route.total_cost();
+                        provisioned.push((i, route));
+                        committed_any = true;
+                        if tracing {
+                            tracer.record_earlier(back, Phase::Commit, commit_t0);
+                        }
+                    }
+                    Err(_) => rejected.push(i),
+                }
+            } else {
+                // Misprediction: the member's footprint was touched since
+                // its snapshot (or, guard off, anything committed first).
+                // Rule 3, conflict-groups flavor: abort this attempt alone
+                // and retry inline — a bounded cost of one routing call,
+                // and the retry is serial-exact because live = serial
+                // here. The round's tail is unaffected.
+                stats.aborts += 1;
+                stats.retries += 1;
+                if recorder.enabled() {
+                    recorder.add(
+                        match &res {
+                            Ok(_) if guard => Counter::SpeculativeAbortConflict,
+                            Ok(_) => Counter::SpeculativeAbortOrdering,
+                            Err(_) => Counter::SpeculativeAbortLoadShift,
+                        },
+                        1,
+                    );
+                    recorder.add(Counter::SpeculativeAborts, 1);
+                    recorder.add(Counter::SpeculativeRetries, 1);
+                }
+                if tracing {
+                    tracer.record_earlier(back, Phase::Abort, tracer.now_ns());
+                }
+                route_inline_serial(
+                    net,
+                    &mut st,
+                    demands[i],
+                    i,
+                    policy,
+                    &mut ctxs[0],
+                    tracer,
+                    tracing,
+                    &mut journal,
+                    oracle,
+                    &mut touched,
+                    &mut committed_any,
+                    &mut provisioned,
+                    &mut rejected,
+                    &mut total_cost,
+                );
+                appended += 1;
+            }
+        }
+        pos += plan.range;
+    }
+
+    let final_load = load_snapshot(net, &st);
+    (
+        BatchOutcome {
+            provisioned,
+            rejected,
+            total_cost,
+            final_load,
+            state: st,
+        },
+        stats,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::batch::{full_mesh_demands, provision_batch};
     use wdm_core::network::NetworkBuilder;
+    use wdm_core::predict::{AllConflictOracle, NoConflictOracle};
     use wdm_telemetry::TelemetrySink;
 
     fn nsfnet(w: usize) -> WdmNetwork {
@@ -455,53 +873,141 @@ mod tests {
         assert_eq!(a.state, b.state);
     }
 
+    /// The conservation law: every demand commits exactly once, through
+    /// exactly one of the three paths.
+    fn assert_stats_accounted(stats: &SpeculationStats, demands: usize) {
+        assert_eq!(
+            stats.commits + stats.retries + stats.inline_routes,
+            demands as u64
+        );
+        assert_eq!(stats.aborts, stats.retries);
+    }
+
     #[test]
     fn speculative_matches_serial_on_distinct_cost_net() {
         let net = distinct_net(4);
         let st = ResidualState::fresh(&net);
         let demands = full_mesh_demands(10, 1);
         let serial = provision_batch(&net, &st, &demands, Policy::CostOnly, BatchOrder::AsGiven);
-        for window in [1, 2, 8, 64] {
-            let (spec, stats) = provision_batch_speculative(
-                &net,
-                &st,
-                &demands,
-                Policy::CostOnly,
-                BatchOrder::AsGiven,
-                window,
-                NoopRecorder,
-            );
-            assert_outcomes_identical(&serial, &spec);
-            assert_eq!(stats.commits, demands.len() as u64, "window {window}");
-            assert_eq!(stats.aborts, stats.retries);
+        for schedule in [ScheduleMode::Windowed, ScheduleMode::ConflictGroups] {
+            for window in [1, 2, 8, 64] {
+                let (spec, stats) = provision_batch_speculative_scheduled(
+                    &net,
+                    &st,
+                    &demands,
+                    Policy::CostOnly,
+                    BatchOrder::AsGiven,
+                    window,
+                    schedule,
+                    NoopRecorder,
+                    NoopSink,
+                    &NoopTracer,
+                );
+                assert_outcomes_identical(&serial, &spec);
+                match schedule {
+                    ScheduleMode::Windowed => {
+                        assert_eq!(stats.commits, demands.len() as u64, "window {window}");
+                        assert_eq!(stats.inline_routes, 0);
+                        assert_eq!(stats.aborts, stats.retries);
+                    }
+                    ScheduleMode::ConflictGroups => {
+                        assert_stats_accounted(&stats, demands.len());
+                    }
+                }
+            }
         }
     }
 
     #[test]
     fn speculative_matches_serial_without_rule_two() {
-        // NSFNET + a load-sensitive policy: the guard is off, so only rule
-        // 1 commits — correctness must not depend on rule 2.
+        // NSFNET + a load-sensitive policy: the guard is off. Windowed
+        // mode commits by rule 1 only; conflict-groups mode degenerates
+        // to one demand per round. Correctness must not depend on rule 2
+        // either way.
         let net = nsfnet(8);
         let st = ResidualState::fresh(&net);
         let demands = full_mesh_demands(14, 1);
         let policy = Policy::Joint { a: 2.0 };
         let serial = provision_batch(&net, &st, &demands, policy, BatchOrder::LongestFirst);
-        let (spec, stats) = provision_batch_speculative(
+        for schedule in [ScheduleMode::Windowed, ScheduleMode::ConflictGroups] {
+            let (spec, stats) = provision_batch_speculative_scheduled(
+                &net,
+                &st,
+                &demands,
+                policy,
+                BatchOrder::LongestFirst,
+                8,
+                schedule,
+                NoopRecorder,
+                NoopSink,
+                &NoopTracer,
+            );
+            assert_outcomes_identical(&serial, &spec);
+            // Every demand commits exactly once; each abort costs one retry.
+            assert_eq!(stats.commits, demands.len() as u64);
+            assert_eq!(
+                stats.commits + stats.aborts,
+                demands.len() as u64 + stats.retries
+            );
+            if schedule == ScheduleMode::ConflictGroups {
+                // Guard off: one rule-1 commit per round, nothing wasted.
+                assert_eq!(stats.aborts, 0);
+                assert_eq!(stats.inline_routes, 0);
+                assert_eq!(stats.rounds, demands.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn junk_oracles_only_cost_retries_or_parallelism() {
+        // The no-conflict oracle predicts nothing, so the partitioner
+        // speculates greedily and every real conflict becomes a retry;
+        // the all-conflict oracle serialises everything. Both must stay
+        // bit-identical to serial.
+        let net = distinct_net(4);
+        let st = ResidualState::fresh(&net);
+        let demands = full_mesh_demands(10, 1);
+        let serial = provision_batch(&net, &st, &demands, Policy::CostOnly, BatchOrder::AsGiven);
+
+        let mut optimist = NoConflictOracle;
+        let (spec, stats) = provision_batch_speculative_with_oracle(
             &net,
             &st,
             &demands,
-            policy,
-            BatchOrder::LongestFirst,
-            8,
+            Policy::CostOnly,
+            BatchOrder::AsGiven,
+            16,
             NoopRecorder,
+            NoopSink,
+            &NoopTracer,
+            &mut optimist,
         );
         assert_outcomes_identical(&serial, &spec);
-        // Every demand commits exactly once; each abort costs one retry.
-        assert_eq!(stats.commits, demands.len() as u64);
-        assert_eq!(
-            stats.commits + stats.aborts,
-            demands.len() as u64 + stats.retries
+        assert_stats_accounted(&stats, demands.len());
+        // Empty predictions mean nothing is ever skipped — conflicts
+        // surface as bounded retries instead.
+        assert_eq!(stats.inline_routes, 0);
+
+        let mut pessimist = AllConflictOracle {
+            links: net.link_count(),
+        };
+        let (spec, stats) = provision_batch_speculative_with_oracle(
+            &net,
+            &st,
+            &demands,
+            Policy::CostOnly,
+            BatchOrder::AsGiven,
+            16,
+            NoopRecorder,
+            NoopSink,
+            &NoopTracer,
+            &mut pessimist,
         );
+        assert_outcomes_identical(&serial, &spec);
+        // Everything conflicts: singleton groups, a pure serial loop.
+        assert_eq!(stats.commits, demands.len() as u64);
+        assert_eq!(stats.aborts, 0);
+        assert_eq!(stats.rounds, demands.len() as u64);
     }
 
     #[test]
@@ -509,24 +1015,39 @@ mod tests {
         let net = distinct_net(4);
         let st = ResidualState::fresh(&net);
         let demands = full_mesh_demands(10, 1);
-        let sink = TelemetrySink::new();
-        let (_, stats) = provision_batch_speculative(
-            &net,
-            &st,
-            &demands,
-            Policy::CostOnly,
-            BatchOrder::AsGiven,
-            8,
-            &sink,
-        );
-        let snap = sink.snapshot();
-        assert_eq!(snap.counters["speculative_commits"], stats.commits);
-        assert_eq!(snap.counters["speculative_aborts"], stats.aborts);
-        assert_eq!(snap.counters["speculative_retries"], stats.retries);
-        let occ = &snap.histograms["window_occupancy"];
-        assert_eq!(occ.count, stats.rounds);
-        // No routing telemetry leaks from the speculated calls.
-        assert_eq!(snap.counters["suurballe_searches"], 0);
+        for schedule in [ScheduleMode::Windowed, ScheduleMode::ConflictGroups] {
+            let sink = TelemetrySink::new();
+            let (_, stats) = provision_batch_speculative_scheduled(
+                &net,
+                &st,
+                &demands,
+                Policy::CostOnly,
+                BatchOrder::AsGiven,
+                8,
+                schedule,
+                &sink,
+                NoopSink,
+                &NoopTracer,
+            );
+            let snap = sink.snapshot();
+            assert_eq!(snap.counters["speculative_commits"], stats.commits);
+            assert_eq!(snap.counters["speculative_aborts"], stats.aborts);
+            assert_eq!(snap.counters["speculative_retries"], stats.retries);
+            assert_eq!(
+                snap.counters["speculative_inline_routes"],
+                stats.inline_routes
+            );
+            let occ = &snap.histograms["window_occupancy"];
+            assert_eq!(occ.count, stats.rounds);
+            if schedule == ScheduleMode::ConflictGroups {
+                let grp = &snap.histograms["conflict_group_size"];
+                assert_eq!(grp.count, stats.rounds);
+                // Group size never exceeds the window.
+                assert!(grp.max <= 8);
+            }
+            // No routing telemetry leaks from the speculated calls.
+            assert_eq!(snap.counters["suurballe_searches"], 0);
+        }
     }
 
     #[test]
@@ -538,16 +1059,21 @@ mod tests {
         demands.push(Demand::new(5, 5));
         let serial = provision_batch(&net, &st, &demands, Policy::CostOnly, BatchOrder::AsGiven);
         assert!(!serial.rejected.is_empty());
-        let (spec, _) = provision_batch_speculative(
-            &net,
-            &st,
-            &demands,
-            Policy::CostOnly,
-            BatchOrder::AsGiven,
-            16,
-            NoopRecorder,
-        );
-        assert_outcomes_identical(&serial, &spec);
+        for schedule in [ScheduleMode::Windowed, ScheduleMode::ConflictGroups] {
+            let (spec, _) = provision_batch_speculative_scheduled(
+                &net,
+                &st,
+                &demands,
+                Policy::CostOnly,
+                BatchOrder::AsGiven,
+                16,
+                schedule,
+                NoopRecorder,
+                NoopSink,
+                &NoopTracer,
+            );
+            assert_outcomes_identical(&serial, &spec);
+        }
     }
 
     #[test]
@@ -555,20 +1081,21 @@ mod tests {
         use wdm_core::journal::NoopSink;
         use wdm_telemetry::SpanBuffer;
 
-        // NSFNET + a load-sensitive policy: the guard is off, so windows
-        // genuinely abort and re-speculate.
+        // NSFNET + a load-sensitive policy under *windowed* scheduling:
+        // the guard is off, so windows genuinely abort and re-speculate.
         let net = nsfnet(8);
         let st = ResidualState::fresh(&net);
         let demands = full_mesh_demands(14, 1);
         let tracer = SpanBuffer::new();
         let sink = TelemetrySink::new();
-        let (out, stats) = provision_batch_speculative_observed(
+        let (out, stats) = provision_batch_speculative_scheduled(
             &net,
             &st,
             &demands,
             Policy::Joint { a: 2.0 },
             BatchOrder::LongestFirst,
             8,
+            ScheduleMode::Windowed,
             &sink,
             NoopSink,
             &tracer,
@@ -593,19 +1120,62 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_runs_no_rounds() {
+    fn observed_conflict_groups_attach_spans_to_every_attempt() {
+        use wdm_core::journal::NoopSink;
+        use wdm_telemetry::SpanBuffer;
+
+        // Dense mesh on a distinct-cost net: the partitioner both skips
+        // demands (inline routes) and occasionally mispredicts (retries),
+        // exercising the mid-sweep span accounting.
         let net = distinct_net(4);
         let st = ResidualState::fresh(&net);
-        let (out, stats) = provision_batch_speculative(
+        let demands = full_mesh_demands(10, 1);
+        let tracer = SpanBuffer::new();
+        let (out, stats) = provision_batch_speculative_scheduled(
             &net,
             &st,
-            &[],
+            &demands,
             Policy::CostOnly,
             BatchOrder::AsGiven,
-            8,
+            16,
+            ScheduleMode::ConflictGroups,
             NoopRecorder,
+            NoopSink,
+            &tracer,
         );
-        assert!(out.provisioned.is_empty() && out.rejected.is_empty());
-        assert_eq!(stats, SpeculationStats::default());
+        assert_stats_accounted(&stats, demands.len());
+        // One request per routing attempt: speculated (commits + aborts)
+        // plus inline (skipped + retries).
+        assert_eq!(
+            tracer.requests_begun(),
+            stats.commits + stats.aborts + stats.inline_routes + stats.retries
+        );
+        let recs = tracer.records();
+        let commits = recs.iter().filter(|r| r.phase == Phase::Commit).count();
+        assert_eq!(commits, out.provisioned.len());
+        let aborts = recs.iter().filter(|r| r.phase == Phase::Abort).count() as u64;
+        assert_eq!(aborts, stats.aborts);
+    }
+
+    #[test]
+    fn empty_batch_runs_no_rounds() {
+        for schedule in [ScheduleMode::Windowed, ScheduleMode::ConflictGroups] {
+            let net = distinct_net(4);
+            let st = ResidualState::fresh(&net);
+            let (out, stats) = provision_batch_speculative_scheduled(
+                &net,
+                &st,
+                &[],
+                Policy::CostOnly,
+                BatchOrder::AsGiven,
+                8,
+                schedule,
+                NoopRecorder,
+                NoopSink,
+                &NoopTracer,
+            );
+            assert!(out.provisioned.is_empty() && out.rejected.is_empty());
+            assert_eq!(stats, SpeculationStats::default());
+        }
     }
 }

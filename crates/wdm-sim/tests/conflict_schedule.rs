@@ -1,0 +1,220 @@
+//! Property tests for the conflict-aware scheduler: the
+//! [`ConflictPartitioner`]'s plans are always structurally valid and
+//! link-disjoint under the predicted footprints, degenerate inputs
+//! produce valid schedules, and — the load-bearing property — an
+//! arbitrarily wrong [`FootprintOracle`] can only cost retries or
+//! parallelism, never serial equivalence.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_core::predict::FootprintOracle;
+use wdm_graph::{EdgeId, NodeId};
+use wdm_sim::prelude::*;
+
+/// A deterministic but arbitrary oracle: each `(s, t)` pair predicts a
+/// pseudo-random subset of the link space, derived only from the pair and
+/// the seed — so re-predicting the same pair yields the same footprint,
+/// as the trait requires, while having nothing to do with real routes.
+#[derive(Clone)]
+struct RandomOracle {
+    seed: u64,
+    links: usize,
+    /// Density knob: predicted footprint ≈ `links / spread` links.
+    spread: usize,
+}
+
+impl RandomOracle {
+    fn pair_rng(&self, s: NodeId, t: NodeId) -> ChaCha8Rng {
+        let mix = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(((s.0 as u64) << 32) | t.0 as u64);
+        ChaCha8Rng::seed_from_u64(mix)
+    }
+}
+
+impl FootprintOracle for RandomOracle {
+    fn predict(&mut self, s: NodeId, t: NodeId, out: &mut Vec<EdgeId>) {
+        let mut rng = self.pair_rng(s, t);
+        let count = rng.gen_range(0..=self.links / self.spread.max(1));
+        out.extend((0..count).map(|_| EdgeId::from(rng.gen_range(0..self.links))));
+    }
+}
+
+fn random_pairs(rng: &mut ChaCha8Rng, n_nodes: u32, count: usize) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|_| {
+            (
+                NodeId(rng.gen_range(0..n_nodes)),
+                NodeId(rng.gen_range(0..n_nodes)),
+            )
+        })
+        .collect()
+}
+
+/// Structural validity + the disjointness contract of one plan.
+fn assert_plan_valid(
+    plan: &GroupPlan,
+    oracle: &mut RandomOracle,
+    pending: &[(NodeId, NodeId)],
+    window: usize,
+    links: usize,
+) -> Result<(), TestCaseError> {
+    // Shape: head always selected, offsets strictly ascending, the range
+    // is the contiguous span up to the last member, the group respects
+    // the window, and the scan respects the 2×window lookahead.
+    prop_assert!(!plan.members.is_empty());
+    prop_assert_eq!(plan.members[0], 0);
+    prop_assert!(plan.members.windows(2).all(|w| w[0] < w[1]));
+    prop_assert_eq!(plan.range, plan.members.last().unwrap() + 1);
+    prop_assert!(plan.members.len() <= window.max(1));
+    prop_assert!(plan.range <= pending.len().min(window.max(1) * 2));
+
+    // Link-disjointness under the predicted footprints: no link is
+    // predicted by two distinct members. (The oracle is deterministic per
+    // pair, so re-predicting here reproduces what the partitioner saw.)
+    let mut owner = vec![usize::MAX; links];
+    for &k in &plan.members {
+        let (s, t) = pending[k];
+        let mut fp = Vec::new();
+        oracle.predict(s, t, &mut fp);
+        for e in fp {
+            prop_assert!(
+                owner[e.index()] == usize::MAX || owner[e.index()] == k,
+                "link {} predicted by members {} and {}",
+                e.index(),
+                owner[e.index()],
+                k
+            );
+            owner[e.index()] = k;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32 })]
+
+    /// Every plan over random pending sets and random footprints is
+    /// structurally valid and link-disjoint, across a whole batch's worth
+    /// of consecutive rounds reusing one partitioner.
+    #[test]
+    fn plans_are_valid_and_link_disjoint(
+        seed in 0u64..1_000_000,
+        links in 8usize..128,
+        window in 1usize..32,
+        spread in 1usize..16,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut oracle = RandomOracle { seed, links, spread };
+        let mut p = ConflictPartitioner::new(links);
+        let count = rng.gen_range(1..80);
+        let mut pending = random_pairs(&mut rng, 12, count);
+        while !pending.is_empty() {
+            let plan = p.plan(&mut oracle, &pending, window);
+            assert_plan_valid(&plan, &mut oracle, &pending, window, links)?;
+            pending.drain(..plan.range);
+        }
+    }
+
+    /// Degenerate pending shapes: a single demand, all-identical demands
+    /// (maximally conflicting predictions), and window 1 all yield valid
+    /// singleton-headed schedules that still consume the whole queue.
+    #[test]
+    fn degenerate_inputs_produce_valid_schedules(
+        seed in 0u64..1_000_000,
+        links in 8usize..64,
+    ) {
+        let mut oracle = RandomOracle { seed, links, spread: 2 };
+        let mut p = ConflictPartitioner::new(links);
+
+        // Single demand.
+        let single = random_pairs(&mut ChaCha8Rng::seed_from_u64(seed), 12, 1);
+        let plan = p.plan(&mut oracle, &single, 8);
+        assert_plan_valid(&plan, &mut oracle, &single, 8, links)?;
+        prop_assert_eq!(&plan.members, &vec![0]);
+
+        // All-identical pairs: every prediction collides with the head's
+        // (unless the pair predicts nothing at all, in which case all are
+        // mutually disjoint — both are valid plans).
+        let same = vec![(NodeId(3), NodeId(7)); 16];
+        let plan = p.plan(&mut oracle, &same, 8);
+        assert_plan_valid(&plan, &mut oracle, &same, 8, links)?;
+        let mut fp = Vec::new();
+        oracle.predict(NodeId(3), NodeId(7), &mut fp);
+        if !fp.is_empty() {
+            prop_assert_eq!(&plan.members, &vec![0]);
+        }
+
+        // Window 1 never speculates past the head.
+        let pending = random_pairs(&mut ChaCha8Rng::seed_from_u64(seed ^ 1), 12, 20);
+        let plan = p.plan(&mut oracle, &pending, 1);
+        prop_assert_eq!(plan, GroupPlan { members: vec![0], range: 1 });
+    }
+
+    /// The oracle is advisory only: driving the full engine with random
+    /// junk predictions still reproduces the serial outcome bit-for-bit,
+    /// paying at most bounded retries (one per abort) and inline routes.
+    #[test]
+    fn junk_predictions_never_break_serial_equivalence(
+        seed in 0u64..1_000_000,
+        window in 2usize..64,
+        spread in 1usize..16,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            Policy::CostOnly,
+            Policy::Unrefined,
+            Policy::NodeDisjoint,
+            Policy::Joint { a: 2.0 },
+        ][policy_idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Reuse the equivalence suite's topology recipe: distinct uniform
+        // costs so rule 2 (and with it real group speculation) is live.
+        let n = rng.gen_range(5..10u32);
+        let mut b = wdm_core::network::NetworkBuilder::new(4);
+        let nodes: Vec<_> = (0..n)
+            .map(|_| b.add_node(wdm_core::conversion::ConversionTable::Full { cost: 0.3 }))
+            .collect();
+        let mut c = 1.0;
+        for i in 0..n as usize {
+            for j in [(i + 1) % n as usize, (i + 2) % n as usize] {
+                b.add_link(nodes[i], nodes[j], c);
+                c += 0.17;
+                b.add_link(nodes[j], nodes[i], c);
+                c += 0.17;
+            }
+        }
+        let net = b.build();
+        let count = rng.gen_range(10..50);
+        let demands: Vec<Demand> = random_pairs(&mut rng, n, count)
+            .into_iter()
+            .map(|(s, t)| Demand::new(s.0, t.0))
+            .collect();
+        let st = wdm_core::network::ResidualState::fresh(&net);
+        let serial = provision_batch(&net, &st, &demands, policy, BatchOrder::AsGiven);
+        let mut oracle = RandomOracle { seed, links: net.link_count(), spread };
+        let (out, stats) = provision_batch_speculative_with_oracle(
+            &net,
+            &st,
+            &demands,
+            policy,
+            BatchOrder::AsGiven,
+            window,
+            NoopRecorder,
+            NoopSink,
+            &NoopTracer,
+            &mut oracle,
+        );
+        prop_assert_eq!(&serial.provisioned, &out.provisioned);
+        prop_assert_eq!(&serial.rejected, &out.rejected);
+        prop_assert_eq!(serial.total_cost.to_bits(), out.total_cost.to_bits());
+        prop_assert_eq!(&serial.state, &out.state);
+        prop_assert_eq!(stats.aborts, stats.retries);
+        prop_assert_eq!(
+            stats.commits + stats.retries + stats.inline_routes,
+            demands.len() as u64
+        );
+    }
+}

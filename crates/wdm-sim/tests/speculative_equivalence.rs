@@ -96,6 +96,8 @@ const ORDERS: [BatchOrder; 3] = [
     BatchOrder::LongestFirst,
 ];
 
+const SCHEDULES: [ScheduleMode; 2] = [ScheduleMode::Windowed, ScheduleMode::ConflictGroups];
+
 fn check_all_windows(
     net: &WdmNetwork,
     demands: &[Demand],
@@ -104,30 +106,55 @@ fn check_all_windows(
 ) -> Result<(), TestCaseError> {
     let st = ResidualState::fresh(net);
     let serial = provision_batch(net, &st, demands, policy, order);
-    for window in [1usize, 2, 8, 64] {
-        let cfg = BatchConfig {
-            policy,
-            order,
-            parallel_window: window,
-        };
-        let sink = TelemetrySink::new();
-        let (out, stats) = run_batch_recorded(net, &st, demands, cfg, &sink);
-        assert_bit_identical(&serial, &out)?;
-        let snap = sink.snapshot();
-        if window <= 1 {
-            prop_assert_eq!(stats, SpeculationStats::default());
-            prop_assert_eq!(snap.counters["speculative_commits"], 0);
-        } else {
-            // Every demand commits exactly once; every abort is retried;
-            // the sink's counter sums mirror the engine's own stats.
-            prop_assert_eq!(stats.commits, demands.len() as u64);
-            prop_assert_eq!(stats.aborts, stats.retries);
-            prop_assert_eq!(snap.counters["speculative_commits"], stats.commits);
-            prop_assert_eq!(snap.counters["speculative_aborts"], stats.aborts);
-            prop_assert_eq!(snap.counters["speculative_retries"], stats.retries);
-            prop_assert_eq!(snap.histograms["window_occupancy"].count, stats.rounds);
-            // The speculated routing calls themselves are unrecorded.
-            prop_assert_eq!(snap.counters["suurballe_searches"], 0);
+    for schedule in SCHEDULES {
+        for window in [1usize, 2, 8, 64] {
+            let cfg = BatchConfig {
+                policy,
+                order,
+                parallel_window: window,
+                schedule,
+            };
+            let sink = TelemetrySink::new();
+            let (out, stats) = run_batch_recorded(net, &st, demands, cfg, &sink);
+            assert_bit_identical(&serial, &out)?;
+            let snap = sink.snapshot();
+            if window <= 1 {
+                prop_assert_eq!(stats, SpeculationStats::default());
+                prop_assert_eq!(snap.counters["speculative_commits"], 0);
+            } else {
+                // Every abort is retried, and every demand commits exactly
+                // once — windowed retries re-speculate and land back in
+                // `commits`; conflict-groups retries and skips commit
+                // inline, so the three paths partition the demand set.
+                prop_assert_eq!(stats.aborts, stats.retries);
+                match schedule {
+                    ScheduleMode::Windowed => {
+                        prop_assert_eq!(stats.inline_routes, 0);
+                        prop_assert_eq!(stats.commits, demands.len() as u64);
+                    }
+                    ScheduleMode::ConflictGroups => {
+                        prop_assert_eq!(
+                            stats.commits + stats.retries + stats.inline_routes,
+                            demands.len() as u64
+                        );
+                    }
+                }
+                prop_assert_eq!(snap.counters["speculative_commits"], stats.commits);
+                prop_assert_eq!(snap.counters["speculative_aborts"], stats.aborts);
+                prop_assert_eq!(snap.counters["speculative_retries"], stats.retries);
+                prop_assert_eq!(
+                    snap.counters["speculative_inline_routes"],
+                    stats.inline_routes
+                );
+                prop_assert_eq!(snap.histograms["window_occupancy"].count, stats.rounds);
+                if schedule == ScheduleMode::ConflictGroups {
+                    let grp = &snap.histograms["conflict_group_size"];
+                    prop_assert_eq!(grp.count, stats.rounds);
+                    prop_assert!(grp.max <= window as u64);
+                }
+                // The speculated routing calls themselves are unrecorded.
+                prop_assert_eq!(snap.counters["suurballe_searches"], 0);
+            }
         }
     }
     Ok(())

@@ -95,11 +95,14 @@ pub enum Counter {
     /// Speculative aborts where the route failed outright against the
     /// shifted load after earlier commits landed.
     SpeculativeAbortLoadShift = 24,
+    /// Demands the conflict-aware scheduler routed inline at their serial
+    /// commit point (skipped by group selection, never speculated).
+    SpeculativeInlineRoutes = 25,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 26;
 
     /// Every variant, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -128,6 +131,7 @@ impl Counter {
         Counter::SpeculativeAbortConflict,
         Counter::SpeculativeAbortOrdering,
         Counter::SpeculativeAbortLoadShift,
+        Counter::SpeculativeInlineRoutes,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -158,6 +162,7 @@ impl Counter {
             Counter::SpeculativeAbortConflict => "speculative_abort_conflict",
             Counter::SpeculativeAbortOrdering => "speculative_abort_ordering",
             Counter::SpeculativeAbortLoadShift => "speculative_abort_load_shift",
+            Counter::SpeculativeInlineRoutes => "speculative_inline_routes",
         }
     }
 }
@@ -184,11 +189,15 @@ pub enum Hist {
     BackupHops = 5,
     /// Demands per speculative batch window (deterministic).
     WindowOccupancy = 6,
+    /// Link-disjoint conflict-group size per scheduling round — how many
+    /// demands the conflict-aware scheduler speculated together
+    /// (deterministic).
+    ConflictGroupSize = 7,
 }
 
 impl Hist {
     /// Number of histogram slots.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every variant, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -199,6 +208,7 @@ impl Hist {
         Hist::PrimaryHops,
         Hist::BackupHops,
         Hist::WindowOccupancy,
+        Hist::ConflictGroupSize,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -211,6 +221,7 @@ impl Hist {
             Hist::PrimaryHops => "primary_hops",
             Hist::BackupHops => "backup_hops",
             Hist::WindowOccupancy => "window_occupancy",
+            Hist::ConflictGroupSize => "conflict_group_size",
         }
     }
 

@@ -10,8 +10,14 @@
 //! * **No shrinking** — a failing case reports its generated inputs and
 //!   panics; minimization is up to the reader.
 //! * **Deterministic seeding** — case `i` of test `t` draws from
-//!   `ChaCha8(hash(module_path::t) ^ i)`, so failures reproduce exactly and
-//!   `.proptest-regressions` files are ignored.
+//!   `ChaCha8(hash(module_path::t) ^ i)`, so failures reproduce exactly.
+//!   `.proptest-regressions` files are never *read* (re-running the test
+//!   replays every case deterministically anyway), but each failure is
+//!   *recorded* to `proptest-regressions/` so CI can upload the evidence.
+//! * **`PROPTEST_CASES` overrides every config** — upstream only applies
+//!   the env var to defaulted configs; the stub applies it to explicit
+//!   `ProptestConfig { cases: .. }` literals too, so one knob (the nightly
+//!   CI job) scales every suite in the workspace.
 
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -288,6 +294,50 @@ pub fn new_case_rng(test_seed: u64, case: u32) -> TestRng {
     TestRng::seed_from_u64(test_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
+/// Effective case count for a test: `PROPTEST_CASES` in the environment
+/// overrides the configured count (see the module docs for why the
+/// override is unconditional here).
+pub fn cases_from_env(configured: u32) -> u32 {
+    parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref(), configured)
+}
+
+fn parse_cases(env: Option<&str>, configured: u32) -> u32 {
+    match env {
+        Some(v) if !v.trim().is_empty() => v
+            .trim()
+            .parse()
+            .expect("PROPTEST_CASES must be an unsigned integer"),
+        _ => configured,
+    }
+}
+
+/// Best-effort record of a failing case, appended to
+/// `proptest-regressions/<test_path>.txt` relative to the test's working
+/// directory (the crate root under `cargo test`). Upstream's `cc` lines
+/// carry a shrink seed; the stub's carry the derived RNG seed, the case
+/// index and the generated inputs — everything reproduction needs, since
+/// the runner is deterministic. IO failures are swallowed: persistence
+/// must never mask the actual test failure.
+pub fn persist_regression(test_path: &str, case: u32, seed: u64, inputs: &str) {
+    use std::io::Write;
+    let dir = std::path::Path::new("proptest-regressions");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let file = dir.join(format!("{}.txt", test_path.replace("::", "__")));
+    let opened = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&file);
+    if let Ok(mut f) = opened {
+        let _ = writeln!(
+            f,
+            "cc test={test_path} case={case} seed={seed:#018x} inputs={inputs}"
+        );
+        eprintln!("persisted failing case to {}", file.display());
+    }
+}
+
 /// Explicit test-case failure, for `return Err(TestCaseError::fail(..))`
 /// inside `proptest!` bodies (which run in a `Result`-returning closure).
 #[derive(Debug)]
@@ -372,9 +422,11 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = $crate::cases_from_env(__cfg.cases);
                 let __strategy = ($($strategy,)+);
-                let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
-                for __case in 0..__cfg.cases {
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let __seed = $crate::fnv1a(__path);
+                for __case in 0..__cases {
                     let mut __rng = $crate::new_case_rng(__seed, __case);
                     let __values = $crate::Strategy::generate(&__strategy, &mut __rng);
                     let __debug = format!("{:?}", &__values);
@@ -387,20 +439,22 @@ macro_rules! __proptest_tests {
                     match __result {
                         ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
                         ::std::result::Result::Ok(::std::result::Result::Err(__err)) => {
+                            $crate::persist_regression(__path, __case, __seed, &__debug);
                             panic!(
                                 "proptest case {}/{} of `{}` failed ({}) with inputs: {}",
                                 __case + 1,
-                                __cfg.cases,
+                                __cases,
                                 stringify!($name),
                                 __err,
                                 __debug,
                             );
                         }
                         ::std::result::Result::Err(__panic) => {
+                            $crate::persist_regression(__path, __case, __seed, &__debug);
                             eprintln!(
                                 "proptest case {}/{} of `{}` failed with inputs: {}",
                                 __case + 1,
-                                __cfg.cases,
+                                __cases,
                                 stringify!($name),
                                 __debug,
                             );
@@ -457,5 +511,40 @@ mod tests {
         let mut a = crate::new_case_rng(7, 3);
         let mut b = crate::new_case_rng(7, 3);
         assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn env_case_count_overrides_config() {
+        assert_eq!(crate::parse_cases(None, 96), 96);
+        assert_eq!(crate::parse_cases(Some(""), 96), 96);
+        assert_eq!(crate::parse_cases(Some(" \t"), 96), 96);
+        assert_eq!(crate::parse_cases(Some("1024"), 96), 1024);
+        assert_eq!(crate::parse_cases(Some(" 8 "), 96), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPTEST_CASES must be an unsigned integer")]
+    fn env_case_count_rejects_garbage() {
+        crate::parse_cases(Some("lots"), 96);
+    }
+
+    #[test]
+    fn regressions_are_persisted_on_failure() {
+        // Runs in a scratch dir so the append-only regression file can't
+        // accumulate across test invocations in the source tree.
+        let dir = std::env::temp_dir().join(format!("proptest-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        crate::persist_regression("my_crate::tests::prop", 17, 0xDEAD_BEEF, "(3, [1, 2])");
+        std::env::set_current_dir(old).unwrap();
+        let file = dir.join("proptest-regressions/my_crate__tests__prop.txt");
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert!(
+            text.contains("cc test=my_crate::tests::prop case=17 seed=0x00000000deadbeef"),
+            "unexpected regression line: {text}"
+        );
+        assert!(text.contains("inputs=(3, [1, 2])"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
