@@ -3,6 +3,7 @@
 //! ```sh
 //! cargo run --release -p wdm-bench --bin exp_parallel_batch            # full
 //! cargo run --release -p wdm-bench --bin exp_parallel_batch -- --quick # smoke
+//! cargo run --release -p wdm-bench --bin exp_parallel_batch -- --threads 4
 //! ```
 //!
 //! Provisions the same demand batch on an m≈800-link, W=8 instance three
@@ -19,10 +20,26 @@
 //!   as the before/after reference for the contention-collapse curve
 //!   (EXPERIMENTS.md A8).
 //!
+//! `--threads N` pins the speculative engines' worker count (default 1,
+//! so the committed curves are reproducible on any host; `0` = all
+//! cores).
+//!
+//! A second section sweeps the **sharded** engine (EXPERIMENTS.md A9):
+//! an S × N grid (shards × worker threads) at K = 64 on a *locality*
+//! instance of the same size — a ring with short chords, the shardable
+//! shape of a geographically laid-out WAN — under a locality-biased
+//! demand mix, against serial and threads-matched windowed baselines.
+//! The expander-style instance above is deliberately not used there:
+//! random global chords give every partition a huge cut, which is a
+//! property of the topology, not the engine (the report records the
+//! expander's cut ratio for reference).
+//!
 //! Every speculative pass is asserted bit-identical to the serial outcome
 //! (the engine's contract), so the speedup is measured on provably equal
 //! work. On a single-core host the gain is the engine reuse; with more
-//! cores the group also routes concurrently.
+//! cores the window also routes concurrently — the sharded grid records
+//! `single_core_host` so readers know which committed curves could not
+//! show thread scaling.
 //!
 //! Timed passes run unrecorded; a separate untimed instrumented pass per
 //! configuration collects the abort-cause counters and the
@@ -30,18 +47,22 @@
 //!
 //! Writes the machine-readable results to `BENCH_parallel_batch.json` in
 //! the working directory (the committed artifact lives at the repo root).
-//! CI gates the K=8 speedup via `wdm telemetry diff` and the K=64
-//! scaling (`k64_vs_k8_speedup`, K=64 abort rate) via `wdm telemetry
-//! assert`.
+//! CI gates the K=8 speedup via `wdm telemetry diff`, the K=64 scaling
+//! (`k64_vs_k8_speedup`, K=64 abort rate) via `wdm telemetry assert`, and
+//! the sharded grid (`sharded.wallclock_speedup_n4` and friends) in the
+//! `shard-parallel` job.
 
 use rand::Rng;
 use wdm_bench::{rng, timed, Table};
 use wdm_core::conversion::ConversionTable;
 use wdm_core::journal::NoopSink;
 use wdm_core::network::{NetworkBuilder, ResidualState, WdmNetwork};
+use wdm_core::partition::TopologyPartition;
+use wdm_core::predict::LocalityPredictor;
 use wdm_sim::batch::{provision_batch, BatchOrder, BatchOutcome, Demand};
 use wdm_sim::policy::Policy;
 use wdm_sim::schedule::ScheduleMode;
+use wdm_sim::sharded::provision_batch_sharded;
 use wdm_sim::speculative::{
     distinct_static_costs, provision_batch_speculative_scheduled, SpeculationStats,
 };
@@ -68,6 +89,72 @@ struct WindowResult {
     group_size_max: u64,
 }
 
+/// One `(shards, threads, window)` cell of the sharded grid. The stats
+/// fields (`cut_demand_ratio`, `abort_rate`, `rounds`, `inline_routes`)
+/// are deterministic functions of the instance — they never vary with the
+/// thread count or the host — so CI can gate them on any runner.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ShardedCell {
+    shards: usize,
+    threads: usize,
+    window: usize,
+    ns_per_demand: f64,
+    speedup_vs_serial: f64,
+    cut_demand_ratio: f64,
+    abort_rate: f64,
+    inline_routes: u64,
+    rounds: u64,
+    /// Aborts whose shard had already diverged (poisoned lineage) when
+    /// the sweep reached them.
+    lineage_aborts: u64,
+    /// Aborts whose committed-candidate route escaped its home shard.
+    escape_aborts: u64,
+    /// Link-level conflicts that stayed channel-feasible on the live
+    /// state and committed without a retry (no poisoning).
+    verified_commits: u64,
+}
+
+/// The sharded S × N sweep on the locality instance (EXPERIMENTS.md A9).
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ShardedReport {
+    nodes: usize,
+    links: usize,
+    wavelengths: usize,
+    demands: usize,
+    /// Fraction of demands drawn from the near-pair (intra-shard-biased)
+    /// distribution.
+    locality_fraction: f64,
+    /// Worker threads the host can actually run in parallel; `true` means
+    /// the committed wall-clock cells could not show thread scaling.
+    single_core_host: bool,
+    host_threads: usize,
+    serial_ns_per_demand: f64,
+    /// Threads-matched windowed baseline: K=64, N=4 on the same instance.
+    windowed_n4_ns_per_demand: f64,
+    cells: Vec<ShardedCell>,
+    /// ns(S=4, N=1, K=64) / ns(S=4, N=4, K=64) — the multi-core
+    /// wall-clock gain of the sharded engine itself. CI gates ≥ 1.8 on
+    /// its 4-vCPU runners.
+    wallclock_speedup_n4: f64,
+    /// windowed(K=64, N=4) / sharded(S=4, N=4, K=64) — sharding must not
+    /// lose to the threads-matched windowed engine.
+    sharded_vs_windowed_n4: f64,
+    /// speedup(S=4, N=4, K=64) / speedup(S=4, N=4, K=8): flat-or-better
+    /// scaling into the contention tail.
+    k64_vs_k8_speedup: f64,
+    /// Demand-level cut ratio at S=4 (deterministic; Amdahl's serial
+    /// fraction for the sharded engine).
+    cut_demand_ratio_s4: f64,
+    abort_rate_s4n4: f64,
+    /// Link-level cut ratio of the S=4 partition on the locality
+    /// instance…
+    cut_link_ratio_s4: f64,
+    /// …and on the expander instance above, for contrast: random global
+    /// chords leave any 4-way partition with most links in the cut, which
+    /// is why the sharded sweep runs on the locality instance.
+    expander_cut_link_ratio_s4: f64,
+}
+
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct BenchReport {
     bench: String,
@@ -76,6 +163,9 @@ struct BenchReport {
     links: usize,
     wavelengths: usize,
     demands: usize,
+    /// Worker-thread count used for the windowed/conflict-groups sweeps
+    /// (`--threads`, default 1 so committed curves are host-independent).
+    threads: usize,
     serial_ns_per_demand: f64,
     /// Conflict-groups scheduling — the headline numbers CI gates on.
     windows: Vec<WindowResult>,
@@ -86,6 +176,8 @@ struct BenchReport {
     /// conflict-groups. Near-monotone scaling keeps this near (or above)
     /// 1.0; the old windowed engine collapsed to 0.13.
     k64_vs_k8_speedup: f64,
+    /// The sharded engine's S × N grid on the locality instance.
+    sharded: ShardedReport,
 }
 
 /// A connected instance whose directed links carry pairwise-distinct
@@ -124,6 +216,100 @@ fn distinct_cost_instance(rng: &mut impl Rng, n: usize, avg_degree: usize, w: us
     b.build()
 }
 
+/// The shardable counterpart of [`distinct_cost_instance`]: a bidirected
+/// ring plus *short-span* directed chords, the shape of a geographically
+/// laid-out WAN where fibre follows the right-of-way. Same size (m = 4n),
+/// but with two deliberate differences. Costs are pairwise distinct (the
+/// rule 2 guard) yet *nearly uniform* (`1 + ε`, ε random in
+/// `(1e-4, 1e-3)` — random so path-cost *sums* never tie exactly, which
+/// quantised ε values would), so routing is hop-minimal and a demand's
+/// route stays inside the tight corridor between its endpoints instead of
+/// detouring toward whichever arc a rank ordering made cheap. And a
+/// BFS-grown partition cuts only the few links straddling shard
+/// boundaries instead of most of the chord set.
+fn locality_instance(rng: &mut impl Rng, n: usize, w: usize) -> WdmNetwork {
+    let mut b = NetworkBuilder::new(w);
+    // Conversion must be *free* here, not merely cheap. The §3.3 G′
+    // conversion-arc weight averages the allowed λ_a → λ_b pair costs, and
+    // same-λ pairs cost 0 — so with a nonzero conversion cost the average
+    // moves whenever channel occupancy reshapes the two adjacent links'
+    // availability sets. Under this instance's ~1e-4 static-cost gaps such
+    // shifts (up to cost/2) flip the Suurballe argmin between pairs whose
+    // own links are untouched, which commit rule 2 cannot see. At cost 0
+    // every pair averages to exactly 0 and the auxiliary weights are
+    // link-local, making speculation bit-identical to serial again.
+    let nodes: Vec<_> = (0..n)
+        .map(|_| b.add_node(ConversionTable::Full { cost: 0.0 }))
+        .collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let c = 1.0 + rng.gen_range(1e-4..1e-3);
+        b.add_link(nodes[i], nodes[j], c);
+        let c = 1.0 + rng.gen_range(1e-4..1e-3);
+        b.add_link(nodes[j], nodes[i], c);
+    }
+    // One forward and one backward span-2 chord per node keeps m = 4n,
+    // matching the expander instance link-for-link, while giving every
+    // demand a ring-disjoint alternate path. Spans stay minimal: a chord
+    // is one hop, so the chord span bounds how far a radius-1 predictor
+    // ball reaches — and with it how wide the misclassification margin
+    // around each shard boundary is.
+    for i in 0..n {
+        let c = 1.0 + rng.gen_range(1e-4..1e-3);
+        b.add_link(nodes[i], nodes[(i + 2) % n], c);
+        let c = 1.0 + rng.gen_range(1e-4..1e-3);
+        b.add_link(nodes[i], nodes[(i + n - 2) % n], c);
+    }
+    b.build()
+}
+
+/// Fraction of demands drawn near their source; the rest are mid-haul
+/// pairs (the cross-shard background traffic that lands on the inline
+/// path).
+const LOCALITY_FRACTION: f64 = 0.95;
+/// Near demands sit within this ring distance of their source — small
+/// against the ~n/S nodes of one shard, so most of them classify
+/// intra-shard.
+const NEAR_SPAN: usize = 4;
+/// Far demands span this ring-distance band: long enough to cross shard
+/// boundaries, short enough that each inline route costs a bounded
+/// multiple of a near route (the inline path is the engine's Amdahl
+/// bottleneck, so its per-demand cost matters as much as its count).
+const FAR_SPAN: std::ops::RangeInclusive<usize> = 10..=16;
+
+/// A locality-biased demand mix: `LOCALITY_FRACTION` of pairs within
+/// `NEAR_SPAN` ring hops (either direction), the rest in the `FAR_SPAN`
+/// band — sorted short-spans-first (stable, so same-span demands keep
+/// their arrival order). The sort is the workload's arrival discipline,
+/// not an engine feature: interleaving long-haul demands into every round
+/// would let each one stamp foreign links across a shard's interior and
+/// poison that shard's whole round, so batching them into their own tail
+/// rounds is how an operator would schedule this mix anyway.
+fn locality_demands(rng: &mut impl Rng, n: usize, count: usize) -> Vec<Demand> {
+    let mut demands: Vec<Demand> = (0..count)
+        .map(|_| {
+            let s = rng.gen_range(0..n);
+            let off = if rng.gen_bool(LOCALITY_FRACTION) {
+                rng.gen_range(1..=NEAR_SPAN)
+            } else {
+                rng.gen_range(FAR_SPAN)
+            };
+            let t = if rng.gen_bool(0.5) {
+                (s + off) % n
+            } else {
+                (s + n - off) % n
+            };
+            Demand::new(s as u32, t as u32)
+        })
+        .collect();
+    let ring_span = |d: &Demand| {
+        let fwd = (d.dst.0 + n as u32 - d.src.0) % n as u32;
+        fwd.min(n as u32 - fwd)
+    };
+    demands.sort_by_key(ring_span);
+    demands
+}
+
 fn assert_outcomes_identical(serial: &BatchOutcome, spec: &BatchOutcome, window: usize) {
     assert_eq!(serial.provisioned, spec.provisioned, "window {window}");
     assert_eq!(serial.rejected, spec.rejected, "window {window}");
@@ -148,6 +334,7 @@ fn sweep(
     policy: Policy,
     order: BatchOrder,
     schedule: ScheduleMode,
+    threads: usize,
     reference: &BatchOutcome,
     serial_ns: f64,
     passes: usize,
@@ -165,6 +352,7 @@ fn sweep(
                     order,
                     window,
                     schedule,
+                    threads,
                     NoopRecorder,
                     NoopSink,
                     &NoopTracer,
@@ -190,6 +378,7 @@ fn sweep(
                 order,
                 window,
                 schedule,
+                threads,
                 &sink,
                 NoopSink,
                 &NoopTracer,
@@ -220,6 +409,87 @@ fn sweep(
         .collect()
 }
 
+/// One timed sharded grid cell: min-of-`passes` ns/demand plus the
+/// speculation stats (which are thread-count-independent — the worker
+/// fan-out changes only wall-clock time, never the round structure).
+#[allow(clippy::too_many_arguments)]
+fn sharded_cell(
+    net: &WdmNetwork,
+    state: &ResidualState,
+    demands: &[Demand],
+    policy: Policy,
+    order: BatchOrder,
+    window: usize,
+    shards: usize,
+    threads: usize,
+    reference: &BatchOutcome,
+    serial_ns: f64,
+    passes: usize,
+) -> ShardedCell {
+    let mut secs_min = f64::INFINITY;
+    let mut stats_last = SpeculationStats::default();
+    for _ in 0..passes {
+        let ((out, stats), secs) = timed(|| {
+            // A fresh radius-1 oracle per pass keeps every pass identical
+            // (the predictor builds its balls lazily) and classifies more
+            // demands intra-shard than the engine's default radius-2 —
+            // misclassification only costs bounded retries.
+            let mut oracle = LocalityPredictor::new(net, 1);
+            provision_batch_sharded(
+                net,
+                state,
+                demands,
+                policy,
+                order,
+                window,
+                shards,
+                threads,
+                NoopRecorder,
+                NoopSink,
+                &NoopTracer,
+                &mut oracle,
+            )
+        });
+        assert_outcomes_identical(reference, &out, window);
+        secs_min = secs_min.min(secs);
+        stats_last = stats;
+    }
+    // One untimed instrumented pass for the abort split.
+    let sink = TelemetrySink::new();
+    let mut oracle = LocalityPredictor::new(net, 1);
+    let _ = provision_batch_sharded(
+        net,
+        state,
+        demands,
+        policy,
+        order,
+        window,
+        shards,
+        threads,
+        &sink,
+        NoopSink,
+        &NoopTracer,
+        &mut oracle,
+    );
+    let snap = sink.snapshot();
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let ns = secs_min / demands.len() as f64 * 1e9;
+    ShardedCell {
+        shards,
+        threads,
+        window,
+        ns_per_demand: ns,
+        speedup_vs_serial: serial_ns / ns,
+        cut_demand_ratio: stats_last.cut_demands as f64 / demands.len() as f64,
+        abort_rate: stats_last.abort_rate(),
+        inline_routes: stats_last.inline_routes,
+        rounds: stats_last.rounds,
+        lineage_aborts: counter("sharded_lineage_aborts"),
+        escape_aborts: counter("sharded_escape_aborts"),
+        verified_commits: counter("sharded_verified_commits"),
+    }
+}
+
 fn print_mode(table: &mut Table, label: &str, results: &[WindowResult]) {
     for res in results {
         table.row(vec![
@@ -235,7 +505,16 @@ fn print_mode(table: &mut Table, label: &str, results: &[WindowResult]) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    // Worker threads for the windowed/conflict-groups sweeps. Default 1:
+    // the committed curves measure the engine, not the host's core count.
+    let threads: usize = argv
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| argv.get(i + 1))
+        .map(|v| v.parse().expect("--threads wants a worker count"))
+        .unwrap_or(1);
     let (n, demand_count, passes) = if quick { (60, 150, 2) } else { (200, 1000, 3) };
     let (d, w) = (4usize, 8usize);
 
@@ -263,7 +542,8 @@ fn main() {
 
     println!(
         "parallel-batch — conflict-groups vs windowed speculation vs serial \
-         (n={n}, m={}, W={w}, {demand_count} demands, CostOnly)\n",
+         (n={n}, m={}, W={w}, {demand_count} demands, CostOnly, \
+         {threads} worker thread(s))\n",
         net.link_count()
     );
 
@@ -290,6 +570,7 @@ fn main() {
         policy,
         order,
         ScheduleMode::ConflictGroups,
+        threads,
         &reference,
         serial_ns,
         passes,
@@ -301,6 +582,7 @@ fn main() {
         policy,
         order,
         ScheduleMode::Windowed,
+        threads,
         &reference,
         serial_ns,
         passes,
@@ -342,6 +624,178 @@ fn main() {
         speedup_at(&windowed, 64) / speedup_at(&windowed, 8)
     );
 
+    // ── Sharded S × N grid on the locality instance (A9) ──────────────
+    let lnet = locality_instance(&mut rng(0xBA7C6), n, w);
+    assert!(
+        distinct_static_costs(&lnet),
+        "locality instance must satisfy the rule 2 guard (distinct uniform costs)"
+    );
+    let lstate = ResidualState::fresh(&lnet);
+    let ldemands = locality_demands(&mut rng(0xBA7C7), n, demand_count);
+    let lreference = provision_batch(&lnet, &lstate, &ldemands, policy, order);
+
+    let mut lserial_secs = f64::INFINITY;
+    for _ in 0..passes {
+        let (out, secs) = timed(|| provision_batch(&lnet, &lstate, &ldemands, policy, order));
+        assert_outcomes_identical(&lreference, &out, 0);
+        lserial_secs = lserial_secs.min(secs);
+    }
+    let lserial_ns = lserial_secs / demand_count as f64 * 1e9;
+
+    // Threads-matched windowed baseline at the deepest window: the bar
+    // the sharded engine has to clear with the same resources.
+    let mut win_secs = f64::INFINITY;
+    for _ in 0..passes {
+        let ((out, _), secs) = timed(|| {
+            provision_batch_speculative_scheduled(
+                &lnet,
+                &lstate,
+                &ldemands,
+                policy,
+                order,
+                64,
+                ScheduleMode::Windowed,
+                4,
+                NoopRecorder,
+                NoopSink,
+                &NoopTracer,
+            )
+        });
+        assert_outcomes_identical(&lreference, &out, 64);
+        win_secs = win_secs.min(secs);
+    }
+    let windowed_n4_ns = win_secs / demand_count as f64 * 1e9;
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut cells = Vec::new();
+    for shards in [2usize, 4, 8] {
+        for nt in [1usize, 2, 4] {
+            cells.push(sharded_cell(
+                &lnet,
+                &lstate,
+                &ldemands,
+                policy,
+                order,
+                64,
+                shards,
+                nt,
+                &lreference,
+                lserial_ns,
+                passes,
+            ));
+        }
+    }
+    // One shallow-window cell to anchor the K=64-vs-K=8 scaling ratio.
+    cells.push(sharded_cell(
+        &lnet,
+        &lstate,
+        &ldemands,
+        policy,
+        order,
+        8,
+        4,
+        4,
+        &lreference,
+        lserial_ns,
+        passes,
+    ));
+
+    println!(
+        "\nsharded — locality instance (n={n}, m={}, W={w}, {demand_count} demands, \
+         {:.0}% near pairs; host can run {host_threads} thread(s))\n",
+        lnet.link_count(),
+        LOCALITY_FRACTION * 100.0
+    );
+    let mut stable = Table::new(&[
+        "config",
+        "ns/demand",
+        "speedup",
+        "cut dem",
+        "abort rate",
+        "lin/esc/ver",
+        "inline",
+        "rounds",
+    ]);
+    stable.row(vec![
+        String::from("serial"),
+        format!("{lserial_ns:.0}"),
+        String::from("1.00x"),
+        String::from("-"),
+        String::from("-"),
+        String::from("-"),
+        String::from("-"),
+        String::from("-"),
+    ]);
+    stable.row(vec![
+        String::from("windowed K=64 N=4"),
+        format!("{windowed_n4_ns:.0}"),
+        format!("{:.2}x", lserial_ns / windowed_n4_ns),
+        String::from("-"),
+        String::from("-"),
+        String::from("-"),
+        String::from("-"),
+        String::from("-"),
+    ]);
+    for c in &cells {
+        stable.row(vec![
+            format!("sharded S={} N={} K={}", c.shards, c.threads, c.window),
+            format!("{:.0}", c.ns_per_demand),
+            format!("{:.2}x", c.speedup_vs_serial),
+            format!("{:.1}%", c.cut_demand_ratio * 100.0),
+            format!("{:.1}%", c.abort_rate * 100.0),
+            format!(
+                "{}/{}/{}",
+                c.lineage_aborts, c.escape_aborts, c.verified_commits
+            ),
+            c.inline_routes.to_string(),
+            c.rounds.to_string(),
+        ]);
+    }
+    stable.print();
+
+    let cell = |s: usize, nt: usize, k: usize| {
+        cells
+            .iter()
+            .find(|c| c.shards == s && c.threads == nt && c.window == k)
+            .expect("cell measured")
+    };
+    let wallclock_speedup_n4 = cell(4, 1, 64).ns_per_demand / cell(4, 4, 64).ns_per_demand;
+    let sharded_vs_windowed_n4 = windowed_n4_ns / cell(4, 4, 64).ns_per_demand;
+    let shard_k64_vs_k8 = cell(4, 4, 64).speedup_vs_serial / cell(4, 4, 8).speedup_vs_serial;
+    let cut_demand_ratio_s4 = cell(4, 1, 64).cut_demand_ratio;
+    let abort_rate_s4n4 = cell(4, 4, 64).abort_rate;
+    println!(
+        "\nsharded scaling: N=1→N=4 wall-clock {wallclock_speedup_n4:.2}x, \
+         vs windowed(N=4) {sharded_vs_windowed_n4:.2}x, K64/K8 {shard_k64_vs_k8:.2}, \
+         cut demands {:.1}%",
+        cut_demand_ratio_s4 * 100.0
+    );
+
+    // 0x5AD5 is the engine's fixed partition seed, so these reference
+    // ratios describe the exact partitions the cells above ran on.
+    let cut_link_ratio_s4 = TopologyPartition::grow(&lnet, 4, 0x5AD5).cut_ratio();
+    let expander_cut_link_ratio_s4 = TopologyPartition::grow(&net, 4, 0x5AD5).cut_ratio();
+
+    let sharded = ShardedReport {
+        nodes: n,
+        links: lnet.link_count(),
+        wavelengths: w,
+        demands: demand_count,
+        locality_fraction: LOCALITY_FRACTION,
+        single_core_host: host_threads == 1,
+        host_threads,
+        serial_ns_per_demand: lserial_ns,
+        windowed_n4_ns_per_demand: windowed_n4_ns,
+        cells,
+        wallclock_speedup_n4,
+        sharded_vs_windowed_n4,
+        k64_vs_k8_speedup: shard_k64_vs_k8,
+        cut_demand_ratio_s4,
+        abort_rate_s4n4,
+        cut_link_ratio_s4,
+        expander_cut_link_ratio_s4,
+    };
+
     let report = BenchReport {
         bench: String::from("parallel_batch"),
         unit: String::from("ns_per_demand"),
@@ -349,10 +803,12 @@ fn main() {
         links: net.link_count(),
         wavelengths: w,
         demands: demand_count,
+        threads,
         serial_ns_per_demand: serial_ns,
         windows: groups,
         windowed_reference: windowed,
         k64_vs_k8_speedup: k64_vs_k8,
+        sharded,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write("BENCH_parallel_batch.json", &json).expect("write BENCH_parallel_batch.json");

@@ -14,7 +14,7 @@ use wdm_sim::metrics::mean_std;
 use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_telemetry};
 use wdm_sim::policy::{Policy, ProvisionedRoute};
 use wdm_sim::prelude::NoopRecorder;
-use wdm_sim::schedule::ScheduleMode;
+use wdm_sim::schedule::{ScheduleMode, DEFAULT_SHARDS};
 use wdm_sim::sim::{run_batch_recorded, run_sim_journaled, BatchConfig, SimConfig, Simulator};
 use wdm_sim::traffic::TrafficModel;
 use wdm_telemetry::{
@@ -540,12 +540,21 @@ pub fn batch(args: &Args) -> Result<(), String> {
     if window == 0 {
         return Err("--parallel-window wants a positive window size".into());
     }
-    let schedule = match args.get("schedule") {
+    let mut schedule = match args.get("schedule") {
         None => ScheduleMode::default(),
         Some(s) => ScheduleMode::parse(s).ok_or_else(|| {
-            format!("unknown schedule '{s}' (expected 'windowed' or 'conflict-groups')")
+            format!("unknown schedule '{s}' (expected 'windowed', 'conflict-groups' or 'sharded')")
         })?,
     };
+    if let ScheduleMode::Sharded { shards } = &mut schedule {
+        *shards = args.get_or("shards", DEFAULT_SHARDS)?;
+        if *shards == 0 {
+            return Err("--shards wants a positive shard count".into());
+        }
+    } else if args.get("shards").is_some() {
+        return Err("--shards only applies to --schedule sharded".into());
+    }
+    let threads: usize = args.get_or("threads", 0)?;
     let state = ResidualState::fresh(&net);
     let demands = full_mesh_demands(net.node_count(), mesh);
     let cfg = BatchConfig {
@@ -553,6 +562,7 @@ pub fn batch(args: &Args) -> Result<(), String> {
         order,
         parallel_window: window,
         schedule,
+        threads,
     };
     let (out, stats) = run_batch_recorded(&net, &state, &demands, cfg, NoopRecorder);
     let snap = load_snapshot(&net, &out.state);
@@ -579,6 +589,18 @@ pub fn batch(args: &Args) -> Result<(), String> {
             stats.retries,
             stats.inline_routes
         );
+        if let ScheduleMode::Sharded { shards } = schedule {
+            println!(
+                "sharding   {} shards, cut demands {} ({:.1}% of batch)",
+                shards,
+                stats.cut_demands,
+                if demands.is_empty() {
+                    0.0
+                } else {
+                    stats.cut_demands as f64 / demands.len() as f64 * 100.0
+                }
+            );
+        }
     }
     Ok(())
 }

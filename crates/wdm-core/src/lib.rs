@@ -46,6 +46,7 @@ pub mod multi;
 pub mod network;
 pub mod node_disjoint;
 pub mod optimal_slp;
+pub mod partition;
 pub mod predict;
 pub mod semilightpath;
 pub mod wavelength;
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::network::{NetworkBuilder, ResidualState, WdmNetwork};
     pub use crate::node_disjoint::find_node_disjoint;
     pub use crate::optimal_slp::{assign_wavelengths_on_path, optimal_semilightpath};
+    pub use crate::partition::{DemandClass, ShardMap, TopologyPartition};
     pub use crate::predict::{
         AllConflictOracle, FootprintOracle, LocalityPredictor, NoConflictOracle,
     };

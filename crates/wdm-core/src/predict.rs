@@ -21,14 +21,21 @@
 //! every route from `s` to `t` must leave through `s`'s out-links and
 //! arrive through `t`'s in-links (a disjoint *pair* uses at least two of
 //! each), and on sparse wide-area topologies the first/last few hops
-//! dominate contention. The predictor therefore precomputes, per node,
-//! the set of directed links within `radius` undirected hops — the
-//! node's *ball* — and predicts `ball(s) ∪ ball(t)`. When a real
-//! footprint for the same `(s, t)` pair has been observed (fed back by
-//! the scheduler from `wdm-core::disjoint`'s [`RouteFootprint`] after a
-//! commit), it is unioned in as well: repeated pairs predict with the
-//! precision of the last actual route, fresh pairs fall back to pure
-//! locality.
+//! dominate contention. The predictor therefore computes, per node, the
+//! set of directed links within `radius` undirected hops — the node's
+//! *ball* — and predicts `ball(s) ∪ ball(t)`. When a real footprint for
+//! the same `(s, t)` pair has been observed (fed back by the scheduler
+//! from `wdm-core::disjoint`'s [`RouteFootprint`] after a commit), it is
+//! unioned in as well: repeated pairs predict with the precision of the
+//! last actual route, fresh pairs fall back to pure locality.
+//!
+//! Balls are computed **lazily**, on the first prediction touching a
+//! node, from a compact adjacency copy taken at construction; the BFS
+//! scratch (visit stamps, frontier queues) lives in the oracle and is
+//! reused across every computation. Constructing a predictor is O(m) and
+//! the steady-state predict path allocates nothing — both matter now
+//! that partition classification (`wdm-core::partition::ShardMap`) runs
+//! a predictor over every batch demand up front.
 
 use crate::disjoint::RouteFootprint;
 use crate::network::WdmNetwork;
@@ -57,9 +64,24 @@ pub trait FootprintOracle {
 /// The s/t-region locality heuristic with learned per-pair refinement.
 #[derive(Debug, Clone)]
 pub struct LocalityPredictor {
+    radius: usize,
+    /// Compact undirected adjacency in CSR form: node `v`'s incident
+    /// `(link, far endpoint)` pairs live at `adj[adj_off[v]..adj_off[v+1]]`
+    /// (out-links first, then in-links). Owned so lazy ball computation
+    /// needs no `&WdmNetwork` on the predict path.
+    adj_off: Vec<u32>,
+    adj: Vec<(EdgeId, NodeId)>,
     /// Per-node: every directed link with an endpoint within `radius`
-    /// undirected hops of the node (sorted, deduplicated).
+    /// undirected hops of the node (sorted, deduplicated). Computed
+    /// lazily; `ball_ready` marks the filled entries.
     balls: Vec<Vec<EdgeId>>,
+    ball_ready: Vec<bool>,
+    /// Reusable BFS scratch: `seen[x] == center` ⇔ `x` was visited by the
+    /// BFS rooted at `center` (stamps never collide — each center runs at
+    /// most once).
+    seen: Vec<u32>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
     /// Last observed real footprint per `(s, t)` pair. Bounded by the
     /// number of distinct pairs the batch actually carries.
     learned: HashMap<(u32, u32), Vec<EdgeId>>,
@@ -72,41 +94,31 @@ pub struct LocalityPredictor {
 pub const DEFAULT_PREDICT_RADIUS: usize = 2;
 
 impl LocalityPredictor {
-    /// Precomputes the radius-`radius` ball of every node of `net`.
+    /// Captures `net`'s adjacency (O(m)); balls are grown on demand.
     pub fn new(net: &WdmNetwork, radius: usize) -> Self {
         let g = net.graph();
         let n = g.node_count();
-        let mut balls = Vec::with_capacity(n);
-        let mut seen_node = vec![u32::MAX; n];
-        let mut frontier = Vec::new();
-        let mut next = Vec::new();
+        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(2 * net.link_count());
+        adj_off.push(0u32);
         for v in 0..n {
-            let center = NodeId(v as u32);
-            let mut ball = Vec::new();
-            seen_node[v] = v as u32;
-            frontier.clear();
-            frontier.push(center);
-            for _ in 0..radius {
-                next.clear();
-                for &u in &frontier {
-                    for &e in g.out_edges(u).iter().chain(g.in_edges(u)) {
-                        ball.push(e);
-                        let (a, b) = g.endpoints(e);
-                        let far = if a == u { b } else { a };
-                        if seen_node[far.index()] != v as u32 {
-                            seen_node[far.index()] = v as u32;
-                            next.push(far);
-                        }
-                    }
-                }
-                std::mem::swap(&mut frontier, &mut next);
+            let v = NodeId(v as u32);
+            for &e in g.out_edges(v).iter().chain(g.in_edges(v)) {
+                let (a, b) = g.endpoints(e);
+                let far = if a == v { b } else { a };
+                adj.push((e, far));
             }
-            ball.sort_unstable_by_key(|e| e.index());
-            ball.dedup();
-            balls.push(ball);
+            adj_off.push(adj.len() as u32);
         }
         Self {
-            balls,
+            radius,
+            adj_off,
+            adj,
+            balls: vec![Vec::new(); n],
+            ball_ready: vec![false; n],
+            seen: vec![u32::MAX; n],
+            frontier: Vec::new(),
+            next: Vec::new(),
             learned: HashMap::new(),
         }
     }
@@ -116,14 +128,49 @@ impl LocalityPredictor {
         Self::new(net, DEFAULT_PREDICT_RADIUS)
     }
 
-    /// The precomputed ball of `v` (sorted directed links).
-    pub fn ball(&self, v: NodeId) -> &[EdgeId] {
+    /// The ball of `v` (sorted directed links), computing it on first
+    /// access.
+    pub fn ball(&mut self, v: NodeId) -> &[EdgeId] {
+        self.ensure_ball(v);
         &self.balls[v.index()]
+    }
+
+    fn ensure_ball(&mut self, v: NodeId) {
+        if self.ball_ready[v.index()] {
+            return;
+        }
+        let mut ball = std::mem::take(&mut self.balls[v.index()]);
+        self.seen[v.index()] = v.0;
+        self.frontier.clear();
+        self.frontier.push(v);
+        for _ in 0..self.radius {
+            self.next.clear();
+            for &u in &self.frontier {
+                let (lo, hi) = (
+                    self.adj_off[u.index()] as usize,
+                    self.adj_off[u.index() + 1] as usize,
+                );
+                for &(e, far) in &self.adj[lo..hi] {
+                    ball.push(e);
+                    if self.seen[far.index()] != v.0 {
+                        self.seen[far.index()] = v.0;
+                        self.next.push(far);
+                    }
+                }
+            }
+            std::mem::swap(&mut self.frontier, &mut self.next);
+        }
+        ball.sort_unstable_by_key(|e| e.index());
+        ball.dedup();
+        self.balls[v.index()] = ball;
+        self.ball_ready[v.index()] = true;
     }
 }
 
 impl FootprintOracle for LocalityPredictor {
     fn predict(&mut self, s: NodeId, t: NodeId, out: &mut Vec<EdgeId>) {
+        self.ensure_ball(s);
+        self.ensure_ball(t);
         out.extend_from_slice(&self.balls[s.index()]);
         out.extend_from_slice(&self.balls[t.index()]);
         if let Some(fp) = self.learned.get(&(s.0, t.0)) {
@@ -183,7 +230,7 @@ mod tests {
     #[test]
     fn ball_radius_one_is_incident_links() {
         let net = ring(6);
-        let p = LocalityPredictor::new(&net, 1);
+        let mut p = LocalityPredictor::new(&net, 1);
         // Node 2 of a directed ring touches link 1 (in) and link 2 (out).
         assert_eq!(p.ball(NodeId(2)), &[EdgeId(1), EdgeId(2)]);
     }
@@ -191,12 +238,32 @@ mod tests {
     #[test]
     fn ball_radius_two_reaches_neighbours_links() {
         let net = ring(6);
-        let p = LocalityPredictor::new(&net, 2);
+        let mut p = LocalityPredictor::new(&net, 2);
         // Radius 2 from node 2: links of nodes 1, 2, 3 -> {0, 1, 2, 3}.
         assert_eq!(
             p.ball(NodeId(2)),
             &[EdgeId(0), EdgeId(1), EdgeId(2), EdgeId(3)]
         );
+    }
+
+    #[test]
+    fn lazy_balls_match_across_access_orders() {
+        // Interleaved lazy computation must reuse the scratch without one
+        // ball's BFS contaminating another's.
+        let net = ring(6);
+        let mut forward = LocalityPredictor::new(&net, 2);
+        let mut backward = LocalityPredictor::new(&net, 2);
+        let a: Vec<Vec<EdgeId>> = (0..6u32)
+            .map(|v| forward.ball(NodeId(v)).to_vec())
+            .collect();
+        let b: Vec<Vec<EdgeId>> = (0..6u32)
+            .rev()
+            .map(|v| backward.ball(NodeId(v)).to_vec())
+            .collect();
+        let b: Vec<_> = b.into_iter().rev().collect();
+        assert_eq!(a, b);
+        // Recomputing an already-ready ball is a no-op.
+        assert_eq!(forward.ball(NodeId(3)).to_vec(), a[3]);
     }
 
     #[test]

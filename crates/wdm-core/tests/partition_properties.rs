@@ -1,0 +1,158 @@
+//! Property-based invariants of the static topology partitioner
+//! (`wdm_core::partition`): every directed link lands in exactly one
+//! shard or the cut set, shard weights stay edge-balanced within the
+//! stated tolerance, growth is a deterministic function of
+//! `(net, shards, seed)`, and [`ShardMap`] classification is
+//! deterministic and consistent with the partition.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_core::conversion::ConversionTable;
+use wdm_core::network::{NetworkBuilder, WdmNetwork};
+use wdm_core::partition::{DemandClass, ShardMap, TopologyPartition};
+use wdm_core::predict::LocalityPredictor;
+use wdm_graph::{EdgeId, NodeId};
+
+/// A random directed network; sometimes disconnected (isolated tail
+/// nodes), so the grower's teleport path is exercised too.
+fn random_net(seed: u64) -> WdmNetwork {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = rng.gen_range(4..24usize);
+    let mut b = NetworkBuilder::new(4);
+    let nodes: Vec<_> = (0..n)
+        .map(|_| b.add_node(ConversionTable::Full { cost: 0.2 }))
+        .collect();
+    // A ring over a prefix keeps most of the graph connected; the rest of
+    // the nodes stay isolated unless a chord happens to reach them.
+    let core = rng.gen_range(3..=n);
+    for i in 0..core {
+        b.add_link(nodes[i], nodes[(i + 1) % core], rng.gen_range(1.0..10.0));
+        b.add_link(nodes[(i + 1) % core], nodes[i], rng.gen_range(1.0..10.0));
+    }
+    for _ in 0..rng.gen_range(0..3 * n) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.add_link(nodes[u], nodes[v], rng.gen_range(1.0..10.0));
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The partition-of-links law: each directed link is owned by exactly
+    /// one shard or listed in the cut set, cut links join different node
+    /// shards, intra links join co-resident ones, and every node is
+    /// claimed by a real shard.
+    #[test]
+    fn every_link_is_intra_xor_cut(seed in 0u64..1_000_000, shards in 1usize..9) {
+        let net = random_net(seed);
+        let p = TopologyPartition::grow(&net, shards, seed ^ 0xA5);
+        prop_assert!(p.shard_count() >= 1 && p.shard_count() <= net.node_count());
+        for v in 0..net.node_count() {
+            prop_assert!((p.node_shard(NodeId(v as u32)) as usize) < p.shard_count());
+        }
+        let mut cut_seen = 0usize;
+        for ei in 0..net.link_count() {
+            let e = EdgeId::from(ei);
+            let (u, v) = net.graph().endpoints(e);
+            match p.link_shard(e) {
+                Some(s) => {
+                    prop_assert_eq!(p.node_shard(u), s);
+                    prop_assert_eq!(p.node_shard(v), s);
+                    prop_assert!(!p.cut_links().contains(&e));
+                }
+                None => {
+                    prop_assert_ne!(p.node_shard(u), p.node_shard(v));
+                    prop_assert!(p.cut_links().contains(&e));
+                    cut_seen += 1;
+                }
+            }
+        }
+        prop_assert_eq!(cut_seen, p.cut_links().len());
+        let expect_ratio = if net.link_count() == 0 {
+            0.0
+        } else {
+            cut_seen as f64 / net.link_count() as f64
+        };
+        prop_assert_eq!(p.cut_ratio(), expect_ratio);
+    }
+
+    /// The list-scheduling balance invariant from the module docs:
+    /// `max_s weight(s) − min_s weight(s) ≤ max_v degree_mass(v)`, and
+    /// the weights sum to the total degree mass (2 × links).
+    #[test]
+    fn shard_weights_are_balanced_within_tolerance(
+        seed in 0u64..1_000_000,
+        shards in 1usize..9,
+    ) {
+        let net = random_net(seed);
+        let p = TopologyPartition::grow(&net, shards, seed ^ 0x5A);
+        let w = p.shard_weights();
+        prop_assert_eq!(w.len(), p.shard_count());
+        let max = *w.iter().max().expect("at least one shard");
+        let min = *w.iter().min().expect("at least one shard");
+        prop_assert!(
+            max - min <= TopologyPartition::balance_tolerance(&net),
+            "weights {:?} exceed tolerance {}",
+            w,
+            TopologyPartition::balance_tolerance(&net)
+        );
+        prop_assert_eq!(w.iter().sum::<u64>(), 2 * net.link_count() as u64);
+    }
+
+    /// Growth and classification are pure functions of their inputs: two
+    /// runs from the same `(net, shards, seed)` agree on every table, and
+    /// a [`ShardMap`] over a [`LocalityPredictor`] classifies a demand
+    /// stream identically across runs and regardless of earlier queries.
+    #[test]
+    fn partition_and_shard_map_are_seed_deterministic(
+        seed in 0u64..1_000_000,
+        shards in 1usize..9,
+    ) {
+        let net = random_net(seed);
+        let a = TopologyPartition::grow(&net, shards, seed);
+        let b = TopologyPartition::grow(&net, shards, seed);
+        prop_assert_eq!(&a, &b);
+
+        let n = net.node_count() as u32;
+        let demands: Vec<(NodeId, NodeId)> = (0..2 * n)
+            .map(|k| (NodeId(k % n), NodeId((k * 7 + 3) % n)))
+            .collect();
+        let classify_all = |rev: bool| {
+            let mut map = ShardMap::new(TopologyPartition::grow(&net, shards, seed));
+            let mut oracle = LocalityPredictor::with_default_radius(&net);
+            let mut out: Vec<(usize, DemandClass)> = Vec::new();
+            let it: Box<dyn Iterator<Item = usize>> = if rev {
+                Box::new((0..demands.len()).rev())
+            } else {
+                Box::new(0..demands.len())
+            };
+            for k in it {
+                let (s, t) = demands[k];
+                out.push((k, map.classify(&mut oracle, s, t)));
+            }
+            out.sort_by_key(|&(k, _)| k);
+            out
+        };
+        // Same stream twice, and the same stream in reverse order: the
+        // lazily-built predictor balls must not leak state between
+        // queries.
+        prop_assert_eq!(classify_all(false), classify_all(false));
+        prop_assert_eq!(classify_all(false), classify_all(true));
+
+        // Intra classifications are consistent with the partition: both
+        // endpoints must live in the claimed shard.
+        let mut map = ShardMap::new(a);
+        let mut oracle = LocalityPredictor::with_default_radius(&net);
+        for &(s, t) in &demands {
+            if let DemandClass::Intra(home) = map.classify(&mut oracle, s, t) {
+                prop_assert_eq!(map.partition().node_shard(s), home);
+                prop_assert_eq!(map.partition().node_shard(t), home);
+            }
+        }
+    }
+}

@@ -18,7 +18,11 @@
 //!   shared across threads, one residual state per replication);
 //! * [`speculative`] — optimistic parallel batch provisioning: windows of
 //!   demands routed concurrently against a frozen snapshot, committed in
-//!   demand order with conflict detection, bit-identical to the serial run.
+//!   demand order with conflict detection, bit-identical to the serial run;
+//! * [`sharded`] — shard-parallel batch provisioning: a static topology
+//!   partition gives each shard a worker with a long-lived state mirror;
+//!   intra-shard demands route concurrently with no inter-shard
+//!   synchronisation, cross-shard demands inline at their serial slot.
 //!
 //! Determinism: every run is a pure function of its [`sim::SimConfig`]
 //! (including the seed); the parallel driver returns results in seed order.
@@ -29,6 +33,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod policy;
 pub mod schedule;
+pub mod sharded;
 pub mod shared;
 pub mod sim;
 pub mod speculative;
@@ -45,7 +50,8 @@ pub mod prelude {
         replication_seeds, run_replications, run_replications_streaming, run_replications_telemetry,
     };
     pub use crate::policy::{Policy, ProvisionedRoute};
-    pub use crate::schedule::{ConflictPartitioner, GroupPlan, ScheduleMode};
+    pub use crate::schedule::{ConflictPartitioner, GroupPlan, ScheduleMode, DEFAULT_SHARDS};
+    pub use crate::sharded::provision_batch_sharded;
     pub use crate::shared::{SharedBackupPool, SharedConnection, SharedProvisioner};
     pub use crate::sim::{
         run_batch, run_batch_journaled, run_batch_recorded, run_sim, run_sim_journaled,

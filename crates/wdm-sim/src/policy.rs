@@ -165,6 +165,19 @@ impl Policy {
     /// * `Ksp` — Yen's candidate list shifts whenever any network link
     ///   exhausts, so the scanned pair set depends on non-route links.
     ///
+    /// Caveat on the §3.3 pipeline: its `G'` conversion-arc weight is the
+    /// *average* allowed `λ_a → λ_b` pair cost, and same-λ pairs cost 0 —
+    /// with a nonzero conversion cost that average moves as occupancy
+    /// reshapes the two adjacent links' availability sets, so the
+    /// Suurballe argmin can flip between pairs whose own links are
+    /// untouched. The flip needs the availability shift (≤ cost/2 per
+    /// conversion arc) to outweigh the static-cost gap between competing
+    /// pairs, so it is unobservable when link-cost gaps dominate the
+    /// conversion cost, and impossible when conversion is free (every
+    /// average is exactly 0). Batch instances with *near-uniform* static
+    /// costs must therefore pair this guard with zero-cost conversion for
+    /// bit-identity — see `wdm-bench`'s `locality_instance`.
+    ///
     /// [`assign_wavelengths_on_path`]: wdm_core::optimal_slp::assign_wavelengths_on_path
     /// [`optimal_semilightpath`]: wdm_core::optimal_slp::optimal_semilightpath
     pub fn has_link_local_decisions(&self) -> bool {

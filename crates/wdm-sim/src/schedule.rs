@@ -41,6 +41,10 @@
 use wdm_core::predict::FootprintOracle;
 use wdm_graph::{EdgeId, NodeId};
 
+/// Default shard count for [`ScheduleMode::Sharded`] when the CLI
+/// spelling carries no explicit `--shards`.
+pub const DEFAULT_SHARDS: usize = 4;
+
 /// How the speculative engine picks which pending demands to route
 /// concurrently each round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -55,14 +59,28 @@ pub enum ScheduleMode {
     /// per-demand retry instead of aborting the window.
     #[default]
     ConflictGroups,
+    /// Statically partition the topology into `shards` regions
+    /// (`wdm_core::partition`); per-shard workers route their intra-shard
+    /// demands concurrently on long-lived mirrors with no inter-shard
+    /// synchronisation, while cross-shard demands route inline at their
+    /// exact serial slot (see `crate::sharded`).
+    Sharded {
+        /// Requested shard count (clamped to the node count at run time).
+        shards: usize,
+    },
 }
 
 impl ScheduleMode {
-    /// Parses the CLI spelling (`windowed` / `conflict-groups`).
+    /// Parses the CLI spelling (`windowed` / `conflict-groups` /
+    /// `sharded`); `sharded` carries [`DEFAULT_SHARDS`] until the CLI's
+    /// `--shards` overrides it.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "windowed" => Some(Self::Windowed),
             "conflict-groups" => Some(Self::ConflictGroups),
+            "sharded" => Some(Self::Sharded {
+                shards: DEFAULT_SHARDS,
+            }),
             _ => None,
         }
     }
@@ -72,6 +90,7 @@ impl ScheduleMode {
         match self {
             Self::Windowed => "windowed",
             Self::ConflictGroups => "conflict-groups",
+            Self::Sharded { .. } => "sharded",
         }
     }
 }
@@ -256,9 +275,17 @@ mod tests {
 
     #[test]
     fn mode_parse_round_trips() {
-        for mode in [ScheduleMode::Windowed, ScheduleMode::ConflictGroups] {
+        for mode in [
+            ScheduleMode::Windowed,
+            ScheduleMode::ConflictGroups,
+            ScheduleMode::Sharded {
+                shards: DEFAULT_SHARDS,
+            },
+        ] {
             assert_eq!(ScheduleMode::parse(mode.name()), Some(mode));
         }
+        // A non-default shard count keeps the spelling.
+        assert_eq!(ScheduleMode::Sharded { shards: 7 }.name(), "sharded");
         assert_eq!(ScheduleMode::parse("bogus"), None);
         assert_eq!(ScheduleMode::default(), ScheduleMode::ConflictGroups);
     }

@@ -682,10 +682,14 @@ pub struct BatchConfig {
     /// [`crate::speculative`]).
     pub parallel_window: usize,
     /// How the speculative engine schedules each round (`--schedule`);
-    /// irrelevant when `parallel_window <= 1`. Either mode yields a
+    /// irrelevant when `parallel_window <= 1`. Every mode yields a
     /// bit-identical [`BatchOutcome`]; they differ in wasted work under
     /// contention.
     pub schedule: ScheduleMode,
+    /// Worker threads for the speculative engines (`--threads`); `0`
+    /// means auto (the host's available parallelism). Worker count never
+    /// changes the outcome, only wall-clock time.
+    pub threads: usize,
 }
 
 impl BatchConfig {
@@ -696,6 +700,7 @@ impl BatchConfig {
             order: BatchOrder::AsGiven,
             parallel_window: 1,
             schedule: ScheduleMode::default(),
+            threads: 0,
         }
     }
 }
@@ -750,6 +755,7 @@ pub fn run_batch_journaled<R: Recorder, J: EventSink>(
             cfg.order,
             cfg.parallel_window,
             cfg.schedule,
+            cfg.threads,
             recorder,
             journal,
             &wdm_telemetry::NoopTracer,

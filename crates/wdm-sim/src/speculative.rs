@@ -123,8 +123,13 @@ pub struct SpeculationStats {
     pub retries: u64,
     /// Demands the conflict-groups scheduler never speculated — skipped
     /// by the partitioner as predicted-conflicting and routed inline at
-    /// their serial position. Always zero in windowed mode.
+    /// their serial position. Always zero in windowed mode. In sharded
+    /// mode these are the cross-shard demands.
     pub inline_routes: u64,
+    /// Demands the sharded scheduler classified as cross-shard (their
+    /// predicted footprint leaves one shard). Each one routes inline and
+    /// is counted in `inline_routes` too. Zero outside sharded mode.
+    pub cut_demands: u64,
 }
 
 impl SpeculationStats {
@@ -161,6 +166,19 @@ pub fn distinct_static_costs(net: &WdmNetwork) -> bool {
     }
     costs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     costs.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Resolves an explicit `--threads` request against a per-round cap:
+/// `0` means auto (the host's available parallelism); the result is
+/// clamped to `1..=max(cap, 1)`. Worker count never changes any result —
+/// it only bounds how many OS threads route concurrently.
+pub(crate) fn worker_count(threads: usize, cap: usize) -> usize {
+    let t = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    t.clamp(1, cap.max(1))
 }
 
 /// Routes every item on one of the worker contexts and returns the
@@ -300,6 +318,7 @@ pub fn provision_batch_speculative_observed<R: Recorder, J: EventSink, T: Tracer
         order,
         window,
         ScheduleMode::default(),
+        0,
         recorder,
         journal,
         tracer,
@@ -307,9 +326,11 @@ pub fn provision_batch_speculative_observed<R: Recorder, J: EventSink, T: Tracer
 }
 
 /// The full entry point: as [`provision_batch_speculative_observed`] with
-/// an explicit [`ScheduleMode`]. Conflict-groups mode predicts footprints
-/// with a [`LocalityPredictor`] at its default radius; use
-/// [`provision_batch_speculative_with_oracle`] to supply another oracle.
+/// an explicit [`ScheduleMode`] and worker-thread count (`threads == 0`
+/// means auto — the host's available parallelism). Conflict-groups and
+/// sharded modes predict footprints with a [`LocalityPredictor`] at its
+/// default radius; use [`provision_batch_speculative_with_oracle`] or
+/// [`crate::sharded::provision_batch_sharded`] to supply another oracle.
 #[allow(clippy::too_many_arguments)]
 pub fn provision_batch_speculative_scheduled<R: Recorder, J: EventSink, T: Tracer + Send>(
     net: &WdmNetwork,
@@ -319,13 +340,14 @@ pub fn provision_batch_speculative_scheduled<R: Recorder, J: EventSink, T: Trace
     order: BatchOrder,
     window: usize,
     schedule: ScheduleMode,
+    threads: usize,
     recorder: R,
     journal: J,
     tracer: &T,
 ) -> (BatchOutcome, SpeculationStats) {
     match schedule {
         ScheduleMode::Windowed => run_windowed(
-            net, state, demands, policy, order, window, recorder, journal, tracer,
+            net, state, demands, policy, order, window, threads, recorder, journal, tracer,
         ),
         ScheduleMode::ConflictGroups => {
             let mut oracle = LocalityPredictor::with_default_radius(net);
@@ -336,6 +358,24 @@ pub fn provision_batch_speculative_scheduled<R: Recorder, J: EventSink, T: Trace
                 policy,
                 order,
                 window,
+                threads,
+                recorder,
+                journal,
+                tracer,
+                &mut oracle,
+            )
+        }
+        ScheduleMode::Sharded { shards } => {
+            let mut oracle = LocalityPredictor::with_default_radius(net);
+            crate::sharded::run_sharded(
+                net,
+                state,
+                demands,
+                policy,
+                order,
+                window,
+                shards,
+                threads,
                 recorder,
                 journal,
                 tracer,
@@ -368,7 +408,7 @@ pub fn provision_batch_speculative_with_oracle<
     oracle: &mut O,
 ) -> (BatchOutcome, SpeculationStats) {
     run_conflict_groups(
-        net, state, demands, policy, order, window, recorder, journal, tracer, oracle,
+        net, state, demands, policy, order, window, 0, recorder, journal, tracer, oracle,
     )
 }
 
@@ -382,6 +422,7 @@ fn run_windowed<R: Recorder, J: EventSink, T: Tracer + Send>(
     policy: Policy,
     order: BatchOrder,
     window: usize,
+    threads: usize,
     recorder: R,
     mut journal: J,
     tracer: &T,
@@ -390,8 +431,7 @@ fn run_windowed<R: Recorder, J: EventSink, T: Tracer + Send>(
     let mut st = state.clone();
     let idx = processing_order(net, &st, demands, order);
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut ctxs: Vec<RouterCtx<NoopRecorder, T>> = (0..cores.min(window))
+    let mut ctxs: Vec<RouterCtx<NoopRecorder, T>> = (0..worker_count(threads, window))
         .map(|_| RouterCtx::with_recorder_and_tracer(NoopRecorder, tracer.fork_worker()))
         .collect();
     let tracing = tracer.enabled();
@@ -605,13 +645,19 @@ fn route_inline_serial<J: EventSink, T: Tracer + Send, O: FootprintOracle + ?Siz
 /// members by rules 1–2 and routing everything else (skipped demands and
 /// mispredicted members) inline at its serial position.
 #[allow(clippy::too_many_arguments)]
-fn run_conflict_groups<R: Recorder, J: EventSink, T: Tracer + Send, O: FootprintOracle>(
+pub(crate) fn run_conflict_groups<
+    R: Recorder,
+    J: EventSink,
+    T: Tracer + Send,
+    O: FootprintOracle,
+>(
     net: &WdmNetwork,
     state: &ResidualState,
     demands: &[Demand],
     policy: Policy,
     order: BatchOrder,
     window: usize,
+    threads: usize,
     recorder: R,
     mut journal: J,
     tracer: &T,
@@ -621,8 +667,7 @@ fn run_conflict_groups<R: Recorder, J: EventSink, T: Tracer + Send, O: Footprint
     let mut st = state.clone();
     let idx = processing_order(net, &st, demands, order);
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut ctxs: Vec<RouterCtx<NoopRecorder, T>> = (0..cores.min(window))
+    let mut ctxs: Vec<RouterCtx<NoopRecorder, T>> = (0..worker_count(threads, window))
         .map(|_| RouterCtx::with_recorder_and_tracer(NoopRecorder, tracer.fork_worker()))
         .collect();
     let tracing = tracer.enabled();
@@ -889,7 +934,11 @@ mod tests {
         let st = ResidualState::fresh(&net);
         let demands = full_mesh_demands(10, 1);
         let serial = provision_batch(&net, &st, &demands, Policy::CostOnly, BatchOrder::AsGiven);
-        for schedule in [ScheduleMode::Windowed, ScheduleMode::ConflictGroups] {
+        for schedule in [
+            ScheduleMode::Windowed,
+            ScheduleMode::ConflictGroups,
+            ScheduleMode::Sharded { shards: 3 },
+        ] {
             for window in [1, 2, 8, 64] {
                 let (spec, stats) = provision_batch_speculative_scheduled(
                     &net,
@@ -899,6 +948,7 @@ mod tests {
                     BatchOrder::AsGiven,
                     window,
                     schedule,
+                    0,
                     NoopRecorder,
                     NoopSink,
                     &NoopTracer,
@@ -910,7 +960,7 @@ mod tests {
                         assert_eq!(stats.inline_routes, 0);
                         assert_eq!(stats.aborts, stats.retries);
                     }
-                    ScheduleMode::ConflictGroups => {
+                    ScheduleMode::ConflictGroups | ScheduleMode::Sharded { .. } => {
                         assert_stats_accounted(&stats, demands.len());
                     }
                 }
@@ -938,6 +988,7 @@ mod tests {
                 BatchOrder::LongestFirst,
                 8,
                 schedule,
+                0,
                 NoopRecorder,
                 NoopSink,
                 &NoopTracer,
@@ -1025,6 +1076,7 @@ mod tests {
                 BatchOrder::AsGiven,
                 8,
                 schedule,
+                0,
                 &sink,
                 NoopSink,
                 &NoopTracer,
@@ -1068,6 +1120,7 @@ mod tests {
                 BatchOrder::AsGiven,
                 16,
                 schedule,
+                0,
                 NoopRecorder,
                 NoopSink,
                 &NoopTracer,
@@ -1096,6 +1149,7 @@ mod tests {
             BatchOrder::LongestFirst,
             8,
             ScheduleMode::Windowed,
+            0,
             &sink,
             NoopSink,
             &tracer,
@@ -1139,6 +1193,7 @@ mod tests {
             BatchOrder::AsGiven,
             16,
             ScheduleMode::ConflictGroups,
+            0,
             NoopRecorder,
             NoopSink,
             &tracer,
@@ -1170,6 +1225,7 @@ mod tests {
                 BatchOrder::AsGiven,
                 8,
                 schedule,
+                0,
                 NoopRecorder,
                 NoopSink,
                 &NoopTracer,

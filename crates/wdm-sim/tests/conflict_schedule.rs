@@ -216,5 +216,37 @@ proptest! {
             stats.commits + stats.retries + stats.inline_routes,
             demands.len() as u64
         );
+
+        // The same junk oracle classifying demands for the sharded engine:
+        // a garbage footprint can misroute a demand to the wrong side of
+        // the intra/cross split, but never break serial equivalence —
+        // escapes surface as lineage/escape aborts, each retried inline.
+        for shards in [2usize, 3] {
+            let mut oracle = RandomOracle { seed, links: net.link_count(), spread };
+            let (out, stats) = provision_batch_sharded(
+                &net,
+                &st,
+                &demands,
+                policy,
+                BatchOrder::AsGiven,
+                window,
+                shards,
+                2,
+                NoopRecorder,
+                NoopSink,
+                &NoopTracer,
+                &mut oracle,
+            );
+            prop_assert_eq!(&serial.provisioned, &out.provisioned);
+            prop_assert_eq!(&serial.rejected, &out.rejected);
+            prop_assert_eq!(serial.total_cost.to_bits(), out.total_cost.to_bits());
+            prop_assert_eq!(&serial.state, &out.state);
+            prop_assert_eq!(stats.aborts, stats.retries);
+            prop_assert_eq!(
+                stats.commits + stats.retries + stats.inline_routes,
+                demands.len() as u64
+            );
+            prop_assert!(stats.cut_demands <= stats.inline_routes);
+        }
     }
 }

@@ -96,7 +96,11 @@ const ORDERS: [BatchOrder; 3] = [
     BatchOrder::LongestFirst,
 ];
 
-const SCHEDULES: [ScheduleMode; 2] = [ScheduleMode::Windowed, ScheduleMode::ConflictGroups];
+const SCHEDULES: [ScheduleMode; 3] = [
+    ScheduleMode::Windowed,
+    ScheduleMode::ConflictGroups,
+    ScheduleMode::Sharded { shards: 3 },
+];
 
 fn check_all_windows(
     net: &WdmNetwork,
@@ -113,6 +117,9 @@ fn check_all_windows(
                 order,
                 parallel_window: window,
                 schedule,
+                // A fixed worker count keeps the parallel fan-out path
+                // exercised deterministically regardless of the host.
+                threads: 2,
             };
             let sink = TelemetrySink::new();
             let (out, stats) = run_batch_recorded(net, &st, demands, cfg, &sink);
@@ -132,12 +139,18 @@ fn check_all_windows(
                         prop_assert_eq!(stats.inline_routes, 0);
                         prop_assert_eq!(stats.commits, demands.len() as u64);
                     }
-                    ScheduleMode::ConflictGroups => {
+                    ScheduleMode::ConflictGroups | ScheduleMode::Sharded { .. } => {
                         prop_assert_eq!(
                             stats.commits + stats.retries + stats.inline_routes,
                             demands.len() as u64
                         );
                     }
+                }
+                if let ScheduleMode::Sharded { .. } = schedule {
+                    // Cross-shard demands are a subset of the inline path,
+                    // and the counter mirrors the stat.
+                    prop_assert!(stats.cut_demands <= stats.inline_routes);
+                    prop_assert_eq!(snap.counters["sharded_cut_demands"], stats.cut_demands);
                 }
                 prop_assert_eq!(snap.counters["speculative_commits"], stats.commits);
                 prop_assert_eq!(snap.counters["speculative_aborts"], stats.aborts);

@@ -98,11 +98,27 @@ pub enum Counter {
     /// Demands the conflict-aware scheduler routed inline at their serial
     /// commit point (skipped by group selection, never speculated).
     SpeculativeInlineRoutes = 25,
+    /// Demands the sharded engine classified cross-shard (endpoints in
+    /// different shards or predicted footprint touching the cut) and
+    /// routed inline at their serial slot.
+    ShardedCutDemands = 26,
+    /// Sharded speculation results discarded because an earlier member of
+    /// the same shard aborted in the same round (the shard mirror's
+    /// lineage diverged from the serial state).
+    ShardedLineageAborts = 27,
+    /// Sharded aborts whose speculated route escaped its own shard — the
+    /// real route left the region its footprint prediction stayed inside.
+    ShardedEscapeAborts = 28,
+    /// Sharded speculations that failed the link-level owner-stamp check
+    /// but stayed channel-feasible on the live state: occupancy within a
+    /// batch is monotone, so the mirror's argmin is still the serial
+    /// argmin and the route commits without a retry or poisoning.
+    ShardedVerifiedCommits = 29,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 30;
 
     /// Every variant, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -132,6 +148,10 @@ impl Counter {
         Counter::SpeculativeAbortOrdering,
         Counter::SpeculativeAbortLoadShift,
         Counter::SpeculativeInlineRoutes,
+        Counter::ShardedCutDemands,
+        Counter::ShardedLineageAborts,
+        Counter::ShardedEscapeAborts,
+        Counter::ShardedVerifiedCommits,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -163,6 +183,10 @@ impl Counter {
             Counter::SpeculativeAbortOrdering => "speculative_abort_ordering",
             Counter::SpeculativeAbortLoadShift => "speculative_abort_load_shift",
             Counter::SpeculativeInlineRoutes => "speculative_inline_routes",
+            Counter::ShardedCutDemands => "sharded_cut_demands",
+            Counter::ShardedLineageAborts => "sharded_lineage_aborts",
+            Counter::ShardedEscapeAborts => "sharded_escape_aborts",
+            Counter::ShardedVerifiedCommits => "sharded_verified_commits",
         }
     }
 }
@@ -193,11 +217,17 @@ pub enum Hist {
     /// demands the conflict-aware scheduler speculated together
     /// (deterministic).
     ConflictGroupSize = 7,
+    /// Demands queued per active shard per sharded-engine round — the
+    /// shard workers' load balance (deterministic).
+    ShardOccupancy = 8,
+    /// Speculation aborts per active shard per sharded-engine round,
+    /// zeros included — per-shard abort pressure (deterministic).
+    ShardAborts = 9,
 }
 
 impl Hist {
     /// Number of histogram slots.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every variant, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -209,6 +239,8 @@ impl Hist {
         Hist::BackupHops,
         Hist::WindowOccupancy,
         Hist::ConflictGroupSize,
+        Hist::ShardOccupancy,
+        Hist::ShardAborts,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -222,6 +254,8 @@ impl Hist {
             Hist::BackupHops => "backup_hops",
             Hist::WindowOccupancy => "window_occupancy",
             Hist::ConflictGroupSize => "conflict_group_size",
+            Hist::ShardOccupancy => "shard_occupancy",
+            Hist::ShardAborts => "shard_aborts",
         }
     }
 
