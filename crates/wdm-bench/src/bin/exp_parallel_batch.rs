@@ -64,7 +64,7 @@ use wdm_sim::policy::Policy;
 use wdm_sim::schedule::ScheduleMode;
 use wdm_sim::sharded::provision_batch_sharded;
 use wdm_sim::speculative::{
-    distinct_static_costs, provision_batch_speculative_scheduled, SpeculationStats,
+    link_local_revalidation_sound, provision_batch_speculative_scheduled, SpeculationStats,
 };
 use wdm_telemetry::{NoopRecorder, NoopTracer, TelemetrySink};
 
@@ -183,11 +183,14 @@ struct BenchReport {
 /// A connected instance whose directed links carry pairwise-distinct
 /// uniform costs (cost rank k lands in (k, k+1)), so commit rule 2's
 /// guard holds: a bidirected ring plus random chords up to the requested
-/// average degree.
+/// average degree. Conversion is free — with a nonzero cost the G′
+/// conversion-arc averages move with occupancy, the guard (correctly)
+/// turns rule 2 off, and this bench would no longer measure the
+/// revalidating engine at all.
 fn distinct_cost_instance(rng: &mut impl Rng, n: usize, avg_degree: usize, w: usize) -> WdmNetwork {
     let mut b = NetworkBuilder::new(w);
     let nodes: Vec<_> = (0..n)
-        .map(|_| b.add_node(ConversionTable::Full { cost: 0.5 }))
+        .map(|_| b.add_node(ConversionTable::Full { cost: 0.0 }))
         .collect();
     let mut k = 0.0f64;
     let mut next_cost = move |u: f64| {
@@ -521,8 +524,9 @@ fn main() {
     let mut r = rng(0xBA7C4);
     let net = distinct_cost_instance(&mut r, n, d, w);
     assert!(
-        distinct_static_costs(&net),
-        "instance must satisfy the rule 2 guard (distinct uniform costs)"
+        link_local_revalidation_sound(Policy::CostOnly, &net),
+        "instance must satisfy the full rule 2 guard \
+         (distinct uniform costs + free conversion)"
     );
     let state = ResidualState::fresh(&net);
     let demands: Vec<Demand> = {
@@ -627,8 +631,9 @@ fn main() {
     // ── Sharded S × N grid on the locality instance (A9) ──────────────
     let lnet = locality_instance(&mut rng(0xBA7C6), n, w);
     assert!(
-        distinct_static_costs(&lnet),
-        "locality instance must satisfy the rule 2 guard (distinct uniform costs)"
+        link_local_revalidation_sound(Policy::CostOnly, &lnet),
+        "locality instance must satisfy the full rule 2 guard \
+         (distinct uniform costs + free conversion)"
     );
     let lstate = ResidualState::fresh(&lnet);
     let ldemands = locality_demands(&mut rng(0xBA7C7), n, demand_count);

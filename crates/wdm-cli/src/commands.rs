@@ -15,7 +15,7 @@ use wdm_sim::parallel::{replication_seeds, run_replications, run_replications_te
 use wdm_sim::policy::{Policy, ProvisionedRoute};
 use wdm_sim::prelude::NoopRecorder;
 use wdm_sim::schedule::{ScheduleMode, DEFAULT_SHARDS};
-use wdm_sim::sim::{run_batch_recorded, run_sim_journaled, BatchConfig, SimConfig, Simulator};
+use wdm_sim::sim::{run_batch_recorded, BatchConfig, SimConfig, Simulator};
 use wdm_sim::traffic::TrafficModel;
 use wdm_telemetry::{
     FlightDump, FlightRecorder, Phase, SpanBuffer, TelemetrySink, DEFAULT_ANOMALY_THRESHOLD,
@@ -314,6 +314,11 @@ pub fn simulate(args: &Args) -> Result<(), String> {
             seed: seeds[0],
             ..cfg
         };
+        // Ctrl-C on a recorded run is a graceful interrupt, not a kill:
+        // the simulator stops at the next event boundary and the journal
+        // written below still replays with `wdm replay --verify`.
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        install_sigint_bridge(std::sync::Arc::clone(&stop));
         let mut journal = wdm_core::journal::StateJournal::new(ResidualState::fresh(&net));
         let (metrics, final_state, flight) = if trace_path.is_some() {
             let flight_cap: usize = args.get_or("flight-cap", DEFAULT_FLIGHT_CAPACITY)?;
@@ -325,7 +330,7 @@ pub fn simulate(args: &Args) -> Result<(), String> {
             );
             // The journal is driven even without --journal so every flight
             // record's journal_seq is meaningful correlation, not zero.
-            let sim = Simulator::with_observability(
+            let mut sim = Simulator::with_observability(
                 &net,
                 run_cfg,
                 NoopRecorder,
@@ -333,12 +338,23 @@ pub fn simulate(args: &Args) -> Result<(), String> {
                 &tracer,
                 Some(&flight),
             );
+            sim.set_stop_flag(std::sync::Arc::clone(&stop));
             let (metrics, final_state) = sim.run_into();
             (metrics, final_state, Some(flight))
         } else {
-            let (metrics, final_state) = run_sim_journaled(&net, run_cfg, &mut journal);
+            let mut sim =
+                Simulator::with_recorder_and_journal(&net, run_cfg, NoopRecorder, &mut journal);
+            sim.set_stop_flag(std::sync::Arc::clone(&stop));
+            let (metrics, final_state) = sim.run_into();
             (metrics, final_state, None)
         };
+        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+            eprintln!(
+                "interrupted: stopped at an event boundary after {} events; \
+                 the recorded journal still replays with --verify",
+                journal.len()
+            );
+        }
         if let Some(jpath) = journal_path {
             let doc = JournalFile {
                 network: net.clone(),
@@ -424,11 +440,36 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Bridges SIGINT into a simulator stop flag. Installing the handler
+/// keeps the first Ctrl-C from killing the process; a watcher thread
+/// trips `stop` instead, so the run ends at the next event boundary with
+/// every recorded artefact intact. The watcher is detached — it dies
+/// with the process on the normal exit path.
+fn install_sigint_bridge(stop: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use wdm_serve::signal;
+    if !signal::install(signal::SIGINT) {
+        return; // No handler (non-unix or sigaction failure): Ctrl-C kills as before.
+    }
+    std::thread::spawn(move || loop {
+        if signal::tripped(signal::SIGINT) {
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    });
+}
+
 /// `wdm replay` — reconstruct a recorded simulation's final state from its
 /// journal and (with `--verify`) check it against the recorded hash.
+///
+/// Accepts both on-disk formats: a `wdm simulate --journal` document and a
+/// `wdm serve` write-ahead log (sniffed by its `{"wal":…}` header line).
 pub fn replay(args: &Args) -> Result<(), String> {
     let path = args.positional(0).ok_or("missing journal file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if text.trim_start().starts_with("{\"wal\":") {
+        return replay_wal(args, path);
+    }
     let doc: JournalFile =
         serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
 
@@ -521,6 +562,77 @@ pub fn replay(args: &Args) -> Result<(), String> {
             "final-state hash mismatch: recorded {:#018x}, replayed {:#018x}",
             doc.final_hash, hash
         ));
+    }
+    Ok(())
+}
+
+/// `wdm replay` over a daemon write-ahead log. [`wdm_serve::wal::recover`]
+/// already verifies the sequence chain, every checkpoint anchor, and the
+/// graceful-close hash when one exists — reaching this function's body
+/// means the lineage replayed consistently.
+fn replay_wal(args: &Args, path: &str) -> Result<(), String> {
+    let rec = wdm_serve::wal::recover(std::path::Path::new(path))
+        .map_err(|e| format!("recovering {path}: {e}"))?;
+    let hash = rec.semantic_hash();
+    let load = load_snapshot(&rec.network, &rec.state);
+    if args.flag("json") {
+        let fields = vec![
+            ("format".to_string(), serde_json::to_value(&"wal")),
+            (
+                "policy".to_string(),
+                serde_json::to_value(&rec.policy.name()),
+            ),
+            ("events".to_string(), serde_json::to_value(&rec.seq)),
+            ("final_load".to_string(), serde_json::to_value(&load)),
+            ("replayed_hash".to_string(), serde_json::to_value(&hash)),
+            (
+                "anchors_verified".to_string(),
+                serde_json::to_value(&rec.anchors_verified),
+            ),
+            (
+                "clean_shutdown".to_string(),
+                serde_json::to_value(&rec.clean_shutdown()),
+            ),
+            (
+                "torn_tail".to_string(),
+                serde_json::to_value(&rec.torn_tail),
+            ),
+        ];
+        let json = serde_json::to_string_pretty(&serde_json::Value::Object(fields))
+            .map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        println!("format       write-ahead log (wdm serve)");
+        println!("policy       {}", rec.policy.name());
+        println!("events       {}", rec.seq);
+        println!(
+            "final load   max {:.3}, p90 {:.3}, mean {:.3}",
+            load.max, load.p90, load.mean
+        );
+        println!(
+            "state hash   {hash:#018x} ({} checkpoint anchor(s) verified)",
+            rec.anchors_verified
+        );
+        println!(
+            "shutdown     {}{}",
+            if rec.clean_shutdown() {
+                "clean (graceful-close hash matches)"
+            } else {
+                "unclean (no graceful-close line — recovered from events)"
+            },
+            if rec.torn_tail {
+                "; one torn tail line discarded"
+            } else {
+                ""
+            }
+        );
+    }
+    if args.flag("verify") && !rec.clean_shutdown() && rec.anchors_verified == 0 {
+        return Err(
+            "nothing to verify against: the log has neither a graceful-close line \
+             nor a checkpoint anchor (the sequence chain itself was intact)"
+                .into(),
+        );
     }
     Ok(())
 }
@@ -793,7 +905,7 @@ fn trace_analyze(args: &Args) -> Result<(), String> {
 /// a Prometheus text-format endpoint on a plain `TcpListener` (no HTTP
 /// dependency; the exposition format is newline-delimited text).
 pub fn serve_metrics(args: &Args) -> Result<(), String> {
-    use std::io::{Read, Write};
+    use std::io::Write;
     use std::sync::atomic::{AtomicBool, Ordering};
 
     let net = load_network(args.require("net")?)?;
@@ -851,31 +963,33 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
             match listener.accept() {
                 Ok((mut conn, _)) => {
                     conn.set_nonblocking(false).ok();
-                    // Read until the blank line ending the request head.
-                    let mut req = Vec::new();
-                    let mut byte = [0u8; 512];
-                    while !req.windows(4).any(|w| w == b"\r\n\r\n") {
-                        match conn.read(&mut byte) {
-                            Ok(0) => break,
-                            Ok(n) => req.extend_from_slice(&byte[..n]),
-                            Err(_) => break,
+                    // The shared daemon listener does the parsing: size
+                    // caps, timeouts, and malformed-head rejection all
+                    // behave exactly as they do under `wdm serve`.
+                    match wdm_serve::http::read_request(&mut conn) {
+                        Ok(req) if req.target == "/metrics" => {
+                            let body = sink.snapshot().prometheus("wdm");
+                            wdm_serve::http::write_response(
+                                &mut conn,
+                                "200 OK",
+                                "text/plain; version=0.0.4",
+                                &[],
+                                body.as_bytes(),
+                            )
+                            .ok();
                         }
+                        Ok(_) => {
+                            wdm_serve::http::write_response(
+                                &mut conn,
+                                "404 Not Found",
+                                "text/plain",
+                                &[],
+                                b"only /metrics is exported\n",
+                            )
+                            .ok();
+                        }
+                        Err(e) => wdm_serve::http::answer_error(&mut conn, &e),
                     }
-                    let head = String::from_utf8_lossy(&req);
-                    let target = head.split_whitespace().nth(1).unwrap_or("");
-                    let (status, body) = if target == "/metrics" {
-                        ("200 OK", sink.snapshot().prometheus("wdm"))
-                    } else {
-                        ("404 Not Found", "only /metrics is exported\n".to_string())
-                    };
-                    let response = format!(
-                        "HTTP/1.1 {status}\r\n\
-                         Content-Type: text/plain; version=0.0.4\r\n\
-                         Content-Length: {}\r\n\
-                         Connection: close\r\n\r\n{body}",
-                        body.len()
-                    );
-                    conn.write_all(response.as_bytes()).ok();
                     served += 1;
                 }
                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -893,6 +1007,147 @@ pub fn serve_metrics(args: &Args) -> Result<(), String> {
         metrics.admitted,
         metrics.blocking_probability() * 100.0
     );
+    Ok(())
+}
+
+/// `wdm serve` — the long-lived provisioning daemon (DESIGN.md §5i).
+pub fn serve(args: &Args) -> Result<(), String> {
+    use std::io::Write;
+    use wdm_serve::daemon::{run, Control, ServeConfig};
+
+    let net = load_network(args.require("net")?)?;
+    let port: u16 = args.get_or("port", 9190)?;
+    let wal_path = args.get("wal").unwrap_or("wdm-serve.wal.jsonl");
+    let mut cfg = ServeConfig::new(format!("127.0.0.1:{port}"), wal_path);
+    cfg.threads = args.get_or("threads", 4)?;
+    cfg.policy = parse_policy(args.get("policy").unwrap_or("cost-only"))?;
+    cfg.queue_capacity = args.get_or("queue", 256)?;
+    cfg.deadline = std::time::Duration::from_millis(args.get_or("deadline-ms", 2000u64)?);
+    cfg.checkpoint_every = args.get_or("checkpoint-every", 256)?;
+    cfg.handle_signals = true; // SIGINT/SIGTERM drain, checkpoint, close.
+    if cfg.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if cfg.queue_capacity == 0 {
+        return Err("--queue must be at least 1".into());
+    }
+    if let Some(prev) = args.get("resume") {
+        // Crash recovery: replay the previous WAL and seed the daemon
+        // with its state. The new WAL must be a different file — its
+        // header checkpoint *is* the recovered state.
+        if prev == wal_path {
+            return Err("--resume must name a different file than --wal".into());
+        }
+        let rec = wdm_serve::wal::recover(std::path::Path::new(prev))
+            .map_err(|e| format!("recovering {prev}: {e}"))?;
+        eprintln!(
+            "resuming from {prev}: {} event(s), hash {:#018x}{}",
+            rec.seq,
+            rec.semantic_hash(),
+            if rec.clean_shutdown() {
+                ""
+            } else {
+                " (unclean shutdown — recovered from events)"
+            }
+        );
+        cfg.resume_state = Some(rec.state);
+    }
+
+    let control = Control::new();
+    let report = std::thread::scope(|s| {
+        // The daemon owns this thread until shutdown; a sidecar waits for
+        // the bind and prints the resolved address (so `--port 0` works
+        // for scripts). If the bind fails, `run` returns before ever
+        // publishing and the sidecar times out silently.
+        s.spawn(|| {
+            if let Some(addr) = control.wait_addr(std::time::Duration::from_secs(5)) {
+                println!("serving http://{addr}/ (wal: {wal_path})");
+                std::io::stdout().flush().ok();
+            }
+        });
+        run(&net, &cfg, &control)
+    })
+    .map_err(|e| format!("serve: {e}"))?;
+
+    if args.flag("json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        println!(
+            "shutdown     {}",
+            if report.clean_shutdown {
+                "clean (final checkpoint + graceful-close line flushed)"
+            } else {
+                "crash-style (no close line)"
+            }
+        );
+        println!("journal      {} event(s) in {wal_path}", report.journal_seq);
+        println!("connections  {} live at shutdown", report.connections);
+        println!("state hash   {:#018x}", report.semantic_hash);
+        for (name, v) in &report.counters {
+            println!("  {name:<24} {v}");
+        }
+    }
+    Ok(())
+}
+
+/// `wdm loadgen` — open-loop Poisson load against a running daemon.
+pub fn loadgen(args: &Args) -> Result<(), String> {
+    use wdm_serve::loadgen::LoadgenConfig;
+
+    let target = args.require("target")?;
+    // Endpoint/link ranges come from the served network file (preferred)
+    // or explicit counts — the generator itself never loads the topology.
+    let (nodes, links) = if let Some(netfile) = args.get("net") {
+        let net = load_network(netfile)?;
+        (net.node_count() as u32, net.link_count() as u32)
+    } else {
+        let nodes: u32 = args
+            .get("nodes")
+            .ok_or("missing --net FILE (or explicit --nodes/--links)")?
+            .parse()
+            .map_err(|e| format!("bad value for --nodes: {e}"))?;
+        (nodes, args.get_or("links", 0)?)
+    };
+    if nodes < 2 {
+        return Err("need at least two nodes to provision".into());
+    }
+    let mut cfg = LoadgenConfig::new(target, nodes, links);
+    cfg.rate = args.get_or("rate", 200.0)?;
+    cfg.duration = args.get_or("duration", 5.0)?;
+    cfg.mean_hold = args.get_or("hold", 1.0)?;
+    cfg.fail_fraction = args.get_or("fail-fraction", 0.01)?;
+    cfg.seed = args.get_or("seed", 1)?;
+    // Negated comparisons are deliberate: NaN must be rejected too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(cfg.rate > 0.0) || !(cfg.duration > 0.0) || !(cfg.mean_hold > 0.0) {
+        return Err("rate, duration and hold must all be positive".into());
+    }
+    if !(0.0..=1.0).contains(&cfg.fail_fraction) {
+        return Err("--fail-fraction wants a value in [0, 1]".into());
+    }
+
+    let report = wdm_serve::loadgen::run(&cfg);
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    if args.flag("json") {
+        println!("{json}");
+    } else {
+        println!(
+            "offered      {} request(s) in {:.2}s ({:.0} req/s)",
+            report.offered, report.elapsed, report.rps
+        );
+        println!(
+            "outcomes     {} ok, {} blocked (409), {} shed (503), {} error(s)",
+            report.ok, report.blocked, report.shed, report.errors
+        );
+        println!(
+            "latency      p50 {:.2} ms, p99 {:.2} ms",
+            report.p50_ms, report.p99_ms
+        );
+    }
     Ok(())
 }
 

@@ -48,20 +48,53 @@ COMMANDS:
       --telemetry M     json | summary: collect and print merged telemetry
       --journal FILE    record the event journal (checkpoint + every
                         provision/teardown/failure/repair/reconfigure) to
-                        FILE as JSON; wants --reps 1
+                        FILE as JSON; wants --reps 1; Ctrl-C stops at an
+                        event boundary and the journal still verifies
       --trace FILE      record per-request spans + flight records (phase
                         latencies, outcomes, journal correlation) to FILE
                         as JSON; wants --reps 1; combines with --journal
       --flight-cap N    flight-recorder ring capacity (default 512)
       --json            machine-readable output
 
-  replay <JOURNAL.json>
+  replay <JOURNAL.json | WAL.jsonl>
       --verify          exit non-zero unless the replayed final state's
-                        hash matches the recorded one
+                        hash matches the recorded one; daemon write-ahead
+                        logs (from 'wdm serve') are detected by their
+                        header and verified against their checkpoint
+                        anchors and graceful-close hash
       --telemetry M     json | summary: re-run the recorded simulation
                         from the journal's embedded config with a live
-                        recorder and print its telemetry
+                        recorder and print its telemetry (simulation
+                        journals only)
       --json            machine-readable output
+
+  serve     --net FILE  long-lived provisioning daemon: POST /provision
+                        {src,dst} | /teardown {id} | /fail-link {link} |
+                        /repair-link {link}; GET /state /metrics /healthz
+      --port P          listen on 127.0.0.1:P (default 9190; 0 picks an
+                        ephemeral port, printed on startup)
+      --threads N       worker threads, each with a warm router context
+                        (default 4)
+      --policy P        as above (default cost-only)
+      --wal FILE        write-ahead log; every mutation is flushed before
+                        its response (default wdm-serve.wal.jsonl)
+      --queue N         admission queue depth; full sheds 503 (default 256)
+      --deadline-ms MS  drop requests that waited longer (default 2000)
+      --checkpoint-every N  WAL checkpoint anchor cadence (default 256)
+      --resume WAL      recover a previous log and resume from its state
+      --json            print the shutdown report as JSON
+                        (SIGINT/SIGTERM shut down gracefully: drain,
+                        final checkpoint, graceful-close line)
+
+  loadgen   --target HOST:PORT --net FILE
+      --nodes N --links L   endpoint/link ranges when --net is omitted
+      --rate R          provision arrivals per second, Poisson (default 200)
+      --duration S      run length in wall-clock seconds (default 5)
+      --hold H          mean holding time before teardown (default 1)
+      --fail-fraction F fraction of arrivals failing a link (default 0.01)
+      --seed S          RNG seed (default 1)
+      --out FILE        write the JSON report to FILE
+      --json            print the report as JSON
 
   trace analyze <TRACE.json>
       --top K           show the K slowest requests (default 5)
@@ -157,6 +190,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "route" => commands::route(&rest),
         "simulate" => commands::simulate(&rest),
         "replay" => commands::replay(&rest),
+        "serve" => commands::serve(&rest),
+        "loadgen" => commands::loadgen(&rest),
         "batch" => commands::batch(&rest),
         "telemetry" => commands::telemetry(&rest),
         "trace" => commands::trace(&rest),

@@ -216,7 +216,7 @@ impl StateJournal {
     pub fn replay(&self, net: &WdmNetwork) -> Result<ResidualState, ReplayError> {
         let mut st = self.checkpoint.clone();
         for (index, event) in self.events.iter().enumerate() {
-            apply(&mut st, net, event).map_err(|source| ReplayError {
+            apply_event(&mut st, net, event).map_err(|source| ReplayError {
                 index,
                 kind: event.kind(),
                 source,
@@ -241,7 +241,15 @@ impl EventSink for StateJournal {
 /// Applies one event. Occupations are strict (the live run's succeeded, so
 /// a rejection means the journal and state diverged); releases ignore
 /// errors exactly like the live teardown path does.
-fn apply(st: &mut ResidualState, net: &WdmNetwork, event: &NetEvent) -> Result<(), StateError> {
+///
+/// Public so streaming replays (the daemon's write-ahead log, which
+/// interleaves events with checkpoint records) apply events one at a time
+/// with exactly [`StateJournal::replay`]'s semantics.
+pub fn apply_event(
+    st: &mut ResidualState,
+    net: &WdmNetwork,
+    event: &NetEvent,
+) -> Result<(), StateError> {
     match event {
         NetEvent::Provision { channels, .. } => {
             for h in channels {

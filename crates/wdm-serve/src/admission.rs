@@ -1,0 +1,248 @@
+//! Admission control: a bounded work queue with load-shedding and
+//! per-request deadlines.
+//!
+//! The daemon's accept loop is cheap; the routing work behind it is not.
+//! Without a bound between them, a burst turns into an unbounded backlog
+//! and every request's latency grows without limit — the classic overload
+//! collapse. [`WorkQueue`] puts the bound where the paper's admission
+//! story wants it: a full queue **sheds immediately** (the accept loop
+//! answers `503` with `Retry-After` instead of queueing), and a request
+//! that waited past its deadline is dropped by the worker *before* any
+//! routing work is spent on it, so shed load costs almost nothing.
+//!
+//! Implementation is a plain `Mutex<VecDeque>` + `Condvar` — the queue is
+//! touched once per request at each end, so lock traffic is negligible
+//! next to a routing call.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One queued unit of work, stamped on admission.
+#[derive(Debug)]
+pub struct Admitted<T> {
+    /// The work item (for the daemon: an accepted connection).
+    pub item: T,
+    /// When the item was admitted (queue-wait measurement + deadline).
+    pub enqueued_at: Instant,
+}
+
+impl<T> Admitted<T> {
+    /// How long the item has waited so far.
+    pub fn queue_wait(&self) -> Duration {
+        self.enqueued_at.elapsed()
+    }
+
+    /// Whether the item's deadline has passed.
+    pub fn expired(&self, deadline: Duration) -> bool {
+        self.queue_wait() > deadline
+    }
+}
+
+/// Why [`WorkQueue::admit`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity: shed the request.
+    Full,
+    /// The queue is closed: the daemon is shutting down.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<Admitted<T>>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with close semantics.
+pub struct WorkQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue admits nothing");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum queue depth.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Admits `item`, or refuses without blocking: [`AdmitError::Full`]
+    /// when at capacity, [`AdmitError::Closed`] during shutdown. The item
+    /// rides back on the error so the caller can shed it properly (answer
+    /// `503` on the very connection that was refused).
+    pub fn admit(&self, item: T) -> Result<(), (T, AdmitError)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((item, AdmitError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((item, AdmitError::Full));
+        }
+        inner.items.push_back(Admitted {
+            item,
+            enqueued_at: Instant::now(),
+        });
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Takes the oldest item, blocking up to `wait`. `None` means either
+    /// the timeout elapsed or the queue closed empty — check
+    /// [`Self::is_closed`] to tell shutdown from a lull.
+    pub fn take(&self, wait: Duration) -> Option<Admitted<T>> {
+        let deadline = Instant::now() + wait;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, timeout) = self.ready.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+            if timeout.timed_out() && inner.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Closes the queue: future [`admit`](Self::admit)s refuse, blocked
+    /// and future [`take`](Self::take)s drain the remaining items then
+    /// return `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_take_is_fifo() {
+        let q = WorkQueue::new(4);
+        q.admit(1).unwrap();
+        q.admit(2).unwrap();
+        q.admit(3).unwrap();
+        assert_eq!(q.depth(), 3);
+        let wait = Duration::from_millis(50);
+        assert_eq!(q.take(wait).map(|a| a.item), Some(1));
+        assert_eq!(q.take(wait).map(|a| a.item), Some(2));
+        assert_eq!(q.take(wait).map(|a| a.item), Some(3));
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let q = WorkQueue::new(2);
+        q.admit('a').unwrap();
+        q.admit('b').unwrap();
+        let t0 = Instant::now();
+        assert_eq!(q.admit('c'), Err(('c', AdmitError::Full)));
+        assert!(
+            t0.elapsed() < Duration::from_millis(50),
+            "shed must not block"
+        );
+        // Draining one slot re-opens admission.
+        q.take(Duration::from_millis(10)).unwrap();
+        q.admit('c').unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_refuses() {
+        let q = WorkQueue::new(4);
+        q.admit(7).unwrap();
+        q.close();
+        assert_eq!(q.admit(8), Err((8, AdmitError::Closed)));
+        // The item admitted before close still drains…
+        assert_eq!(q.take(Duration::from_millis(10)).map(|a| a.item), Some(7));
+        // …then takes return None without waiting out the timeout.
+        let t0 = Instant::now();
+        assert!(q.take(Duration::from_secs(5)).is_none());
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert!(q.is_closed());
+    }
+
+    #[test]
+    fn take_blocks_until_an_item_arrives() {
+        let q = WorkQueue::new(1);
+        std::thread::scope(|s| {
+            let taker = s.spawn(|| q.take(Duration::from_secs(5)).map(|a| a.item));
+            std::thread::sleep(Duration::from_millis(20));
+            q.admit(42).unwrap();
+            assert_eq!(taker.join().unwrap(), Some(42));
+        });
+    }
+
+    #[test]
+    fn expiry_is_measured_from_admission() {
+        let q = WorkQueue::new(1);
+        q.admit(()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let a = q.take(Duration::from_millis(10)).unwrap();
+        assert!(a.expired(Duration::from_millis(5)));
+        assert!(!a.expired(Duration::from_secs(60)));
+        assert!(a.queue_wait() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn many_producers_many_consumers_lose_nothing() {
+        // Capacity exceeds the offered total: nothing is shed, so every
+        // admitted item must come back out exactly once.
+        let q = WorkQueue::new(2048);
+        let total = 8 * 200;
+        let taken = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for p in 0..8 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..200 {
+                        q.admit(p * 1000 + i).unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let q = &q;
+                let taken = &taken;
+                s.spawn(move || {
+                    while taken.load(std::sync::atomic::Ordering::Relaxed) < total {
+                        if q.take(Duration::from_millis(20)).is_some() {
+                            taken.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(std::sync::atomic::Ordering::Relaxed), total);
+        assert_eq!(q.depth(), 0);
+    }
+}

@@ -1,0 +1,582 @@
+//! The `wdm serve` daemon: a thread-per-core provisioning service over one
+//! live network state.
+//!
+//! # Architecture (DESIGN.md §5i)
+//!
+//! ```text
+//!                    accept loop (nonblocking)
+//!                        │  admit / shed 503
+//!                 [ bounded WorkQueue ]
+//!                   │        │       │
+//!                worker    worker  worker      each: warm RouterCtx
+//!                   │        │       │
+//!         route under read lock (shared state)
+//!                   │
+//!         commit under write lock ──► WAL (flushed per event)
+//! ```
+//!
+//! One [`NetProvisioner`] owns the mutation lineage — state, journal,
+//! connection table — behind an `RwLock`. Workers keep their own warm
+//! [`RouterCtx`] and compute routes under the **read** lock, so search
+//! (the expensive part) runs concurrently; the **write** lock serializes
+//! only the commit, which is O(route length). A commit can conflict with
+//! a mutation that landed after the route was computed — then
+//! [`NetProvisioner::try_commit`] rolls the state back atomically and the
+//! worker re-routes *under the write lock*, where the state cannot move.
+//!
+//! Rollbacks regress the state's change clocks, which silently breaks
+//! every warm context that already synced past them. The daemon handles
+//! this with an **epoch counter**: bumped under the write lock on every
+//! rollback; each worker re-checks it after acquiring the read lock and
+//! invalidates its context on a mismatch. Fail/repair/teardown only move
+//! clocks forward, so they need no epoch bump — the dirty-link sync
+//! catches them.
+//!
+//! Durability: every journal event is flushed to the [`WalSink`] before
+//! the request is answered, so an answered mutation is never lost — a
+//! `kill -9` costs at most the in-flight request. Graceful shutdown
+//! (SIGTERM, or [`Control::shutdown`]) drains the queue, writes a final
+//! checkpoint anchor and the graceful-close line.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use wdm_core::aux_engine::RouterCtx;
+use wdm_core::network::{ResidualState, WdmNetwork};
+use wdm_graph::{EdgeId, NodeId};
+use wdm_sim::policy::Policy;
+use wdm_sim::provisioner::{NetProvisioner, Provisioner};
+use wdm_telemetry::{Counter, Hist, Recorder, TelemetrySink};
+
+use crate::admission::{AdmitError, WorkQueue};
+use crate::http::{self, Request};
+use crate::signal;
+use crate::wal::{WalError, WalSink};
+
+/// How the daemon runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (the accept loop is its own, cheap, loop).
+    pub threads: usize,
+    /// Provisioning policy.
+    pub policy: Policy,
+    /// Write-ahead log path.
+    pub wal_path: PathBuf,
+    /// Admission queue capacity; a full queue sheds with `503`.
+    pub queue_capacity: usize,
+    /// Per-request deadline measured from admission; expired requests are
+    /// dropped before any routing work.
+    pub deadline: Duration,
+    /// Checkpoint anchor cadence in journal events (0 disables anchors).
+    pub checkpoint_every: u64,
+    /// Whether to install SIGINT/SIGTERM handlers and treat either as a
+    /// graceful shutdown request (the CLI sets this; tests drive
+    /// [`Control`] directly).
+    pub handle_signals: bool,
+    /// Resume state: replayed from a previous WAL instead of a fresh
+    /// network (the new WAL's header checkpoint is this state).
+    pub resume_state: Option<ResidualState>,
+}
+
+impl ServeConfig {
+    /// Defaults for `addr`/`wal_path`: loopback on an ephemeral port,
+    /// four workers, a 256-deep queue, 2 s deadline, anchors every 256
+    /// events.
+    pub fn new(addr: impl Into<String>, wal_path: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: addr.into(),
+            threads: 4,
+            policy: Policy::CostOnly,
+            wal_path: wal_path.into(),
+            queue_capacity: 256,
+            deadline: Duration::from_secs(2),
+            checkpoint_every: 256,
+            handle_signals: false,
+            resume_state: None,
+        }
+    }
+}
+
+/// Shared control surface between the caller and a running [`run`].
+///
+/// [`run`] blocks until shutdown; callers hold a `&Control` on another
+/// thread (tests use `std::thread::scope`) to learn the bound address and
+/// request termination.
+#[derive(Default)]
+pub struct Control {
+    shutdown: AtomicBool,
+    crash: AtomicBool,
+    addr: Mutex<Option<SocketAddr>>,
+    addr_ready: Condvar,
+}
+
+impl Control {
+    /// A fresh control block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a graceful shutdown: drain the queue, final checkpoint,
+    /// graceful-close line.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Simulates a kill: workers stop immediately, queued requests are
+    /// abandoned, **no** final checkpoint or graceful-close line is
+    /// written. The WAL is left exactly as a `kill -9` would leave it
+    /// (crash-recovery tests drive this).
+    pub fn crash(&self) {
+        self.crash.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn crashed(&self) -> bool {
+        self.crash.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the daemon has bound its listener, returning the
+    /// actual address (resolves `:0`). `None` on timeout.
+    pub fn wait_addr(&self, timeout: Duration) -> Option<SocketAddr> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.addr.lock().unwrap();
+        loop {
+            if let Some(addr) = *guard {
+                return Some(addr);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self.addr_ready.wait_timeout(guard, deadline - now).unwrap();
+            guard = g;
+        }
+    }
+
+    fn publish_addr(&self, addr: SocketAddr) {
+        *self.addr.lock().unwrap() = Some(addr);
+        self.addr_ready.notify_all();
+    }
+}
+
+/// What a completed [`run`] reports.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeReport {
+    /// Journal events written.
+    pub journal_seq: u64,
+    /// Live connections at shutdown.
+    pub connections: usize,
+    /// Final state hash.
+    pub semantic_hash: u64,
+    /// Whether the graceful-close line was written (false after
+    /// [`Control::crash`]).
+    pub clean_shutdown: bool,
+    /// Counter snapshot (`serve_*` names from the telemetry registry).
+    pub counters: std::collections::BTreeMap<String, u64>,
+}
+
+type WorkerCtx = RouterCtx;
+
+/// JSON request bodies.
+#[derive(serde::Deserialize)]
+struct ProvisionReq {
+    src: u32,
+    dst: u32,
+}
+
+#[derive(serde::Deserialize)]
+struct TeardownReq {
+    id: u64,
+}
+
+#[derive(serde::Deserialize)]
+struct LinkReq {
+    link: u32,
+}
+
+/// Runs the daemon until shutdown. Blocks; see [`Control`] for the
+/// caller-side surface.
+pub fn run(
+    net: &WdmNetwork,
+    cfg: &ServeConfig,
+    control: &Control,
+) -> Result<ServeReport, WalError> {
+    if cfg.handle_signals {
+        signal::install(signal::SIGINT);
+        signal::install(signal::SIGTERM);
+    }
+
+    let initial = cfg
+        .resume_state
+        .clone()
+        .unwrap_or_else(|| ResidualState::fresh(net));
+    let wal = WalSink::create(&cfg.wal_path, net, cfg.policy, &initial)?;
+    let prov = RwLock::new(NetProvisioner::with_parts(
+        net,
+        cfg.policy,
+        initial,
+        RouterCtx::new(),
+        wal,
+    ));
+    let epoch = AtomicU64::new(0);
+    let sink = TelemetrySink::new();
+    let queue: WorkQueue<TcpStream> = WorkQueue::new(cfg.queue_capacity);
+
+    let listener = TcpListener::bind(&cfg.addr).map_err(WalError::Io)?;
+    listener.set_nonblocking(true).map_err(WalError::Io)?;
+    control.publish_addr(listener.local_addr().map_err(WalError::Io)?);
+
+    std::thread::scope(|s| {
+        for _ in 0..cfg.threads.max(1) {
+            s.spawn(|| worker_loop(net, cfg, control, &prov, &epoch, &sink, &queue));
+        }
+
+        // Accept loop: admit or shed; never blocks on a worker.
+        loop {
+            let signalled = cfg.handle_signals && signal::shutdown_requested();
+            if control.stopping() || signalled {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => match queue.admit(stream) {
+                    Ok(()) => {}
+                    Err((mut stream, AdmitError::Full)) => {
+                        sink.add(Counter::ServeShed, 1);
+                        let _ = http::write_response(
+                            &mut stream,
+                            "503 Service Unavailable",
+                            "application/json",
+                            &[("Retry-After", "1")],
+                            b"{\"error\":\"overloaded\"}\n",
+                        );
+                    }
+                    Err((_, AdmitError::Closed)) => break,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        queue.close();
+    });
+
+    // Workers have drained (or abandoned, on crash) the queue.
+    let mut prov = prov.into_inner().unwrap();
+    let clean = !control.crashed();
+    if clean {
+        let snapshot = prov.state().clone();
+        let wal = prov.journal_mut();
+        wal.checkpoint(&snapshot);
+        wal.finalize(&snapshot)?;
+    }
+    if let Some(e) = prov.journal_mut().take_error() {
+        return Err(WalError::Io(e));
+    }
+    Ok(ServeReport {
+        journal_seq: prov.journal_seq(),
+        connections: prov.active_connections(),
+        semantic_hash: prov.semantic_hash(),
+        clean_shutdown: clean,
+        counters: sink.snapshot().counters,
+    })
+}
+
+fn worker_loop(
+    net: &WdmNetwork,
+    cfg: &ServeConfig,
+    control: &Control,
+    prov: &RwLock<
+        NetProvisioner<'_, wdm_telemetry::NoopRecorder, WalSink, wdm_telemetry::NoopTracer>,
+    >,
+    epoch: &AtomicU64,
+    sink: &TelemetrySink,
+    queue: &WorkQueue<TcpStream>,
+) {
+    let mut ctx: WorkerCtx = RouterCtx::new();
+    let mut last_epoch = epoch.load(Ordering::Acquire);
+    loop {
+        if control.crashed() {
+            return; // Abandon everything, like a kill would.
+        }
+        let Some(admitted) = queue.take(Duration::from_millis(50)) else {
+            if queue.is_closed() {
+                return;
+            }
+            continue;
+        };
+        let queue_wait = admitted.queue_wait();
+        let expired = admitted.expired(cfg.deadline);
+        let mut stream = admitted.item;
+        sink.observe(Hist::ServeQueueNanos, queue_wait.as_nanos() as u64);
+        if expired {
+            sink.add(Counter::ServeDeadlineDrop, 1);
+            let _ = http::write_response(
+                &mut stream,
+                "503 Service Unavailable",
+                "application/json",
+                &[("Retry-After", "1")],
+                b"{\"error\":\"deadline exceeded\"}\n",
+            );
+            continue;
+        }
+        let started = Instant::now();
+        match http::read_request(&mut stream) {
+            Ok(req) => {
+                dispatch(
+                    net,
+                    cfg,
+                    prov,
+                    epoch,
+                    sink,
+                    &req,
+                    &mut stream,
+                    &mut ctx,
+                    &mut last_epoch,
+                );
+            }
+            Err(e) => {
+                sink.add(Counter::ServeBadRequest, 1);
+                http::answer_error(&mut stream, &e);
+            }
+        }
+        sink.observe(Hist::ServeLatencyNanos, started.elapsed().as_nanos() as u64);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    net: &WdmNetwork,
+    cfg: &ServeConfig,
+    prov: &RwLock<
+        NetProvisioner<'_, wdm_telemetry::NoopRecorder, WalSink, wdm_telemetry::NoopTracer>,
+    >,
+    epoch: &AtomicU64,
+    sink: &TelemetrySink,
+    req: &Request,
+    stream: &mut TcpStream,
+    ctx: &mut WorkerCtx,
+    last_epoch: &mut u64,
+) {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/provision") => {
+            let Some(body) = parse_body::<ProvisionReq>(sink, stream, &req.body) else {
+                return;
+            };
+            let n = net.node_count() as u32;
+            if body.src >= n || body.dst >= n || body.src == body.dst {
+                sink.add(Counter::ServeBadRequest, 1);
+                let _ = http::write_json(
+                    stream,
+                    "400 Bad Request",
+                    "{\"error\":\"invalid endpoints\"}\n",
+                );
+                return;
+            }
+            let (s, t) = (NodeId(body.src), NodeId(body.dst));
+
+            // Route under the read lock with this worker's warm context.
+            // The epoch check must happen *inside* the lock: rollbacks
+            // only occur under the write lock, so a stable epoch here
+            // guarantees the clocks this context syncs against are
+            // monotone.
+            let routed = {
+                let guard = prov.read().unwrap();
+                let now_epoch = epoch.load(Ordering::Acquire);
+                if now_epoch != *last_epoch {
+                    ctx.invalidate();
+                    *last_epoch = now_epoch;
+                }
+                cfg.policy.route_ctx(ctx, net, guard.state(), s, t)
+            };
+            let route = match routed {
+                Ok(route) => route,
+                Err(e) => {
+                    sink.add(Counter::ServeProvisionBlocked, 1);
+                    let _ = http::write_json(
+                        stream,
+                        "409 Conflict",
+                        &format!(
+                            "{{\"error\":\"no route\",\"detail\":{:?}}}\n",
+                            e.to_string()
+                        ),
+                    );
+                    return;
+                }
+            };
+
+            // Commit under the write lock. The state may have moved since
+            // the route was computed; try_commit detects the conflict and
+            // rolls back atomically, after which we re-route and commit
+            // in place — the write lock guarantees no further movement.
+            let mut guard = prov.write().unwrap();
+            let outcome = match guard.try_commit(s, t, route) {
+                Ok(id) => Some(id),
+                Err(_conflict) => {
+                    // try_commit already invalidated the provisioner's
+                    // own context; the rollback regressed clocks, so
+                    // every worker context must resync too.
+                    epoch.fetch_add(1, Ordering::AcqRel);
+                    sink.add(Counter::ServeConflictRetries, 1);
+                    match guard.route(s, t) {
+                        Ok(route) => Some(guard.commit(s, t, route)),
+                        Err(_) => None,
+                    }
+                }
+            };
+            match outcome {
+                Some(id) => {
+                    let cost = guard
+                        .connection(id)
+                        .map(|c| c.route.total_cost())
+                        .unwrap_or(0.0);
+                    maybe_checkpoint(&mut guard, cfg.checkpoint_every);
+                    drop(guard);
+                    sink.add(Counter::ServeProvisionOk, 1);
+                    let _ = http::write_json(
+                        stream,
+                        "200 OK",
+                        &format!("{{\"id\":{id},\"cost\":{cost}}}\n"),
+                    );
+                }
+                None => {
+                    drop(guard);
+                    sink.add(Counter::ServeProvisionBlocked, 1);
+                    let _ = http::write_json(stream, "409 Conflict", "{\"error\":\"no route\"}\n");
+                }
+            }
+        }
+        ("POST", "/teardown") => {
+            let Some(body) = parse_body::<TeardownReq>(sink, stream, &req.body) else {
+                return;
+            };
+            let mut guard = prov.write().unwrap();
+            let released = guard.teardown(body.id).is_some();
+            if released {
+                maybe_checkpoint(&mut guard, cfg.checkpoint_every);
+            }
+            drop(guard);
+            if released {
+                sink.add(Counter::ServeTeardownOk, 1);
+                let _ = http::write_json(stream, "200 OK", "{\"released\":true}\n");
+            } else {
+                sink.add(Counter::ServeTeardownMiss, 1);
+                let _ = http::write_json(
+                    stream,
+                    "404 Not Found",
+                    "{\"error\":\"unknown connection\"}\n",
+                );
+            }
+        }
+        ("POST", "/fail-link") | ("POST", "/repair-link") => {
+            let Some(body) = parse_body::<LinkReq>(sink, stream, &req.body) else {
+                return;
+            };
+            if body.link as usize >= net.link_count() {
+                sink.add(Counter::ServeBadRequest, 1);
+                let _ =
+                    http::write_json(stream, "400 Bad Request", "{\"error\":\"unknown link\"}\n");
+                return;
+            }
+            let link = EdgeId(body.link);
+            let repair = req.target == "/repair-link";
+            let mut guard = prov.write().unwrap();
+            let changed = if repair {
+                guard.repair_link(link)
+            } else {
+                guard.fail_link(link)
+            };
+            maybe_checkpoint(&mut guard, cfg.checkpoint_every);
+            drop(guard);
+            sink.add(
+                if repair {
+                    Counter::ServeRepairLink
+                } else {
+                    Counter::ServeFailLink
+                },
+                1,
+            );
+            let _ = http::write_json(stream, "200 OK", &format!("{{\"changed\":{changed}}}\n"));
+        }
+        ("GET", "/state") => {
+            let guard = prov.read().unwrap();
+            let body = format!(
+                "{{\"connections\":{},\"journal_seq\":{},\"semantic_hash\":{},\"load\":{}}}\n",
+                guard.active_connections(),
+                guard.journal_seq(),
+                guard.semantic_hash(),
+                guard.state().network_load(net),
+            );
+            drop(guard);
+            sink.add(Counter::ServeQuery, 1);
+            let _ = http::write_json(stream, "200 OK", &body);
+        }
+        ("GET", "/metrics") => {
+            let body = sink.snapshot().prometheus("wdm");
+            let _ = http::write_response(
+                stream,
+                "200 OK",
+                "text/plain; version=0.0.4",
+                &[],
+                body.as_bytes(),
+            );
+        }
+        ("GET", "/healthz") => {
+            let _ = http::write_response(stream, "200 OK", "text/plain", &[], b"ok\n");
+        }
+        _ => {
+            let _ = http::write_json(
+                stream,
+                "404 Not Found",
+                "{\"error\":\"no such endpoint\"}\n",
+            );
+        }
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(
+    sink: &TelemetrySink,
+    stream: &mut TcpStream,
+    body: &[u8],
+) -> Option<T> {
+    match serde_json::from_slice::<T>(body) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            sink.add(Counter::ServeBadRequest, 1);
+            let _ = http::write_json(
+                stream,
+                "400 Bad Request",
+                &format!(
+                    "{{\"error\":\"bad body\",\"detail\":{:?}}}\n",
+                    e.to_string()
+                ),
+            );
+            None
+        }
+    }
+}
+
+fn maybe_checkpoint(
+    guard: &mut NetProvisioner<'_, wdm_telemetry::NoopRecorder, WalSink, wdm_telemetry::NoopTracer>,
+    every: u64,
+) {
+    if every == 0 {
+        return;
+    }
+    let seq = guard.journal_seq();
+    // Not `is_multiple_of`: that needs Rust 1.87, above the 1.85 MSRV.
+    #[allow(clippy::manual_is_multiple_of)]
+    if seq > 0 && seq % every == 0 {
+        let snapshot = guard.state().clone();
+        guard.journal_mut().checkpoint(&snapshot);
+    }
+}

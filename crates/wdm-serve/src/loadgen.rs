@@ -1,0 +1,368 @@
+//! `wdm loadgen`: an open-loop Poisson load generator for the daemon.
+//!
+//! Mirrors the simulator's traffic model (§4 dynamic traffic) against a
+//! *live* server: provision requests arrive as a Poisson process at
+//! `rate` per second, each provisioned connection holds for an
+//! exponential time and is then torn down, and an optional fraction of
+//! arrivals are link fail/repair events instead. Because the generator is
+//! open-loop, the offered load does not slow down when the server does —
+//! exactly the regime admission control exists for, so shed (`503`) and
+//! blocked (`409`) responses are first-class outcomes, not errors.
+//!
+//! Every request's wall-clock latency is recorded; the report carries the
+//! achieved request rate and p50/p99 — the headline numbers
+//! `BENCH_serve.json` tracks.
+
+use std::collections::BinaryHeap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wdm_sim::traffic::sample_exp;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target address, e.g. `127.0.0.1:8080`.
+    pub target: String,
+    /// Provision arrivals per second (Poisson).
+    pub rate: f64,
+    /// Run length in seconds of wall-clock time.
+    pub duration: f64,
+    /// Mean connection holding time in seconds (exponential).
+    pub mean_hold: f64,
+    /// Fraction of arrivals that are a link-failure event (each one is
+    /// repaired after a short exponential delay).
+    pub fail_fraction: f64,
+    /// Node count to draw endpoints from (matches the served network).
+    pub nodes: u32,
+    /// Link count to draw failures from.
+    pub links: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// A generator against `target` for a network with `nodes`/`links`.
+    pub fn new(target: impl Into<String>, nodes: u32, links: u32) -> Self {
+        Self {
+            target: target.into(),
+            rate: 200.0,
+            duration: 5.0,
+            mean_hold: 1.0,
+            fail_fraction: 0.01,
+            nodes,
+            links,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome tallies and latency quantiles of one loadgen run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LoadgenReport {
+    /// Requests sent (provisions + teardowns + fail/repair).
+    pub offered: u64,
+    /// `200` responses.
+    pub ok: u64,
+    /// `409` responses (no route / routing blocked).
+    pub blocked: u64,
+    /// `503` responses (shed by admission control or deadline).
+    pub shed: u64,
+    /// Transport errors (connect/read failures).
+    pub errors: u64,
+    /// Provision requests among `offered`.
+    pub provisions: u64,
+    /// Wall-clock run time in seconds.
+    pub elapsed: f64,
+    /// Achieved request rate (offered / elapsed).
+    pub rps: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One HTTP exchange: connect, send, read the status line and body.
+/// Returns `(status_code, body)`.
+pub fn http_request(
+    target: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(target)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: wdm\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    let status = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::other("unparseable status line"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Scheduled teardown: min-heap on due time (reversed for `BinaryHeap`).
+struct Due {
+    at: Instant,
+    /// `Ok(conn_id)` → teardown; `Err(link)` → repair.
+    what: Result<u64, u32>,
+}
+
+impl PartialEq for Due {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Due {}
+impl PartialOrd for Due {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Due {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at) // reversed: earliest due first
+    }
+}
+
+/// Runs the generator to completion (plus a drain phase tearing down
+/// whatever is still held).
+pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
+    assert!(cfg.nodes >= 2, "need two nodes to provision");
+    assert!(cfg.rate > 0.0 && cfg.duration > 0.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let started = Instant::now();
+    let until = started + Duration::from_secs_f64(cfg.duration);
+
+    let mut report = LoadgenReport {
+        offered: 0,
+        ok: 0,
+        blocked: 0,
+        shed: 0,
+        errors: 0,
+        provisions: 0,
+        elapsed: 0.0,
+        rps: 0.0,
+        p50_ms: 0.0,
+        p99_ms: 0.0,
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut due: BinaryHeap<Due> = BinaryHeap::new();
+    let mut next_arrival = started;
+
+    let send = |report: &mut LoadgenReport,
+                latencies: &mut Vec<f64>,
+                method: &str,
+                path: &str,
+                body: &str|
+     -> Option<(u16, String)> {
+        let t0 = Instant::now();
+        let outcome = http_request(&cfg.target, method, path, body);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        report.offered += 1;
+        match outcome {
+            Ok((status, resp)) => {
+                latencies.push(ms);
+                match status {
+                    200 => report.ok += 1,
+                    409 => report.blocked += 1,
+                    503 => report.shed += 1,
+                    _ => report.errors += 1,
+                }
+                Some((status, resp))
+            }
+            Err(_) => {
+                report.errors += 1;
+                None
+            }
+        }
+    };
+
+    while Instant::now() < until {
+        // Fire everything due (teardowns, repairs) before the next arrival.
+        while due.peek().is_some_and(|d| d.at <= Instant::now()) {
+            let d = due.pop().expect("peeked");
+            match d.what {
+                Ok(id) => {
+                    send(
+                        &mut report,
+                        &mut latencies,
+                        "POST",
+                        "/teardown",
+                        &format!("{{\"id\":{id}}}"),
+                    );
+                }
+                Err(link) => {
+                    send(
+                        &mut report,
+                        &mut latencies,
+                        "POST",
+                        "/repair-link",
+                        &format!("{{\"link\":{link}}}"),
+                    );
+                }
+            }
+        }
+
+        let now = Instant::now();
+        if now < next_arrival {
+            let mut sleep = next_arrival - now;
+            if let Some(d) = due.peek() {
+                sleep = sleep.min(d.at.saturating_duration_since(now));
+            }
+            std::thread::sleep(sleep.min(Duration::from_millis(5)));
+            continue;
+        }
+        next_arrival += Duration::from_secs_f64(sample_exp(&mut rng, cfg.rate));
+
+        if cfg.links > 0 && rng.gen::<f64>() < cfg.fail_fraction {
+            let link = rng.gen_range(0..cfg.links);
+            send(
+                &mut report,
+                &mut latencies,
+                "POST",
+                "/fail-link",
+                &format!("{{\"link\":{link}}}"),
+            );
+            due.push(Due {
+                at: Instant::now()
+                    + Duration::from_secs_f64(sample_exp(&mut rng, 1.0 / cfg.mean_hold)),
+                what: Err(link),
+            });
+            continue;
+        }
+
+        let s = rng.gen_range(0..cfg.nodes);
+        let mut t = rng.gen_range(0..cfg.nodes - 1);
+        if t >= s {
+            t += 1;
+        }
+        report.provisions += 1;
+        let resp = send(
+            &mut report,
+            &mut latencies,
+            "POST",
+            "/provision",
+            &format!("{{\"src\":{s},\"dst\":{t}}}"),
+        );
+        if let Some((200, body)) = resp {
+            if let Some(id) = parse_id(&body) {
+                let hold = sample_exp(&mut rng, 1.0 / cfg.mean_hold);
+                due.push(Due {
+                    at: Instant::now() + Duration::from_secs_f64(hold),
+                    what: Ok(id),
+                });
+            }
+        }
+    }
+
+    // Drain: tear down (and repair) everything still scheduled, so the
+    // server ends the run near its starting load.
+    while let Some(d) = due.pop() {
+        match d.what {
+            Ok(id) => {
+                send(
+                    &mut report,
+                    &mut latencies,
+                    "POST",
+                    "/teardown",
+                    &format!("{{\"id\":{id}}}"),
+                );
+            }
+            Err(link) => {
+                send(
+                    &mut report,
+                    &mut latencies,
+                    "POST",
+                    "/repair-link",
+                    &format!("{{\"link\":{link}}}"),
+                );
+            }
+        }
+    }
+
+    report.elapsed = started.elapsed().as_secs_f64();
+    report.rps = report.offered as f64 / report.elapsed.max(1e-9);
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    report.p50_ms = quantile(&latencies, 0.50);
+    report.p99_ms = quantile(&latencies, 0.99);
+    report
+}
+
+fn parse_id(body: &str) -> Option<u64> {
+    #[derive(serde::Deserialize)]
+    struct IdResp {
+        id: u64,
+    }
+    serde_json::from_str::<IdResp>(body.trim())
+        .ok()
+        .map(|r| r.id)
+}
+
+/// Nearest-rank quantile: the ⌈q·n⌉-th smallest sample.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate_sensibly() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.50), 50.0);
+        assert_eq!(quantile(&v, 0.99), 99.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn due_heap_pops_earliest_first() {
+        let now = Instant::now();
+        let mut heap = BinaryHeap::new();
+        heap.push(Due {
+            at: now + Duration::from_secs(3),
+            what: Ok(3),
+        });
+        heap.push(Due {
+            at: now + Duration::from_secs(1),
+            what: Ok(1),
+        });
+        heap.push(Due {
+            at: now + Duration::from_secs(2),
+            what: Err(2),
+        });
+        assert_eq!(heap.pop().unwrap().what, Ok(1));
+        assert_eq!(heap.pop().unwrap().what, Err(2));
+        assert_eq!(heap.pop().unwrap().what, Ok(3));
+    }
+
+    #[test]
+    fn parse_id_reads_the_provision_response() {
+        assert_eq!(parse_id("{\"id\":42,\"cost\":1.5}\n"), Some(42));
+        assert_eq!(parse_id("{\"error\":\"no route\"}"), None);
+        assert_eq!(parse_id("not json"), None);
+    }
+}

@@ -1,0 +1,112 @@
+//! Dependency-free POSIX signal flags.
+//!
+//! The daemon (SIGTERM) and `wdm simulate --journal` (SIGINT) both need
+//! exactly one thing from signal handling: an async-signal-safe "please
+//! stop" flag they can poll from their event loops so the final journal
+//! checkpoint gets flushed before exit. This module installs handlers via
+//! the C `signal(2)` entry point (libc is already linked by std) that do
+//! nothing but store into process-wide [`AtomicBool`]s — the only
+//! side-effect async-signal-safety allows.
+//!
+//! On non-Unix targets installation is a no-op and the flags simply never
+//! trip (graceful shutdown then needs the HTTP control surface or process
+//! supervision instead).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGINT` (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (`kill`'s default, what service managers send).
+pub const SIGTERM: i32 = 15;
+
+static INT_FLAG: AtomicBool = AtomicBool::new(false);
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    /// POSIX `signal(2)`. `handler` is a function pointer or `SIG_ERR`
+    /// (-1) / `SIG_DFL` (0) / `SIG_IGN` (1) cast to the pointer width.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(signum: i32) {
+    // Only atomic stores: the one thing a handler may safely do.
+    match signum {
+        SIGINT => INT_FLAG.store(true, Ordering::SeqCst),
+        SIGTERM => TERM_FLAG.store(true, Ordering::SeqCst),
+        _ => {}
+    }
+}
+
+/// Installs the flag-setting handler for `signum` ([`SIGINT`] or
+/// [`SIGTERM`]). Returns whether installation succeeded (always `false`
+/// off Unix).
+pub fn install(signum: i32) -> bool {
+    #[cfg(unix)]
+    {
+        const SIG_ERR: usize = usize::MAX;
+        // Safety: `on_signal` is async-signal-safe (atomic stores only)
+        // and stays alive for the process lifetime.
+        unsafe { signal(signum, on_signal as *const () as usize) != SIG_ERR }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = signum;
+        false
+    }
+}
+
+/// Whether `signum`'s flag has tripped since [`install`].
+pub fn tripped(signum: i32) -> bool {
+    match signum {
+        SIGINT => INT_FLAG.load(Ordering::SeqCst),
+        SIGTERM => TERM_FLAG.load(Ordering::SeqCst),
+        _ => false,
+    }
+}
+
+/// Whether any installed termination signal has tripped.
+pub fn shutdown_requested() -> bool {
+    tripped(SIGINT) || tripped(SIGTERM)
+}
+
+/// Clears the flags (tests, or re-arming after a handled interruption).
+pub fn reset() {
+    INT_FLAG.store(false, Ordering::SeqCst);
+    TERM_FLAG.store(false, Ordering::SeqCst);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn raised_signals_trip_their_flags() {
+        reset();
+        assert!(install(SIGINT), "installing a SIGINT handler");
+        assert!(install(SIGTERM), "installing a SIGTERM handler");
+        assert!(!shutdown_requested());
+
+        // Safety: raise() delivers synchronously to this thread; our
+        // handler only flips an atomic.
+        unsafe { raise(SIGINT) };
+        assert!(tripped(SIGINT));
+        assert!(!tripped(SIGTERM));
+        assert!(shutdown_requested());
+
+        unsafe { raise(SIGTERM) };
+        assert!(tripped(SIGTERM));
+
+        reset();
+        assert!(!shutdown_requested());
+        // Re-arm: the flags work repeatedly.
+        unsafe { raise(SIGTERM) };
+        assert!(shutdown_requested());
+        reset();
+    }
+}

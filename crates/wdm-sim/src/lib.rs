@@ -8,6 +8,9 @@
 //!   random node pairs (the standard model of the paper's citations);
 //! * [`policy`] — provisioning policies: the paper's §3.3 / §4.1 / §4.2
 //!   algorithms plus the baseline strategies;
+//! * [`provisioner`] — the provisioning service: live state + warm router
+//!   context + journal behind the [`provisioner::Provisioner`] trait, the
+//!   mutation lineage both the simulator and the `wdm serve` daemon drive;
 //! * [`sim`] — the event loop: admission/blocking, wavelength occupancy,
 //!   link-failure injection with *active* (instant backup switchover) vs
 //!   *passive* (recompute on demand) recovery, and threshold-triggered
@@ -32,6 +35,7 @@ pub mod events;
 pub mod metrics;
 pub mod parallel;
 pub mod policy;
+pub mod provisioner;
 pub mod schedule;
 pub mod sharded;
 pub mod shared;
@@ -50,6 +54,7 @@ pub mod prelude {
         replication_seeds, run_replications, run_replications_streaming, run_replications_telemetry,
     };
     pub use crate::policy::{Policy, ProvisionedRoute};
+    pub use crate::provisioner::{Connection, NetProvisioner, Provisioner};
     pub use crate::schedule::{ConflictPartitioner, GroupPlan, ScheduleMode, DEFAULT_SHARDS};
     pub use crate::sharded::provision_batch_sharded;
     pub use crate::shared::{SharedBackupPool, SharedConnection, SharedProvisioner};
@@ -58,9 +63,10 @@ pub mod prelude {
         run_sim_recorded, BatchConfig, SimConfig, Simulator,
     };
     pub use crate::speculative::{
-        distinct_static_costs, provision_batch_speculative, provision_batch_speculative_journaled,
-        provision_batch_speculative_observed, provision_batch_speculative_scheduled,
-        provision_batch_speculative_with_oracle, SpeculationStats,
+        distinct_static_costs, link_local_revalidation_sound, provision_batch_speculative,
+        provision_batch_speculative_journaled, provision_batch_speculative_observed,
+        provision_batch_speculative_scheduled, provision_batch_speculative_with_oracle,
+        zero_conversion_costs, SpeculationStats,
     };
     pub use crate::traffic::{HoldingDist, PairSelection, TrafficModel};
     pub use wdm_core::journal::{EventSink, NetEvent, NoopSink, ReplayError, StateJournal, Txn};

@@ -174,9 +174,12 @@ impl Policy {
     /// conversion arc) to outweigh the static-cost gap between competing
     /// pairs, so it is unobservable when link-cost gaps dominate the
     /// conversion cost, and impossible when conversion is free (every
-    /// average is exactly 0). Batch instances with *near-uniform* static
-    /// costs must therefore pair this guard with zero-cost conversion for
-    /// bit-identity — see `wdm-bench`'s `locality_instance`.
+    /// average is exactly 0). This caveat is *enforced* by
+    /// `wdm_sim::speculative::link_local_revalidation_sound`, the
+    /// predicate every speculative engine gates rule 2 on: it requires
+    /// zero-cost conversion (`zero_conversion_costs`) on top of this
+    /// method and `distinct_static_costs`, so link-local revalidation is
+    /// never consulted where the G′ averages can move.
     ///
     /// [`assign_wavelengths_on_path`]: wdm_core::optimal_slp::assign_wavelengths_on_path
     /// [`optimal_semilightpath`]: wdm_core::optimal_slp::optimal_semilightpath

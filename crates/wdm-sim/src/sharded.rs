@@ -80,7 +80,7 @@
 use crate::batch::{processing_order, BatchOrder, BatchOutcome, Demand};
 use crate::policy::{Policy, ProvisionedRoute};
 use crate::speculative::{
-    distinct_static_costs, run_conflict_groups, worker_count, SpeculationStats,
+    link_local_revalidation_sound, run_conflict_groups, worker_count, SpeculationStats,
 };
 use std::collections::HashSet;
 use wdm_core::aux_engine::RouterCtx;
@@ -251,7 +251,7 @@ where
     O: FootprintOracle,
 {
     let shards_eff = shards.clamp(1, net.node_count().max(1));
-    let guard = policy.has_link_local_decisions() && distinct_static_costs(net);
+    let guard = link_local_revalidation_sound(policy, net);
     if !guard || window <= 1 || shards_eff <= 1 {
         // Only rule 1 could commit (or there is nothing to parallelise):
         // delegate to conflict-groups, which degenerates to the warm
@@ -659,12 +659,14 @@ mod tests {
 
     /// Two well-connected distinct-cost clusters joined by one bridge
     /// pair: a topology where sharding actually separates traffic.
+    /// Conversion is free so the rule-2 guard holds — these tests are
+    /// meant to exercise the sharded engine, not its fallback.
     fn two_cluster_net(w: usize) -> WdmNetwork {
         use wdm_core::conversion::ConversionTable;
         let mut b = NetworkBuilder::new(w);
         let n = 16u32;
         let nodes: Vec<_> = (0..n)
-            .map(|_| b.add_node(ConversionTable::Full { cost: 0.3 }))
+            .map(|_| b.add_node(ConversionTable::Full { cost: 0.0 }))
             .collect();
         let mut c = 1.0;
         let mut link = |b: &mut NetworkBuilder, i: usize, j: usize| {

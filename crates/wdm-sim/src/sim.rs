@@ -6,20 +6,22 @@ use crate::batch::{provision_batch_journaled, BatchOrder, BatchOutcome, Demand};
 use crate::events::{Event, EventQueue};
 use crate::metrics::Metrics;
 use crate::policy::{Policy, ProvisionedRoute};
+use crate::provisioner::{NetProvisioner, Provisioner};
 use crate::schedule::ScheduleMode;
 use crate::speculative::{provision_batch_speculative_scheduled, SpeculationStats};
 use crate::traffic::{sample_exp, TrafficModel};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use wdm_core::aux_engine::RouterCtx;
 use wdm_core::journal::{EventSink, NetEvent, NoopSink, Txn};
 use wdm_core::load::load_snapshot;
 use wdm_core::network::{ResidualState, StateError, WdmNetwork};
 use wdm_core::optimal_slp::optimal_semilightpath_filtered;
 use wdm_core::semilightpath::{Hop, RobustRoute, Semilightpath};
-use wdm_graph::{EdgeId, NodeId};
+use wdm_graph::EdgeId;
 use wdm_telemetry::{
     FlightRecord, FlightRecorder, NoopRecorder, NoopTracer, Phase, Recorder, Tracer,
 };
@@ -80,15 +82,9 @@ impl SimConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Connection {
-    src: NodeId,
-    dst: NodeId,
-    route: ProvisionedRoute,
-}
-
-/// The simulator. Owns the mutable residual state; borrows the immutable
-/// network (many simulators can share one network across threads).
+/// The simulator. Owns the mutable residual state (through its
+/// [`NetProvisioner`]); borrows the immutable network (many simulators can
+/// share one network across threads).
 ///
 /// Generic over the telemetry [`Recorder`]: the default [`NoopRecorder`]
 /// compiles all instrumentation away; [`Simulator::with_recorder`] threads a
@@ -114,25 +110,21 @@ pub struct Simulator<
 > {
     net: &'a WdmNetwork,
     cfg: SimConfig,
-    state: ResidualState,
-    /// Incremental auxiliary-graph engines + search buffers, shared by every
-    /// routing call of the run (the simulator's `state` is a single mutation
-    /// lineage, so the engines' dirty-link tracking stays sound).
-    ctx: RouterCtx<R, T>,
-    journal: J,
-    /// Events appended to `journal` so far (the flight recorder stamps each
-    /// request with the value *before* the request's own events).
-    journal_seq: u64,
+    /// The provisioning service: residual state, warm router contexts,
+    /// journal and connection table — the single mutation lineage every
+    /// event handler drives (the same service `wdm serve` runs live).
+    prov: NetProvisioner<'a, R, J, T>,
     flight: Option<&'a FlightRecorder>,
     queue: EventQueue,
     rng: ChaCha8Rng,
-    connections: HashMap<u64, Connection>,
-    next_conn: u64,
     metrics: Metrics,
     now: f64,
     last_reconfig: f64,
     /// Time of the last load-integral update.
     last_integral_at: f64,
+    /// External interrupt (e.g. a SIGINT handler): when set, the event loop
+    /// stops cleanly at the next event boundary so journals stay replayable.
+    stop: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> Simulator<'a> {
@@ -179,29 +171,30 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
         Self {
             net,
             cfg,
-            state: ResidualState::fresh(net),
-            ctx: RouterCtx::with_recorder_and_tracer(recorder, tracer),
-            journal,
-            journal_seq: 0,
+            prov: NetProvisioner::with_parts(
+                net,
+                cfg.policy,
+                ResidualState::fresh(net),
+                RouterCtx::with_recorder_and_tracer(recorder, tracer),
+                journal,
+            ),
             flight,
             queue: EventQueue::new(),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
-            connections: HashMap::new(),
-            next_conn: 0,
             metrics: Metrics::default(),
             now: 0.0,
             last_reconfig: f64::NEG_INFINITY,
             last_integral_at: 0.0,
+            stop: None,
         }
     }
 
-    /// Appends one event to the journal, advancing the sequence counter the
-    /// flight recorder stamps requests with. All journal writes go through
-    /// here (call sites still gate on `journal.enabled()` so payloads are
-    /// never built for the [`NoopSink`]).
-    fn journal_event(&mut self, event: NetEvent) {
-        self.journal_seq += 1;
-        self.journal.record(event);
+    /// Installs an interrupt flag: when it turns true, [`Self::run_into`]
+    /// stops at the next event boundary (never mid-mutation), closes the
+    /// load integral at the interruption time, and returns normally — so a
+    /// journal written up to that point still replays and verifies.
+    pub fn set_stop_flag(&mut self, stop: Arc<AtomicBool>) {
+        self.stop = Some(stop);
     }
 
     /// Accumulates the time-weighted network-load integral up to `self.now`
@@ -209,7 +202,7 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
     fn accrue_load_integral(&mut self) {
         let dt = self.now - self.last_integral_at;
         if dt > 0.0 {
-            self.metrics.load_time_integral += dt * self.state.network_load(self.net);
+            self.metrics.load_time_integral += dt * self.prov.state().network_load(self.net);
             self.last_integral_at = self.now;
         }
     }
@@ -230,8 +223,17 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
             let link = self.pick_link();
             self.queue.schedule(f, Event::LinkFailure { link });
         }
+        let mut interrupted = false;
         while let Some((time, event)) = self.queue.next() {
             if time > self.cfg.duration {
+                break;
+            }
+            if self
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                interrupted = true;
                 break;
             }
             self.now = time;
@@ -243,12 +245,16 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                 Event::LinkRepair { link } => self.on_repair(link),
             }
         }
-        // Close the load integral at the horizon.
-        self.now = self.cfg.duration;
+        // Close the load integral at the horizon — or, when interrupted, at
+        // the last event actually processed, so the metrics stay internally
+        // consistent with the shortened run.
+        if !interrupted {
+            self.now = self.cfg.duration;
+        }
         self.accrue_load_integral();
-        self.metrics.sim_time = self.cfg.duration;
-        self.metrics.final_snapshot = Some(load_snapshot(self.net, &self.state));
-        (self.metrics, self.state)
+        self.metrics.sim_time = self.now;
+        self.metrics.final_snapshot = Some(load_snapshot(self.net, self.prov.state()));
+        (self.metrics, self.prov.into_state())
     }
 
     fn pick_link(&mut self) -> EdgeId {
@@ -266,20 +272,13 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
             .traffic
             .draw_pair(self.net.node_count(), &mut self.rng);
         self.metrics.offered += 1;
-        let tracing = self.ctx.tracer().enabled();
-        let req_t0 = self.ctx.tracer().now_ns();
-        let seq_before = self.journal_seq;
+        let tracing = self.prov.ctx().tracer().enabled();
+        let req_t0 = self.prov.ctx().tracer().now_ns();
+        let seq_before = self.prov.journal_seq();
         let mut footprint_links = 0u32;
-        let routed = match self
-            .cfg
-            .policy
-            .route_ctx(&mut self.ctx, self.net, &self.state, s, t)
-        {
+        let routed = match self.prov.route(s, t) {
             Ok(route) => {
-                let commit_t0 = self.ctx.tracer().now_ns();
-                route
-                    .occupy(self.net, &mut self.state)
-                    .expect("route computed against current state must occupy");
+                let commit_t0 = self.prov.ctx().tracer().now_ns();
                 self.metrics.admitted += 1;
                 self.metrics.total_route_cost += route.total_cost();
                 self.metrics.total_conversions += match &route {
@@ -288,30 +287,15 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                     }
                     ProvisionedRoute::Unprotected(p) => p.conversion_count() as u64,
                 };
-                let id = self.next_conn;
-                self.next_conn += 1;
-                if self.journal.enabled() {
-                    self.journal_event(NetEvent::Provision {
-                        id,
-                        channels: route.channels(),
-                    });
-                }
                 if self.flight.is_some() {
                     footprint_links = route.footprint().links.len() as u32;
                 }
-                self.connections.insert(
-                    id,
-                    Connection {
-                        src: s,
-                        dst: t,
-                        route,
-                    },
-                );
+                let id = self.prov.commit(s, t, route);
                 let hold = self.cfg.traffic.holding(&mut self.rng);
                 self.queue
                     .schedule(self.now + hold, Event::Departure { conn: id });
                 if tracing {
-                    self.ctx.tracer().record(Phase::Commit, commit_t0);
+                    self.prov.ctx().tracer().record(Phase::Commit, commit_t0);
                 }
                 true
             }
@@ -321,10 +305,10 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
             }
         };
         if tracing {
-            self.ctx.tracer().record(Phase::Request, req_t0);
+            self.prov.ctx().tracer().record(Phase::Request, req_t0);
         }
         if let Some(fr) = self.flight {
-            let phase_ns = self.ctx.tracer().last_request_phases();
+            let phase_ns = self.prov.ctx().tracer().last_request_phases();
             fr.push(FlightRecord {
                 request: fr.total_requests(),
                 src: s.0,
@@ -339,7 +323,7 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
             });
         }
         // Load sample + optional reconfiguration.
-        let rho = self.state.network_load(self.net);
+        let rho = self.prov.state().network_load(self.net);
         self.metrics.load_samples += 1;
         self.metrics.load_sum += rho;
         self.metrics.peak_network_load = self.metrics.peak_network_load.max(rho);
@@ -359,23 +343,13 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
     }
 
     fn on_departure(&mut self, conn: u64) {
-        // The connection may already have been dropped by a failed recovery.
-        if let Some(c) = self.connections.remove(&conn) {
-            c.route.release(&mut self.state);
-            if self.journal.enabled() {
-                self.journal_event(NetEvent::Teardown {
-                    id: conn,
-                    channels: c.route.channels(),
-                });
-            }
-        }
+        // The connection may already have been dropped by a failed recovery
+        // (teardown of an unknown id is a no-op).
+        self.prov.teardown(conn);
     }
 
     fn on_repair(&mut self, link: EdgeId) {
-        self.state.repair_link(link);
-        if self.journal.enabled() {
-            self.journal_event(NetEvent::RepairLink { link });
-        }
+        self.prov.repair_link(link);
     }
 
     /// Finds a new backup leg edge-disjoint from `primary`.
@@ -384,11 +358,11 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
         for e in primary.edges() {
             banned[e.index()] = true;
         }
-        let slp =
-            optimal_semilightpath_filtered(self.net, &self.state, primary.src, primary.dst, |e| {
-                !banned[e.index()]
-            })?;
-        slp.occupy(self.net, &mut self.state).ok()?;
+        let state = self.prov.state_mut();
+        let slp = optimal_semilightpath_filtered(self.net, state, primary.src, primary.dst, |e| {
+            !banned[e.index()]
+        })?;
+        slp.occupy(self.net, state).ok()?;
         Some(slp)
     }
 
@@ -399,21 +373,18 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
         self.queue
             .schedule(self.now + gap, Event::LinkFailure { link: next_link });
 
-        if self.state.is_failed(link) {
+        if !self.prov.fail_link(link) {
             return; // already down
         }
         self.metrics.failures_injected += 1;
-        self.state.fail_link(link);
-        if self.journal.enabled() {
-            self.journal_event(NetEvent::FailLink { link });
-        }
         self.queue.schedule(
             self.now + sample_exp(&mut self.rng, 1.0 / self.cfg.mean_repair),
             Event::LinkRepair { link },
         );
 
         let mut affected: Vec<u64> = self
-            .connections
+            .prov
+            .connections()
             .iter()
             .filter(|(_, c)| match &c.route {
                 ProvisionedRoute::Protected(r) => {
@@ -429,7 +400,7 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
         affected.sort_unstable();
 
         for id in affected {
-            let Some(c) = self.connections.get(&id) else {
+            let Some(c) = self.prov.connections().get(&id) else {
                 continue;
             };
             match c.route.clone() {
@@ -442,19 +413,19 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                             self.metrics.fast_switchovers += 1;
                             self.metrics.recovery_time_sum += self.cfg.switchover_time;
                             self.metrics.recovery_events += 1;
-                            let released = if self.journal.enabled() {
+                            let released = if self.prov.journal_enabled() {
                                 r.primary.hops.clone()
                             } else {
                                 Vec::new()
                             };
-                            r.primary.release(&mut self.state);
+                            r.primary.release(self.prov.state_mut());
                             let new_primary = r.backup;
                             let new_backup = self.reprovision_backup(&new_primary);
                             if new_backup.is_some() {
                                 self.metrics.backups_reprovisioned += 1;
                             }
-                            if self.journal.enabled() {
-                                self.journal_event(NetEvent::Reconfigure {
+                            if self.prov.journal_enabled() {
+                                self.prov.journal_event(NetEvent::Reconfigure {
                                     id,
                                     released,
                                     occupied: new_backup
@@ -462,7 +433,7 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                                         .map_or_else(Vec::new, |b| b.hops.clone()),
                                 });
                             }
-                            let conn = self.connections.get_mut(&id).expect("present");
+                            let conn = self.prov.connections_mut().get_mut(&id).expect("present");
                             conn.route = match new_backup {
                                 Some(b) => ProvisionedRoute::Protected(RobustRoute {
                                     primary: new_primary,
@@ -473,18 +444,18 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                         }
                         (false, true) => {
                             // Backup lost; try to re-protect.
-                            let released = if self.journal.enabled() {
+                            let released = if self.prov.journal_enabled() {
                                 r.backup.hops.clone()
                             } else {
                                 Vec::new()
                             };
-                            r.backup.release(&mut self.state);
+                            r.backup.release(self.prov.state_mut());
                             let new_backup = self.reprovision_backup(&r.primary);
                             if new_backup.is_some() {
                                 self.metrics.backups_reprovisioned += 1;
                             }
-                            if self.journal.enabled() {
-                                self.journal_event(NetEvent::Reconfigure {
+                            if self.prov.journal_enabled() {
+                                self.prov.journal_event(NetEvent::Reconfigure {
                                     id,
                                     released,
                                     occupied: new_backup
@@ -492,7 +463,7 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                                         .map_or_else(Vec::new, |b| b.hops.clone()),
                                 });
                             }
-                            let conn = self.connections.get_mut(&id).expect("present");
+                            let conn = self.prov.connections_mut().get_mut(&id).expect("present");
                             conn.route = match new_backup {
                                 Some(b) => ProvisionedRoute::Protected(RobustRoute {
                                     primary: r.primary,
@@ -512,24 +483,22 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
 
     /// Passive recovery: tear down and try to provision a fresh route now.
     fn passive_recover(&mut self, id: u64) {
-        let c = self.connections.get(&id).expect("present").clone();
-        let released = if self.journal.enabled() {
+        let c = self.prov.connections().get(&id).expect("present").clone();
+        let released = if self.prov.journal_enabled() {
             c.route.channels()
         } else {
             Vec::new()
         };
-        c.route.release(&mut self.state);
-        match self
-            .cfg
-            .policy
-            .route_ctx(&mut self.ctx, self.net, &self.state, c.src, c.dst)
-        {
+        let policy = self.cfg.policy;
+        let (ctx, state) = self.prov.ctx_and_state_mut();
+        c.route.release(state);
+        match policy.route_ctx(ctx, self.net, state, c.src, c.dst) {
             Ok(route) => {
                 route
-                    .occupy(self.net, &mut self.state)
+                    .occupy(self.net, state)
                     .expect("fresh route must occupy");
-                if self.journal.enabled() {
-                    self.journal_event(NetEvent::Reconfigure {
+                if self.prov.journal_enabled() {
+                    self.prov.journal_event(NetEvent::Reconfigure {
                         id,
                         released,
                         occupied: route.channels(),
@@ -539,18 +508,22 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                 self.metrics.recovery_time_sum +=
                     self.cfg.setup_time_per_hop * SimConfig::route_hops(&route) as f64;
                 self.metrics.recovery_events += 1;
-                self.connections.get_mut(&id).expect("present").route = route;
+                self.prov
+                    .connections_mut()
+                    .get_mut(&id)
+                    .expect("present")
+                    .route = route;
             }
             Err(_) => {
-                if self.journal.enabled() {
-                    self.journal_event(NetEvent::Reconfigure {
+                if self.prov.journal_enabled() {
+                    self.prov.journal_event(NetEvent::Reconfigure {
                         id,
                         released,
                         occupied: Vec::new(),
                     });
                 }
                 self.metrics.recovery_failures += 1;
-                self.connections.remove(&id);
+                self.prov.connections_mut().remove(&id);
             }
         }
     }
@@ -567,15 +540,17 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
         let hot = (0..self.net.link_count())
             .map(EdgeId::from)
             .max_by(|&a, &b| {
-                self.state
+                self.prov
+                    .state()
                     .load(self.net, a)
-                    .partial_cmp(&self.state.load(self.net, b))
+                    .partial_cmp(&self.prov.state().load(self.net, b))
                     .expect("loads are finite")
             });
         let Some(hot) = hot else { return Ok(()) };
 
         let mut users: Vec<u64> = self
-            .connections
+            .prov
+            .connections()
             .iter()
             .filter(|(_, c)| match &c.route {
                 ProvisionedRoute::Protected(r) => {
@@ -596,10 +571,10 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
         self.metrics.reconfig_events += 1;
 
         for id in users {
-            if self.state.load(self.net, hot) < th {
+            if self.prov.state().load(self.net, hot) < th {
                 break;
             }
-            let c = self.connections.get(&id).expect("present").clone();
+            let c = self.prov.connections().get(&id).expect("present").clone();
             let released = c.route.channels();
             // The probe runs inside a transaction: release the current
             // reservation, route on the transactional state, and either
@@ -607,12 +582,13 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
             // (clocks included) in O(channels touched). Restore-after-
             // release is therefore atomic — no re-occupy that could
             // half-fail and strand channels.
-            let mut txn = Txn::begin(&mut self.state);
+            let (ctx, state) = self.prov.ctx_and_state_mut();
+            let mut txn = Txn::begin(state);
             txn.release_hops(&released);
             // Joint policy with the hot link's channels avoided implicitly by
             // its congestion weight (and the threshold filter).
             let moved = wdm_core::joint::find_two_paths_joint_ctx(
-                &mut self.ctx,
+                ctx,
                 self.net,
                 txn.state(),
                 c.src,
@@ -622,7 +598,7 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
             let avoids_hot = |r: &RobustRoute| {
                 !r.primary.edges().any(|e| e == hot) && !r.backup.edges().any(|e| e == hot)
             };
-            match moved {
+            let committed = match moved {
                 Ok(out) if avoids_hot(&out.route) => {
                     let occupied: Vec<Hop> = out
                         .route
@@ -639,20 +615,11 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                         // surface the error instead of panicking with
                         // channels stranded.
                         txn.rollback();
-                        self.ctx.invalidate();
+                        ctx.invalidate();
                         return Err(err);
                     }
                     txn.commit();
-                    if self.journal.enabled() {
-                        self.journal_event(NetEvent::Reconfigure {
-                            id,
-                            released,
-                            occupied,
-                        });
-                    }
-                    self.metrics.reconfig_moved += 1;
-                    self.connections.get_mut(&id).expect("present").route =
-                        ProvisionedRoute::Protected(out.route);
+                    Some((occupied, out.route))
                 }
                 _ => {
                     // No useful move: rewind the release. The rollback
@@ -661,8 +628,24 @@ impl<'a, R: Recorder, J: EventSink, T: Tracer> Simulator<'a, R, J, T> {
                     // (masking the regression detector), so drop the warm
                     // engines explicitly.
                     txn.rollback();
-                    self.ctx.invalidate();
+                    ctx.invalidate();
+                    None
                 }
+            };
+            if let Some((occupied, route)) = committed {
+                if self.prov.journal_enabled() {
+                    self.prov.journal_event(NetEvent::Reconfigure {
+                        id,
+                        released,
+                        occupied,
+                    });
+                }
+                self.metrics.reconfig_moved += 1;
+                self.prov
+                    .connections_mut()
+                    .get_mut(&id)
+                    .expect("present")
+                    .route = ProvisionedRoute::Protected(route);
             }
         }
         Ok(())

@@ -51,7 +51,9 @@
 //!    rule, so every round makes progress and the engine terminates.
 //! 2. **Disjoint revalidation** (successful routes, guarded): the policy
 //!    [`has link-local decisions`](Policy::has_link_local_decisions), the
-//!    network has [`distinct_static_costs`], and none of the route's links
+//!    network has [`distinct_static_costs`] with free conversion
+//!    everywhere ([`zero_conversion_costs`] — together,
+//!    [`link_local_revalidation_sound`]), and none of the route's links
 //!    were occupied since the snapshot. Under uniform-per-link costs the
 //!    auxiliary-graph weight of a link is occupancy-invariant, so
 //!    intervening commits only *remove* candidate routes (saturating
@@ -81,8 +83,9 @@
 //!    (live = serial there, so the retry is exact); the rest of the round
 //!    proceeds.
 //!
-//! With the rule-2 guard off (load-sensitive policy or non-distinct
-//! costs), conflict-groups mode does not burn speculation that rule 1
+//! With the rule-2 guard off (load-sensitive policy, non-distinct costs,
+//! or nonzero conversion cost — the PR 8 caveat the guard now enforces),
+//! conflict-groups mode does not burn speculation that rule 1
 //! would discard: the plan degenerates to one demand per round — a warm
 //! serial loop over persistent router contexts, which is exactly where
 //! the measured single-core speedup comes from.
@@ -166,6 +169,32 @@ pub fn distinct_static_costs(net: &WdmNetwork) -> bool {
     }
     costs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     costs.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Whether wavelength conversion is free at every node. The §3.3 G′
+/// conversion-arc weight is the *average* over the currently-available
+/// λ_a → λ_b pair costs, so with a nonzero conversion cost that weight
+/// moves whenever channel occupancy reshapes the two adjacent links'
+/// availability sets — a shift commit rule 2's link-local check cannot
+/// see (the PR 8 caveat, DESIGN.md §5h). Only when every conversion costs
+/// exactly 0 does each pair average to 0 and the auxiliary weight stay
+/// link-local under occupancy churn.
+pub fn zero_conversion_costs(net: &WdmNetwork) -> bool {
+    let w = net.num_wavelengths();
+    (0..net.node_count())
+        .map(NodeId::from)
+        .all(|v| net.conversion(v).max_cost(w) == 0.0)
+}
+
+/// The complete premise of commit rule 2 (link-local revalidation): the
+/// policy's decisions are link-local, the static costs are pairwise
+/// distinct ([`distinct_static_costs`]) and conversion is free everywhere
+/// ([`zero_conversion_costs`]). Every speculative engine gates rule 2 on
+/// this predicate — when it is false only rule 1 (untouched links) can
+/// commit a speculated route, which keeps commits bit-identical to the
+/// serial fold regardless of how conversion costs bend the G′ averages.
+pub fn link_local_revalidation_sound(policy: Policy, net: &WdmNetwork) -> bool {
+    policy.has_link_local_decisions() && distinct_static_costs(net) && zero_conversion_costs(net)
 }
 
 /// Resolves an explicit `--threads` request against a per-round cap:
@@ -436,7 +465,7 @@ fn run_windowed<R: Recorder, J: EventSink, T: Tracer + Send>(
         .collect();
     let tracing = tracer.enabled();
 
-    let guard = policy.has_link_local_decisions() && distinct_static_costs(net);
+    let guard = link_local_revalidation_sound(policy, net);
     let mut touched = vec![false; net.link_count()];
     let mut provisioned = Vec::new();
     let mut rejected = Vec::new();
@@ -672,7 +701,7 @@ pub(crate) fn run_conflict_groups<
         .collect();
     let tracing = tracer.enabled();
 
-    let guard = policy.has_link_local_decisions() && distinct_static_costs(net);
+    let guard = link_local_revalidation_sound(policy, net);
     let mut partitioner = ConflictPartitioner::new(net.link_count());
     let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
     let mut member_ids: Vec<usize> = Vec::new();
@@ -881,14 +910,22 @@ mod tests {
         NetworkBuilder::nsfnet(w).build()
     }
 
-    /// A network whose links all carry distinct uniform costs (rule 2
-    /// applies for cost-static policies).
+    /// A network whose links all carry distinct uniform costs *and* whose
+    /// conversion is free (rule 2 applies for cost-static policies —
+    /// conversion must cost 0 or the G′ conversion-arc averages move with
+    /// occupancy and link-local revalidation is unsound).
     fn distinct_net(w: usize) -> WdmNetwork {
+        distinct_net_with_conversion(w, 0.0)
+    }
+
+    /// As [`distinct_net`] but with an explicit per-conversion cost — the
+    /// `cost > 0` variants are the rule-2 counterexample family.
+    fn distinct_net_with_conversion(w: usize, conv_cost: f64) -> WdmNetwork {
         use wdm_core::conversion::ConversionTable;
         let mut b = NetworkBuilder::new(w);
         let n = 10u32;
         let nodes: Vec<_> = (0..n)
-            .map(|_| b.add_node(ConversionTable::Full { cost: 0.3 }))
+            .map(|_| b.add_node(ConversionTable::Full { cost: conv_cost }))
             .collect();
         let mut c = 1.0;
         // A ring plus chords: well connected, every cost unique.
@@ -908,6 +945,69 @@ mod tests {
         assert!(distinct_static_costs(&distinct_net(4)));
         // NSFNET's twin directed links share their length-derived cost.
         assert!(!distinct_static_costs(&nsfnet(4)));
+    }
+
+    #[test]
+    fn revalidation_guard_requires_free_conversion() {
+        let sound = distinct_net(4);
+        assert!(zero_conversion_costs(&sound));
+        assert!(link_local_revalidation_sound(Policy::CostOnly, &sound));
+
+        let costly = distinct_net_with_conversion(4, 0.3);
+        // Distinct static costs alone no longer satisfy the guard: with a
+        // nonzero conversion cost the G′ conversion-arc average moves with
+        // occupancy, which rule 2's link-local check cannot see.
+        assert!(distinct_static_costs(&costly));
+        assert!(!zero_conversion_costs(&costly));
+        assert!(!link_local_revalidation_sound(Policy::CostOnly, &costly));
+        // Load-sensitive policies never qualify regardless of the network.
+        assert!(!link_local_revalidation_sound(
+            Policy::Joint { a: 2.0 },
+            &sound
+        ));
+    }
+
+    /// The satellite regression for the PR 8 caveat: on a distinct-cost
+    /// network with *nonzero* conversion cost, every speculative schedule
+    /// must still be bit-identical to the serial fold — which it can only
+    /// guarantee by not relying on link-local revalidation there.
+    #[test]
+    fn nonzero_conversion_cost_stays_bit_identical_to_serial() {
+        let net = distinct_net_with_conversion(4, 0.3);
+        let st = ResidualState::fresh(&net);
+        let demands = full_mesh_demands(10, 1);
+        let serial = provision_batch(&net, &st, &demands, Policy::CostOnly, BatchOrder::AsGiven);
+        for schedule in [
+            ScheduleMode::Windowed,
+            ScheduleMode::ConflictGroups,
+            ScheduleMode::Sharded { shards: 3 },
+        ] {
+            for window in [2, 8, 64] {
+                let (spec, stats) = provision_batch_speculative_scheduled(
+                    &net,
+                    &st,
+                    &demands,
+                    Policy::CostOnly,
+                    BatchOrder::AsGiven,
+                    window,
+                    schedule,
+                    0,
+                    NoopRecorder,
+                    NoopSink,
+                    &NoopTracer,
+                );
+                assert_outcomes_identical(&serial, &spec);
+                match schedule {
+                    ScheduleMode::Windowed => {
+                        assert_eq!(stats.commits, demands.len() as u64, "window {window}");
+                        assert_eq!(stats.aborts, stats.retries);
+                    }
+                    ScheduleMode::ConflictGroups | ScheduleMode::Sharded { .. } => {
+                        assert_stats_accounted(&stats, demands.len());
+                    }
+                }
+            }
+        }
     }
 
     fn assert_outcomes_identical(a: &BatchOutcome, b: &BatchOutcome) {

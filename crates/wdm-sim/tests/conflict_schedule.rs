@@ -171,11 +171,12 @@ proptest! {
         ][policy_idx];
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // Reuse the equivalence suite's topology recipe: distinct uniform
-        // costs so rule 2 (and with it real group speculation) is live.
+        // costs and free conversion so rule 2 (and with it real group
+        // speculation) is live.
         let n = rng.gen_range(5..10u32);
         let mut b = wdm_core::network::NetworkBuilder::new(4);
         let nodes: Vec<_> = (0..n)
-            .map(|_| b.add_node(wdm_core::conversion::ConversionTable::Full { cost: 0.3 }))
+            .map(|_| b.add_node(wdm_core::conversion::ConversionTable::Full { cost: 0.0 }))
             .collect();
         let mut c = 1.0;
         for i in 0..n as usize {

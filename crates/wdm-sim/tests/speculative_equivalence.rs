@@ -17,8 +17,11 @@ use wdm_sim::batch::BatchOutcome;
 use wdm_sim::prelude::*;
 
 /// A random connected network whose directed links carry pairwise-distinct
-/// uniform costs (cost rank `k` lands in `(k, k + 1)`), so commit rule 2's
-/// [`distinct_static_costs`] guard holds.
+/// uniform costs (cost rank `k` lands in `(k, k + 1)`). Conversion is a
+/// 50/50 mix of free (`None` — rule 2's full guard holds) and costed
+/// (`Full { cost: 0.3 }` — the guard correctly turns rule 2 off, since
+/// the G′ conversion-arc averages move with occupancy), so the suite
+/// pins serial equivalence on both sides of the soundness boundary.
 fn random_distinct_net(rng: &mut ChaCha8Rng, w: usize) -> WdmNetwork {
     let n = rng.gen_range(5..12usize);
     let conv = if rng.gen_bool(0.5) {

@@ -114,11 +114,36 @@ pub enum Counter {
     /// batch is monotone, so the mirror's argmin is still the serial
     /// argmin and the route commits without a retry or poisoning.
     ShardedVerifiedCommits = 29,
+    /// Daemon: provision requests that were accepted and committed.
+    ServeProvisionOk = 30,
+    /// Daemon: provision requests refused by the routing policy.
+    ServeProvisionBlocked = 31,
+    /// Daemon: teardown requests that released a live connection.
+    ServeTeardownOk = 32,
+    /// Daemon: teardown requests naming an unknown connection id.
+    ServeTeardownMiss = 33,
+    /// Daemon: fail-link requests applied.
+    ServeFailLink = 34,
+    /// Daemon: repair-link requests applied.
+    ServeRepairLink = 35,
+    /// Daemon: state-query requests served.
+    ServeQuery = 36,
+    /// Daemon: requests shed by admission control (bounded queue full,
+    /// answered 503 + Retry-After).
+    ServeShed = 37,
+    /// Daemon: requests dropped because their deadline expired while
+    /// queued (answered 503).
+    ServeDeadlineDrop = 38,
+    /// Daemon: malformed HTTP requests rejected by the listener.
+    ServeBadRequest = 39,
+    /// Daemon: optimistic commits that conflicted with a concurrent
+    /// mutation and re-routed under the write lock.
+    ServeConflictRetries = 40,
 }
 
 impl Counter {
     /// Number of counter slots.
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 41;
 
     /// Every variant, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -152,6 +177,17 @@ impl Counter {
         Counter::ShardedLineageAborts,
         Counter::ShardedEscapeAborts,
         Counter::ShardedVerifiedCommits,
+        Counter::ServeProvisionOk,
+        Counter::ServeProvisionBlocked,
+        Counter::ServeTeardownOk,
+        Counter::ServeTeardownMiss,
+        Counter::ServeFailLink,
+        Counter::ServeRepairLink,
+        Counter::ServeQuery,
+        Counter::ServeShed,
+        Counter::ServeDeadlineDrop,
+        Counter::ServeBadRequest,
+        Counter::ServeConflictRetries,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -187,6 +223,17 @@ impl Counter {
             Counter::ShardedLineageAborts => "sharded_lineage_aborts",
             Counter::ShardedEscapeAborts => "sharded_escape_aborts",
             Counter::ShardedVerifiedCommits => "sharded_verified_commits",
+            Counter::ServeProvisionOk => "serve_provision_ok",
+            Counter::ServeProvisionBlocked => "serve_provision_blocked",
+            Counter::ServeTeardownOk => "serve_teardown_ok",
+            Counter::ServeTeardownMiss => "serve_teardown_miss",
+            Counter::ServeFailLink => "serve_fail_link",
+            Counter::ServeRepairLink => "serve_repair_link",
+            Counter::ServeQuery => "serve_query",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeDeadlineDrop => "serve_deadline_drop",
+            Counter::ServeBadRequest => "serve_bad_request",
+            Counter::ServeConflictRetries => "serve_conflict_retries",
         }
     }
 }
@@ -223,11 +270,17 @@ pub enum Hist {
     /// Speculation aborts per active shard per sharded-engine round,
     /// zeros included — per-shard abort pressure (deterministic).
     ShardAborts = 9,
+    /// Daemon: end-to-end request latency from accept to response write,
+    /// nanoseconds (nondeterministic).
+    ServeLatencyNanos = 10,
+    /// Daemon: time a request spent in the admission queue before a
+    /// worker picked it up, nanoseconds (nondeterministic).
+    ServeQueueNanos = 11,
 }
 
 impl Hist {
     /// Number of histogram slots.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every variant, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -241,6 +294,8 @@ impl Hist {
         Hist::ConflictGroupSize,
         Hist::ShardOccupancy,
         Hist::ShardAborts,
+        Hist::ServeLatencyNanos,
+        Hist::ServeQueueNanos,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -256,13 +311,21 @@ impl Hist {
             Hist::ConflictGroupSize => "conflict_group_size",
             Hist::ShardOccupancy => "shard_occupancy",
             Hist::ShardAborts => "shard_aborts",
+            Hist::ServeLatencyNanos => "serve_latency_ns",
+            Hist::ServeQueueNanos => "serve_queue_ns",
         }
     }
 
     /// Whether this histogram records wall-clock time (and therefore cannot
     /// be expected to reproduce bucket-for-bucket across runs).
     pub fn is_timing(self) -> bool {
-        matches!(self, Hist::SearchNanos | Hist::RequestNanos)
+        matches!(
+            self,
+            Hist::SearchNanos
+                | Hist::RequestNanos
+                | Hist::ServeLatencyNanos
+                | Hist::ServeQueueNanos
+        )
     }
 }
 
