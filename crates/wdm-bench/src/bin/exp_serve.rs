@@ -13,21 +13,25 @@
 //! requests/sec and the p50/p99 request latencies are the daemon's own
 //! numbers, not the client's.
 //!
-//! Two acceptance checks run before anything is reported: the run must
-//! finish with **zero transport errors**, and the write-ahead log must
-//! replay to exactly the live final `semantic_hash` (zero lost
+//! The benchmark runs **two legs**: tracer-off (the gated headline `rps`)
+//! and tracer-on (`--trace`-style span recording in every worker,
+//! reported as `rps_traced`). The second leg prices the observability
+//! tax; the committed artifact carries both so CI can gate either series.
+//!
+//! Two acceptance checks run per leg before anything is reported: the run
+//! must finish with **zero transport errors**, and the write-ahead log
+//! must replay to exactly the live final `semantic_hash` (zero lost
 //! mutations). Writes the machine-readable results to `BENCH_serve.json`
 //! in the working directory (the committed artifact lives at the repo
-//! root); CI's `serve-smoke` job gates `rps` against the committed
-//! baseline with `wdm telemetry diff --fail-drop 15`.
+//! root); CI's `serve-smoke` job gates the `rps*` series against the
+//! committed baseline with `wdm telemetry diff --fail-drop 15`.
 
 use std::time::Duration;
 
 use wdm_bench::Table;
-use wdm_core::network::NetworkBuilder;
+use wdm_core::network::{NetworkBuilder, WdmNetwork};
 use wdm_serve::daemon::{run, Control, ServeConfig};
-use wdm_serve::loadgen::{self, LoadgenConfig};
-use wdm_serve::wal;
+use wdm_serve::loadgen::{self, LoadgenConfig, LoadgenReport};
 
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct BenchReport {
@@ -45,29 +49,38 @@ struct BenchReport {
     provisions: u64,
     /// Journal events the WAL replayed (each one flushed pre-response).
     journal_events: u64,
-    /// Achieved requests/sec — the gated headline number.
+    /// Achieved requests/sec, tracer off — the gated headline number.
     rps: f64,
     p50_ms: f64,
     p99_ms: f64,
+    /// Achieved requests/sec with span tracing live in every worker.
+    rps_traced: f64,
+    p50_ms_traced: f64,
+    p99_ms_traced: f64,
 }
 
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    // The generator sends sequentially, so the achieved rate is bounded by
-    // one round-trip per request; 400/s leaves ~2.5 ms of headroom per
-    // request before the open-loop schedule starts slipping.
-    let (rate, duration) = if quick { (300.0, 1.5) } else { (400.0, 5.0) };
-
-    let net = NetworkBuilder::nsfnet(8).build();
-    let wal_path =
-        std::env::temp_dir().join(format!("wdm-exp-serve-{}.wal.jsonl", std::process::id()));
+/// One full daemon lifecycle under load. When `trace` is set the daemon
+/// records spans in every worker and writes the trace file on shutdown.
+fn run_leg(
+    net: &WdmNetwork,
+    rate: f64,
+    duration: f64,
+    trace: Option<std::path::PathBuf>,
+) -> (LoadgenReport, u64) {
+    let tag = if trace.is_some() { "traced" } else { "plain" };
+    let wal_path = std::env::temp_dir().join(format!(
+        "wdm-exp-serve-{}-{}.wal.jsonl",
+        std::process::id(),
+        tag
+    ));
     let mut cfg = ServeConfig::new("127.0.0.1:0", &wal_path);
     cfg.threads = 4;
     cfg.checkpoint_every = 256;
+    cfg.trace_path = trace.clone();
     let control = Control::new();
 
     let (lr, report) = std::thread::scope(|s| {
-        let server = s.spawn(|| run(&net, &cfg, &control));
+        let server = s.spawn(|| run(net, &cfg, &control));
         let addr = control
             .wait_addr(Duration::from_secs(10))
             .expect("daemon binds");
@@ -90,7 +103,7 @@ fn main() {
     // Acceptance before measurement: no transport errors, and the WAL
     // replays to the live lineage bit-for-bit.
     assert_eq!(lr.errors, 0, "transport errors against a live daemon");
-    let rec = wal::recover(&wal_path).expect("WAL recovers");
+    let rec = wdm_serve::wal::recover(&wal_path).expect("WAL recovers");
     assert_eq!(
         rec.semantic_hash(),
         report.semantic_hash,
@@ -98,34 +111,76 @@ fn main() {
     );
     assert!(rec.clean_shutdown(), "graceful-close line present");
     std::fs::remove_file(&wal_path).ok();
+    if let Some(path) = &trace {
+        assert!(path.exists(), "traced leg writes its trace file");
+    }
+
+    (lr, report.journal_seq)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The generator sends sequentially, so the achieved rate is bounded by
+    // one round-trip per request; 400/s leaves ~2.5 ms of headroom per
+    // request before the open-loop schedule starts slipping.
+    let (rate, duration) = if quick { (300.0, 1.5) } else { (400.0, 5.0) };
+
+    let net = NetworkBuilder::nsfnet(8).build();
+    let trace_path =
+        std::env::temp_dir().join(format!("wdm-exp-serve-{}.trace.json", std::process::id()));
+
+    let (lr, journal_events) = run_leg(&net, rate, duration, None);
+    let (lr_traced, _) = run_leg(&net, rate, duration, Some(trace_path.clone()));
+    std::fs::remove_file(&trace_path).ok();
 
     println!("serve — daemon throughput under open-loop load\n");
-    let mut table = Table::new(&["threads", "offered", "ok", "blocked", "rps", "p50", "p99"]);
-    table.row(vec![
-        cfg.threads.to_string(),
-        lr.offered.to_string(),
-        lr.ok.to_string(),
-        lr.blocked.to_string(),
-        format!("{:.0}/s", lr.rps),
-        format!("{:.2}ms", lr.p50_ms),
-        format!("{:.2}ms", lr.p99_ms),
-    ]);
+    let mut table = Table::new(&["leg", "offered", "ok", "blocked", "rps", "p50", "p99"]);
+    for (tag, r) in [("tracer-off", &lr), ("tracer-on", &lr_traced)] {
+        table.row(vec![
+            tag.to_string(),
+            r.offered.to_string(),
+            r.ok.to_string(),
+            r.blocked.to_string(),
+            format!("{:.0}/s", r.rps),
+            format!("{:.2}ms", r.p50_ms),
+            format!("{:.2}ms", r.p99_ms),
+        ]);
+    }
     table.print();
+    let ratio = if lr.rps > 0.0 {
+        lr_traced.rps / lr.rps
+    } else {
+        1.0
+    };
+    println!("\ntracer-on throughput ratio: {:.3}", ratio);
+    if !quick {
+        // The committed artifact must witness the observability budget:
+        // tracer-on within 15% of tracer-off.
+        assert!(
+            ratio >= 0.85,
+            "tracer-on rps {:.1} fell more than 15% below tracer-off {:.1}",
+            lr_traced.rps,
+            lr.rps
+        );
+    }
 
     let out = BenchReport {
         bench: String::from("serve"),
         unit: String::from("requests_per_second"),
-        threads: cfg.threads,
+        threads: 4,
         offered_rate: rate,
         offered: lr.offered,
         ok: lr.ok,
         blocked: lr.blocked,
         shed: lr.shed,
         provisions: lr.provisions,
-        journal_events: report.journal_seq,
+        journal_events,
         rps: lr.rps,
         p50_ms: lr.p50_ms,
         p99_ms: lr.p99_ms,
+        rps_traced: lr_traced.rps,
+        p50_ms_traced: lr_traced.p50_ms,
+        p99_ms_traced: lr_traced.p99_ms,
     };
     let json = serde_json::to_string_pretty(&out).expect("report serialises");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

@@ -1025,11 +1025,19 @@ pub fn serve(args: &Args) -> Result<(), String> {
     cfg.deadline = std::time::Duration::from_millis(args.get_or("deadline-ms", 2000u64)?);
     cfg.checkpoint_every = args.get_or("checkpoint-every", 256)?;
     cfg.handle_signals = true; // SIGINT/SIGTERM drain, checkpoint, close.
+                               // --trace FILE turns on end-to-end span recording (queue wait through
+                               // WAL fsync); the file is `wdm trace analyze`-compatible and written
+                               // at clean shutdown.
+    cfg.trace_path = args.get("trace").map(std::path::PathBuf::from);
+    cfg.flight_capacity = args.get_or("flight-cap", wdm_telemetry::DEFAULT_FLIGHT_CAPACITY)?;
     if cfg.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
     if cfg.queue_capacity == 0 {
         return Err("--queue must be at least 1".into());
+    }
+    if cfg.flight_capacity == 0 {
+        return Err("--flight-cap must be at least 1".into());
     }
     if let Some(prev) = args.get("resume") {
         // Crash recovery: replay the previous WAL and seed the daemon
@@ -1147,6 +1155,15 @@ pub fn loadgen(args: &Args) -> Result<(), String> {
             "latency      p50 {:.2} ms, p99 {:.2} ms",
             report.p50_ms, report.p99_ms
         );
+        if !report.server_phases.is_empty() {
+            println!("server phases (scraped from /metrics):");
+            for p in &report.server_phases {
+                println!(
+                    "  {:<20} {:>8} obs   p50 {:>9.3} ms   p99 {:>9.3} ms",
+                    p.phase, p.count, p.p50_ms, p.p99_ms
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -628,6 +628,14 @@ fn serve_metrics_answers_prometheus_scrape() {
         response.contains("wdm_requests_routed_total"),
         "counter exposition missing: {response}"
     );
+    assert!(
+        response.contains("# HELP wdm_requests_routed_total"),
+        "HELP metadata missing: {response}"
+    );
+    assert!(
+        response.contains("# TYPE wdm_requests_routed_total counter"),
+        "TYPE metadata missing: {response}"
+    );
 
     // The first scrape can land before any request completes, when every
     // histogram is still empty and thus skipped. Keep scraping while the

@@ -1064,11 +1064,14 @@ impl<R: Recorder, T: Tracer> RouterCtx<R, T> {
             warm,
             ..
         } = &mut *self;
+        // The refresh span opens before engine selection: a cold slot
+        // builds its whole skeleton here, and that cost belongs to
+        // `AuxRefresh`, not to an attribution gap.
+        let tracing = tracer.enabled();
+        let sync_t0 = tracer.now_ns();
         let (eng, built) =
             Self::engine_slot(g_prime, g_c, g_c_prospective, g_rc, g_rc_printed, net, spec);
         eng.set_warm_potentials(*warm);
-        let tracing = tracer.enabled();
-        let sync_t0 = tracer.now_ns();
         let sync = eng.sync(net, state, s, t);
         eng.warm_prepare(net);
         if tracing {
@@ -1102,6 +1105,11 @@ impl<R: Recorder, T: Tracer> RouterCtx<R, T> {
                 }
             }),
         };
+        if tracing && p2_t0.is_none() {
+            // The staged callback never fired: pass 1 ran to exhaustion
+            // and found no path. The failed search is still pass-1 work.
+            tracer.record(Phase::SuurballeP1, p1_t0);
+        }
         let eng: &AuxEngine = eng;
         let result = pair_opt.map(|pair| {
             if let Some(t0) = p2_t0.take() {

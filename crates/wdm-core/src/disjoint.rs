@@ -195,28 +195,40 @@ pub fn robust_route_ctx<R: Recorder, T: Tracer>(
         .disjoint_pair(net, state, s, t, AuxSpec::g_prime())
         .ok_or(RoutingError::NoDisjointPair)?;
 
+    // The refine span covers the Lemma 2 refinement of both legs *and*
+    // the route assembly below, so the serve-path trace tiles without a
+    // gap between refinement and the commit handoff.
     let tracing = ctx.tracer().enabled();
     let refine_t0 = ctx.tracer().now_ns();
     let leg_a = refine_leg(net, state, s, t, &phys_a);
     let leg_b = refine_leg(net, state, s, t, &phys_b);
-    if tracing {
-        ctx.tracer().record(Phase::Refine, refine_t0);
-    }
-    let (leg_a, leg_b) = (leg_a?, leg_b?);
+    let (leg_a, leg_b) = match (leg_a, leg_b) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            if tracing {
+                ctx.tracer().record(Phase::Refine, refine_t0);
+            }
+            return Err(e);
+        }
+    };
     debug_assert!(
         !leg_a.shares_edge_with(&leg_b),
         "Lemma 2: refinement must preserve edge-disjointness"
     );
     let refined_cost = leg_a.cost + leg_b.cost;
     let route = RobustRoute::ordered(leg_a, leg_b);
-    Ok((
+    let result = (
         route,
         DisjointDiagnostics {
             aux_cost: pair.total_cost,
             refined_cost,
             aux_paths: [phys_a, phys_b],
         },
-    ))
+    );
+    if tracing {
+        ctx.tracer().record(Phase::Refine, refine_t0);
+    }
+    Ok(result)
 }
 
 /// Runs the Liang–Shen search restricted to the induced subgraph `G_i` of

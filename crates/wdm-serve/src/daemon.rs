@@ -37,6 +37,20 @@
 //! `kill -9` costs at most the in-flight request. Graceful shutdown
 //! (SIGTERM, or [`Control::shutdown`]) drains the queue, writes a final
 //! checkpoint anchor and the graceful-close line.
+//!
+//! # Observability (DESIGN.md §5j)
+//!
+//! The serve path is generic over the telemetry stack. Counters and
+//! histograms always flow into the shared [`TelemetrySink`] (scraped via
+//! `/metrics`, with per-phase latency histograms and queue/WAL gauges);
+//! every provision lands a WAL-seq-correlated record in the [`Diag`]
+//! flight ring (`/debug/flight`). With `--trace`, each worker additionally
+//! owns a live [`SpanBuffer`] on a shared clock domain and times the full
+//! request lifecycle — queue wait, admission, lock acquires, epoch check,
+//! the route phases, commit, WAL fsync, rollback — draining closed spans
+//! into the [`Diag`] span ring (`/debug/trace?n=K`, Chrome `trace_event`
+//! format) after every request. At clean shutdown the flight dump is
+//! written as a `wdm trace analyze`-compatible trace file.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -49,12 +63,16 @@ use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_graph::{EdgeId, NodeId};
 use wdm_sim::policy::Policy;
 use wdm_sim::provisioner::{NetProvisioner, Provisioner};
-use wdm_telemetry::{Counter, Hist, Recorder, TelemetrySink};
+use wdm_telemetry::{
+    Counter, FlightRecord, Hist, MonotonicClock, NoopTracer, Phase, Recorder, SpanBuffer,
+    SpanRecord, TelemetrySink, Tracer, DEFAULT_FLIGHT_CAPACITY,
+};
 
 use crate::admission::{AdmitError, WorkQueue};
+use crate::diag::Diag;
 use crate::http::{self, Request};
 use crate::signal;
-use crate::wal::{WalError, WalSink};
+use crate::wal::{ServeLog, WalError, WalSink};
 
 /// How the daemon runs.
 #[derive(Debug, Clone)]
@@ -81,12 +99,18 @@ pub struct ServeConfig {
     /// Resume state: replayed from a previous WAL instead of a fresh
     /// network (the new WAL's header checkpoint is this state).
     pub resume_state: Option<ResidualState>,
+    /// When set, workers carry live span buffers and a `wdm trace
+    /// analyze`-compatible trace file is written here at clean shutdown.
+    pub trace_path: Option<PathBuf>,
+    /// Flight-recorder ring capacity (per-request records behind
+    /// `/debug/flight`).
+    pub flight_capacity: usize,
 }
 
 impl ServeConfig {
     /// Defaults for `addr`/`wal_path`: loopback on an ephemeral port,
     /// four workers, a 256-deep queue, 2 s deadline, anchors every 256
-    /// events.
+    /// events, tracing off, the default flight ring.
     pub fn new(addr: impl Into<String>, wal_path: impl Into<PathBuf>) -> Self {
         Self {
             addr: addr.into(),
@@ -98,6 +122,8 @@ impl ServeConfig {
             checkpoint_every: 256,
             handle_signals: false,
             resume_state: None,
+            trace_path: None,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -184,7 +210,57 @@ pub struct ServeReport {
     pub counters: std::collections::BTreeMap<String, u64>,
 }
 
-type WorkerCtx = RouterCtx;
+/// A worker-owned tracer the daemon can drain: spans close into the
+/// worker's private buffer while a request is handled, then move to the
+/// shared [`Diag`] span ring in one batch. [`NoopTracer`] drains nothing,
+/// so the untraced daemon never touches the ring or its lock.
+pub trait WorkerTracer: Tracer + Sized {
+    /// Takes every span closed since the last drain.
+    fn drain(&self) -> Vec<SpanRecord>;
+}
+
+impl WorkerTracer for NoopTracer {
+    #[inline(always)]
+    fn drain(&self) -> Vec<SpanRecord> {
+        Vec::new()
+    }
+}
+
+impl<C: wdm_telemetry::Clock + Clone> WorkerTracer for SpanBuffer<C> {
+    fn drain(&self) -> Vec<SpanRecord> {
+        self.take_records()
+    }
+}
+
+/// Per-request timestamps captured in the worker loop, before dispatch.
+///
+/// The `u64` fields are tracer-clock readings (all zero when untraced)
+/// used to back-fill the queue-wait and admission spans once `route_ctx`
+/// has opened the request's span ordinal; `wall`/`queue_wait_ns` are real
+/// wall measurements, so flight records carry a total even without
+/// `--trace`.
+struct ReqTiming {
+    /// When the request entered the admission queue (tracer clock).
+    queue_start: u64,
+    /// When the worker picked it up and began reading the socket.
+    read_start: u64,
+    /// Wall-clock anchor at `read_start`.
+    wall: Instant,
+    /// Measured queue wait.
+    queue_wait_ns: u64,
+}
+
+/// On-disk shape of `--trace` output: field-compatible with the
+/// `wdm simulate --trace` file, so `wdm trace analyze` consumes daemon
+/// traces unchanged. `seed` is zero — a daemon has no replication seed.
+#[derive(serde::Serialize)]
+struct ServeTraceFile {
+    policy: String,
+    seed: u64,
+    phases: Vec<String>,
+    offered: u64,
+    flight: wdm_telemetry::FlightDump,
+}
 
 /// JSON request bodies.
 #[derive(serde::Deserialize)]
@@ -230,14 +306,34 @@ pub fn run(
     let epoch = AtomicU64::new(0);
     let sink = TelemetrySink::new();
     let queue: WorkQueue<TcpStream> = WorkQueue::new(cfg.queue_capacity);
+    let tracing = cfg.trace_path.is_some();
+    let diag = Diag::new(cfg.flight_capacity.max(1), tracing);
+    // One clock domain for every worker's span buffer, so interleaved
+    // requests line up on a common timeline in `/debug/trace`.
+    let clock = MonotonicClock::default();
 
     let listener = TcpListener::bind(&cfg.addr).map_err(WalError::Io)?;
     listener.set_nonblocking(true).map_err(WalError::Io)?;
     control.publish_addr(listener.local_addr().map_err(WalError::Io)?);
 
     std::thread::scope(|s| {
+        let (prov, epoch, sink, queue, diag) = (&prov, &epoch, &sink, &queue, &diag);
         for _ in 0..cfg.threads.max(1) {
-            s.spawn(|| worker_loop(net, cfg, control, &prov, &epoch, &sink, &queue));
+            // Monomorphise the worker per mode: the untraced daemon runs
+            // the NoopTracer instantiation, where every span call is an
+            // empty inlined body.
+            if tracing {
+                let tracer = SpanBuffer::with_clock(clock);
+                s.spawn(move || {
+                    worker_loop(net, cfg, control, prov, epoch, sink, queue, diag, tracer)
+                });
+            } else {
+                s.spawn(move || {
+                    worker_loop(
+                        net, cfg, control, prov, epoch, sink, queue, diag, NoopTracer,
+                    )
+                });
+            }
         }
 
         // Accept loop: admit or shed; never blocks on a worker.
@@ -278,6 +374,18 @@ pub fn run(
         let wal = prov.journal_mut();
         wal.checkpoint(&snapshot);
         wal.finalize(&snapshot)?;
+        if let Some(path) = &cfg.trace_path {
+            let trace = ServeTraceFile {
+                policy: cfg.policy.name().to_string(),
+                seed: 0,
+                phases: Phase::ALL.iter().map(|p| p.name().to_string()).collect(),
+                offered: diag.flight.total_requests(),
+                flight: diag.flight.dump(),
+            };
+            let text = serde_json::to_string(&trace)
+                .map_err(|e| WalError::Io(std::io::Error::other(e.to_string())))?;
+            std::fs::write(path, text).map_err(WalError::Io)?;
+        }
     }
     if let Some(e) = prov.journal_mut().take_error() {
         return Err(WalError::Io(e));
@@ -291,18 +399,24 @@ pub fn run(
     })
 }
 
-fn worker_loop(
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<R, W, T, WT>(
     net: &WdmNetwork,
     cfg: &ServeConfig,
     control: &Control,
-    prov: &RwLock<
-        NetProvisioner<'_, wdm_telemetry::NoopRecorder, WalSink, wdm_telemetry::NoopTracer>,
-    >,
+    prov: &RwLock<NetProvisioner<'_, R, W, T>>,
     epoch: &AtomicU64,
     sink: &TelemetrySink,
     queue: &WorkQueue<TcpStream>,
-) {
-    let mut ctx: WorkerCtx = RouterCtx::new();
+    diag: &Diag,
+    tracer: WT,
+) where
+    R: Recorder,
+    W: ServeLog,
+    T: Tracer,
+    WT: WorkerTracer,
+{
+    let mut ctx = RouterCtx::with_recorder_and_tracer(sink, &tracer);
     let mut last_epoch = epoch.load(Ordering::Acquire);
     loop {
         if control.crashed() {
@@ -330,18 +444,30 @@ fn worker_loop(
             continue;
         }
         let started = Instant::now();
+        let queue_wait_ns = queue_wait.as_nanos() as u64;
+        let read_start = tracer.now_ns();
         match http::read_request(&mut stream) {
             Ok(req) => {
+                let timing = ReqTiming {
+                    queue_start: read_start.saturating_sub(queue_wait_ns),
+                    read_start,
+                    wall: started,
+                    queue_wait_ns,
+                };
                 dispatch(
                     net,
                     cfg,
                     prov,
                     epoch,
                     sink,
+                    queue,
+                    diag,
                     &req,
                     &mut stream,
                     &mut ctx,
                     &mut last_epoch,
+                    &tracer,
+                    &timing,
                 );
             }
             Err(e) => {
@@ -350,24 +476,40 @@ fn worker_loop(
             }
         }
         sink.observe(Hist::ServeLatencyNanos, started.elapsed().as_nanos() as u64);
+        let spans = tracer.drain();
+        if !spans.is_empty() {
+            diag.absorb_spans(spans);
+        }
     }
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dispatch(
+fn dispatch<R, W, T, CR, WT>(
     net: &WdmNetwork,
     cfg: &ServeConfig,
-    prov: &RwLock<
-        NetProvisioner<'_, wdm_telemetry::NoopRecorder, WalSink, wdm_telemetry::NoopTracer>,
-    >,
+    prov: &RwLock<NetProvisioner<'_, R, W, T>>,
     epoch: &AtomicU64,
     sink: &TelemetrySink,
+    queue: &WorkQueue<TcpStream>,
+    diag: &Diag,
     req: &Request,
     stream: &mut TcpStream,
-    ctx: &mut WorkerCtx,
+    ctx: &mut RouterCtx<CR, &WT>,
     last_epoch: &mut u64,
-) {
-    match (req.method.as_str(), req.target.as_str()) {
+    tracer: &WT,
+    timing: &ReqTiming,
+) where
+    R: Recorder,
+    W: ServeLog,
+    T: Tracer,
+    CR: Recorder,
+    WT: WorkerTracer,
+{
+    let (path, query) = match req.target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.target.as_str(), None),
+    };
+    match (req.method.as_str(), path) {
         ("POST", "/provision") => {
             let Some(body) = parse_body::<ProvisionReq>(sink, stream, &req.body) else {
                 return;
@@ -389,15 +531,34 @@ fn dispatch(
             // only occur under the write lock, so a stable epoch here
             // guarantees the clocks this context syncs against are
             // monotone.
-            let routed = {
-                let guard = prov.read().unwrap();
-                let now_epoch = epoch.load(Ordering::Acquire);
-                if now_epoch != *last_epoch {
-                    ctx.invalidate();
-                    *last_epoch = now_epoch;
-                }
-                cfg.policy.route_ctx(ctx, net, guard.state(), s, t)
-            };
+            let lock_wall = Instant::now();
+            let t_rl0 = tracer.now_ns();
+            let guard = prov.read().unwrap();
+            let t_rl1 = tracer.now_ns();
+            let read_lock_ns = lock_wall.elapsed().as_nanos() as u64;
+            let now_epoch = epoch.load(Ordering::Acquire);
+            if now_epoch != *last_epoch {
+                ctx.invalidate();
+                *last_epoch = now_epoch;
+            }
+            let t_ec1 = tracer.now_ns();
+            let route_wall = Instant::now();
+            let routed = cfg.policy.route_ctx(ctx, net, guard.state(), s, t);
+            sink.observe(
+                Hist::ServeRouteNanos,
+                route_wall.elapsed().as_nanos() as u64,
+            );
+            let t_route1 = tracer.now_ns();
+            let seq_seen = guard.journal_seq();
+            drop(guard);
+            // `route_ctx` opened this request's span ordinal; back-fill
+            // the intervals that elapsed before it. Admission runs until
+            // the read-lock acquire begins: socket read, parse, validate.
+            tracer.record_span(Phase::QueueWait, timing.queue_start, timing.read_start);
+            tracer.record_span(Phase::Admission, timing.read_start, t_rl0);
+            tracer.record_span(Phase::LockAcquire, t_rl0, t_rl1);
+            tracer.record_span(Phase::EpochCheck, t_rl1, t_ec1);
+
             let route = match routed {
                 Ok(route) => route,
                 Err(e) => {
@@ -410,17 +571,39 @@ fn dispatch(
                             e.to_string()
                         ),
                     );
+                    // Respond opens at `t_route1`: the read-unlock and
+                    // back-fill bookkeeping above tile into it.
+                    finish_flight(
+                        cfg, diag, tracer, timing, s, t, "blocked", seq_seen, 0, t_route1,
+                    );
                     return;
                 }
             };
+            let footprint_links = route.footprint().links.len() as u32;
 
             // Commit under the write lock. The state may have moved since
             // the route was computed; try_commit detects the conflict and
             // rolls back atomically, after which we re-route and commit
             // in place — the write lock guarantees no further movement.
+            // The acquire span opens as soon as the route is in hand
+            // (`t_route1`), so the read-unlock and footprint bookkeeping
+            // above tile into it rather than into an attribution gap.
+            let lock_wall = Instant::now();
             let mut guard = prov.write().unwrap();
+            let t_wl1 = tracer.now_ns();
+            sink.observe(
+                Hist::ServeLockNanos,
+                read_lock_ns + lock_wall.elapsed().as_nanos() as u64,
+            );
+            tracer.record_span(Phase::LockAcquire, t_route1, t_wl1);
+            let seq_before = guard.journal_seq();
+            let commit_wall = Instant::now();
+            let t_c0 = tracer.now_ns();
             let outcome = match guard.try_commit(s, t, route) {
-                Ok(id) => Some(id),
+                Ok(id) => {
+                    close_commit_spans(sink, tracer, guard.journal_mut(), t_c0);
+                    Some(id)
+                }
                 Err(_conflict) => {
                     // try_commit already invalidated the provisioner's
                     // own context; the rollback regressed clocks, so
@@ -428,18 +611,37 @@ fn dispatch(
                     epoch.fetch_add(1, Ordering::AcqRel);
                     sink.add(Counter::ServeConflictRetries, 1);
                     match guard.route(s, t) {
-                        Ok(route) => Some(guard.commit(s, t, route)),
-                        Err(_) => None,
+                        Ok(route) => {
+                            // The failed occupy, its rollback and the
+                            // re-route are all conflict fallout.
+                            let t_rb1 = tracer.now_ns();
+                            tracer.record_span(Phase::Rollback, t_c0, t_rb1);
+                            let id = guard.commit(s, t, route);
+                            close_commit_spans(sink, tracer, guard.journal_mut(), t_rb1);
+                            Some(id)
+                        }
+                        Err(_) => {
+                            tracer.record_span(Phase::Rollback, t_c0, tracer.now_ns());
+                            None
+                        }
                     }
                 }
             };
+            // Respond opens here: post-commit bookkeeping (cost lookup,
+            // checkpoint cadence, lock release) tiles into the span that
+            // ends when the response hits the socket.
+            let t_resp0 = tracer.now_ns();
+            sink.observe(
+                Hist::ServeCommitNanos,
+                commit_wall.elapsed().as_nanos() as u64,
+            );
             match outcome {
                 Some(id) => {
                     let cost = guard
                         .connection(id)
                         .map(|c| c.route.total_cost())
                         .unwrap_or(0.0);
-                    maybe_checkpoint(&mut guard, cfg.checkpoint_every);
+                    maybe_checkpoint(&mut guard, cfg.checkpoint_every, diag);
                     drop(guard);
                     sink.add(Counter::ServeProvisionOk, 1);
                     let _ = http::write_json(
@@ -447,11 +649,26 @@ fn dispatch(
                         "200 OK",
                         &format!("{{\"id\":{id},\"cost\":{cost}}}\n"),
                     );
+                    finish_flight(
+                        cfg,
+                        diag,
+                        tracer,
+                        timing,
+                        s,
+                        t,
+                        "routed",
+                        seq_before,
+                        footprint_links,
+                        t_resp0,
+                    );
                 }
                 None => {
                     drop(guard);
                     sink.add(Counter::ServeProvisionBlocked, 1);
                     let _ = http::write_json(stream, "409 Conflict", "{\"error\":\"no route\"}\n");
+                    finish_flight(
+                        cfg, diag, tracer, timing, s, t, "blocked", seq_before, 0, t_resp0,
+                    );
                 }
             }
         }
@@ -459,12 +676,22 @@ fn dispatch(
             let Some(body) = parse_body::<TeardownReq>(sink, stream, &req.body) else {
                 return;
             };
+            tracer.begin_request();
+            tracer.record_span(Phase::QueueWait, timing.queue_start, timing.read_start);
+            let lock_wall = Instant::now();
+            let t_l0 = tracer.now_ns();
+            tracer.record_span(Phase::Admission, timing.read_start, t_l0);
             let mut guard = prov.write().unwrap();
+            sink.observe(Hist::ServeLockNanos, lock_wall.elapsed().as_nanos() as u64);
+            tracer.record_span(Phase::LockAcquire, t_l0, tracer.now_ns());
+            let t_c0 = tracer.now_ns();
             let released = guard.teardown(body.id).is_some();
             if released {
-                maybe_checkpoint(&mut guard, cfg.checkpoint_every);
+                close_commit_spans(sink, tracer, guard.journal_mut(), t_c0);
+                maybe_checkpoint(&mut guard, cfg.checkpoint_every, diag);
             }
             drop(guard);
+            let t_resp0 = tracer.now_ns();
             if released {
                 sink.add(Counter::ServeTeardownOk, 1);
                 let _ = http::write_json(stream, "200 OK", "{\"released\":true}\n");
@@ -476,6 +703,8 @@ fn dispatch(
                     "{\"error\":\"unknown connection\"}\n",
                 );
             }
+            tracer.record_span(Phase::Respond, t_resp0, tracer.now_ns());
+            tracer.record(Phase::Request, timing.queue_start);
         }
         ("POST", "/fail-link") | ("POST", "/repair-link") => {
             let Some(body) = parse_body::<LinkReq>(sink, stream, &req.body) else {
@@ -488,14 +717,23 @@ fn dispatch(
                 return;
             }
             let link = EdgeId(body.link);
-            let repair = req.target == "/repair-link";
+            let repair = path == "/repair-link";
+            tracer.begin_request();
+            tracer.record_span(Phase::QueueWait, timing.queue_start, timing.read_start);
+            let lock_wall = Instant::now();
+            let t_l0 = tracer.now_ns();
+            tracer.record_span(Phase::Admission, timing.read_start, t_l0);
             let mut guard = prov.write().unwrap();
+            sink.observe(Hist::ServeLockNanos, lock_wall.elapsed().as_nanos() as u64);
+            tracer.record_span(Phase::LockAcquire, t_l0, tracer.now_ns());
+            let t_c0 = tracer.now_ns();
             let changed = if repair {
                 guard.repair_link(link)
             } else {
                 guard.fail_link(link)
             };
-            maybe_checkpoint(&mut guard, cfg.checkpoint_every);
+            close_commit_spans(sink, tracer, guard.journal_mut(), t_c0);
+            maybe_checkpoint(&mut guard, cfg.checkpoint_every, diag);
             drop(guard);
             sink.add(
                 if repair {
@@ -505,7 +743,10 @@ fn dispatch(
                 },
                 1,
             );
+            let t_resp0 = tracer.now_ns();
             let _ = http::write_json(stream, "200 OK", &format!("{{\"changed\":{changed}}}\n"));
+            tracer.record_span(Phase::Respond, t_resp0, tracer.now_ns());
+            tracer.record(Phase::Request, timing.queue_start);
         }
         ("GET", "/state") => {
             let guard = prov.read().unwrap();
@@ -520,8 +761,69 @@ fn dispatch(
             sink.add(Counter::ServeQuery, 1);
             let _ = http::write_json(stream, "200 OK", &body);
         }
+        ("GET", "/status") => {
+            let guard = prov.read().unwrap();
+            let wal_seq = guard.journal_seq();
+            let connections = guard.active_connections();
+            drop(guard);
+            sink.add(Counter::ServeQuery, 1);
+            let body = format!(
+                "{{\"uptime_secs\":{},\"tracing\":{},\"workers\":{},\"queue_depth\":{},\
+                 \"queue_capacity\":{},\"epoch\":{},\"connections\":{connections},\
+                 \"wal_seq\":{wal_seq},\"wal_checkpoint_seq\":{},\"flight_requests\":{},\
+                 \"flight_anomaly_fired\":{}}}\n",
+                diag.uptime_secs(),
+                diag.tracing(),
+                cfg.threads.max(1),
+                queue.depth(),
+                queue.capacity(),
+                epoch.load(Ordering::Acquire),
+                diag.checkpoint_seq(),
+                diag.flight.total_requests(),
+                diag.flight.anomaly_fired(),
+            );
+            let _ = http::write_json(stream, "200 OK", &body);
+        }
+        ("GET", "/debug/flight") => {
+            sink.add(Counter::ServeQuery, 1);
+            match serde_json::to_string(&diag.flight.dump()) {
+                Ok(mut body) => {
+                    body.push('\n');
+                    let _ = http::write_json(stream, "200 OK", &body);
+                }
+                Err(e) => {
+                    let _ = http::write_json(
+                        stream,
+                        "500 Internal Server Error",
+                        &format!("{{\"error\":{:?}}}\n", e.to_string()),
+                    );
+                }
+            }
+        }
+        ("GET", "/debug/trace") => {
+            sink.add(Counter::ServeQuery, 1);
+            let n = query
+                .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("n=")))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(64);
+            let mut body = wdm_telemetry::chrome_trace_json(&diag.recent_spans(n));
+            body.push('\n');
+            let _ = http::write_json(stream, "200 OK", &body);
+        }
         ("GET", "/metrics") => {
-            let body = sink.snapshot().prometheus("wdm");
+            let mut snap = sink.snapshot();
+            snap.set_gauge("serve_queue_depth", queue.depth() as u64);
+            snap.set_gauge("serve_queue_capacity", queue.capacity() as u64);
+            snap.set_gauge("serve_epoch", epoch.load(Ordering::Acquire));
+            snap.set_gauge("serve_workers", cfg.threads.max(1) as u64);
+            {
+                let guard = prov.read().unwrap();
+                snap.set_gauge("wal_seq", guard.journal_seq());
+            }
+            snap.set_gauge("wal_checkpoint_seq", diag.checkpoint_seq());
+            snap.set_gauge("flight_records", diag.flight.total_requests());
+            snap.set_gauge("flight_anomaly_fired", diag.flight.anomaly_fired() as u64);
+            let body = snap.prometheus("wdm");
             let _ = http::write_response(
                 stream,
                 "200 OK",
@@ -541,6 +843,68 @@ fn dispatch(
             );
         }
     }
+}
+
+/// Closes the commit/WAL-fsync span pair for a journalled mutation that
+/// started (on the tracer clock) at `start_ns`: the WAL append+flush time
+/// reported by the journal is carved off the tail of the measured stretch,
+/// so the two spans tile it without overlap. Also feeds the always-on
+/// fsync-latency histogram.
+fn close_commit_spans<W: ServeLog, T: Tracer>(
+    sink: &TelemetrySink,
+    tracer: &T,
+    journal: &mut W,
+    start_ns: u64,
+) {
+    let end_ns = tracer.now_ns();
+    let wal_ns = journal.take_last_write_ns();
+    sink.observe(Hist::WalFsyncNanos, wal_ns);
+    let split = end_ns.saturating_sub(wal_ns).max(start_ns);
+    tracer.record_span(Phase::Commit, start_ns, split);
+    tracer.record_span(Phase::WalFsync, split, end_ns);
+}
+
+/// Closes a provision's respond + root spans (the root covers queue wait
+/// through the response write; `t_resp0` marks where response writing
+/// began) and pushes its WAL-seq-correlated flight record. With a live
+/// tracer the record carries the full per-phase breakdown; without one,
+/// phase durations are zero and the total falls back to wall time.
+#[allow(clippy::too_many_arguments)]
+fn finish_flight<T: Tracer>(
+    cfg: &ServeConfig,
+    diag: &Diag,
+    tracer: &T,
+    timing: &ReqTiming,
+    s: NodeId,
+    t: NodeId,
+    outcome: &str,
+    journal_seq: u64,
+    footprint_links: u32,
+    t_resp0: u64,
+) {
+    // One clock read closes both spans so the root never outlives Respond.
+    let t_end = tracer.now_ns();
+    tracer.record_span(Phase::Respond, t_resp0, t_end);
+    tracer.record_span(Phase::Request, timing.queue_start, t_end);
+    let phases = tracer.last_request_phases();
+    let traced_total = phases[Phase::Request as usize];
+    let total_ns = if traced_total > 0 {
+        traced_total
+    } else {
+        timing.queue_wait_ns + timing.wall.elapsed().as_nanos() as u64
+    };
+    diag.flight.push(FlightRecord {
+        request: diag.flight.total_requests(),
+        src: s.0,
+        dst: t.0,
+        policy: cfg.policy.name().to_string(),
+        outcome: outcome.to_string(),
+        journal_seq,
+        footprint_links,
+        phase_ns: phases.to_vec(),
+        total_ns,
+        abort_cause: None,
+    });
 }
 
 fn parse_body<T: serde::Deserialize>(
@@ -565,10 +929,12 @@ fn parse_body<T: serde::Deserialize>(
     }
 }
 
-fn maybe_checkpoint(
-    guard: &mut NetProvisioner<'_, wdm_telemetry::NoopRecorder, WalSink, wdm_telemetry::NoopTracer>,
-    every: u64,
-) {
+fn maybe_checkpoint<R, W, T>(guard: &mut NetProvisioner<'_, R, W, T>, every: u64, diag: &Diag)
+where
+    R: Recorder,
+    W: ServeLog,
+    T: Tracer,
+{
     if every == 0 {
         return;
     }
@@ -578,5 +944,6 @@ fn maybe_checkpoint(
     if seq > 0 && seq % every == 0 {
         let snapshot = guard.state().clone();
         guard.journal_mut().checkpoint(&snapshot);
+        diag.note_checkpoint(seq);
     }
 }

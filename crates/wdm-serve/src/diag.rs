@@ -1,0 +1,167 @@
+//! Live diagnostics shared by every daemon thread.
+//!
+//! The daemon's observability splits in two. Aggregate series (counters,
+//! histograms, gauges) live in the lock-free [`TelemetrySink`] and are
+//! scraped via `/metrics`. Everything *per-request* — the journal-
+//! correlated flight ring behind `/debug/flight` and the recent-span ring
+//! behind `/debug/trace` — lives here, behind coarse mutexes that are
+//! touched at most once per request.
+//!
+//! Span flow: each worker owns a private `SpanBuffer` (it is `Send` but
+//! not `Sync`), closes its spans while handling a request, then drains
+//! them into [`Diag::absorb_spans`]. The drain renumbers the worker-local
+//! request ordinals into one daemon-wide ordinal space, so a dumped trace
+//! shows each request on its own track even though workers interleave.
+//!
+//! [`TelemetrySink`]: wdm_telemetry::TelemetrySink
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use wdm_telemetry::{FlightRecorder, SpanRecord};
+
+/// Spans retained for `/debug/trace` (oldest dropped first). At ~10 spans
+/// per provision this covers the last few hundred requests.
+const SPAN_RING_CAPACITY: usize = 8192;
+
+/// Shared diagnostics state: the flight ring, the span ring and the
+/// checkpoint gauge. One instance per [`run`](crate::daemon::run), shared
+/// by reference across the accept loop and every worker.
+pub struct Diag {
+    /// Per-request flight records with WAL-seq correlation; the anomaly
+    /// trigger freezes the ring under failure storms.
+    pub flight: FlightRecorder,
+    spans: Mutex<VecDeque<SpanRecord>>,
+    next_request: AtomicU64,
+    checkpoint_seq: AtomicU64,
+    started: Instant,
+    tracing: bool,
+}
+
+impl Diag {
+    /// Fresh diagnostics for a daemon run. `flight_capacity` sizes the
+    /// flight ring (anomaly window/threshold keep their defaults);
+    /// `tracing` records whether workers carry live span buffers, so
+    /// `/status` can say which mode the daemon is in.
+    pub fn new(flight_capacity: usize, tracing: bool) -> Self {
+        Diag {
+            flight: FlightRecorder::with_config(
+                flight_capacity,
+                wdm_telemetry::DEFAULT_ANOMALY_WINDOW,
+                wdm_telemetry::DEFAULT_ANOMALY_THRESHOLD,
+            ),
+            spans: Mutex::new(VecDeque::new()),
+            next_request: AtomicU64::new(0),
+            checkpoint_seq: AtomicU64::new(0),
+            started: Instant::now(),
+            tracing,
+        }
+    }
+
+    /// Whether workers record spans.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Seconds since the daemon started.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Journal sequence of the last checkpoint anchor written.
+    pub fn checkpoint_seq(&self) -> u64 {
+        self.checkpoint_seq.load(Ordering::Relaxed)
+    }
+
+    /// Records that a checkpoint anchor was written at `seq`.
+    pub fn note_checkpoint(&self, seq: u64) {
+        self.checkpoint_seq.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// Folds one worker's drained spans into the shared ring, renumbering
+    /// the batch's worker-local request ordinals (0-based per drain) into
+    /// the daemon-wide ordinal space.
+    pub fn absorb_spans(&self, mut batch: Vec<SpanRecord>) {
+        let Some(count) = batch.iter().map(|r| r.request + 1).max() else {
+            return;
+        };
+        let offset = self.next_request.fetch_add(count, Ordering::Relaxed);
+        let mut ring = self.spans.lock().unwrap();
+        for r in &mut batch {
+            r.request += offset;
+        }
+        ring.extend(batch);
+        while ring.len() > SPAN_RING_CAPACITY {
+            ring.pop_front();
+        }
+    }
+
+    /// Spans of the most recent `n` requests (by daemon-wide ordinal),
+    /// oldest first. `n = 0` returns everything still in the ring.
+    pub fn recent_spans(&self, n: u64) -> Vec<SpanRecord> {
+        let ring = self.spans.lock().unwrap();
+        if n == 0 {
+            return ring.iter().copied().collect();
+        }
+        let Some(newest) = ring.iter().map(|r| r.request).max() else {
+            return Vec::new();
+        };
+        let cutoff = newest.saturating_sub(n - 1);
+        ring.iter()
+            .filter(|r| r.request >= cutoff)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wdm_telemetry::Phase;
+
+    fn span(request: u64, start_ns: u64) -> SpanRecord {
+        SpanRecord {
+            request,
+            phase: Phase::Request,
+            start_ns,
+            end_ns: start_ns + 10,
+        }
+    }
+
+    #[test]
+    fn absorbed_batches_are_renumbered_into_one_ordinal_space() {
+        let diag = Diag::new(8, true);
+        // Two workers each drain a single-request batch numbered 0.
+        diag.absorb_spans(vec![span(0, 100)]);
+        diag.absorb_spans(vec![span(0, 200)]);
+        // A two-request batch.
+        diag.absorb_spans(vec![span(0, 300), span(1, 400)]);
+        let all = diag.recent_spans(0);
+        let ids: Vec<u64> = all.iter().map(|r| r.request).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recent_spans_filters_by_request_window() {
+        let diag = Diag::new(8, true);
+        for i in 0..5 {
+            diag.absorb_spans(vec![span(0, i * 100)]);
+        }
+        let last_two = diag.recent_spans(2);
+        let ids: Vec<u64> = last_two.iter().map(|r| r.request).collect();
+        assert_eq!(ids, vec![3, 4]);
+        assert!(diag.recent_spans(100).len() == 5);
+    }
+
+    #[test]
+    fn checkpoint_gauge_is_monotone() {
+        let diag = Diag::new(8, false);
+        assert_eq!(diag.checkpoint_seq(), 0);
+        diag.note_checkpoint(256);
+        diag.note_checkpoint(128); // late report from a slower worker
+        assert_eq!(diag.checkpoint_seq(), 256);
+        assert!(!diag.tracing());
+    }
+}

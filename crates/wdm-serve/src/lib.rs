@@ -16,6 +16,9 @@
 //! * [`daemon`] — the serving loop: read-lock routing on warm contexts,
 //!   write-lock commits with optimistic conflict retry, epoch-based
 //!   context invalidation;
+//! * [`diag`] — live diagnostics shared across threads: the flight ring
+//!   behind `/debug/flight`, the span ring behind `/debug/trace`, the
+//!   checkpoint gauge (DESIGN.md §5j);
 //! * [`wal`] — the streaming JSONL write-ahead log and its recovery
 //!   (checkpoint anchors, torn-tail tolerance);
 //! * [`signal`] — SIGINT/SIGTERM flags for graceful shutdown;
@@ -25,11 +28,13 @@
 
 pub mod admission;
 pub mod daemon;
+pub mod diag;
 pub mod http;
 pub mod loadgen;
 pub mod signal;
 pub mod wal;
 
 pub use daemon::{run, Control, ServeConfig, ServeReport};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use wal::{recover, WalRecovery, WalSink};
+pub use diag::Diag;
+pub use loadgen::{LoadgenConfig, LoadgenReport, PhaseLatency};
+pub use wal::{recover, ServeLog, WalRecovery, WalSink};

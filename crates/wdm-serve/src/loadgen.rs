@@ -83,6 +83,25 @@ pub struct LoadgenReport {
     pub p50_ms: f64,
     /// 99th-percentile request latency, milliseconds.
     pub p99_ms: f64,
+    /// Server-side per-phase latency summaries, scraped from the daemon's
+    /// `/metrics` histograms after the run (empty when the scrape failed).
+    /// Client latency above says *that* requests were slow; these say
+    /// *where* — queue, lock, route, commit or WAL fsync.
+    pub server_phases: Vec<PhaseLatency>,
+}
+
+/// One serve-path phase's latency summary from the scraped histograms.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PhaseLatency {
+    /// Histogram name with the exposition prefix stripped (e.g.
+    /// `serve_route_ns`).
+    pub phase: String,
+    /// Recorded observations.
+    pub count: u64,
+    /// Median, milliseconds (upper bucket bound, ≤ 12.5 % error).
+    pub p50_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
 }
 
 /// One HTTP exchange: connect, send, read the status line and body.
@@ -161,6 +180,7 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
         rps: 0.0,
         p50_ms: 0.0,
         p99_ms: 0.0,
+        server_phases: Vec::new(),
     };
     let mut latencies: Vec<f64> = Vec::new();
     let mut due: BinaryHeap<Due> = BinaryHeap::new();
@@ -302,7 +322,89 @@ pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     report.p50_ms = quantile(&latencies, 0.50);
     report.p99_ms = quantile(&latencies, 0.99);
+    // One out-of-band scrape (not counted in `offered`): the server-side
+    // phase histograms tell where the latency above was spent.
+    report.server_phases = match http_request(&cfg.target, "GET", "/metrics", "") {
+        Ok((200, body)) => scrape_phase_latencies(&body),
+        _ => Vec::new(),
+    };
     report
+}
+
+/// Extracts the timing histograms (`*_ns` series) from a Prometheus text
+/// exposition and summarises each as p50/p99 milliseconds, using the
+/// cumulative `_bucket{le="…"}` counts (nearest-rank on bucket upper
+/// bounds, so the error is bounded by the bucket width).
+fn scrape_phase_latencies(text: &str) -> Vec<PhaseLatency> {
+    use std::collections::BTreeMap;
+    let mut series: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some((metric, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Some((name, le)) = metric.split_once("_bucket{le=\"") else {
+            continue;
+        };
+        let Some(le) = le.strip_suffix("\"}") else {
+            continue;
+        };
+        if !name.ends_with("_ns") {
+            continue;
+        }
+        let Ok(cumulative) = value.parse::<u64>() else {
+            continue;
+        };
+        let le_ns = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            match le.parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => continue,
+            }
+        };
+        let key = name.strip_prefix("wdm_").unwrap_or(name).to_string();
+        series.entry(key).or_default().push((le_ns, cumulative));
+    }
+    series
+        .into_iter()
+        .filter_map(|(phase, mut rows)| {
+            rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bounds are comparable"));
+            let count = rows.last()?.1;
+            if count == 0 {
+                return None;
+            }
+            let at = |q: f64| -> f64 {
+                let rank = ((q * count as f64).ceil() as u64).max(1);
+                let mut bound = f64::INFINITY;
+                for &(le, cumulative) in &rows {
+                    if cumulative >= rank {
+                        bound = le;
+                        break;
+                    }
+                }
+                if bound.is_infinite() {
+                    // Landed in the +Inf bucket: report the largest finite
+                    // bound rather than infinity.
+                    bound = rows
+                        .iter()
+                        .rev()
+                        .find(|r| r.0.is_finite())
+                        .map(|r| r.0)
+                        .unwrap_or(0.0);
+                }
+                bound / 1e6
+            };
+            Some(PhaseLatency {
+                phase,
+                count,
+                p50_ms: at(0.50),
+                p99_ms: at(0.99),
+            })
+        })
+        .collect()
 }
 
 fn parse_id(body: &str) -> Option<u64> {
@@ -357,6 +459,31 @@ mod tests {
         assert_eq!(heap.pop().unwrap().what, Ok(1));
         assert_eq!(heap.pop().unwrap().what, Err(2));
         assert_eq!(heap.pop().unwrap().what, Ok(3));
+    }
+
+    #[test]
+    fn scrape_summarises_timing_histograms_only() {
+        let text = "\
+# HELP wdm_serve_route_ns Route computation under the read lock in nanoseconds\n\
+# TYPE wdm_serve_route_ns histogram\n\
+wdm_serve_route_ns_bucket{le=\"1000\"} 5\n\
+wdm_serve_route_ns_bucket{le=\"2000\"} 9\n\
+wdm_serve_route_ns_bucket{le=\"+Inf\"} 10\n\
+wdm_serve_route_ns_sum 12345\n\
+wdm_serve_route_ns_count 10\n\
+# TYPE wdm_route_cost_milli histogram\n\
+wdm_route_cost_milli_bucket{le=\"8\"} 3\n\
+wdm_route_cost_milli_bucket{le=\"+Inf\"} 3\n\
+wdm_requests_routed_total 10\n";
+        let phases = scrape_phase_latencies(text);
+        assert_eq!(phases.len(), 1, "only *_ns series qualify");
+        let p = &phases[0];
+        assert_eq!(p.phase, "serve_route_ns");
+        assert_eq!(p.count, 10);
+        // rank(0.5)=5 → le=1000ns; rank(0.99)=10 → +Inf, clamped to the
+        // largest finite bound (2000ns).
+        assert!((p.p50_ms - 1e-3).abs() < 1e-12);
+        assert!((p.p99_ms - 2e-3).abs() < 1e-12);
     }
 
     #[test]

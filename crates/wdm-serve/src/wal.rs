@@ -159,6 +159,7 @@ pub struct WalSink {
     out: BufWriter<File>,
     seq: u64,
     io_error: Option<std::io::Error>,
+    last_write_ns: u64,
 }
 
 impl WalSink {
@@ -187,6 +188,7 @@ impl WalSink {
             out,
             seq: 0,
             io_error: None,
+            last_write_ns: 0,
         })
     }
 
@@ -198,6 +200,14 @@ impl WalSink {
     /// Takes the first stashed write error, if any.
     pub fn take_error(&mut self) -> Option<std::io::Error> {
         self.io_error.take()
+    }
+
+    /// Takes (and clears) the wall time the last [`EventSink::record`]
+    /// spent serializing, appending and flushing its journal line. The
+    /// daemon reads this right after a commit to carve the WAL-fsync
+    /// slice out of the commit span and feed the fsync-latency histogram.
+    pub fn take_last_write_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.last_write_ns)
     }
 
     fn write_line(&mut self, line: &str) {
@@ -252,6 +262,7 @@ impl EventSink for WalSink {
     }
 
     fn record(&mut self, event: NetEvent) {
+        let t0 = std::time::Instant::now();
         self.seq += 1;
         match serde_json::to_string(&WalEventLine {
             seq: self.seq,
@@ -263,6 +274,47 @@ impl EventSink for WalSink {
                     .get_or_insert(std::io::Error::other(e.to_string()));
             }
         }
+        self.last_write_ns = t0.elapsed().as_nanos() as u64;
+    }
+}
+
+/// What the daemon needs from its journal beyond [`EventSink`]: sequence
+/// numbers for correlation, checkpoint anchors, the graceful close, and
+/// the stashed-error / write-latency side channels. Abstracting it (rather
+/// than naming [`WalSink`] in every signature) keeps the daemon's worker
+/// and dispatch paths generic, so tests can substitute an in-memory log.
+pub trait ServeLog: EventSink {
+    /// Events written so far (the WAL sequence number of the last event).
+    fn seq(&self) -> u64;
+    /// Writes a checkpoint anchor for `state`.
+    fn checkpoint(&mut self, state: &ResidualState);
+    /// Writes the graceful-close line; the log is complete afterwards.
+    fn finalize(&mut self, state: &ResidualState) -> Result<(), WalError>;
+    /// Takes the first stashed write error, if any.
+    fn take_error(&mut self) -> Option<std::io::Error>;
+    /// Takes (and clears) the last event append's wall time.
+    fn take_last_write_ns(&mut self) -> u64;
+}
+
+impl ServeLog for WalSink {
+    fn seq(&self) -> u64 {
+        WalSink::seq(self)
+    }
+
+    fn checkpoint(&mut self, state: &ResidualState) {
+        WalSink::checkpoint(self, state);
+    }
+
+    fn finalize(&mut self, state: &ResidualState) -> Result<(), WalError> {
+        WalSink::finalize(self, state)
+    }
+
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        WalSink::take_error(self)
+    }
+
+    fn take_last_write_ns(&mut self) -> u64 {
+        WalSink::take_last_write_ns(self)
     }
 }
 

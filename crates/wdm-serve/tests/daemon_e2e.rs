@@ -298,3 +298,242 @@ fn malformed_requests_never_wedge_the_daemon() {
     });
     std::fs::remove_file(&wal_path).ok();
 }
+
+/// JSON helpers for Value-based parsing (the vendored serde `Value` has no
+/// typed numeric accessors on itself).
+fn num(v: &serde_json::Value) -> u64 {
+    match v {
+        serde_json::Value::Number(n) => n.as_f64() as u64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn boolean(v: &serde_json::Value) -> bool {
+    match v {
+        serde_json::Value::Bool(b) => *b,
+        other => panic!("expected bool, got {other:?}"),
+    }
+}
+
+#[test]
+fn resumed_daemon_serves_wal_correlated_flight_records() {
+    let net = nsfnet();
+    let wal_path = temp_wal("flight-crash");
+
+    // First life: a few provisions, then a kill (no close line, no drain).
+    let mut cfg = ServeConfig::new("127.0.0.1:0", &wal_path);
+    cfg.threads = 1;
+    let control = Control::new();
+    std::thread::scope(|s| {
+        let server = s.spawn(|| run(&net, &cfg, &control));
+        let _guard = KillOnExit(&control);
+        let addr = control
+            .wait_addr(Duration::from_secs(10))
+            .expect("daemon binds");
+        let target = addr.to_string();
+        for i in 0..6u32 {
+            let body = format!("{{\"src\":{},\"dst\":{}}}", i, (i + 7) % 14);
+            http_request(&target, "POST", "/provision", &body).unwrap();
+        }
+        control.crash();
+        server.join().unwrap().expect("crash exit is still orderly");
+    });
+
+    // Recover the torn WAL and resume a second daemon from that state.
+    let rec = wal::recover(&wal_path).expect("recover after crash");
+    assert!(!rec.clean_shutdown());
+    let wal_path2 = temp_wal("flight-resume");
+    let mut cfg2 = ServeConfig::new("127.0.0.1:0", &wal_path2);
+    cfg2.threads = 1;
+    cfg2.resume_state = Some(rec.state.clone());
+    let control2 = Control::new();
+    std::thread::scope(|s| {
+        let server = s.spawn(|| run(&net, &cfg2, &control2));
+        let _guard = KillOnExit(&control2);
+        let addr = control2
+            .wait_addr(Duration::from_secs(10))
+            .expect("resumed daemon binds");
+        let target = addr.to_string();
+
+        let mut routed = 0u64;
+        for i in 0..10u32 {
+            let body = format!("{{\"src\":{},\"dst\":{}}}", i, (i + 5) % 14);
+            let (status, _) = http_request(&target, "POST", "/provision", &body).unwrap();
+            if status == 200 {
+                routed += 1;
+            }
+        }
+        assert!(routed > 0, "the resumed daemon routes something");
+        let live = query_state(&target);
+        assert_eq!(live.journal_seq, routed, "one event per routed provision");
+
+        // The flight ring is this life's own: every record correlates with
+        // the resumed WAL's sequence numbers.
+        let (status, body) = http_request(&target, "GET", "/debug/flight", "").unwrap();
+        assert_eq!(status, 200, "flight dump answers: {body}");
+        let dump: wdm_telemetry::FlightDump =
+            serde_json::from_str(&body).expect("flight dump parses");
+        assert_eq!(dump.total_requests, 10, "one record per provision attempt");
+        let routed_seqs: Vec<u64> = dump
+            .records
+            .iter()
+            .filter(|r| r.outcome == "routed")
+            .map(|r| r.journal_seq)
+            .collect();
+        // Single worker, sequential client: routed record k committed as
+        // journal event k+1, so it carries pre-commit seq k.
+        let expect: Vec<u64> = (0..routed).collect();
+        assert_eq!(routed_seqs, expect, "flight records tile the WAL sequence");
+        for r in &dump.records {
+            assert!(
+                r.journal_seq <= live.journal_seq,
+                "no record claims a seq the WAL has not reached"
+            );
+        }
+
+        control2.shutdown();
+        server.join().unwrap().expect("clean resumed run");
+    });
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&wal_path2).ok();
+}
+
+#[test]
+fn failure_storm_trips_the_anomaly_trigger_and_freezes_the_ring() {
+    let net = nsfnet();
+    let wal_path = temp_wal("storm");
+    let mut cfg = ServeConfig::new("127.0.0.1:0", &wal_path);
+    cfg.threads = 2;
+    let control = Control::new();
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| run(&net, &cfg, &control));
+        let _guard = KillOnExit(&control);
+        let addr = control
+            .wait_addr(Duration::from_secs(10))
+            .expect("daemon binds");
+        let target = addr.to_string();
+
+        // Storm: take down every link, then offer provisions that can only
+        // block. The anomaly window (64 requests, threshold 32 negatives)
+        // must trip and freeze a snapshot of the ring.
+        for l in 0..net.link_count() as u32 {
+            let (status, _) =
+                http_request(&target, "POST", "/fail-link", &format!("{{\"link\":{l}}}")).unwrap();
+            assert_eq!(status, 200);
+        }
+        for i in 0..80u32 {
+            let body = format!("{{\"src\":{},\"dst\":{}}}", i % 14, (i + 3) % 14);
+            let (status, _) = http_request(&target, "POST", "/provision", &body).unwrap();
+            assert_eq!(status, 409, "a dead network blocks everything");
+        }
+
+        let (status, body) = http_request(&target, "GET", "/status", "").unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).expect("status parses");
+        assert!(
+            boolean(v.get("flight_anomaly_fired").expect("gauge present")),
+            "the storm must trip the anomaly trigger: {body}"
+        );
+        assert_eq!(num(v.get("flight_requests").unwrap()), 80);
+
+        let (status, body) = http_request(&target, "GET", "/debug/flight", "").unwrap();
+        assert_eq!(status, 200);
+        let dump: wdm_telemetry::FlightDump =
+            serde_json::from_str(&body).expect("flight dump parses");
+        let anomaly = dump.anomaly.expect("frozen snapshot present");
+        assert!(
+            anomaly.negative >= 32,
+            "the trigger fired with a storm-sized negative count, got {}",
+            anomaly.negative
+        );
+        assert!(!anomaly.records.is_empty(), "snapshot froze the ring");
+        // The trigger is one-shot: later requests keep appending to the
+        // live ring but the snapshot stays frozen.
+        assert!(dump.records.iter().all(|r| r.outcome == "blocked"));
+
+        control.shutdown();
+        server.join().unwrap().expect("clean run");
+    });
+    std::fs::remove_file(&wal_path).ok();
+}
+
+#[test]
+fn traced_daemon_attributes_wall_time_and_serves_debug_trace() {
+    let net = nsfnet();
+    let wal_path = temp_wal("traced");
+    let trace_path = temp_wal("traced-out");
+    let mut cfg = ServeConfig::new("127.0.0.1:0", &wal_path);
+    cfg.threads = 2;
+    cfg.trace_path = Some(trace_path.clone());
+    let control = Control::new();
+
+    std::thread::scope(|s| {
+        let server = s.spawn(|| run(&net, &cfg, &control));
+        let _guard = KillOnExit(&control);
+        let addr = control
+            .wait_addr(Duration::from_secs(10))
+            .expect("daemon binds");
+        let target = addr.to_string();
+
+        let mut ids = Vec::new();
+        for i in 0..24u32 {
+            let body = format!("{{\"src\":{},\"dst\":{}}}", i % 14, (i * 5 + 2) % 14);
+            let (status, body) = http_request(&target, "POST", "/provision", &body).unwrap();
+            if status == 200 {
+                let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+                ids.push(num(v.get("id").unwrap()));
+            }
+        }
+        assert!(!ids.is_empty());
+        for id in ids.iter().take(4) {
+            http_request(&target, "POST", "/teardown", &format!("{{\"id\":{id}}}")).unwrap();
+        }
+
+        let (status, body) = http_request(&target, "GET", "/status", "").unwrap();
+        assert_eq!(status, 200);
+        let v: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(boolean(v.get("tracing").unwrap()), "status reports tracing");
+        assert_eq!(num(v.get("workers").unwrap()), 2);
+        assert!(num(v.get("wal_seq").unwrap()) > 0);
+
+        // The live span ring renders as Chrome trace_event JSON.
+        let (status, body) = http_request(&target, "GET", "/debug/trace?n=8", "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"traceEvents\""), "chrome envelope: {body}");
+        assert!(body.contains("\"queue_wait\""), "pre-route spans present");
+        assert!(body.contains("\"commit\""), "commit spans present");
+
+        control.shutdown();
+        server.join().unwrap().expect("clean run");
+    });
+
+    // The shutdown trace file attributes >= 95% of per-request wall time
+    // to named phases — the same math `wdm trace analyze` runs.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("trace parses");
+    let flight: wdm_telemetry::FlightDump =
+        serde_json::from_str(&serde_json::to_string(v.get("flight").unwrap()).unwrap())
+            .expect("flight section parses");
+    let mut attributed = 0u64;
+    let mut total = 0u64;
+    for r in &flight.records {
+        let named: u64 = r.named_phases().iter().map(|&(_, ns)| ns).sum();
+        assert!(
+            named <= r.total_ns,
+            "phases never exceed the request span ({named} > {})",
+            r.total_ns
+        );
+        attributed += named;
+        total += r.total_ns;
+    }
+    assert!(total > 0, "traced records carry wall time");
+    let fraction = attributed as f64 / total as f64;
+    assert!(
+        fraction >= 0.95,
+        "span taxonomy must attribute >= 95% of serve wall time, got {:.3}",
+        fraction
+    );
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+}

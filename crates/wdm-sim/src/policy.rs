@@ -9,7 +9,7 @@ use wdm_core::mincog::find_two_paths_mincog_ctx;
 use wdm_core::network::{ResidualState, WdmNetwork};
 use wdm_core::semilightpath::{Hop, RobustRoute, Semilightpath};
 use wdm_graph::NodeId;
-use wdm_telemetry::{Counter, Hist, Recorder, RouteTrace, Tracer};
+use wdm_telemetry::{Counter, Hist, Phase, Recorder, RouteTrace, Tracer};
 
 /// A provisioned route: protected (primary + backup) or unprotected.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -226,15 +226,24 @@ impl Policy {
         s: NodeId,
         t: NodeId,
     ) -> Result<ProvisionedRoute, RoutingError> {
+        let t_pro0 = ctx.tracer().now_ns();
         let enabled = ctx.recorder().enabled();
         if enabled {
             ctx.begin_request();
         }
         ctx.tracer().begin_request();
         let start = enabled.then(std::time::Instant::now);
+        // Recorder/tracer reset costs belong to Telemetry, not to a gap
+        // between the daemon's epoch check and the first routing span.
+        let t_pro1 = ctx.tracer().now_ns();
+        ctx.tracer().record_span(Phase::Telemetry, t_pro0, t_pro1);
         let result = self.dispatch(ctx, net, state, s, t);
         if let Some(start) = start {
+            // The recorder's own bookkeeping is serve-path wall time too;
+            // self-measure it so trace attribution tiles the request.
+            let t0 = ctx.tracer().now_ns();
             record_request(ctx, s, t, &result, start);
+            ctx.tracer().record(Phase::Telemetry, t0);
         }
         result
     }

@@ -1,0 +1,98 @@
+//! Chrome `trace_event` export for span records.
+//!
+//! `chrome://tracing` (and Perfetto's legacy loader) consume a JSON object
+//! with a `traceEvents` array of *complete* events — `"ph": "X"`, a start
+//! timestamp `ts` and a duration `dur`, both in **microseconds**. Mapping
+//! our spans onto it:
+//!
+//! * one process (`pid` 0) — the daemon;
+//! * one track per request: `tid` is the span's request ordinal, so every
+//!   request renders as its own row with the root span and the sub-phases
+//!   stacked inside it;
+//! * `name` is the stable [`Phase::name`] key, `cat` groups all of them
+//!   under `wdm`.
+//!
+//! Fractional microseconds are kept (`ts`/`dur` accept doubles), so
+//! nanosecond spans don't collapse to zero width.
+
+use crate::span::SpanRecord;
+
+/// Renders spans as a Chrome `trace_event` JSON document (the
+/// `{"traceEvents": [...]}` object form), ready to load into
+/// `chrome://tracing`.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ts = r.start_ns as f64 / 1e3;
+        let dur = r.duration_ns() as f64 / 1e3;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"wdm\",\"ph\":\"X\",\"pid\":0,\
+             \"tid\":{},\"ts\":{ts},\"dur\":{dur}}}",
+            r.phase.name(),
+            r.request,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    fn span(request: u64, phase: Phase, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            request,
+            phase,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    fn number(v: &serde_json::Value) -> f64 {
+        match v {
+            serde_json::Value::Number(n) => n.as_f64(),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_one_event_per_span() {
+        let spans = [
+            span(0, Phase::Request, 0, 5_000),
+            span(0, Phase::QueueWait, 0, 1_500),
+            span(1, Phase::WalFsync, 7_000, 7_250),
+        ];
+        let text = chrome_trace_json(&spans);
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        let first = &events[0];
+        assert_eq!(first.get("name").and_then(|v| v.as_str()), Some("request"));
+        assert_eq!(first.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(first.get("tid").map(number), Some(0.0));
+        assert_eq!(first.get("ts").map(number), Some(0.0));
+        assert_eq!(first.get("dur").map(number), Some(5.0));
+        // Sub-microsecond spans keep fractional width.
+        let dur = events[2].get("dur").map(number).expect("dur");
+        assert!((dur - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_still_renders_a_loadable_document() {
+        let text = chrome_trace_json(&[]);
+        assert_eq!(text, "{\"traceEvents\":[]}");
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert!(doc.get("traceEvents").is_some());
+    }
+}

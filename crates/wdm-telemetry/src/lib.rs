@@ -16,12 +16,14 @@
 //!
 //! [`AuxEngine`]: ../wdm_core/aux_engine/index.html
 
+mod chrome;
 mod flight;
 mod hist;
 mod sink;
 mod snapshot;
 mod span;
 
+pub use chrome::chrome_trace_json;
 pub use flight::{
     FlightAnnotation, FlightAnomaly, FlightDump, FlightRecord, FlightRecorder,
     DEFAULT_ANOMALY_THRESHOLD, DEFAULT_ANOMALY_WINDOW, DEFAULT_FLIGHT_CAPACITY,
@@ -236,6 +238,53 @@ impl Counter {
             Counter::ServeConflictRetries => "serve_conflict_retries",
         }
     }
+
+    /// One-line description used for Prometheus `# HELP` metadata.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::RequestsRouted => "Requests for which a route was found",
+            Counter::RequestsBlocked => "Requests refused for any reason",
+            Counter::BlockedDegenerate => "Blocked: degenerate request (src == dst)",
+            Counter::BlockedNoDisjointPair => "Blocked: no edge-disjoint pair exists",
+            Counter::BlockedRefinement => "Blocked: no feasible wavelength assignment",
+            Counter::BlockedLoadSearch => "Blocked: threshold search exhausted its budget",
+            Counter::BlockedUnreachable => "Blocked: destination unreachable",
+            Counter::EngineSkeletonBuilds => "Auxiliary-graph skeletons built from scratch",
+            Counter::EngineFullRefreshes => "Engine syncs that re-weighted every link",
+            Counter::EngineDirtyRefreshes => "Engine syncs that re-weighted only dirty links",
+            Counter::EngineDirtyLinksRefreshed => "Links re-weighted across dirty refreshes",
+            Counter::EngineFastSyncs => "Engine syncs that found nothing to do",
+            Counter::SuurballeSearches => "Suurballe disjoint-pair searches executed",
+            Counter::ThresholdProbes => "Feasibility probes issued by the threshold search",
+            Counter::SharedBackupChannelsShared => "Backup channels reused from another backup",
+            Counter::SharedBackupChannelsFresh => "Backup channels reserved fresh",
+            Counter::ArenaAllocEvents => "Search-arena buffer growth events",
+            Counter::SpeculativeCommits => "Speculative routes committed from their snapshot",
+            Counter::SpeculativeAborts => "Speculative routes discarded by validation",
+            Counter::SpeculativeRetries => "Re-speculation attempts for aborted routes",
+            Counter::PoolReserve => "Shared-backup pool channel reservations",
+            Counter::PoolRelease => "Shared-backup pool channel releases",
+            Counter::SpeculativeAbortConflict => "Speculative aborts from footprint conflicts",
+            Counter::SpeculativeAbortOrdering => "Speculative aborts from strict ordering",
+            Counter::SpeculativeAbortLoadShift => "Speculative aborts from shifted load",
+            Counter::SpeculativeInlineRoutes => "Demands routed inline at their serial slot",
+            Counter::ShardedCutDemands => "Demands classified cross-shard and routed inline",
+            Counter::ShardedLineageAborts => "Sharded aborts from a diverged shard lineage",
+            Counter::ShardedEscapeAborts => "Sharded aborts whose route escaped its shard",
+            Counter::ShardedVerifiedCommits => "Sharded commits verified against the live state",
+            Counter::ServeProvisionOk => "Daemon provision requests accepted and committed",
+            Counter::ServeProvisionBlocked => "Daemon provision requests refused by routing",
+            Counter::ServeTeardownOk => "Daemon teardowns that released a connection",
+            Counter::ServeTeardownMiss => "Daemon teardowns naming an unknown connection",
+            Counter::ServeFailLink => "Daemon fail-link requests applied",
+            Counter::ServeRepairLink => "Daemon repair-link requests applied",
+            Counter::ServeQuery => "Daemon state and diagnostics queries served",
+            Counter::ServeShed => "Daemon requests shed by admission control",
+            Counter::ServeDeadlineDrop => "Daemon requests dropped on an expired deadline",
+            Counter::ServeBadRequest => "Daemon malformed requests rejected",
+            Counter::ServeConflictRetries => "Daemon commits re-routed after a conflict",
+        }
+    }
 }
 
 /// Value distributions, one log-scaled histogram per variant.
@@ -276,11 +325,24 @@ pub enum Hist {
     /// Daemon: time a request spent in the admission queue before a
     /// worker picked it up, nanoseconds (nondeterministic).
     ServeQueueNanos = 11,
+    /// Daemon: WAL append + flush per journal event, nanoseconds
+    /// (nondeterministic).
+    WalFsyncNanos = 12,
+    /// Daemon: time waiting to acquire the shared provisioner lock per
+    /// provision (read + write acquisition), nanoseconds
+    /// (nondeterministic).
+    ServeLockNanos = 13,
+    /// Daemon: routing-search time under the read lock per provision,
+    /// nanoseconds (nondeterministic).
+    ServeRouteNanos = 14,
+    /// Daemon: commit time under the write lock per provision, excluding
+    /// the WAL flush, nanoseconds (nondeterministic).
+    ServeCommitNanos = 15,
 }
 
 impl Hist {
     /// Number of histogram slots.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 16;
 
     /// Every variant, in index order.
     pub const ALL: [Hist; Hist::COUNT] = [
@@ -296,6 +358,10 @@ impl Hist {
         Hist::ShardAborts,
         Hist::ServeLatencyNanos,
         Hist::ServeQueueNanos,
+        Hist::WalFsyncNanos,
+        Hist::ServeLockNanos,
+        Hist::ServeRouteNanos,
+        Hist::ServeCommitNanos,
     ];
 
     /// Stable snake_case key used in snapshots and JSON output.
@@ -313,6 +379,36 @@ impl Hist {
             Hist::ShardAborts => "shard_aborts",
             Hist::ServeLatencyNanos => "serve_latency_ns",
             Hist::ServeQueueNanos => "serve_queue_ns",
+            Hist::WalFsyncNanos => "wal_fsync_ns",
+            Hist::ServeLockNanos => "serve_lock_ns",
+            Hist::ServeRouteNanos => "serve_route_ns",
+            Hist::ServeCommitNanos => "serve_commit_ns",
+        }
+    }
+
+    /// One-line description used for Prometheus `# HELP` metadata.
+    pub fn help(self) -> &'static str {
+        match self {
+            Hist::SearchNanos => "Disjoint-pair search duration in nanoseconds",
+            Hist::RequestNanos => "Whole-request routing duration in nanoseconds",
+            Hist::RouteCostMilli => "Total route cost (Eq. 1) in millicost units",
+            Hist::ThresholdProbes => "Threshold-search probes per request",
+            Hist::PrimaryHops => "Primary-path hop count",
+            Hist::BackupHops => "Backup-path hop count",
+            Hist::WindowOccupancy => "Demands per speculative batch window",
+            Hist::ConflictGroupSize => "Link-disjoint conflict-group size per round",
+            Hist::ShardOccupancy => "Demands queued per active shard per round",
+            Hist::ShardAborts => "Speculation aborts per active shard per round",
+            Hist::ServeLatencyNanos => {
+                "Daemon request latency from accept to response in nanoseconds"
+            }
+            Hist::ServeQueueNanos => "Daemon admission-queue wait in nanoseconds",
+            Hist::WalFsyncNanos => "WAL append and flush per journal event in nanoseconds",
+            Hist::ServeLockNanos => "Provisioner lock acquisition per provision in nanoseconds",
+            Hist::ServeRouteNanos => "Routing search under the read lock in nanoseconds",
+            Hist::ServeCommitNanos => {
+                "Commit under the write lock excluding the WAL flush in nanoseconds"
+            }
         }
     }
 
@@ -325,6 +421,10 @@ impl Hist {
                 | Hist::RequestNanos
                 | Hist::ServeLatencyNanos
                 | Hist::ServeQueueNanos
+                | Hist::WalFsyncNanos
+                | Hist::ServeLockNanos
+                | Hist::ServeRouteNanos
+                | Hist::ServeCommitNanos
         )
     }
 }

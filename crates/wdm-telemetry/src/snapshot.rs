@@ -108,6 +108,10 @@ pub struct TelemetrySnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram totals by [`Hist::name`]; empty histograms are skipped.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Point-in-time gauges (queue depth, epoch, WAL sequence, …) set by
+    /// the embedding process via [`TelemetrySnapshot::set_gauge`]. Unlike
+    /// counters these are instantaneous readings, not monotonic totals.
+    pub gauges: BTreeMap<String, u64>,
 }
 
 impl TelemetrySnapshot {
@@ -126,7 +130,14 @@ impl TelemetrySnapshot {
         TelemetrySnapshot {
             counters,
             histograms,
+            gauges: BTreeMap::new(),
         }
+    }
+
+    /// Records an instantaneous gauge reading under `name`. The last write
+    /// for a name wins; merging snapshots keeps the larger reading.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
     }
 
     /// Adds `other`'s totals into `self`. Counter-wise sums and bucket-wise
@@ -144,6 +155,10 @@ impl TelemetrySnapshot {
                 }
             }
         }
+        for (name, value) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*value);
+        }
     }
 
     /// Sum of the two request-outcome counters (routed + blocked).
@@ -155,15 +170,38 @@ impl TelemetrySnapshot {
     /// Renders the snapshot in Prometheus text exposition format
     /// (version 0.0.4). Counters become `<prefix>_<name>_total`;
     /// histograms become the standard cumulative `_bucket{le="…"}` /
-    /// `_sum` / `_count` triple with a closing `le="+Inf"` bucket.
+    /// `_sum` / `_count` triple with a closing `le="+Inf"` bucket; gauges
+    /// are emitted bare. Every family carries `# HELP` / `# TYPE`
+    /// metadata (help text from [`Counter::help`] / [`Hist::help`] when
+    /// the name is part of the built-in taxonomy).
     pub fn prometheus(&self, prefix: &str) -> String {
         use std::fmt::Write as _;
+        let counter_help: BTreeMap<&str, &str> =
+            Counter::ALL.iter().map(|&c| (c.name(), c.help())).collect();
+        let hist_help: BTreeMap<&str, &str> =
+            Hist::ALL.iter().map(|&h| (h.name(), h.help())).collect();
         let mut out = String::new();
         for (name, value) in &self.counters {
+            let help = counter_help
+                .get(name.as_str())
+                .copied()
+                .unwrap_or("Event counter");
+            let _ = writeln!(out, "# HELP {prefix}_{name}_total {help}");
             let _ = writeln!(out, "# TYPE {prefix}_{name}_total counter");
             let _ = writeln!(out, "{prefix}_{name}_total {value}");
         }
+        for (name, value) in &self.gauges {
+            let help = gauge_help(name);
+            let _ = writeln!(out, "# HELP {prefix}_{name} {help}");
+            let _ = writeln!(out, "# TYPE {prefix}_{name} gauge");
+            let _ = writeln!(out, "{prefix}_{name} {value}");
+        }
         for (name, h) in &self.histograms {
+            let help = hist_help
+                .get(name.as_str())
+                .copied()
+                .unwrap_or("Value distribution");
+            let _ = writeln!(out, "# HELP {prefix}_{name} {help}");
             let _ = writeln!(out, "# TYPE {prefix}_{name} histogram");
             let mut cumulative = 0u64;
             for b in &h.buckets {
@@ -211,6 +249,23 @@ impl TelemetrySnapshot {
             }
         }
         out
+    }
+}
+
+/// Help text for the gauge names the daemon publishes. Gauges are set by
+/// the embedding process (not drawn from an enum taxonomy), so unknown
+/// names fall back to a generic line rather than failing the exposition.
+fn gauge_help(name: &str) -> &'static str {
+    match name {
+        "serve_queue_depth" => "Requests waiting in the daemon admission queue",
+        "serve_queue_capacity" => "Bounded capacity of the daemon admission queue",
+        "serve_epoch" => "Provisioner epoch (bumped on every commit conflict)",
+        "serve_workers" => "Worker threads in the daemon routing pool",
+        "wal_seq" => "Highest journal sequence number appended to the WAL",
+        "wal_checkpoint_seq" => "Journal sequence of the last durable checkpoint",
+        "flight_records" => "Flight-recorder ring occupancy",
+        "flight_anomaly_fired" => "1 once the flight anomaly trigger froze the ring",
+        _ => "Instantaneous gauge reading",
     }
 }
 
@@ -262,9 +317,19 @@ mod tests {
 
     #[test]
     fn prometheus_exposition_is_well_formed() {
-        let snap = sample_sink(&[1, 5, 900]).snapshot();
+        let mut snap = sample_sink(&[1, 5, 900]).snapshot();
+        snap.set_gauge("serve_queue_depth", 7);
         let text = snap.prometheus("wdm");
+        assert!(text.contains("# HELP wdm_requests_routed_total "));
         assert!(text.contains("# TYPE wdm_requests_routed_total counter"));
+        assert!(text.contains("# HELP wdm_route_cost_milli "));
+        assert!(text.contains("# HELP wdm_serve_queue_depth "));
+        assert!(text.contains("# TYPE wdm_serve_queue_depth gauge"));
+        assert!(text.contains("wdm_serve_queue_depth 7"));
+        // Every sample line is preceded by metadata for its family.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
         assert!(text.contains("wdm_requests_routed_total 3"));
         assert!(text.contains("# TYPE wdm_route_cost_milli histogram"));
         assert!(text.contains("wdm_route_cost_milli_count 3"));
@@ -280,6 +345,22 @@ mod tests {
             }
         }
         assert_eq!(last, 3);
+    }
+
+    #[test]
+    fn gauges_round_trip_and_merge_keeps_the_larger_reading() {
+        let mut a = sample_sink(&[4]).snapshot();
+        a.set_gauge("wal_seq", 10);
+        a.set_gauge("serve_epoch", 2);
+        let text = serde_json::to_string(&a).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, a);
+
+        let mut b = TelemetrySnapshot::default();
+        b.set_gauge("wal_seq", 25);
+        a.merge(&b);
+        assert_eq!(a.gauges["wal_seq"], 25);
+        assert_eq!(a.gauges["serve_epoch"], 2);
     }
 
     #[test]

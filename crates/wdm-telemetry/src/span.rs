@@ -59,11 +59,33 @@ pub enum Phase {
     Commit,
     /// Speculative abort: a window result discarded by the commit rules.
     Abort,
+    /// Daemon: reading and validating the request off the socket — the
+    /// admission decision for this request's routing work.
+    Admission,
+    /// Daemon: time spent in the bounded admission queue before a worker
+    /// picked the request up.
+    QueueWait,
+    /// Daemon: waiting to acquire the shared provisioner lock (read lock
+    /// before routing plus write lock before commit).
+    LockAcquire,
+    /// Daemon: the warm-context epoch check under the read lock (and the
+    /// context invalidation it forces after a rollback).
+    EpochCheck,
+    /// Daemon: appending the journal event to the WAL and flushing it.
+    WalFsync,
+    /// Daemon: a conflicted optimistic commit — atomic rollback plus the
+    /// re-route and re-commit under the write lock.
+    Rollback,
+    /// Daemon: serialising the response and writing it to the socket.
+    Respond,
+    /// Recorder bookkeeping on the request's own thread: structured route
+    /// trace assembly and histogram updates after the routing decision.
+    Telemetry,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 16;
 
     /// Every variant, in index order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -75,6 +97,14 @@ impl Phase {
         Phase::Refine,
         Phase::Commit,
         Phase::Abort,
+        Phase::Admission,
+        Phase::QueueWait,
+        Phase::LockAcquire,
+        Phase::EpochCheck,
+        Phase::WalFsync,
+        Phase::Rollback,
+        Phase::Respond,
+        Phase::Telemetry,
     ];
 
     /// Stable snake_case key used in trace files and analysis output.
@@ -88,6 +118,14 @@ impl Phase {
             Phase::Refine => "refine",
             Phase::Commit => "commit",
             Phase::Abort => "abort",
+            Phase::Admission => "admission",
+            Phase::QueueWait => "queue_wait",
+            Phase::LockAcquire => "lock_acquire",
+            Phase::EpochCheck => "epoch_check",
+            Phase::WalFsync => "wal_fsync",
+            Phase::Rollback => "rollback",
+            Phase::Respond => "respond",
+            Phase::Telemetry => "telemetry",
         }
     }
 }
@@ -196,6 +234,14 @@ pub trait Tracer {
     /// members after their routing spans were absorbed.
     fn record_earlier(&self, back: u64, phase: Phase, start_ns: u64);
 
+    /// Closes a span for the current request with both endpoints supplied
+    /// by the caller (clamped so `end_ns >= start_ns`). The daemon uses
+    /// this to carve non-overlapping intervals out of one measured stretch
+    /// — e.g. splitting a commit into its occupy part and the WAL flush —
+    /// and to backfill spans that ended before the request was begun
+    /// (queue wait).
+    fn record_span(&self, phase: Phase, start_ns: u64, end_ns: u64);
+
     /// Per-phase duration totals of the latest begun request, indexed by
     /// `Phase as usize` (all zeros when disabled). Only meaningful while
     /// the latest request's records are still the buffer tail (the serial
@@ -244,6 +290,9 @@ impl Tracer for NoopTracer {
     fn record_earlier(&self, _back: u64, _phase: Phase, _start_ns: u64) {}
 
     #[inline(always)]
+    fn record_span(&self, _phase: Phase, _start_ns: u64, _end_ns: u64) {}
+
+    #[inline(always)]
     fn last_request_phases(&self) -> [u64; Phase::COUNT] {
         [0; Phase::COUNT]
     }
@@ -283,6 +332,11 @@ impl<T: Tracer + ?Sized> Tracer for &T {
     #[inline]
     fn record_earlier(&self, back: u64, phase: Phase, start_ns: u64) {
         (**self).record_earlier(back, phase, start_ns);
+    }
+
+    #[inline]
+    fn record_span(&self, phase: Phase, start_ns: u64, end_ns: u64) {
+        (**self).record_span(phase, start_ns, end_ns);
     }
 
     #[inline]
@@ -437,6 +491,19 @@ impl<C: Clock + Clone> Tracer for SpanBuffer<C> {
         });
     }
 
+    fn record_span(&self, phase: Phase, start_ns: u64, end_ns: u64) {
+        let mut b = self.inner.borrow_mut();
+        let Some(request) = b.begun.checked_sub(1) else {
+            return; // span outside any begun request: dropped
+        };
+        b.records.push(SpanRecord {
+            request,
+            phase,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
     fn last_request_phases(&self) -> [u64; Phase::COUNT] {
         let b = self.inner.borrow();
         let mut out = [0u64; Phase::COUNT];
@@ -522,6 +589,28 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!((recs[0].request, recs[0].phase), (0, Phase::Commit));
         assert_eq!((recs[1].request, recs[1].phase), (2, Phase::Abort));
+    }
+
+    #[test]
+    fn record_span_takes_explicit_intervals() {
+        let clock = ManualClock::new();
+        let buf = SpanBuffer::with_clock(clock.clone());
+        // Outside any request: dropped, like record_earlier.
+        buf.record_span(Phase::QueueWait, 0, 10);
+        assert!(buf.records().is_empty());
+
+        buf.begin_request();
+        clock.advance(100);
+        // Backfilled span that ended before "now"; and a clamped one.
+        buf.record_span(Phase::QueueWait, 10, 40);
+        buf.record_span(Phase::WalFsync, 50, 30);
+        let recs = buf.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].start_ns, recs[0].end_ns), (10, 40));
+        assert_eq!(recs[0].duration_ns(), 30);
+        assert_eq!((recs[1].start_ns, recs[1].end_ns), (50, 50), "clamped");
+        let phases = buf.last_request_phases();
+        assert_eq!(phases[Phase::QueueWait as usize], 30);
     }
 
     #[test]
